@@ -1,0 +1,144 @@
+// Package hiddenhhh is a library for hierarchical heavy hitter (HHH)
+// detection in network traffic and for studying what fixed-time disjoint
+// measurement windows hide, reproducing Galea, Moore, Antichi, Bianchi and
+// Bifulco, "Revealing Hidden Hierarchical Heavy Hitters in network
+// traffic" (SIGCOMM Posters and Demos 2018).
+//
+// The package exposes three families of functionality:
+//
+//   - Detectors: windowed (disjoint, reset-per-window), sliding-window,
+//     and continuous time-decaying HHH detection over packet streams (see
+//     NewWindowedDetector, NewSlidingDetector, NewContinuousDetector).
+//   - Traffic: a seeded synthetic Tier-1 traffic generator (the stand-in
+//     for the paper's proprietary CAIDA traces), binary trace files, and
+//     pcap interchange.
+//   - Experiments: the paper's analyses — hidden-HHH quantification
+//     (Figure 2), window-size sensitivity (Figure 3), and the
+//     windowed-vs-continuous comparison (Section 3) — as reusable
+//     functions returning structured results.
+//
+// All randomness is seed-driven; identical inputs reproduce identical
+// outputs byte for byte.
+package hiddenhhh
+
+import (
+	"hiddenhhh/internal/core"
+	"hiddenhhh/internal/gen"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/pcap"
+	"hiddenhhh/internal/trace"
+)
+
+// Core value types, aliased from the implementation packages so that
+// values flow freely between the public API and the rest of the module.
+type (
+	// Addr is an IPv4 address in host byte order.
+	Addr = ipv4.Addr
+	// Prefix is a canonical IPv4 CIDR prefix.
+	Prefix = ipv4.Prefix
+	// Hierarchy is a uniform prefix-generalisation lattice.
+	Hierarchy = ipv4.Hierarchy
+	// Granularity is the per-level bit step of a Hierarchy.
+	Granularity = ipv4.Granularity
+	// Packet is one observed packet record.
+	Packet = trace.Packet
+	// PacketSource yields packets in time order.
+	PacketSource = trace.Source
+	// Item is one reported hierarchical heavy hitter.
+	Item = hhh.Item
+	// Set is a set of reported HHHs keyed by prefix.
+	Set = hhh.Set
+)
+
+// Hierarchy granularities.
+const (
+	Bit    = ipv4.Bit
+	Nibble = ipv4.Nibble
+	Byte   = ipv4.Byte
+)
+
+// Address and prefix helpers, re-exported from the ipv4 package.
+var (
+	ParseAddr       = ipv4.ParseAddr
+	MustParseAddr   = ipv4.MustParseAddr
+	ParsePrefix     = ipv4.ParsePrefix
+	MustParsePrefix = ipv4.MustParsePrefix
+	NewHierarchy    = ipv4.NewHierarchy
+)
+
+// Threshold computes the absolute byte threshold for a fraction phi of
+// totalBytes, as used throughout the HHH definitions.
+func Threshold(totalBytes int64, phi float64) int64 { return hhh.Threshold(totalBytes, phi) }
+
+// ExactHHH computes the exact HHH set of a finished aggregate: counts maps
+// source addresses to byte volumes and T is the absolute threshold.
+func ExactHHH(counts map[Addr]int64, h Hierarchy, T int64) Set {
+	return hhh.ExactFromCounts(counts, h, T)
+}
+
+// --- Traffic ---
+
+// TraceConfig parameterises the synthetic Tier-1 traffic generator.
+type TraceConfig = gen.Config
+
+// DefaultTraceConfig returns the base synthetic scenario.
+func DefaultTraceConfig() TraceConfig { return gen.DefaultConfig() }
+
+// Tier1Day returns the scenario standing in for one of the paper's four
+// CAIDA trace days.
+var Tier1Day = gen.Tier1Day
+
+// DDoSScenario returns a scenario with strong attack-like pulses.
+var DDoSScenario = gen.DDoSScenario
+
+// GenerateTrace synthesises the whole trace into memory.
+func GenerateTrace(cfg TraceConfig) ([]Packet, error) { return gen.Packets(cfg) }
+
+// NewTraceSource returns a streaming generator for cfg.
+func NewTraceSource(cfg TraceConfig) (PacketSource, error) { return gen.New(cfg) }
+
+// SliceSource replays an in-memory trace.
+func SliceSource(pkts []Packet) PacketSource { return trace.NewSliceSource(pkts) }
+
+// Trace file I/O (compact binary format) and pcap interchange.
+var (
+	WriteTraceFile = trace.WriteFile
+	ReadTraceFile  = trace.ReadFile
+	WritePcapFile  = pcap.WriteFile
+	ReadPcapFile   = pcap.ReadFile
+)
+
+// --- Experiments ---
+
+// Experiment configurations and results, aliased from the core package.
+type (
+	// HiddenHHHConfig parameterises the Figure-2 analysis.
+	HiddenHHHConfig = core.HiddenHHHConfig
+	// HiddenHHHResult is one (window, threshold) cell of Figure 2.
+	HiddenHHHResult = core.HiddenHHHResult
+	// SensitivityConfig parameterises the Figure-3 analysis.
+	SensitivityConfig = core.SensitivityConfig
+	// SensitivityResult is one trim line of Figure 3.
+	SensitivityResult = core.SensitivityResult
+	// ComparisonConfig parameterises the Section-3 evaluation.
+	ComparisonConfig = core.ComparisonConfig
+	// ComparisonOutcome bundles ground truth and detector reports.
+	ComparisonOutcome = core.ComparisonOutcome
+	// DetectorReport scores one detector.
+	DetectorReport = core.DetectorReport
+	// TraceProvider produces identical fresh packet sources per call.
+	TraceProvider = core.Provider
+)
+
+// Experiment runners and renderers.
+var (
+	RunHiddenHHH         = core.HiddenHHH
+	RenderHiddenHHH      = core.RenderHiddenHHH
+	RunWindowSensitivity = core.WindowSensitivity
+	RenderSensitivity    = core.RenderSensitivity
+	RunComparison        = core.ContinuousComparison
+	RenderComparison     = core.RenderComparison
+	TraceProviderOf      = core.SliceProvider
+	TraceProviderFile    = core.FileProvider
+)

@@ -1,0 +1,282 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus per-algorithm throughput (the implicit
+// performance/resource table of Section 3). Each Fig/E benchmark runs the
+// corresponding experiment end to end on a scaled-down trace per
+// iteration; the cmd/ binaries print the full-scale series.
+//
+//	go test -bench=. -benchmem
+package hiddenhhh
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchTrace lazily synthesises and caches the shared benchmark trace:
+// one minute of the day-0 scenario.
+var benchTrace = struct {
+	once sync.Once
+	pkts []Packet
+	span int64
+}{}
+
+func getBenchTrace(b *testing.B) ([]Packet, int64) {
+	b.Helper()
+	benchTrace.once.Do(func() {
+		cfg := Tier1Day(0, time.Minute)
+		pkts, err := GenerateTrace(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchTrace.pkts = pkts
+		benchTrace.span = int64(cfg.Duration)
+	})
+	return benchTrace.pkts, benchTrace.span
+}
+
+// BenchmarkFig2HiddenHHH regenerates the Figure-2 analysis (hidden HHH
+// percentages, disjoint vs sliding) on a one-minute trace.
+func BenchmarkFig2HiddenHHH(b *testing.B) {
+	pkts, span := getBenchTrace(b)
+	provider := TraceProviderOf(pkts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := RunHiddenHHH(provider, HiddenHHHConfig{
+			Windows: []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second},
+			Phis:    []float64{0.01, 0.05, 0.10},
+			Span:    span,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 9 {
+			b.Fatalf("expected 9 cells, got %d", len(results))
+		}
+	}
+}
+
+// BenchmarkFig3WindowSensitivity regenerates the Figure-3 analysis
+// (Jaccard similarity of drifting W vs W-δ tilings).
+func BenchmarkFig3WindowSensitivity(b *testing.B) {
+	pkts, span := getBenchTrace(b)
+	provider := TraceProviderOf(pkts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := RunWindowSensitivity(provider, SensitivityConfig{
+			Baseline: 10 * time.Second,
+			Phi:      0.05,
+			Span:     span,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 10 {
+			b.Fatalf("expected 10 trims, got %d", len(results))
+		}
+	}
+}
+
+// BenchmarkE3Detectors regenerates the Section-3 comparison table
+// (windowed vs continuous detection: accuracy, speed, state).
+func BenchmarkE3Detectors(b *testing.B) {
+	pkts, span := getBenchTrace(b)
+	provider := TraceProviderOf(pkts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcome, err := RunComparison(provider, ComparisonConfig{
+			Window: 10 * time.Second,
+			Phi:    0.05,
+			Span:   span,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outcome.Reports) < 6 {
+			b.Fatalf("expected 6 detector reports, got %d", len(outcome.Reports))
+		}
+	}
+}
+
+// BenchmarkE4aStepSweep regenerates the sliding-step ablation.
+func BenchmarkE4aStepSweep(b *testing.B) {
+	pkts, span := getBenchTrace(b)
+	provider := TraceProviderOf(pkts)
+	steps := []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, step := range steps {
+			if _, err := RunHiddenHHH(provider, HiddenHHHConfig{
+				Windows: []time.Duration{10 * time.Second},
+				Step:    step,
+				Phis:    []float64{0.05},
+				Span:    span,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE4bGranularity regenerates the hierarchy-granularity ablation.
+func BenchmarkE4bGranularity(b *testing.B) {
+	pkts, span := getBenchTrace(b)
+	provider := TraceProviderOf(pkts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range []Granularity{Byte, Nibble} {
+			if _, err := RunHiddenHHH(provider, HiddenHHHConfig{
+				Windows:   []time.Duration{10 * time.Second},
+				Phis:      []float64{0.05},
+				Span:      span,
+				Hierarchy: NewHierarchy(g),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE4cTDBFSweep regenerates one point of the TDBF parameter sweep
+// (tau = window, mid-size filter).
+func BenchmarkE4cTDBFSweep(b *testing.B) {
+	pkts, span := getBenchTrace(b)
+	provider := TraceProviderOf(pkts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunComparison(provider, ComparisonConfig{
+			Window:    10 * time.Second,
+			Tau:       5 * time.Second,
+			Phi:       0.05,
+			Span:      span,
+			TDBFCells: 1 << 14,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-detector packet throughput: the "performance" column of Section 3,
+// isolated from experiment scaffolding. One iteration = one packet.
+
+func benchDetector(b *testing.B, det Detector) {
+	pkts, _ := getBenchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(&pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkDetectorWindowedExact measures the exact-map windowed detector.
+func BenchmarkDetectorWindowedExact(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{Window: 10 * time.Second, Phi: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+}
+
+// BenchmarkDetectorWindowedPerLevel measures the per-level Space-Saving
+// windowed detector.
+func BenchmarkDetectorWindowedPerLevel(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EnginePerLevel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+}
+
+// BenchmarkDetectorWindowedRHHH measures the RHHH windowed detector.
+func BenchmarkDetectorWindowedRHHH(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EngineRHHH})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+}
+
+// BenchmarkDetectorSliding measures the frame-based sliding detector.
+func BenchmarkDetectorSliding(b *testing.B) {
+	det, err := NewSlidingDetector(SlidingConfig{Window: 10 * time.Second, Phi: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+}
+
+// BenchmarkDetectorContinuous measures the TDBF continuous detector.
+func BenchmarkDetectorContinuous(b *testing.B) {
+	det, err := NewContinuousDetector(ContinuousConfig{Horizon: 10 * time.Second, Phi: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+}
+
+// BenchmarkDetectorContinuousSampled measures the sampled-level variant.
+func BenchmarkDetectorContinuousSampled(b *testing.B) {
+	det, err := NewContinuousDetector(ContinuousConfig{
+		Horizon: 10 * time.Second, Phi: 0.05, Sampled: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+}
+
+// BenchmarkTraceGeneration measures synthetic trace throughput
+// (packets/op via b.N packets).
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := DefaultTraceConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.MeanPacketRate = 5000
+	b.ReportAllocs()
+	var p Packet
+	n := 0
+	for n < b.N {
+		src, err := NewTraceSource(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n < b.N {
+			if err := src.Next(&p); err != nil {
+				break
+			}
+			n++
+		}
+		cfg.Seed++
+	}
+}
+
+// BenchmarkExactHHHWindow measures the exact HHH computation over one
+// realistic 10-second window aggregate — the inner loop of every offline
+// analysis.
+func BenchmarkExactHHHWindow(b *testing.B) {
+	pkts, _ := getBenchTrace(b)
+	counts := map[Addr]int64{}
+	var total int64
+	for i := range pkts {
+		if pkts[i].Ts >= int64(10*time.Second) {
+			break
+		}
+		counts[pkts[i].Src] += int64(pkts[i].Size)
+		total += int64(pkts[i].Size)
+	}
+	h := NewHierarchy(Byte)
+	T := Threshold(total, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := ExactHHH(counts, h, T); set.Len() == 0 {
+			b.Fatal("no HHHs")
+		}
+	}
+}

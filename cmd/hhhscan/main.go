@@ -1,0 +1,154 @@
+// Command hhhscan runs hierarchical-heavy-hitter detection over a stored
+// trace (binary format or pcap) and prints the per-window reports.
+//
+// Usage:
+//
+//	hhhscan -in day0.hhht -window 10s -phi 0.05
+//	hhhscan -in day0.pcap -engine rhhh -counters 256 -window 5s -phi 0.01
+//	hhhscan -in day0.hhht -engine continuous -window 10s -phi 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hiddenhhh/internal/continuous"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/pcap"
+	"hiddenhhh/internal/tdbf"
+	"hiddenhhh/internal/trace"
+	"hiddenhhh/internal/window"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input trace (.hhht or .pcap; required)")
+		win      = flag.Duration("window", 10*time.Second, "window length / decay horizon")
+		phi      = flag.Float64("phi", 0.05, "HHH threshold fraction of window bytes")
+		engine   = flag.String("engine", "exact", "exact, perlevel, rhhh or continuous")
+		counters = flag.Int("counters", 512, "counters per level (sketch engines)")
+		granStr  = flag.String("granularity", "byte", "hierarchy granularity: bit, nibble, byte")
+		seed     = flag.Uint64("seed", 1, "seed for randomised engines")
+		verbose  = flag.Bool("v", false, "print every window even when empty")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hhhscan: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pkts, err := load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkts) == 0 {
+		fatal(fmt.Errorf("trace %s is empty", *in))
+	}
+	h, err := granularity(*granStr)
+	if err != nil {
+		fatal(err)
+	}
+	span := pkts[len(pkts)-1].Ts + 1
+
+	printSet := func(start, end int64, set hhh.Set) {
+		if set.Len() == 0 && !*verbose {
+			return
+		}
+		fmt.Printf("window [%v, %v): %d HHHs\n",
+			time.Duration(start).Round(time.Millisecond),
+			time.Duration(end).Round(time.Millisecond), set.Len())
+		for _, it := range set.Items() {
+			fmt.Printf("  %v\n", it)
+		}
+	}
+
+	switch *engine {
+	case "exact":
+		err = window.Tumble(trace.NewSliceSource(pkts),
+			window.Config{Width: *win, End: span},
+			func(r *window.Result) error {
+				set := hhh.Exact(r.Leaves, h, hhh.Threshold(r.Bytes, *phi))
+				printSet(r.Start, r.End, set)
+				return nil
+			})
+	case "perlevel", "rhhh":
+		var update func(ipv4.Addr, int64)
+		var query func(int64) hhh.Set
+		var reset func()
+		if *engine == "perlevel" {
+			eng := hhh.NewPerLevel(h, *counters)
+			update, query, reset = eng.Update, eng.Query, eng.Reset
+		} else {
+			eng := hhh.NewRHHH(h, *counters, *seed)
+			update, query, reset = eng.Update, eng.Query, eng.Reset
+		}
+		err = window.TumblePackets(trace.NewSliceSource(pkts),
+			window.Config{Width: *win, End: span},
+			func(p *trace.Packet) { update(p.Src, int64(p.Size)) },
+			func(s window.Span) error {
+				set := query(hhh.Threshold(s.Bytes, *phi))
+				printSet(s.Start, s.End, set)
+				reset()
+				return nil
+			})
+	case "continuous":
+		var det *continuous.Detector
+		det, err = continuous.NewDetector(continuous.Config{
+			Hierarchy: h,
+			Phi:       *phi,
+			Filter: tdbf.Config{
+				Decay: tdbf.Exponential{Tau: *win},
+			},
+			Seed: *seed,
+			OnEnter: func(p ipv4.Prefix, at int64) {
+				fmt.Printf("%v ENTER %v\n", time.Duration(at).Round(time.Millisecond), p)
+			},
+			OnExit: func(p ipv4.Prefix, at int64) {
+				fmt.Printf("%v EXIT  %v\n", time.Duration(at).Round(time.Millisecond), p)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for i := range pkts {
+			det.Observe(pkts[i].Src, int64(pkts[i].Size), pkts[i].Ts)
+		}
+		fmt.Println("final active set:")
+		printSet(0, span, det.Query(span))
+	default:
+		err = fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func load(path string) ([]trace.Packet, error) {
+	if strings.HasSuffix(path, ".pcap") {
+		return pcap.ReadFile(path)
+	}
+	return trace.ReadFile(path)
+}
+
+func granularity(s string) (ipv4.Hierarchy, error) {
+	switch s {
+	case "bit":
+		return ipv4.NewHierarchy(ipv4.Bit), nil
+	case "nibble":
+		return ipv4.NewHierarchy(ipv4.Nibble), nil
+	case "byte":
+		return ipv4.NewHierarchy(ipv4.Byte), nil
+	default:
+		return ipv4.Hierarchy{}, fmt.Errorf("unknown granularity %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hhhscan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+// Command hiddenhhh reproduces Figure 2 of the paper: the percentage of
+// hierarchical heavy hitters that fixed-time disjoint windows fail to
+// report compared to a sliding window of the same length, across window
+// sizes and thresholds — over the four synthetic "day" scenarios standing
+// in for the paper's CAIDA trace days.
+//
+// Usage:
+//
+//	hiddenhhh                         # all four days, paper parameters, scaled duration
+//	hiddenhhh -duration 1h -days 1    # one full-length day
+//	hiddenhhh -steps                  # E4a ablation: sliding step sweep
+//	hiddenhhh -granularity bit        # E4b ablation: hierarchy granularity
+//	hiddenhhh -in day0.hhht           # analyse a stored trace instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hiddenhhh/internal/core"
+	"hiddenhhh/internal/gen"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/metrics"
+	"hiddenhhh/internal/pcap"
+	"hiddenhhh/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "analyse a stored trace instead of synthesising")
+		duration = flag.Duration("duration", 4*time.Minute, "per-day synthetic trace duration")
+		days     = flag.Int("days", 4, "number of synthetic days (1-4)")
+		step     = flag.Duration("step", time.Second, "sliding step")
+		steps    = flag.Bool("steps", false, "run the step-size ablation (E4a) instead")
+		granStr  = flag.String("granularity", "byte", "hierarchy granularity: bit, nibble, byte")
+		windows  = flag.String("windows", "5s,10s,20s", "comma-separated window sizes")
+		phis     = flag.String("phis", "0.01,0.05,0.10", "comma-separated threshold fractions")
+	)
+	flag.Parse()
+
+	h, err := granularity(*granStr)
+	if err != nil {
+		fatal(err)
+	}
+	ws, err := parseDurations(*windows)
+	if err != nil {
+		fatal(err)
+	}
+	ps, err := parseFloats(*phis)
+	if err != nil {
+		fatal(err)
+	}
+
+	type dayTrace struct {
+		name     string
+		provider core.Provider
+		span     int64
+	}
+	var traces []dayTrace
+	if *in != "" {
+		pkts, err := load(*in)
+		if err != nil {
+			fatal(err)
+		}
+		if len(pkts) == 0 {
+			fatal(fmt.Errorf("trace %s is empty", *in))
+		}
+		traces = append(traces, dayTrace{
+			name:     *in,
+			provider: core.SliceProvider(pkts),
+			span:     pkts[len(pkts)-1].Ts + 1,
+		})
+	} else {
+		if *days < 1 || *days > 4 {
+			fatal(fmt.Errorf("-days must be 1..4"))
+		}
+		for d := 0; d < *days; d++ {
+			cfg := gen.Tier1Day(d, *duration)
+			fmt.Fprintf(os.Stderr, "synthesising day %d (%v at %.0f pps)...\n",
+				d, cfg.Duration, cfg.MeanPacketRate)
+			pkts, err := gen.Packets(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			traces = append(traces, dayTrace{
+				name:     fmt.Sprintf("day%d", d),
+				provider: core.SliceProvider(pkts),
+				span:     int64(cfg.Duration),
+			})
+		}
+	}
+
+	if *steps {
+		runStepAblation(traces[0].provider, traces[0].span, h)
+		return
+	}
+
+	fmt.Println("Figure 2 — hidden HHHs: disjoint windows vs sliding window (step", *step, ")")
+	fmt.Println()
+	summary := metrics.NewTable("day", "window", "phi%", "sliding", "disjoint", "hidden", "hidden%")
+	type cell struct {
+		sum float64
+		n   int
+	}
+	agg := map[string]*cell{}
+	for _, dt := range traces {
+		results, err := core.HiddenHHH(dt.provider, core.HiddenHHHConfig{
+			Windows:   ws,
+			Step:      *step,
+			Phis:      ps,
+			Span:      dt.span,
+			Hierarchy: h,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			summary.AddRow(dt.name, r.Window, 100*r.Phi, r.SlidingDistinct,
+				r.DisjointDistinct, r.HiddenDistinct, r.HiddenPct)
+			k := fmt.Sprintf("%v/%.0f%%", r.Window, 100*r.Phi)
+			if agg[k] == nil {
+				agg[k] = &cell{}
+			}
+			agg[k].sum += r.HiddenPct
+			agg[k].n++
+		}
+	}
+	fmt.Print(summary.String())
+	if len(traces) > 1 {
+		fmt.Println("\nmean hidden% across days:")
+		mean := metrics.NewTable("window/phi", "hidden%")
+		for _, w := range ws {
+			for _, p := range ps {
+				k := fmt.Sprintf("%v/%.0f%%", w, 100*p)
+				if c := agg[k]; c != nil {
+					mean.AddRow(k, c.sum/float64(c.n))
+				}
+			}
+		}
+		fmt.Print(mean.String())
+	}
+}
+
+func runStepAblation(provider core.Provider, span int64, h ipv4.Hierarchy) {
+	fmt.Println("E4a — hidden% vs sliding step (window 10s, phi 5%)")
+	t := metrics.NewTable("step", "sliding", "disjoint", "hidden", "hidden%")
+	for _, step := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2 * time.Second, 5 * time.Second} {
+		results, err := core.HiddenHHH(provider, core.HiddenHHHConfig{
+			Windows:   []time.Duration{10 * time.Second},
+			Step:      step,
+			Phis:      []float64{0.05},
+			Span:      span,
+			Hierarchy: h,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		r := results[0]
+		t.AddRow(step, r.SlidingDistinct, r.DisjointDistinct, r.HiddenDistinct, r.HiddenPct)
+	}
+	fmt.Print(t.String())
+}
+
+func load(path string) ([]trace.Packet, error) {
+	if strings.HasSuffix(path, ".pcap") {
+		return pcap.ReadFile(path)
+	}
+	return trace.ReadFile(path)
+}
+
+func granularity(s string) (ipv4.Hierarchy, error) {
+	switch s {
+	case "bit":
+		return ipv4.NewHierarchy(ipv4.Bit), nil
+	case "nibble":
+		return ipv4.NewHierarchy(ipv4.Nibble), nil
+	case "byte":
+		return ipv4.NewHierarchy(ipv4.Byte), nil
+	default:
+		return ipv4.Hierarchy{}, fmt.Errorf("unknown granularity %q", s)
+	}
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		var f float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &f); err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hiddenhhh:", err)
+	os.Exit(1)
+}

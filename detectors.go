@@ -1,0 +1,299 @@
+package hiddenhhh
+
+import (
+	"fmt"
+	"time"
+
+	"hiddenhhh/internal/continuous"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/tdbf"
+)
+
+// Detector is the uniform streaming interface over the three window
+// models the paper compares. Feed packets in time order with Observe;
+// read the current report with Snapshot. Implementations are not safe for
+// concurrent use.
+type Detector interface {
+	// Observe processes one packet.
+	Observe(p *Packet)
+	// Snapshot returns the detector's current HHH set at time now (ns,
+	// >= the last observed timestamp). For windowed detectors this is
+	// the set reported at the end of the most recently completed window.
+	Snapshot(now int64) Set
+	// SizeBytes reports the detector's state footprint.
+	SizeBytes() int
+}
+
+// Engine selects the per-window summary structure of a windowed detector.
+type Engine int
+
+// Supported windowed engines.
+const (
+	// EngineExact keeps an exact per-source byte map (the offline
+	// reference, linear state).
+	EngineExact Engine = iota
+	// EnginePerLevel runs one Space-Saving summary per hierarchy level
+	// (the classical data-plane design).
+	EnginePerLevel
+	// EngineRHHH samples one level per packet (Ben Basat et al.).
+	EngineRHHH
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineExact:
+		return "exact"
+	case EnginePerLevel:
+		return "perlevel"
+	case EngineRHHH:
+		return "rhhh"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// WindowedConfig configures NewWindowedDetector.
+type WindowedConfig struct {
+	// Window is the disjoint window length. Required.
+	Window time.Duration
+	// Phi is the threshold fraction of per-window bytes. Required.
+	Phi float64
+	// Engine selects the summary structure. Default EngineExact.
+	Engine Engine
+	// Counters per level for sketch engines. Default 512.
+	Counters int
+	// Hierarchy defaults to byte granularity.
+	Hierarchy Hierarchy
+	// Seed drives EngineRHHH sampling.
+	Seed uint64
+	// OnWindow, when set, receives every completed window's HHH set.
+	OnWindow func(start, end int64, set Set)
+}
+
+// windowedDetector applies the reset-per-window discipline the paper
+// critiques: state is cleared at every boundary, so bursts straddling a
+// boundary are split and can fall below threshold in both halves.
+type windowedDetector struct {
+	cfg     WindowedConfig
+	width   int64
+	curEnd  int64
+	started bool
+	bytes   int64
+
+	// exactly one of these is active, per cfg.Engine
+	exact     *sketch.Exact
+	exactPeak int
+	pl        *hhh.PerLevel
+	rh        *hhh.RHHH
+
+	last Set
+}
+
+// NewWindowedDetector builds a disjoint-window HHH detector.
+func NewWindowedDetector(cfg WindowedConfig) (Detector, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("hiddenhhh: window must be positive")
+	}
+	if cfg.Phi <= 0 || cfg.Phi > 1 {
+		return nil, fmt.Errorf("hiddenhhh: phi %v out of (0,1]", cfg.Phi)
+	}
+	if cfg.Hierarchy == (Hierarchy{}) {
+		cfg.Hierarchy = NewHierarchy(Byte)
+	}
+	if cfg.Counters <= 0 {
+		cfg.Counters = 512
+	}
+	d := &windowedDetector{cfg: cfg, width: int64(cfg.Window), last: hhh.NewSet()}
+	switch cfg.Engine {
+	case EngineExact:
+		d.exact = sketch.NewExact(1024)
+	case EnginePerLevel:
+		d.pl = hhh.NewPerLevel(cfg.Hierarchy, cfg.Counters)
+	case EngineRHHH:
+		d.rh = hhh.NewRHHH(cfg.Hierarchy, cfg.Counters, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("hiddenhhh: unknown engine %v", cfg.Engine)
+	}
+	return d, nil
+}
+
+func (d *windowedDetector) Observe(p *Packet) {
+	if !d.started {
+		d.started = true
+		d.curEnd = (p.Ts/d.width + 1) * d.width
+	}
+	for p.Ts >= d.curEnd {
+		d.closeWindow()
+	}
+	w := int64(p.Size)
+	d.bytes += w
+	switch {
+	case d.exact != nil:
+		d.exact.Update(uint64(p.Src), w)
+		if d.exact.Len() > d.exactPeak {
+			d.exactPeak = d.exact.Len()
+		}
+	case d.pl != nil:
+		d.pl.Update(p.Src, w)
+	default:
+		d.rh.Update(p.Src, w)
+	}
+}
+
+func (d *windowedDetector) closeWindow() {
+	T := hhh.Threshold(d.bytes, d.cfg.Phi)
+	switch {
+	case d.exact != nil:
+		d.last = hhh.Exact(d.exact, d.cfg.Hierarchy, T)
+		d.exact.Reset()
+	case d.pl != nil:
+		d.last = d.pl.Query(T)
+		d.pl.Reset()
+	default:
+		d.last = d.rh.Query(T)
+		d.rh.Reset()
+	}
+	if d.cfg.OnWindow != nil {
+		d.cfg.OnWindow(d.curEnd-d.width, d.curEnd, d.last)
+	}
+	d.bytes = 0
+	d.curEnd += d.width
+}
+
+func (d *windowedDetector) Snapshot(now int64) Set {
+	for d.started && now >= d.curEnd {
+		d.closeWindow()
+	}
+	return d.last
+}
+
+func (d *windowedDetector) SizeBytes() int {
+	switch {
+	case d.exact != nil:
+		// Peak footprint: the exact map grows with distinct sources per
+		// window and is reset at boundaries.
+		return d.exactPeak * 16
+	case d.pl != nil:
+		return d.pl.SizeBytes()
+	default:
+		return d.rh.SizeBytes()
+	}
+}
+
+// SlidingConfig configures NewSlidingDetector.
+type SlidingConfig struct {
+	// Window is the sliding span queries cover. Required.
+	Window time.Duration
+	// Phi is the threshold fraction of windowed bytes. Required.
+	Phi float64
+	// Frames is the expiry granularity (window coverage overshoots by
+	// W/Frames). Default 8.
+	Frames int
+	// Counters is the per-frame, per-level Space-Saving capacity.
+	// Default 256.
+	Counters int
+	// Hierarchy defaults to byte granularity.
+	Hierarchy Hierarchy
+}
+
+type slidingDetector struct {
+	cfg SlidingConfig
+	d   *swhh.SlidingHHH
+}
+
+// NewSlidingDetector builds a streaming sliding-window HHH detector
+// (frame-based WCSS per hierarchy level).
+func NewSlidingDetector(cfg SlidingConfig) (Detector, error) {
+	if cfg.Phi <= 0 || cfg.Phi > 1 {
+		return nil, fmt.Errorf("hiddenhhh: phi %v out of (0,1]", cfg.Phi)
+	}
+	if cfg.Hierarchy == (Hierarchy{}) {
+		cfg.Hierarchy = NewHierarchy(Byte)
+	}
+	inner, err := swhh.NewSlidingHHH(cfg.Hierarchy, swhh.Config{
+		Window:   cfg.Window,
+		Frames:   cfg.Frames,
+		Counters: cfg.Counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &slidingDetector{cfg: cfg, d: inner}, nil
+}
+
+func (d *slidingDetector) Observe(p *Packet) {
+	d.d.Update(p.Src, int64(p.Size), p.Ts)
+}
+
+func (d *slidingDetector) Snapshot(now int64) Set {
+	return d.d.Query(d.cfg.Phi, now)
+}
+
+func (d *slidingDetector) SizeBytes() int { return d.d.SizeBytes() }
+
+// ContinuousConfig configures NewContinuousDetector.
+type ContinuousConfig struct {
+	// Horizon is the decay time constant tau — the continuous analogue
+	// of the window length. Required.
+	Horizon time.Duration
+	// Phi is the threshold fraction of total decayed mass. Required.
+	Phi float64
+	// Cells and Hashes size the per-level time-decaying Bloom filters.
+	// Defaults 1<<16 and 4.
+	Cells  int
+	Hashes int
+	// ExitRatio is the hysteresis fraction (see internal/continuous).
+	ExitRatio float64
+	// Sampled updates one random level per packet (cheaper, noisier).
+	Sampled bool
+	Seed    uint64
+	// Hierarchy defaults to byte granularity.
+	Hierarchy Hierarchy
+	// OnEnter/OnExit observe detection transitions.
+	OnEnter func(p Prefix, at int64)
+	OnExit  func(p Prefix, at int64)
+}
+
+type continuousDetector struct {
+	d *continuous.Detector
+}
+
+// NewContinuousDetector builds the paper's proposed windowless detector:
+// per-level time-decaying Bloom filters with inline admission.
+func NewContinuousDetector(cfg ContinuousConfig) (Detector, error) {
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("hiddenhhh: horizon must be positive")
+	}
+	if cfg.Hierarchy == (ipv4.Hierarchy{}) {
+		cfg.Hierarchy = NewHierarchy(Byte)
+	}
+	inner, err := continuous.NewDetector(continuous.Config{
+		Hierarchy: cfg.Hierarchy,
+		Phi:       cfg.Phi,
+		Filter: tdbf.Config{
+			Cells:  cfg.Cells,
+			Hashes: cfg.Hashes,
+			Decay:  tdbf.Exponential{Tau: cfg.Horizon},
+		},
+		ExitRatio: cfg.ExitRatio,
+		Sampled:   cfg.Sampled,
+		Seed:      cfg.Seed,
+		OnEnter:   cfg.OnEnter,
+		OnExit:    cfg.OnExit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &continuousDetector{d: inner}, nil
+}
+
+func (d *continuousDetector) Observe(p *Packet) {
+	d.d.Observe(p.Src, int64(p.Size), p.Ts)
+}
+
+func (d *continuousDetector) Snapshot(now int64) Set { return d.d.Query(now) }
+
+func (d *continuousDetector) SizeBytes() int { return d.d.SizeBytes() }

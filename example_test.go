@@ -1,0 +1,101 @@
+package hiddenhhh_test
+
+import (
+	"fmt"
+	"time"
+
+	"hiddenhhh"
+)
+
+// ExampleExactHHH computes the exact hierarchical heavy hitters of a tiny
+// aggregate: a /24 whose hosts individually stay below the threshold but
+// collectively exceed it.
+func ExampleExactHHH() {
+	counts := map[hiddenhhh.Addr]int64{
+		hiddenhhh.MustParseAddr("10.1.2.1"): 30,
+		hiddenhhh.MustParseAddr("10.1.2.2"): 30,
+		hiddenhhh.MustParseAddr("10.1.2.3"): 30,
+		hiddenhhh.MustParseAddr("99.0.0.1"): 9,
+	}
+	h := hiddenhhh.NewHierarchy(hiddenhhh.Byte)
+	set := hiddenhhh.ExactHHH(counts, h, hiddenhhh.Threshold(99, 0.5))
+	for _, item := range set.Items() {
+		fmt.Printf("%v conditioned=%d\n", item.Prefix, item.Conditioned)
+	}
+	// Output:
+	// 10.1.2.0/24 conditioned=90
+}
+
+// ExampleNewWindowedDetector streams packets through a disjoint-window
+// detector — the reset-per-window discipline the paper studies.
+func ExampleNewWindowedDetector() {
+	det, err := hiddenhhh.NewWindowedDetector(hiddenhhh.WindowedConfig{
+		Window: time.Second,
+		Phi:    0.5,
+		OnWindow: func(start, end int64, set hiddenhhh.Set) {
+			fmt.Printf("window closed with %d HHHs\n", set.Len())
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	heavy := hiddenhhh.MustParseAddr("192.0.2.1")
+	for i := 0; i < 2000; i++ {
+		p := hiddenhhh.Packet{
+			Ts:   int64(i) * int64(time.Millisecond),
+			Src:  heavy,
+			Size: 1000,
+		}
+		det.Observe(&p)
+	}
+	set := det.Snapshot(int64(2 * time.Second))
+	fmt.Println("last window:", set.Contains(hiddenhhh.MustParsePrefix("192.0.2.1/32")))
+	// Output:
+	// window closed with 1 HHHs
+	// window closed with 1 HHHs
+	// last window: true
+}
+
+// ExampleNewContinuousDetector shows the paper's proposed windowless
+// detection: a steady heavy source enters the active set and is reported
+// without any window boundary being involved.
+func ExampleNewContinuousDetector() {
+	det, err := hiddenhhh.NewContinuousDetector(hiddenhhh.ContinuousConfig{
+		Horizon: time.Second,
+		Phi:     0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	heavy := hiddenhhh.MustParseAddr("192.0.2.1")
+	var now int64
+	for i := 0; i < 5000; i++ {
+		now = int64(i) * int64(time.Millisecond)
+		p := hiddenhhh.Packet{Ts: now, Src: heavy, Size: 1000}
+		det.Observe(&p)
+	}
+	fmt.Println(det.Snapshot(now).Contains(hiddenhhh.MustParsePrefix("192.0.2.1/32")))
+	// Output:
+	// true
+}
+
+// ExampleExactHHH2D localises a "who talks to whom" aggregate: many
+// sources inside one /24 flooding a single destination host.
+func ExampleExactHHH2D() {
+	var tuples []hiddenhhh.Tuple2D
+	victim := hiddenhhh.MustParseAddr("198.51.100.7")
+	for i := byte(1); i <= 9; i++ {
+		tuples = append(tuples, hiddenhhh.Tuple2D{
+			Src:   hiddenhhh.MustParseAddr("10.1.2.0") + hiddenhhh.Addr(i),
+			Dst:   victim,
+			Bytes: 100,
+		})
+	}
+	h := hiddenhhh.NewHierarchy2D(hiddenhhh.Byte, hiddenhhh.Byte)
+	set := hiddenhhh.ExactHHH2D(tuples, h, 0.5)
+	for _, n := range set.Nodes() {
+		fmt.Println(n)
+	}
+	// Output:
+	// 10.1.2.0/24->198.51.100.7/32
+}

@@ -1,0 +1,69 @@
+// Quickstart: synthesise a minute of Tier-1-like traffic, compute the
+// exact hierarchical heavy hitters of a 10-second window, and print them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hiddenhhh"
+)
+
+func main() {
+	// 1. Synthesise a reproducible traffic trace (the library's stand-in
+	//    for a real capture; swap in hiddenhhh.ReadPcapFile for one).
+	cfg := hiddenhhh.DefaultTraceConfig()
+	cfg.Duration = time.Minute
+	cfg.Seed = 7
+	pkts, err := hiddenhhh.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d packets over %v\n\n", len(pkts), cfg.Duration)
+
+	// 2. Aggregate one 10-second window by source address.
+	window := int64(10 * time.Second)
+	counts := map[hiddenhhh.Addr]int64{}
+	var total int64
+	for i := range pkts {
+		if pkts[i].Ts >= window {
+			break
+		}
+		counts[pkts[i].Src] += int64(pkts[i].Size)
+		total += int64(pkts[i].Size)
+	}
+
+	// 3. Compute the exact HHH set at a 5% byte threshold over the
+	//    conventional /0,/8,/16,/24,/32 hierarchy.
+	h := hiddenhhh.NewHierarchy(hiddenhhh.Byte)
+	set := hiddenhhh.ExactHHH(counts, h, hiddenhhh.Threshold(total, 0.05))
+
+	fmt.Printf("hierarchical heavy hitters of window [0s,10s) at phi=5%% (T=%d bytes):\n",
+		hiddenhhh.Threshold(total, 0.05))
+	for _, item := range set.Items() {
+		share := 100 * float64(item.Conditioned) / float64(total)
+		fmt.Printf("  %-18v  subtree=%8d B  conditioned=%8d B (%.1f%%)\n",
+			item.Prefix, item.Count, item.Conditioned, share)
+	}
+
+	// 4. The same stream, processed online by a windowed detector.
+	det, err := hiddenhhh.NewWindowedDetector(hiddenhhh.WindowedConfig{
+		Window: 10 * time.Second,
+		Phi:    0.05,
+		OnWindow: func(start, end int64, set hiddenhhh.Set) {
+			fmt.Printf("window [%2ds,%2ds): %d HHHs\n",
+				start/int64(time.Second), end/int64(time.Second), set.Len())
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstreaming the full minute through a windowed detector:")
+	for i := range pkts {
+		det.Observe(&pkts[i])
+	}
+	det.Snapshot(int64(cfg.Duration)) // flush the final window
+}

@@ -1,0 +1,42 @@
+package hiddenhhh
+
+import (
+	"hiddenhhh/internal/hhh2d"
+)
+
+// Two-dimensional (source × destination) hierarchical heavy hitters: the
+// extension of the paper's 1-D analysis to "who talks to whom"
+// aggregates. See internal/hhh2d for semantics (mass-assignment
+// conditioning over the product lattice).
+type (
+	// Node2D is a source-prefix × destination-prefix lattice element.
+	Node2D = hhh2d.Node
+	// Item2D is one reported 2-D HHH.
+	Item2D = hhh2d.Item
+	// Set2D is a set of reported 2-D HHHs.
+	Set2D = hhh2d.Set
+	// Tuple2D is one (src, dst, bytes) observation.
+	Tuple2D = hhh2d.Tuple
+	// Hierarchy2D pairs the per-dimension hierarchies.
+	Hierarchy2D = hhh2d.Hierarchy2
+	// Detector2D is the streaming per-lattice-node engine.
+	Detector2D = hhh2d.PerNode
+)
+
+// NewHierarchy2D builds a product hierarchy at the given granularities.
+func NewHierarchy2D(src, dst Granularity) Hierarchy2D {
+	return hhh2d.NewHierarchy2(src, dst)
+}
+
+// ExactHHH2D computes the exact 2-D HHH set of the given observations at
+// a fraction phi of their total byte volume.
+func ExactHHH2D(tuples []Tuple2D, h Hierarchy2D, phi float64) Set2D {
+	return hhh2d.ExactFromPackets(tuples, h, phi)
+}
+
+// NewDetector2D builds a streaming 2-D HHH engine with k Space-Saving
+// counters per lattice class. Feed it with Update(src, dst, bytes) and
+// query with QueryFraction(phi).
+func NewDetector2D(h Hierarchy2D, k int) *Detector2D {
+	return hhh2d.NewPerNode(h, k)
+}

@@ -1,0 +1,316 @@
+// Package continuous implements the windowless hierarchical-heavy-hitter
+// detector the paper's Section 3 calls for: continuous-time detection built
+// on time-decaying Bloom filters instead of resettable window counters.
+//
+// The detector keeps one time-decaying Bloom filter per hierarchy level and
+// a decayed tracker of total traffic mass. Every packet updates the filters
+// along its source address's generalisation chain and then performs an
+// inline admission check: a prefix whose *conditioned* decayed mass — its
+// own estimate minus the estimates claimed by currently active descendant
+// HHHs — reaches phi of the total decayed mass becomes active. Active
+// prefixes are re-validated lazily (on the packets that touch them and on
+// Query) and exit below a configurable hysteresis fraction of the
+// threshold, so reports do not flap around the boundary.
+//
+// Because decay is continuous there are no window edges: a burst that would
+// straddle a disjoint-window boundary — precisely the traffic the paper
+// shows is "hidden" — accumulates mass regardless of when it starts. The
+// trade-off, quantified by the continuous-comparison experiment, is that
+// detection is thresholded against an exponentially weighted past rather
+// than a sharp interval.
+package continuous
+
+import (
+	"fmt"
+	"time"
+
+	"hiddenhhh/internal/hashx"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/tdbf"
+)
+
+// Config configures a Detector.
+type Config struct {
+	// Hierarchy of source prefixes; required (use ipv4.NewHierarchy).
+	Hierarchy ipv4.Hierarchy
+	// Phi is the HHH threshold as a fraction of total decayed traffic
+	// mass, matching the windowed experiments' phi of window bytes.
+	// Required, in (0,1].
+	Phi float64
+	// Filter configures the per-level time-decaying Bloom filters,
+	// including the decay law. Filter.Decay is required; the decay
+	// horizon plays the role the window length plays for windowed
+	// detectors.
+	Filter tdbf.Config
+	// ExitRatio is the hysteresis: an active prefix exits when its
+	// conditioned mass falls below ExitRatio*Phi*total. Default 0.9;
+	// 1.0 disables hysteresis.
+	ExitRatio float64
+	// Warmup suppresses admissions until this much trace time has
+	// passed, letting the decayed total reach steady state. Default is
+	// the decay horizon (zero for laws without one).
+	Warmup time.Duration
+	// Sampled, when true, updates a single uniformly drawn level per
+	// packet (RHHH-style) and scales estimates by the level count,
+	// trading accuracy for an O(1) update. Seed drives the sampling.
+	Sampled bool
+	Seed    uint64
+	// OnEnter/OnExit, when set, observe detection transitions with the
+	// packet timestamp that triggered them.
+	OnEnter func(p ipv4.Prefix, at int64)
+	OnExit  func(p ipv4.Prefix, at int64)
+}
+
+// Detector is a continuous HHH detector. Not safe for concurrent use.
+type Detector struct {
+	cfg     Config
+	levels  int
+	filters []*tdbf.Filter
+	total   *tdbf.MassTracker
+	active  map[ipv4.Prefix]int64 // prefix -> activation timestamp
+	anc     []ipv4.Prefix
+	rng     uint64
+	warmEnd int64
+	pkts    int64
+}
+
+// NewDetector validates cfg and builds a detector.
+func NewDetector(cfg Config) (*Detector, error) {
+	if cfg.Phi <= 0 || cfg.Phi > 1 {
+		return nil, fmt.Errorf("continuous: Phi %v out of (0,1]", cfg.Phi)
+	}
+	if cfg.Filter.Decay == nil {
+		return nil, fmt.Errorf("continuous: Filter.Decay is required")
+	}
+	if cfg.ExitRatio == 0 {
+		cfg.ExitRatio = 0.9
+	}
+	if cfg.ExitRatio < 0 || cfg.ExitRatio > 1 {
+		return nil, fmt.Errorf("continuous: ExitRatio %v out of (0,1]", cfg.ExitRatio)
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Filter.Decay.Horizon()
+	}
+	d := &Detector{
+		cfg:     cfg,
+		levels:  cfg.Hierarchy.Levels(),
+		total:   tdbf.NewMassTracker(cfg.Filter.Decay),
+		active:  make(map[ipv4.Prefix]int64),
+		rng:     hashx.Mix64(cfg.Seed ^ 0x6a09e667f3bcc909),
+		warmEnd: int64(cfg.Warmup),
+	}
+	d.filters = make([]*tdbf.Filter, d.levels)
+	for l := range d.filters {
+		fc := cfg.Filter
+		fc.Seed = hashx.Mix64(cfg.Seed + uint64(l) + 1)
+		d.filters[l] = tdbf.New(fc)
+	}
+	d.anc = make([]ipv4.Prefix, 0, d.levels)
+	return d, nil
+}
+
+// scale is the estimate multiplier: level count under sampling, 1 otherwise.
+func (d *Detector) scale() float64 {
+	if d.cfg.Sampled {
+		return float64(d.levels)
+	}
+	return 1
+}
+
+// estimate returns the scaled decayed-mass estimate of p at now.
+func (d *Detector) estimate(p ipv4.Prefix, now int64) float64 {
+	l := d.cfg.Hierarchy.Level(p.Bits)
+	return d.filters[l].Estimate(uint64(p.Addr), now) * d.scale()
+}
+
+// claimedUnder sums the estimates of maximal active strict descendants of
+// p: the mass already claimed by more specific HHHs, to be discounted from
+// p's own estimate. The active set is small (bounded by ~1/phi·levels), so
+// the quadratic scan is cheap and only runs for prefixes that already
+// passed the raw-mass pre-check.
+func (d *Detector) claimedUnder(p ipv4.Prefix, now int64) float64 {
+	var claimed float64
+	for h := range d.active {
+		if h == p || !p.Covers(h) {
+			continue
+		}
+		// h is maximal under p when no other active prefix sits strictly
+		// between p and h.
+		maximal := true
+		for m := range d.active {
+			if m != h && m != p && p.Covers(m) && m.Covers(h) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			claimed += d.estimate(h, now)
+		}
+	}
+	return claimed
+}
+
+// Observe feeds one packet: src's generalisation chain is folded into the
+// filters at timestamp now (ns, non-decreasing), and the chain's prefixes
+// are checked for admission or exit.
+func (d *Detector) Observe(src ipv4.Addr, bytes int64, now int64) {
+	d.pkts++
+	w := float64(bytes)
+	d.total.Add(w, now)
+	d.anc = d.cfg.Hierarchy.Ancestors(src, d.anc[:0])
+	if d.cfg.Sampled {
+		d.rng += 0x9e3779b97f4a7c15
+		l := int((hashx.Mix64(d.rng) >> 32) * uint64(d.levels) >> 32)
+		d.filters[l].Add(uint64(d.anc[l].Addr), w, now)
+	} else {
+		for l, pre := range d.anc {
+			d.filters[l].Add(uint64(pre.Addr), w, now)
+		}
+	}
+	if now < d.warmEnd {
+		return
+	}
+	enterT := d.cfg.Phi * d.total.Value(now)
+	exitT := enterT * d.cfg.ExitRatio
+	// Bottom-up along the packet's own chain: children admit before
+	// parents so the parent's conditioned mass sees the fresh claim.
+	for _, p := range d.anc {
+		raw := d.estimate(p, now)
+		if _, isActive := d.active[p]; isActive {
+			if raw < exitT || raw-d.claimedUnder(p, now) < exitT {
+				d.deactivate(p, now)
+			}
+			continue
+		}
+		if raw < enterT {
+			continue // cheap pre-check: conditioning only shrinks mass
+		}
+		if raw-d.claimedUnder(p, now) >= enterT {
+			d.active[p] = now
+			if d.cfg.OnEnter != nil {
+				d.cfg.OnEnter(p, now)
+			}
+		}
+	}
+}
+
+func (d *Detector) deactivate(p ipv4.Prefix, now int64) {
+	delete(d.active, p)
+	if d.cfg.OnExit != nil {
+		d.cfg.OnExit(p, now)
+	}
+}
+
+// Query re-validates the whole active set at time now and returns the
+// current HHH set with decayed-mass estimates. Prefixes whose conditioned
+// mass fell below the exit threshold are deactivated (with OnExit fired).
+func (d *Detector) Query(now int64) hhh.Set {
+	out := hhh.Set{}
+	if len(d.active) == 0 {
+		return out
+	}
+	exitT := d.cfg.Phi * d.total.Value(now) * d.cfg.ExitRatio
+
+	// Process most-specific first so claims propagate upward exactly as
+	// in the exact algorithm's bottom-up pass.
+	prefixes := make([]ipv4.Prefix, 0, len(d.active))
+	for p := range d.active {
+		prefixes = append(prefixes, p)
+	}
+	// Sort by descending Bits (then address for determinism).
+	for i := 1; i < len(prefixes); i++ {
+		for j := i; j > 0 && less(prefixes[j], prefixes[j-1]); j-- {
+			prefixes[j], prefixes[j-1] = prefixes[j-1], prefixes[j]
+		}
+	}
+
+	type verdict struct {
+		est     float64
+		claim   float64 // mass this subtree passes to its nearest ancestor
+		keep    bool
+		cond    float64
+		claimed float64 // accumulated claims from descendants
+	}
+	verdicts := make(map[ipv4.Prefix]*verdict, len(prefixes))
+	for _, p := range prefixes {
+		verdicts[p] = &verdict{est: d.estimate(p, now)}
+	}
+	for _, p := range prefixes {
+		v := verdicts[p]
+		v.cond = v.est - v.claimed
+		if v.cond >= exitT {
+			v.keep = true
+			v.claim = v.est
+		} else {
+			v.claim = v.claimed // pass through descendants' claims
+		}
+		// Attribute the claim to the nearest remaining candidate ancestor.
+		if v.claim > 0 {
+			var best *verdict
+			bestBits := -1
+			for _, q := range prefixes {
+				if q == p || !q.Covers(p) {
+					continue
+				}
+				if int(q.Bits) > bestBits {
+					bestBits = int(q.Bits)
+					best = verdicts[q]
+				}
+			}
+			if best != nil {
+				best.claimed += v.claim
+			}
+		}
+	}
+	for _, p := range prefixes {
+		v := verdicts[p]
+		if !v.keep {
+			d.deactivate(p, now)
+			continue
+		}
+		out.Add(hhh.Item{
+			Prefix:      p,
+			Count:       int64(v.est),
+			Conditioned: int64(v.cond),
+		})
+	}
+	return out
+}
+
+// less orders prefixes most-specific-first, then by address.
+func less(a, b ipv4.Prefix) bool {
+	if a.Bits != b.Bits {
+		return a.Bits > b.Bits
+	}
+	return a.Addr < b.Addr
+}
+
+// ActiveLen returns the size of the active set without revalidation.
+func (d *Detector) ActiveLen() int { return len(d.active) }
+
+// TotalMass returns the decayed total traffic mass at now.
+func (d *Detector) TotalMass(now int64) float64 { return d.total.Value(now) }
+
+// Packets returns the number of packets observed.
+func (d *Detector) Packets() int64 { return d.pkts }
+
+// SizeBytes returns the state footprint: the per-level filters plus the
+// (bounded) active set.
+func (d *Detector) SizeBytes() int {
+	n := 0
+	for _, f := range d.filters {
+		n += f.SizeBytes()
+	}
+	return n + len(d.active)*24
+}
+
+// Reset returns the detector to its initial state (the RNG continues).
+func (d *Detector) Reset() {
+	for _, f := range d.filters {
+		f.Reset()
+	}
+	d.total.Reset()
+	d.active = make(map[ipv4.Prefix]int64)
+	d.pkts = 0
+}

@@ -1,0 +1,328 @@
+package continuous
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/tdbf"
+)
+
+const sec = int64(time.Second)
+
+func byteH() ipv4.Hierarchy { return ipv4.NewHierarchy(ipv4.Byte) }
+
+func defaultCfg(phi float64, tau time.Duration) Config {
+	return Config{
+		Hierarchy: byteH(),
+		Phi:       phi,
+		Filter: tdbf.Config{
+			Cells:  1 << 14,
+			Hashes: 4,
+			Decay:  tdbf.Exponential{Tau: tau},
+		},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewDetector(Config{Hierarchy: byteH(), Phi: 0}); err == nil {
+		t.Error("zero phi should fail")
+	}
+	if _, err := NewDetector(Config{Hierarchy: byteH(), Phi: 2}); err == nil {
+		t.Error("phi > 1 should fail")
+	}
+	if _, err := NewDetector(Config{Hierarchy: byteH(), Phi: 0.1}); err == nil {
+		t.Error("missing decay should fail")
+	}
+	cfg := defaultCfg(0.1, time.Second)
+	cfg.ExitRatio = 1.5
+	if _, err := NewDetector(cfg); err == nil {
+		t.Error("ExitRatio > 1 should fail")
+	}
+	if _, err := NewDetector(defaultCfg(0.1, time.Second)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// drive sends a steady background plus an optional heavy host.
+func drive(d *Detector, seconds int, heavy ipv4.Addr, heavyShare float64, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	now := int64(0)
+	const pps = 1000
+	step := sec / pps
+	for i := 0; i < seconds*pps; i++ {
+		now += step
+		if heavyShare > 0 && rng.Float64() < heavyShare {
+			d.Observe(heavy, 1000, now)
+		} else {
+			// Diffuse background across the whole space.
+			d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+		}
+	}
+	return now
+}
+
+func TestDetectsSteadyHeavyHitter(t *testing.T) {
+	d, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := ipv4.MustParseAddr("10.1.2.3")
+	now := drive(d, 10, heavy, 0.4, 1) // 40% of bytes from one host
+	set := d.Query(now)
+	if !set.Contains(ipv4.Host(heavy)) {
+		t.Fatalf("steady 40%% host not detected: %v", set)
+	}
+	it := set[ipv4.Host(heavy)]
+	// Steady state mass ~ 0.4 * totalRate * tau = 0.4 * 1e6 B/s * 1s.
+	want := 0.4 * 1000 * 1000.0
+	rel := math.Abs(float64(it.Count)-want) / want
+	if rel > 0.25 {
+		t.Errorf("estimate %d vs expected ~%.0f (rel %.2f)", it.Count, want, rel)
+	}
+}
+
+func TestNoDetectionsOnDiffuseTraffic(t *testing.T) {
+	// All sources tiny: only the root aggregates enough mass.
+	d, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := drive(d, 5, 0, 0, 2)
+	set := d.Query(now)
+	for p := range set {
+		if p.Bits != 0 {
+			t.Fatalf("unexpected non-root detection %v in diffuse traffic", p)
+		}
+	}
+}
+
+func TestDetectionExpiresAfterFlowStops(t *testing.T) {
+	d, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := ipv4.MustParseAddr("10.1.2.3")
+	now := drive(d, 10, heavy, 0.5, 3)
+	if !d.Query(now).Contains(ipv4.Host(heavy)) {
+		t.Fatal("precondition: heavy host detected")
+	}
+	// Flow stops; background continues for 10 tau.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		now += sec / 1000
+		d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+	}
+	if d.Query(now).Contains(ipv4.Host(heavy)) {
+		t.Fatal("stopped flow still reported after 10 tau")
+	}
+}
+
+func TestBoundaryStraddlingBurstIsSeen(t *testing.T) {
+	// The paper's motivating case: a burst centred on what would be a
+	// disjoint-window boundary. The continuous detector must report it.
+	cfg := defaultCfg(0.05, 2*time.Second)
+	var entered []ipv4.Prefix
+	cfg.OnEnter = func(p ipv4.Prefix, at int64) { entered = append(entered, p) }
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker := ipv4.MustParseAddr("203.0.113.66")
+	rng := rand.New(rand.NewSource(5))
+	now := int64(0)
+	for i := 0; i < 20000; i++ { // 20 s of 1000 pps background
+		now += sec / 1000
+		d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+		// Burst: 9.5 s - 10.5 s, attacker sends hard (10 extra pkts/ms).
+		if now > 9500*int64(time.Millisecond) && now < 10500*int64(time.Millisecond) {
+			for j := 0; j < 10; j++ {
+				d.Observe(attacker, 1000, now)
+			}
+		}
+	}
+	seen := false
+	for _, p := range entered {
+		if p.Contains(attacker) && p.Bits == 32 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("boundary burst never entered the active set; events: %v", entered)
+	}
+	// And after the burst has decayed away it must not linger.
+	if d.Query(now).Contains(ipv4.Host(attacker)) {
+		t.Error("burst still active 10 s after it ended")
+	}
+}
+
+func TestWarmupSuppressesEarlyDetections(t *testing.T) {
+	cfg := defaultCfg(0.1, time.Second)
+	cfg.Warmup = 5 * time.Second
+	var enterTimes []int64
+	cfg.OnEnter = func(_ ipv4.Prefix, at int64) { enterTimes = append(enterTimes, at) }
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(d, 10, ipv4.MustParseAddr("10.0.0.1"), 0.5, 6)
+	for _, at := range enterTimes {
+		if at < int64(5*time.Second) {
+			t.Fatalf("detection at %v during warmup", time.Duration(at))
+		}
+	}
+	if len(enterTimes) == 0 {
+		t.Fatal("no detections after warmup")
+	}
+}
+
+func TestConditioningSuppressesParent(t *testing.T) {
+	// One heavy host inside an otherwise quiet /24: the host is an HHH;
+	// the /24 (whose mass is entirely the host's) must be conditioned
+	// away, not double-reported.
+	d, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := ipv4.MustParseAddr("10.1.2.3")
+	now := drive(d, 10, heavy, 0.4, 7)
+	set := d.Query(now)
+	if !set.Contains(ipv4.Host(heavy)) {
+		t.Fatalf("host missing: %v", set)
+	}
+	if set.Contains(ipv4.MustParsePrefix("10.1.2.0/24")) {
+		t.Fatalf("parent /24 reported despite conditioning: %v", set)
+	}
+}
+
+func TestHierarchicalAggregationDetectsSubnet(t *testing.T) {
+	// Many sources inside one /24, each individually light: only the /24
+	// (and possibly coarser) should fire — the hierarchical case.
+	d, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subnet := ipv4.MustParseAddr("192.0.2.0")
+	rng := rand.New(rand.NewSource(8))
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		now += sec / 2000
+		if i%2 == 0 {
+			d.Observe(subnet+ipv4.Addr(rng.Intn(256)), 1000, now) // 50% share spread over /24
+		} else {
+			d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+		}
+	}
+	set := d.Query(now)
+	if !set.Contains(ipv4.MustParsePrefix("192.0.2.0/24")) {
+		t.Fatalf("aggregated /24 not detected: %v", set)
+	}
+	for p := range set {
+		if p.Bits == 32 && p.Contains(subnet) {
+			t.Fatalf("individual host %v wrongly detected", p)
+		}
+	}
+}
+
+func TestSampledVariantDetects(t *testing.T) {
+	cfg := defaultCfg(0.1, time.Second)
+	cfg.Sampled = true
+	cfg.Seed = 42
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := ipv4.MustParseAddr("10.9.8.7")
+	now := drive(d, 15, heavy, 0.5, 9)
+	set := d.Query(now)
+	found := false
+	for p := range set {
+		if p.Contains(heavy) && p.Bits > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sampled detector missed 50%% host: %v", set)
+	}
+}
+
+func TestExitEventsFire(t *testing.T) {
+	cfg := defaultCfg(0.1, time.Second)
+	exits := 0
+	cfg.OnExit = func(ipv4.Prefix, int64) { exits++ }
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := ipv4.MustParseAddr("10.0.0.1")
+	now := drive(d, 5, heavy, 0.5, 10)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		now += sec / 1000
+		d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+	}
+	d.Query(now)
+	if exits == 0 {
+		t.Error("no exit events after flow stopped")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(1, 100, 1)
+	if d.Packets() != 1 {
+		t.Error("Packets")
+	}
+	if d.TotalMass(1) != 100 {
+		t.Errorf("TotalMass = %v", d.TotalMass(1))
+	}
+	if d.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+	if d.ActiveLen() != 0 {
+		t.Error("ActiveLen")
+	}
+	d.Reset()
+	if d.Packets() != 0 || d.TotalMass(2) != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestQueryEmptyDetector(t *testing.T) {
+	d, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set := d.Query(0); set.Len() != 0 {
+		t.Errorf("fresh detector reported %v", set)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	d, err := NewDetector(defaultCfg(0.05, time.Second))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(ipv4.Addr(uint32(i)*2654435761), 1000, int64(i)*1000)
+	}
+}
+
+func BenchmarkObserveSampled(b *testing.B) {
+	cfg := defaultCfg(0.05, time.Second)
+	cfg.Sampled = true
+	d, err := NewDetector(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(ipv4.Addr(uint32(i)*2654435761), 1000, int64(i)*1000)
+	}
+}

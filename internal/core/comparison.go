@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hiddenhhh/internal/continuous"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/metrics"
+	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/tdbf"
+	"hiddenhhh/internal/trace"
+	"hiddenhhh/internal/window"
+)
+
+// ComparisonConfig parameterises the Section-3 evaluation: how well do
+// windowed detectors and the proposed time-decaying continuous detector
+// recover the HHHs a sliding window (the information-richest model)
+// reveals — including the hidden ones — and at what performance and
+// memory cost.
+type ComparisonConfig struct {
+	// Window is the disjoint window length and the sliding ground-truth
+	// length. Default 10 s.
+	Window time.Duration
+	// Tau is the continuous detector's decay horizon. Defaults to
+	// Window, the natural like-for-like setting; the E4c ablation sweeps
+	// it independently.
+	Tau time.Duration
+	// Step is the sliding step defining ground truth. Default 1 s.
+	Step time.Duration
+	// Phi is the threshold fraction. Default 0.05.
+	Phi float64
+	// Span is the analysed trace duration.
+	Span int64
+	// Hierarchy defaults to byte granularity.
+	Hierarchy ipv4.Hierarchy
+	// Counters per level for the sketch engines (PerLevel, RHHH).
+	// Default 512.
+	Counters int
+	// TDBFCells/TDBFHashes size the continuous detector's per-level
+	// filters. Defaults 1<<16 and 4.
+	TDBFCells  int
+	TDBFHashes int
+	// Seed drives the randomised detectors.
+	Seed uint64
+}
+
+func (c *ComparisonConfig) setDefaults() {
+	if c.Window == 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Tau == 0 {
+		c.Tau = c.Window
+	}
+	if c.Step == 0 {
+		c.Step = time.Second
+	}
+	if c.Phi == 0 {
+		c.Phi = 0.05
+	}
+	if c.Hierarchy == (ipv4.Hierarchy{}) {
+		c.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	}
+	if c.Counters == 0 {
+		c.Counters = 512
+	}
+	if c.TDBFCells == 0 {
+		c.TDBFCells = 1 << 16
+	}
+	if c.TDBFHashes == 0 {
+		c.TDBFHashes = 4
+	}
+}
+
+// DetectorReport scores one detector over the whole trace.
+type DetectorReport struct {
+	Name string
+	// Reported is the number of distinct HHH prefixes the detector
+	// produced across the trace.
+	Reported int
+	// Recall is the fraction of the sliding-window ground-truth set the
+	// detector found; HiddenRecall restricts that to the hidden HHHs
+	// (those no disjoint window reports) — the paper's motivating
+	// information loss.
+	Recall       float64
+	HiddenRecall float64
+	// Precision is the fraction of the detector's reports that are in
+	// the ground-truth set.
+	Precision float64
+	// NsPerPacket is the measured per-packet processing cost of the
+	// detector's pass, and StateBytes its steady-state memory footprint.
+	NsPerPacket float64
+	StateBytes  int
+	Packets     int64
+}
+
+// ComparisonOutcome bundles the ground truth and every detector's report.
+type ComparisonOutcome struct {
+	GroundTruth   hhh.Set // sliding-window union S
+	DisjointTruth hhh.Set // disjoint union D (exact per window)
+	Hidden        hhh.Set // S − D
+	Reports       []DetectorReport
+}
+
+// ContinuousComparison runs the Section-3 evaluation. Ground truth is the
+// union of exact HHH sets over sliding positions; each detector is then
+// driven over an identical replay of the trace and scored on the distinct
+// prefixes it ever reported.
+func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonOutcome, error) {
+	cfg.setDefaults()
+	out := &ComparisonOutcome{}
+
+	// Pass 1: exact sliding ground truth, disjoint exact union, and the
+	// sliding-exact reference row (timed).
+	src, err := provider()
+	if err != nil {
+		return nil, err
+	}
+	sliding := hhh.NewSet()
+	disjoint := hhh.NewSet()
+	peakLeaves := 0
+	start := time.Now()
+	err = window.Slide(src, window.Config{
+		Width: cfg.Window, Step: cfg.Step, End: cfg.Span,
+	}, func(r *window.Result) error {
+		set := hhh.Exact(r.Leaves, cfg.Hierarchy, hhh.Threshold(r.Bytes, cfg.Phi))
+		sliding.UnionInPlace(set)
+		if r.Start%int64(cfg.Window) == 0 {
+			disjoint.UnionInPlace(set)
+		}
+		if r.Leaves.Len() > peakLeaves {
+			peakLeaves = r.Leaves.Len()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	out.GroundTruth = sliding
+	out.DisjointTruth = disjoint
+	out.Hidden = sliding.Diff(disjoint)
+
+	// Recount packets in span for per-packet costs.
+	src, err = provider()
+	if err != nil {
+		return nil, err
+	}
+	var pkts int64
+	if err := trace.ForEach(src, func(p *trace.Packet) error {
+		if p.Ts >= 0 && p.Ts < cfg.Span {
+			pkts++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	score := func(name string, reported hhh.Set, nsPerPkt float64, stateBytes int) DetectorReport {
+		inTruth := reported.Intersect(out.GroundTruth).Len()
+		inHidden := reported.Intersect(out.Hidden).Len()
+		return DetectorReport{
+			Name:         name,
+			Reported:     reported.Len(),
+			Recall:       ratio(float64(inTruth), float64(out.GroundTruth.Len())),
+			HiddenRecall: ratio(float64(inHidden), float64(out.Hidden.Len())),
+			Precision:    ratio(float64(inTruth), float64(reported.Len())),
+			NsPerPacket:  nsPerPkt,
+			StateBytes:   stateBytes,
+			Packets:      pkts,
+		}
+	}
+	nsPerPkt := func(d time.Duration) float64 {
+		if pkts == 0 {
+			return 0
+		}
+		return float64(d.Nanoseconds()) / float64(pkts)
+	}
+
+	out.Reports = append(out.Reports,
+		score("sliding-exact", sliding, nsPerPkt(elapsed), peakLeaves*16))
+
+	// Windowed streaming detectors: reset-per-window discipline.
+	type windowedEngine struct {
+		name   string
+		update func(src ipv4.Addr, bytes int64)
+		close  func(windowBytes int64) hhh.Set
+		reset  func()
+		size   func() int
+	}
+	mkWindowed := func(we windowedEngine) error {
+		src, err := provider()
+		if err != nil {
+			return err
+		}
+		reported := hhh.NewSet()
+		start := time.Now()
+		err = window.TumblePackets(src,
+			window.Config{Width: cfg.Window, End: cfg.Span},
+			func(p *trace.Packet) { we.update(p.Src, int64(p.Size)) },
+			func(s window.Span) error {
+				reported.UnionInPlace(we.close(s.Bytes))
+				we.reset()
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		out.Reports = append(out.Reports,
+			score(we.name, reported, nsPerPkt(time.Since(start)), we.size()))
+		return nil
+	}
+
+	// disjoint-exact: per-window exact computation over a leaf map.
+	leaves := sketch.NewExact(4096)
+	peak := 0
+	if err := mkWindowed(windowedEngine{
+		name:   "disjoint-exact",
+		update: func(src ipv4.Addr, bytes int64) { leaves.Update(uint64(src), bytes) },
+		close: func(windowBytes int64) hhh.Set {
+			if leaves.Len() > peak {
+				peak = leaves.Len()
+			}
+			return hhh.Exact(leaves, cfg.Hierarchy, hhh.Threshold(windowBytes, cfg.Phi))
+		},
+		reset: leaves.Reset,
+		size:  func() int { return peak * 16 },
+	}); err != nil {
+		return nil, err
+	}
+
+	// disjoint-perlevel: Space-Saving per level, reset per window.
+	pl := hhh.NewPerLevel(cfg.Hierarchy, cfg.Counters)
+	if err := mkWindowed(windowedEngine{
+		name:   "disjoint-perlevel",
+		update: pl.Update,
+		close: func(windowBytes int64) hhh.Set {
+			return pl.Query(hhh.Threshold(windowBytes, cfg.Phi))
+		},
+		reset: pl.Reset,
+		size:  pl.SizeBytes,
+	}); err != nil {
+		return nil, err
+	}
+
+	// disjoint-rhhh: randomised level sampling, reset per window.
+	rh := hhh.NewRHHH(cfg.Hierarchy, cfg.Counters, cfg.Seed)
+	if err := mkWindowed(windowedEngine{
+		name:   "disjoint-rhhh",
+		update: rh.Update,
+		close: func(windowBytes int64) hhh.Set {
+			return rh.Query(hhh.Threshold(windowBytes, cfg.Phi))
+		},
+		reset: rh.Reset,
+		size:  rh.SizeBytes,
+	}); err != nil {
+		return nil, err
+	}
+
+	// Continuous detectors: TDBF per level, enter events define reports.
+	runContinuous := func(name string, sampled bool) error {
+		reported := hhh.NewSet()
+		det, err := continuous.NewDetector(continuous.Config{
+			Hierarchy: cfg.Hierarchy,
+			Phi:       cfg.Phi,
+			Filter: tdbf.Config{
+				Cells:  cfg.TDBFCells,
+				Hashes: cfg.TDBFHashes,
+				Decay:  tdbf.Exponential{Tau: cfg.Tau},
+			},
+			Sampled: sampled,
+			Seed:    cfg.Seed,
+			OnEnter: func(p ipv4.Prefix, at int64) {
+				reported.Add(hhh.Item{Prefix: p})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		src, err := provider()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		err = trace.ForEach(src, func(p *trace.Packet) error {
+			if p.Ts >= 0 && p.Ts < cfg.Span {
+				det.Observe(p.Src, int64(p.Size), p.Ts)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		out.Reports = append(out.Reports,
+			score(name, reported, nsPerPkt(time.Since(start)), det.SizeBytes()))
+		return nil
+	}
+	if err := runContinuous("continuous-tdbf", false); err != nil {
+		return nil, err
+	}
+	if err := runContinuous("continuous-sampled", true); err != nil {
+		return nil, err
+	}
+
+	return out, nil
+}
+
+// RenderComparison formats the outcome as the Section-3 table.
+func RenderComparison(o *ComparisonOutcome) string {
+	t := metrics.NewTable("detector", "reported", "recall", "hidden-recall",
+		"precision", "ns/pkt", "state-KiB")
+	for _, r := range o.Reports {
+		t.AddRow(r.Name, r.Reported, r.Recall, r.HiddenRecall, r.Precision,
+			fmt.Sprintf("%.0f", r.NsPerPacket), fmt.Sprintf("%.0f", float64(r.StateBytes)/1024))
+	}
+	return fmt.Sprintf("ground truth: %d sliding HHHs, %d disjoint, %d hidden\n\n%s",
+		o.GroundTruth.Len(), o.DisjointTruth.Len(), o.Hidden.Len(), t.String())
+}

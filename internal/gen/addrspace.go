@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+// addrSpace is the hierarchical address universe sources are drawn from:
+// a fixed set of organisations (/8), subnets (/16) and networks (/24)
+// whose popularity is Zipf-distributed over seeded random permutations, so
+// a handful of subtrees concentrate most traffic — the structure that
+// makes interior prefixes (not just hosts) become HHHs.
+type addrSpace struct {
+	orgs    []byte    // second .. the /8 octet values, popularity-ranked
+	orgCum  []float64 // cumulative Zipf weights
+	subCum  []float64 // shared cumulative weights for subnet ranks
+	netCum  []float64
+	servers []ipv4.Addr
+
+	// subnetPerm[o] permutes subnet indices inside org o so that the
+	// popular rank lands on different octets per org; likewise netPerm
+	// keyed by (org, subnet).
+	subnetPerm [][]byte
+	netPerm    map[uint16][]byte
+
+	cfg *Config
+	// pulse sources get hosts drawn from the same structured space so
+	// bursts hit real subtrees.
+}
+
+func cumZipf(n int, skew float64) []float64 {
+	cum := make([]float64, n)
+	var tot float64
+	for i := 0; i < n; i++ {
+		tot += 1 / math.Pow(float64(i+1), skew)
+		cum[i] = tot
+	}
+	for i := range cum {
+		cum[i] /= tot
+	}
+	return cum
+}
+
+func pickCum(cum []float64, r float64) int {
+	// Binary search over the cumulative weights.
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func newAddrSpace(cfg *Config, rng *rand.Rand) *addrSpace {
+	s := &addrSpace{cfg: cfg, netPerm: map[uint16][]byte{}}
+	// Distinct public-ish /8 octets.
+	perm := rng.Perm(190)
+	s.orgs = make([]byte, cfg.Orgs)
+	for i := range s.orgs {
+		s.orgs[i] = byte(10 + perm[i]) // 10..199, deterministic under seed
+	}
+	s.orgCum = cumZipf(cfg.Orgs, cfg.AddrSkew)
+	s.subCum = cumZipf(cfg.SubnetsPerOrg, cfg.AddrSkew)
+	s.netCum = cumZipf(cfg.NetsPerSubnet, cfg.AddrSkew)
+	s.subnetPerm = make([][]byte, cfg.Orgs)
+	for o := range s.subnetPerm {
+		p := rng.Perm(256)
+		s.subnetPerm[o] = make([]byte, cfg.SubnetsPerOrg)
+		for i := range s.subnetPerm[o] {
+			s.subnetPerm[o][i] = byte(p[i])
+		}
+	}
+	s.servers = make([]ipv4.Addr, cfg.Servers)
+	for i := range s.servers {
+		s.servers[i] = ipv4.AddrFrom4(byte(200+rng.Intn(20)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+	}
+	return s
+}
+
+// netOctets lazily permutes /24 octets within (org, subnet).
+func (s *addrSpace) netOctets(rng *rand.Rand, org, sub int) []byte {
+	key := uint16(org)<<8 | uint16(sub)
+	if p, ok := s.netPerm[key]; ok {
+		return p
+	}
+	perm := rng.Perm(256)
+	p := make([]byte, s.cfg.NetsPerSubnet)
+	for i := range p {
+		p[i] = byte(perm[i])
+	}
+	s.netPerm[key] = p
+	return p
+}
+
+// sampleSource draws a host address by Zipf descent through the
+// hierarchy.
+func (s *addrSpace) sampleSource(rng *rand.Rand) ipv4.Addr {
+	org := pickCum(s.orgCum, rng.Float64())
+	sub := pickCum(s.subCum, rng.Float64())
+	net := pickCum(s.netCum, rng.Float64())
+	host := 1 + rng.Intn(s.cfg.HostsPerNet)
+	return ipv4.AddrFrom4(
+		s.orgs[org],
+		s.subnetPerm[org][sub],
+		s.netOctets(rng, org, sub)[net],
+		byte(host),
+	)
+}
+
+// samplePulseSource draws the source for a pulse: a fresh host inside a
+// popular subtree (so the burst lights up interior prefixes too).
+func (s *addrSpace) samplePulseSource(rng *rand.Rand) ipv4.Addr {
+	org := pickCum(s.orgCum, rng.Float64())
+	sub := pickCum(s.subCum, rng.Float64())
+	net := pickCum(s.netCum, rng.Float64())
+	// Hosts above the regular range: new /32s that only pulses use.
+	host := s.cfg.HostsPerNet + 1 + rng.Intn(255-s.cfg.HostsPerNet)
+	if host > 254 {
+		host = 254
+	}
+	return ipv4.AddrFrom4(
+		s.orgs[org],
+		s.subnetPerm[org][sub],
+		s.netOctets(rng, org, sub)[net],
+		byte(host),
+	)
+}
+
+// sampleServer draws a destination.
+func (s *addrSpace) sampleServer(rng *rand.Rand) ipv4.Addr {
+	return s.servers[rng.Intn(len(s.servers))]
+}

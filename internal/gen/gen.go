@@ -1,0 +1,282 @@
+package gen
+
+import (
+	"container/heap"
+	"io"
+	"math"
+	"math/rand"
+
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/trace"
+)
+
+// Generator streams one synthetic trace in timestamp order. It implements
+// trace.Source; construct a fresh Generator (same Config) to replay the
+// identical trace.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	space *addrSpace
+	flows eventHeap
+	durNs int64
+	done  bool
+
+	emitted int64
+}
+
+// New validates cfg and builds a generator positioned at the start of the
+// trace.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		durNs: int64(cfg.Duration),
+	}
+	g.space = newAddrSpace(&cfg, g.rng)
+	g.seedFlows()
+	g.seedPulses()
+	heap.Init(&g.flows)
+	return g, nil
+}
+
+// Packets generates the whole trace into memory. Prefer the streaming
+// interface for long traces.
+func Packets(cfg Config) ([]trace.Packet, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hint := int(cfg.MeanPacketRate * cfg.Duration.Seconds())
+	return trace.Collect(g, hint)
+}
+
+// flow is one scheduled traffic source (long-lived or pulse).
+type flow struct {
+	next       int64 // next event time (ns); heap key
+	src        ipv4.Addr
+	baseRate   float64 // long-run average pps (rank share of the aggregate)
+	onRate     float64 // pps while on (baseRate corrected for duty cycle)
+	onMean     float64 // mean on-period (ns); 0 means always on
+	offMean    float64 // mean off-period (ns)
+	on         bool
+	stateUntil int64 // next on/off toggle (long-lived only)
+	death      int64 // respawn (long-lived) or end (pulse) time
+	pulse      bool
+}
+
+type eventHeap []*flow
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].next < h[j].next }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*flow)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); f := old[n-1]; *h = old[:n-1]; return f }
+
+// expNs draws an exponential duration with the given mean (ns).
+func (g *Generator) expNs(mean float64) int64 {
+	d := int64(g.rng.ExpFloat64() * mean)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// rateOfRank gives the long-run average packet rate for popularity rank r
+// (0-based): Zipf weights normalised to the configured aggregate rate.
+func (g *Generator) rateOfRank(r int) float64 {
+	skew := g.cfg.RateSkew
+	var norm float64
+	for i := 1; i <= g.cfg.Flows; i++ {
+		norm += 1 / math.Pow(float64(i), skew)
+	}
+	w := 1 / math.Pow(float64(r+1), skew) / norm
+	return g.cfg.MeanPacketRate * w
+}
+
+func (g *Generator) seedFlows() {
+	g.flows = make(eventHeap, 0, g.cfg.Flows+16)
+	for i := 0; i < g.cfg.Flows; i++ {
+		f := &flow{
+			src:      g.space.sampleSource(g.rng),
+			baseRate: g.rateOfRank(i),
+		}
+		g.assignClass(f)
+		g.resetLifecycle(f, 0)
+		// Random initial phase so the population does not start in sync.
+		f.next = g.expNs(1e9 / f.onRate)
+		heap.Push(&g.flows, f)
+	}
+}
+
+// assignClass draws the flow's burst class: a MicroburstFraction share of
+// sources burst at sub-second scale, the rest at the BurstOn/BurstOff
+// scale. The on-rate is amplified by the inverse duty cycle so every
+// flow's long-run average stays at its rank share of the aggregate.
+func (g *Generator) assignClass(f *flow) {
+	switch {
+	case g.cfg.MicroburstFraction > 0 && g.rng.Float64() < g.cfg.MicroburstFraction:
+		f.onMean = float64(g.cfg.MicroOn)
+		f.offMean = float64(g.cfg.MicroOff)
+	case g.cfg.BurstOn > 0:
+		f.onMean = float64(g.cfg.BurstOn)
+		f.offMean = float64(g.cfg.BurstOff)
+	default:
+		f.onMean, f.offMean = 0, 0
+	}
+	if f.onMean > 0 {
+		duty := f.onMean / (f.onMean + f.offMean)
+		f.onRate = f.baseRate / duty
+	} else {
+		f.onRate = f.baseRate
+	}
+}
+
+// resetLifecycle (re)draws a flow's on/off phase and death time from t.
+func (g *Generator) resetLifecycle(f *flow, t int64) {
+	if f.onMean > 0 {
+		// Start in a random state biased by the duty cycle.
+		duty := f.onMean / (f.onMean + f.offMean)
+		f.on = g.rng.Float64() < duty
+		if f.on {
+			f.stateUntil = t + g.expNs(f.onMean)
+		} else {
+			f.stateUntil = t + g.expNs(f.offMean)
+		}
+	} else {
+		f.on = true
+		f.stateUntil = math.MaxInt64
+	}
+	if g.cfg.MeanFlowLifetime > 0 {
+		f.death = t + g.expNs(float64(g.cfg.MeanFlowLifetime))
+	} else {
+		f.death = math.MaxInt64
+	}
+}
+
+// seedPulses schedules Poisson pulse arrivals across the trace.
+func (g *Generator) seedPulses() {
+	if g.cfg.PulsesPerMinute <= 0 {
+		return
+	}
+	meanGapNs := 60e9 / g.cfg.PulsesPerMinute
+	for t := g.expNs(meanGapNs); t < g.durNs; t += g.expNs(meanGapNs) {
+		durRange := float64(g.cfg.PulseDurationMax - g.cfg.PulseDurationMin)
+		dur := int64(g.cfg.PulseDurationMin) + int64(g.rng.Float64()*durRange)
+		share := g.cfg.PulseShareMin +
+			g.rng.Float64()*(g.cfg.PulseShareMax-g.cfg.PulseShareMin)
+		f := &flow{
+			next:       t,
+			src:        g.space.samplePulseSource(g.rng),
+			onRate:     share * g.cfg.MeanPacketRate,
+			on:         true,
+			stateUntil: math.MaxInt64,
+			death:      t + dur,
+			pulse:      true,
+		}
+		g.flows = append(g.flows, f)
+	}
+}
+
+// Next implements trace.Source.
+func (g *Generator) Next(p *trace.Packet) error {
+	for !g.done {
+		if len(g.flows) == 0 {
+			g.done = true
+			break
+		}
+		f := g.flows[0]
+		t := f.next
+		if t >= g.durNs {
+			// Heap min is beyond the trace end; everything else is too.
+			g.done = true
+			break
+		}
+		switch {
+		case t >= f.death:
+			if f.pulse {
+				heap.Pop(&g.flows) // pulses end, they do not respawn
+				continue
+			}
+			// Churn: the source dies and a fresh one takes its rank slot.
+			f.src = g.space.sampleSource(g.rng)
+			g.assignClass(f)
+			g.resetLifecycle(f, t)
+			f.next = t + g.expNs(1e9/f.onRate)
+			heap.Fix(&g.flows, 0)
+			continue
+		case t >= f.stateUntil:
+			if f.on {
+				f.on = false
+				f.stateUntil = t + g.expNs(f.offMean)
+				// Sleep through the off period.
+				f.next = f.stateUntil
+			} else {
+				f.on = true
+				f.stateUntil = t + g.expNs(f.onMean)
+				f.next = t + g.expNs(1e9/f.onRate)
+			}
+			heap.Fix(&g.flows, 0)
+			continue
+		case !f.on:
+			// Scheduled during an off period (initial phase): skip ahead.
+			f.next = f.stateUntil
+			heap.Fix(&g.flows, 0)
+			continue
+		}
+		// Emit a packet for f at t.
+		g.fillPacket(p, f, t)
+		f.next = t + g.expNs(1e9/f.onRate)
+		heap.Fix(&g.flows, 0)
+		g.emitted++
+		return nil
+	}
+	return io.EOF
+}
+
+// Emitted returns the number of packets produced so far.
+func (g *Generator) Emitted() int64 { return g.emitted }
+
+// fillPacket draws the per-packet header fields.
+func (g *Generator) fillPacket(p *trace.Packet, f *flow, t int64) {
+	p.Ts = t
+	p.Src = f.src
+	p.Dst = g.space.sampleServer(g.rng)
+	p.Size = g.sampleSize(f.pulse)
+	switch r := g.rng.Float64(); {
+	case f.pulse || r < 0.10:
+		p.Proto = trace.ProtoUDP
+		p.SrcPort = uint16(1024 + g.rng.Intn(64000))
+		p.DstPort = uint16([]int{53, 123, 443, 4789}[g.rng.Intn(4)])
+	case r < 0.998:
+		p.Proto = trace.ProtoTCP
+		p.SrcPort = uint16(1024 + g.rng.Intn(64000))
+		p.DstPort = uint16([]int{80, 443, 443, 443, 22, 25}[g.rng.Intn(6)])
+	default:
+		p.Proto = trace.ProtoICMP
+		p.SrcPort, p.DstPort = 0, 0
+	}
+}
+
+// sampleSize draws from the trimodal Internet packet-size mixture; pulses
+// skew small (typical of floods).
+func (g *Generator) sampleSize(pulse bool) uint32 {
+	r := g.rng.Float64()
+	if pulse {
+		// Floods: mostly minimum-size packets.
+		if r < 0.85 {
+			return uint32(40 + g.rng.Intn(24))
+		}
+		return uint32(1400 + g.rng.Intn(100))
+	}
+	switch {
+	case r < 0.45:
+		return uint32(40 + g.rng.Intn(40)) // ACKs, SYNs
+	case r < 0.60:
+		return uint32(400 + g.rng.Intn(400)) // DNS and mid-size
+	default:
+		return uint32(1400 + g.rng.Intn(100)) // MTU-limited bulk
+	}
+}

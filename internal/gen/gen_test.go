@@ -1,0 +1,333 @@
+package gen
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/trace"
+)
+
+func smallCfg(seed int64) Config {
+	c := DefaultConfig()
+	c.Duration = 10 * time.Second
+	c.Seed = seed
+	c.Flows = 400
+	c.MeanPacketRate = 2000
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Flows = 0 },
+		func(c *Config) { c.MeanPacketRate = 0 },
+		func(c *Config) { c.RateSkew = -1 },
+		func(c *Config) { c.BurstOn = 0 }, // off still set
+		func(c *Config) { c.BurstOn = -time.Second },
+		func(c *Config) { c.PulsesPerMinute = -1 },
+		func(c *Config) { c.PulseDurationMin = 0 },
+		func(c *Config) { c.PulseDurationMax = time.Millisecond },
+		func(c *Config) { c.PulseShareMin = 0 },
+		func(c *Config) { c.PulseShareMax = 0.001 },
+		func(c *Config) { c.Orgs = 0 },
+		func(c *Config) { c.Orgs = 500 },
+		func(c *Config) { c.SubnetsPerOrg = 300 },
+		func(c *Config) { c.HostsPerNet = 255 },
+		func(c *Config) { c.Servers = 0 },
+		func(c *Config) { c.AddrSkew = -0.1 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); !errors.Is(err, ErrConfig) {
+			t.Errorf("mutation %d: err = %v, want ErrConfig", i, err)
+		}
+		if _, err := New(c); !errors.Is(err, ErrConfig) {
+			t.Errorf("mutation %d: New err = %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Packets(smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Packets(smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := Packets(smallCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestTimeSortedAndInRange(t *testing.T) {
+	pkts, err := Packets(smallCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.IsSorted(pkts) {
+		t.Fatal("generator output not time-sorted")
+	}
+	for i := range pkts {
+		if pkts[i].Ts < 0 || pkts[i].Ts >= int64(10*time.Second) {
+			t.Fatalf("packet %d timestamp %d outside trace", i, pkts[i].Ts)
+		}
+		if pkts[i].Size < 40 || pkts[i].Size > 1514 {
+			t.Fatalf("packet %d size %d out of range", i, pkts[i].Size)
+		}
+	}
+}
+
+func TestAggregateRate(t *testing.T) {
+	cfg := smallCfg(2)
+	pkts, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(pkts)) / cfg.Duration.Seconds()
+	want := cfg.MeanPacketRate
+	// Pulses add extra load; allow the band to reflect that.
+	if got < want*0.7 || got > want*1.8 {
+		t.Errorf("aggregate rate %.0f pps, want within [%.0f, %.0f]",
+			got, want*0.7, want*1.8)
+	}
+}
+
+func TestSourceRateSkew(t *testing.T) {
+	cfg := smallCfg(3)
+	cfg.PulsesPerMinute = 0 // isolate the long-lived population
+	pkts, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySrc := map[ipv4.Addr]int{}
+	for i := range pkts {
+		bySrc[pkts[i].Src]++
+	}
+	counts := make([]int, 0, len(bySrc))
+	for _, c := range bySrc {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct sources", len(counts))
+	}
+	// Heavy tail: top source well above the median.
+	median := counts[len(counts)/2]
+	if counts[0] < 20*median {
+		t.Errorf("top source %d vs median %d: tail not heavy enough", counts[0], median)
+	}
+	// And the top source should be a meaningful share but not everything.
+	share := float64(counts[0]) / float64(len(pkts))
+	if share < 0.01 || share > 0.6 {
+		t.Errorf("top source share %.3f outside plausible band", share)
+	}
+}
+
+func TestHierarchicalConcentration(t *testing.T) {
+	// Aggregating by /8 must concentrate traffic: the top org should
+	// carry several times the uniform share.
+	cfg := smallCfg(4)
+	pkts, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOrg := map[byte]int{}
+	for i := range pkts {
+		byOrg[pkts[i].Src.Octets()[0]]++
+	}
+	max := 0
+	for _, c := range byOrg {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := len(pkts) / cfg.Orgs
+	if max < 3*uniform {
+		t.Errorf("top /8 carries %d packets vs uniform %d: no concentration", max, uniform)
+	}
+}
+
+func TestPulsesCreateTransientSources(t *testing.T) {
+	cfg := smallCfg(5)
+	cfg.PulsesPerMinute = 30 // ~5 pulses in 10 s
+	cfg.PulseShareMin, cfg.PulseShareMax = 0.2, 0.3
+	pkts, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pulse sources use host octets above HostsPerNet.
+	pulsePkts := 0
+	pulseSrcs := map[ipv4.Addr]bool{}
+	for i := range pkts {
+		if int(pkts[i].Src.Octets()[3]) > cfg.HostsPerNet {
+			pulsePkts++
+			pulseSrcs[pkts[i].Src] = true
+		}
+	}
+	if len(pulseSrcs) == 0 {
+		t.Fatal("no pulse sources found")
+	}
+	if pulsePkts < len(pkts)/50 {
+		t.Errorf("pulse traffic only %d/%d packets", pulsePkts, len(pkts))
+	}
+}
+
+func TestNoPulsesWhenDisabled(t *testing.T) {
+	cfg := smallCfg(6)
+	cfg.PulsesPerMinute = 0
+	pkts, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		if int(pkts[i].Src.Octets()[3]) > cfg.HostsPerNet {
+			t.Fatalf("pulse-range source %v present with pulses disabled", pkts[i].Src)
+		}
+	}
+}
+
+func TestStreamingMatchesCollected(t *testing.T) {
+	cfg := smallCfg(9)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := trace.Collect(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d vs batch %d", len(streamed), len(batch))
+	}
+	if g.Emitted() != int64(len(streamed)) {
+		t.Errorf("Emitted = %d", g.Emitted())
+	}
+}
+
+func TestProtocolMix(t *testing.T) {
+	pkts, err := Packets(smallCfg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := map[uint8]int{}
+	for i := range pkts {
+		protos[pkts[i].Proto]++
+	}
+	if protos[trace.ProtoTCP] == 0 || protos[trace.ProtoUDP] == 0 {
+		t.Errorf("protocol mix missing TCP or UDP: %v", protos)
+	}
+	if protos[trace.ProtoTCP] < protos[trace.ProtoUDP] {
+		t.Errorf("TCP should dominate: %v", protos)
+	}
+}
+
+func TestPresetsAreValid(t *testing.T) {
+	for day := 0; day < 4; day++ {
+		c := Tier1Day(day, 30*time.Second)
+		if err := c.Validate(); err != nil {
+			t.Errorf("Tier1Day(%d) invalid: %v", day, err)
+		}
+	}
+	ddos := DDoSScenario(time.Minute, 3)
+	if err := ddos.Validate(); err != nil {
+		t.Errorf("DDoSScenario invalid: %v", err)
+	}
+	// Days must differ from each other (different seeds at least).
+	a, _ := Packets(Tier1Day(0, 2*time.Second))
+	b, _ := Packets(Tier1Day(1, 2*time.Second))
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("two days produced identical traces")
+		}
+	}
+}
+
+func TestChurnReplacesSources(t *testing.T) {
+	cfg := smallCfg(11)
+	cfg.MeanFlowLifetime = time.Second // aggressive churn
+	pkts, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf := map[ipv4.Addr]bool{}
+	secondHalf := map[ipv4.Addr]bool{}
+	mid := int64(5 * time.Second)
+	for i := range pkts {
+		if pkts[i].Ts < mid {
+			firstHalf[pkts[i].Src] = true
+		} else {
+			secondHalf[pkts[i].Src] = true
+		}
+	}
+	fresh := 0
+	for s := range secondHalf {
+		if !firstHalf[s] {
+			fresh++
+		}
+	}
+	if fresh < len(secondHalf)/10 {
+		t.Errorf("only %d/%d second-half sources are new; churn ineffective", fresh, len(secondHalf))
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := smallCfg(12)
+	var p trace.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		g, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n < b.N {
+			if err := g.Next(&p); err != nil {
+				break
+			}
+			n++
+		}
+	}
+}

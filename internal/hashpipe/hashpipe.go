@@ -1,0 +1,150 @@
+// Package hashpipe implements HashPipe, the d-stage pipeline of hash
+// tables from Sivaraman, Narayana, Rottenstreich, Muthukrishnan and
+// Rexford, "Heavy-Hitter Detection Entirely in the Data Plane" (SOSR
+// 2017) — the paper's reference [5] and its canonical example of a
+// match-action-friendly, disjoint-window heavy-hitter algorithm.
+//
+// Each stage is a hash-indexed array of (key, count) slots. A packet's key
+// is always inserted at the first stage, evicting the incumbent, which is
+// carried to the next stage; at later stages the carried entry either
+// merges with a matching slot, fills an empty one, or swaps with a smaller
+// incumbent, with the final loser dropped. Heavy keys therefore settle
+// into the pipeline while mice wash through — all with per-stage O(1)
+// work and no pointers, which is what makes it implementable in a switch
+// pipeline.
+//
+// In the poster's framing, HashPipe is a *windowed* detector: its tables
+// are reset at every measurement-window boundary, so it inherits the
+// hidden-HHH blindness quantified by the Figure-2 experiment.
+package hashpipe
+
+import (
+	"hiddenhhh/internal/hashx"
+	"hiddenhhh/internal/sketch"
+)
+
+// Config configures a HashPipe instance.
+type Config struct {
+	// Stages is d, the pipeline depth. Default 4.
+	Stages int
+	// SlotsPerStage is the table width per stage. Default 1024.
+	SlotsPerStage int
+	// Seed drives the per-stage hash functions.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.Stages <= 0 {
+		c.Stages = 4
+	}
+	if c.SlotsPerStage <= 0 {
+		c.SlotsPerStage = 1024
+	}
+}
+
+// HashPipe is a multi-stage heavy-hitter table. The zero value is not
+// usable; construct with New. Not safe for concurrent use.
+type HashPipe struct {
+	stages int
+	width  int
+	keys   []uint64
+	counts []int64 // count 0 marks an empty slot
+	fam    *hashx.Family
+	total  int64
+}
+
+// New builds a HashPipe from cfg.
+func New(cfg Config) *HashPipe {
+	cfg.setDefaults()
+	return &HashPipe{
+		stages: cfg.Stages,
+		width:  cfg.SlotsPerStage,
+		keys:   make([]uint64, cfg.Stages*cfg.SlotsPerStage),
+		counts: make([]int64, cfg.Stages*cfg.SlotsPerStage),
+		fam:    hashx.NewFamily(cfg.Stages, cfg.Seed),
+	}
+}
+
+// Update processes one packet with weight w (bytes).
+func (h *HashPipe) Update(key uint64, w int64) {
+	h.total += w
+	// Stage 0: always insert, evicting the incumbent.
+	slot := 0*h.width + h.fam.Index(0, key, h.width)
+	ck, cc := h.keys[slot], h.counts[slot]
+	if cc == 0 || ck == key {
+		h.keys[slot] = key
+		h.counts[slot] = cc + w
+		return
+	}
+	h.keys[slot] = key
+	h.counts[slot] = w
+	// Carry the evicted entry down the pipeline.
+	carryKey, carryCount := ck, cc
+	for s := 1; s < h.stages; s++ {
+		slot = s*h.width + h.fam.Index(s, carryKey, h.width)
+		sk, sc := h.keys[slot], h.counts[slot]
+		switch {
+		case sc == 0:
+			h.keys[slot] = carryKey
+			h.counts[slot] = carryCount
+			return
+		case sk == carryKey:
+			h.counts[slot] = sc + carryCount
+			return
+		case carryCount > sc:
+			// Swap: the heavier entry stays, the lighter carries on.
+			h.keys[slot], h.counts[slot] = carryKey, carryCount
+			carryKey, carryCount = sk, sc
+		}
+	}
+	// The final carried entry is dropped (its count is lost) — the
+	// approximation HashPipe accepts for pipeline feasibility.
+}
+
+// Estimate returns the summed count of key across stages. HashPipe can
+// both under-count (evicted mass is dropped) and split a key across
+// stages; summing collects the splits.
+func (h *HashPipe) Estimate(key uint64) int64 {
+	var sum int64
+	for s := 0; s < h.stages; s++ {
+		slot := s*h.width + h.fam.Index(s, key, h.width)
+		if h.counts[slot] != 0 && h.keys[slot] == key {
+			sum += h.counts[slot]
+		}
+	}
+	return sum
+}
+
+// Total returns the total weight seen since the last Reset.
+func (h *HashPipe) Total() int64 { return h.total }
+
+// HeavyKeys scans the pipeline and returns keys whose aggregated count
+// reaches threshold.
+func (h *HashPipe) HeavyKeys(threshold int64) []sketch.KV {
+	agg := map[uint64]int64{}
+	for i, c := range h.counts {
+		if c != 0 {
+			agg[h.keys[i]] += c
+		}
+	}
+	var out []sketch.KV
+	for k, c := range agg {
+		if c >= threshold {
+			out = append(out, sketch.KV{Key: k, Count: c})
+		}
+	}
+	return out
+}
+
+// SizeBytes returns the table footprint (16 B per slot).
+func (h *HashPipe) SizeBytes() int { return len(h.keys) * 16 }
+
+// Reset clears the pipeline — the per-window reset the poster's analysis
+// is about.
+func (h *HashPipe) Reset() {
+	for i := range h.keys {
+		h.keys[i] = 0
+		h.counts[i] = 0
+	}
+	h.total = 0
+}

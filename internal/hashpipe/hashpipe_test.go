@@ -1,0 +1,126 @@
+package hashpipe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	h := New(Config{})
+	if h.stages != 4 || h.width != 1024 {
+		t.Errorf("defaults: stages=%d width=%d", h.stages, h.width)
+	}
+	if h.SizeBytes() != 4*1024*16 {
+		t.Errorf("SizeBytes = %d", h.SizeBytes())
+	}
+}
+
+func TestSingleKeyExact(t *testing.T) {
+	h := New(Config{Stages: 2, SlotsPerStage: 16})
+	h.Update(7, 100)
+	h.Update(7, 50)
+	if got := h.Estimate(7); got != 150 {
+		t.Errorf("estimate = %d, want 150", got)
+	}
+	if h.Total() != 150 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHeavyKeysSurvivePressure(t *testing.T) {
+	h := New(Config{Stages: 6, SlotsPerStage: 512, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	var heavyTrue int64
+	const heavy = uint64(424242)
+	for i := 0; i < 200000; i++ {
+		if i%5 == 0 {
+			h.Update(heavy, 1000)
+			heavyTrue += 1000
+		} else {
+			h.Update(uint64(rng.Intn(50000)), 100)
+		}
+	}
+	est := h.Estimate(heavy)
+	if est == 0 {
+		t.Fatal("heavy key evicted entirely")
+	}
+	// HashPipe may undercount but should retain the bulk of a key
+	// carrying ~71% of bytes.
+	if float64(est) < 0.5*float64(heavyTrue) {
+		t.Errorf("estimate %d below half of true %d", est, heavyTrue)
+	}
+	found := false
+	for _, kv := range h.HeavyKeys(heavyTrue / 2) {
+		if kv.Key == heavy {
+			found = true
+			if kv.Count != est {
+				t.Errorf("HeavyKeys count %d != Estimate %d", kv.Count, est)
+			}
+		}
+	}
+	if !found {
+		t.Error("heavy key missing from HeavyKeys")
+	}
+}
+
+func TestNeverOvercounts(t *testing.T) {
+	// HashPipe drops evicted mass; an individual key's aggregate across
+	// stages can never exceed its true count.
+	h := New(Config{Stages: 3, SlotsPerStage: 64, Seed: 2})
+	rng := rand.New(rand.NewSource(3))
+	truth := map[uint64]int64{}
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(1000))
+		w := int64(1 + rng.Intn(1000))
+		h.Update(k, w)
+		truth[k] += w
+	}
+	for k, want := range truth {
+		if got := h.Estimate(k); got > want {
+			t.Fatalf("key %d overcounted: %d > %d", k, got, want)
+		}
+	}
+	// Conservation: the pipeline can never hold more than the total.
+	var held int64
+	for _, kv := range h.HeavyKeys(1) {
+		held += kv.Count
+	}
+	if held > h.Total() {
+		t.Fatalf("pipeline holds %d > total %d", held, h.Total())
+	}
+}
+
+func TestDuplicateMergeAcrossStages(t *testing.T) {
+	// A key evicted to stage 2 and later re-inserted at stage 1 is split;
+	// Estimate must sum the pieces.
+	h := New(Config{Stages: 2, SlotsPerStage: 1, Seed: 0}) // everything collides
+	h.Update(1, 10)                                        // stage0: (1,10)
+	h.Update(2, 5)                                         // stage0: (2,5), (1,10) -> stage1 (empty) stays
+	h.Update(1, 3)                                         // stage0: (1,3), (2,5) -> stage1: 5 > ? stage1 holds (1,10): 5<10 -> dropped
+	if got := h.Estimate(1); got != 13 {
+		t.Errorf("split key estimate = %d, want 13", got)
+	}
+	if got := h.Estimate(2); got != 0 {
+		t.Errorf("dropped key estimate = %d, want 0", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(Config{Stages: 2, SlotsPerStage: 8})
+	h.Update(1, 100)
+	h.Reset()
+	if h.Estimate(1) != 0 || h.Total() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if len(h.HeavyKeys(1)) != 0 {
+		t.Error("Reset left entries")
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	h := New(Config{Stages: 4, SlotsPerStage: 4096})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Update(uint64(i)&8191, 1000)
+	}
+}

@@ -1,0 +1,198 @@
+package hashx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijection(t *testing.T) {
+	// A bijection never collides; spot-check determinism and non-identity.
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision: %d and %d -> %x", prev, i, h)
+		}
+		seen[h] = i
+	}
+	if Mix64(1) == 1 {
+		t.Error("Mix64(1) should not be identity")
+	}
+	if Mix64(42) != Mix64(42) {
+		t.Error("Mix64 must be deterministic")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	const trials = 1000
+	var totalFlips, totalBits int
+	for i := uint64(0); i < trials; i++ {
+		x := Mix64(i * 0x2545f4914f6cdd1d) // arbitrary spread of inputs
+		for bit := 0; bit < 64; bit += 7 {
+			d := Mix64(x) ^ Mix64(x^(1<<bit))
+			totalFlips += popcount(d)
+			totalBits += 64
+		}
+	}
+	ratio := float64(totalFlips) / float64(totalBits)
+	if math.Abs(ratio-0.5) > 0.02 {
+		t.Errorf("avalanche ratio = %.4f, want ~0.5", ratio)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestSeededIndependence(t *testing.T) {
+	// Different seeds must produce different functions even on equal input.
+	if Seeded(7, 1) == Seeded(7, 2) {
+		t.Error("Seeded with different seeds collided on same input")
+	}
+	// Adjacent seeds should still decorrelate.
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if Seeded(x, 0)>>63 == Seeded(x, 1)>>63 {
+			same++
+		}
+	}
+	if same < 400 || same > 600 {
+		t.Errorf("adjacent-seed top-bit agreement %d/1000, want ~500", same)
+	}
+}
+
+func TestFamilySizeAndDeterminism(t *testing.T) {
+	f := NewFamily(5, 123)
+	if f.Size() != 5 {
+		t.Fatalf("Size() = %d, want 5", f.Size())
+	}
+	g := NewFamily(5, 123)
+	for i := 0; i < 5; i++ {
+		if f.Hash(i, 99) != g.Hash(i, 99) {
+			t.Error("same master seed must reproduce the same family")
+		}
+	}
+	h := NewFamily(5, 124)
+	if f.Hash(0, 99) == h.Hash(0, 99) {
+		t.Error("different master seeds should differ")
+	}
+}
+
+func TestFamilyPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFamily(0,_) should panic")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestIndexRange(t *testing.T) {
+	f := NewFamily(3, 42)
+	check := func(x uint64, m int) bool {
+		if m <= 0 {
+			m = 1
+		}
+		m = m%4096 + 1
+		for i := 0; i < f.Size(); i++ {
+			idx := f.Index(i, x, m)
+			if idx < 0 || idx >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexUniformity(t *testing.T) {
+	f := NewFamily(1, 7)
+	const m, n = 64, 64 * 1000
+	counts := make([]int, m)
+	for x := 0; x < n; x++ {
+		counts[f.Index(0, uint64(x), m)]++
+	}
+	// Chi-squared against uniform: each bucket expects n/m = 1000.
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c - n/m)
+		chi2 += d * d / float64(n/m)
+	}
+	// 63 dof; 99.9th percentile ~ 103. Allow generous slack.
+	if chi2 > 120 {
+		t.Errorf("chi2 = %.1f over %d buckets; distribution too skewed", chi2, m)
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	f := NewFamily(2, 9)
+	plus := 0
+	const n = 10000
+	for x := 0; x < n; x++ {
+		s := f.Sign(0, uint64(x))
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign returned %d", s)
+		}
+		if s == 1 {
+			plus++
+		}
+	}
+	if plus < n*45/100 || plus > n*55/100 {
+		t.Errorf("sign balance %d/%d, want ~50%%", plus, n)
+	}
+}
+
+func TestIndices2(t *testing.T) {
+	h1a, h2a := Indices2(12345, 1)
+	h1b, h2b := Indices2(12345, 1)
+	if h1a != h1b || h2a != h2b {
+		t.Error("Indices2 must be deterministic")
+	}
+	if h2a%2 == 0 {
+		t.Error("h2 must be odd")
+	}
+	c1, c2 := Indices2(12345, 2)
+	if h1a == c1 && h2a == c2 {
+		t.Error("different seeds should change Indices2")
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	f := func(h uint64, m int) bool {
+		if m <= 0 {
+			m = 1
+		}
+		m = m%100000 + 1
+		b := Bucket(h, m)
+		return b >= 0 && b < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Mix64(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkFamilyIndex(b *testing.B) {
+	f := NewFamily(4, 1)
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc ^= f.Index(i&3, uint64(i), 1<<16)
+	}
+	_ = acc
+}

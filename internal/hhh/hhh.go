@@ -1,0 +1,190 @@
+// Package hhh implements one-dimensional hierarchical heavy hitter (HHH)
+// detection over IPv4 source prefixes, the setting of the paper's
+// experiments.
+//
+// Definitions follow the discounted semantics of Cormode et al.: given a
+// byte threshold T, a /32 leaf is an HHH when its volume reaches T; an
+// interior prefix is an HHH when its *conditioned* volume — total volume of
+// its subtree minus the volume already claimed by descendant HHHs — reaches
+// T. The package provides:
+//
+//   - Exact offline computation from a per-address byte counter (the ground
+//     truth used by the hidden-HHH and window-sensitivity analyses).
+//   - A streaming per-level Space-Saving engine (the approach programmable
+//     data-plane HHH systems use).
+//   - RHHH, the randomised-level variant of Ben Basat et al.
+//   - HHH set algebra (union, difference, Jaccard similarity), the basis of
+//     the paper's metrics.
+package hhh
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+// Item is one reported hierarchical heavy hitter.
+type Item struct {
+	Prefix ipv4.Prefix
+	// Count is the (estimated) total byte volume of the prefix's subtree.
+	Count int64
+	// Conditioned is the (estimated) volume not claimed by descendant
+	// HHHs; the quantity compared against the threshold.
+	Conditioned int64
+}
+
+// String renders the item for reports.
+func (it Item) String() string {
+	return fmt.Sprintf("%v total=%d cond=%d", it.Prefix, it.Count, it.Conditioned)
+}
+
+// Set is a collection of HHHs keyed by prefix. The zero value is an empty
+// set; mutate through Add.
+type Set map[ipv4.Prefix]Item
+
+// NewSet builds a set from items.
+func NewSet(items ...Item) Set {
+	s := make(Set, len(items))
+	for _, it := range items {
+		s.Add(it)
+	}
+	return s
+}
+
+// Add inserts or replaces the item for its prefix.
+func (s Set) Add(it Item) { s[it.Prefix] = it }
+
+// Contains reports membership of the prefix.
+func (s Set) Contains(p ipv4.Prefix) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Len returns the set cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Prefixes returns the member prefixes sorted by (Bits, Addr).
+func (s Set) Prefixes() []ipv4.Prefix {
+	out := make([]ipv4.Prefix, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Items returns the members sorted by (Bits, Addr).
+func (s Set) Items() []Item {
+	out := make([]Item, 0, len(s))
+	for _, it := range s {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// Union returns a new set with members of both s and t. When a prefix is in
+// both, s's item wins (counts from different windows are not comparable
+// anyway; the experiments only use membership).
+func (s Set) Union(t Set) Set {
+	out := make(Set, len(s)+len(t))
+	for p, it := range t {
+		out[p] = it
+	}
+	for p, it := range s {
+		out[p] = it
+	}
+	return out
+}
+
+// UnionInPlace adds all members of t to s, keeping existing entries.
+func (s Set) UnionInPlace(t Set) {
+	for p, it := range t {
+		if _, ok := s[p]; !ok {
+			s[p] = it
+		}
+	}
+}
+
+// Diff returns the members of s not present in t.
+func (s Set) Diff(t Set) Set {
+	out := Set{}
+	for p, it := range s {
+		if !t.Contains(p) {
+			out[p] = it
+		}
+	}
+	return out
+}
+
+// Intersect returns the members present in both sets (items from s).
+func (s Set) Intersect(t Set) Set {
+	out := Set{}
+	for p, it := range s {
+		if t.Contains(p) {
+			out[p] = it
+		}
+	}
+	return out
+}
+
+// Equal reports whether both sets contain exactly the same prefixes.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for p := range s {
+		if !t.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Jaccard returns |s∩t| / |s∪t|, the similarity coefficient Figure 3 of
+// the paper reports. Two empty sets are defined as identical (1.0).
+func (s Set) Jaccard(t Set) float64 {
+	if len(s) == 0 && len(t) == 0 {
+		return 1
+	}
+	inter := 0
+	for p := range s {
+		if t.Contains(p) {
+			inter++
+		}
+	}
+	union := len(s) + len(t) - inter
+	return float64(inter) / float64(union)
+}
+
+// String renders the sorted prefixes, for diagnostics.
+func (s Set) String() string {
+	ps := s.Prefixes()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Threshold computes the byte threshold T = phi * totalBytes, rounding up
+// so that "exceeds phi of the traffic" is interpreted strictly: a prefix
+// qualifies only when its volume is at least this value. phi must be in
+// (0,1].
+func Threshold(totalBytes int64, phi float64) int64 {
+	if phi <= 0 || phi > 1 {
+		panic(fmt.Sprintf("hhh: threshold fraction %v out of (0,1]", phi))
+	}
+	t := int64(phi * float64(totalBytes))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

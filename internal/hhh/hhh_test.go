@@ -1,0 +1,523 @@
+package hhh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/sketch"
+)
+
+func pfx(s string) ipv4.Prefix { return ipv4.MustParsePrefix(s) }
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(
+		Item{Prefix: pfx("10.0.0.0/8"), Count: 100, Conditioned: 60},
+		Item{Prefix: pfx("10.1.0.0/16"), Count: 40, Conditioned: 40},
+	)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(pfx("10.0.0.0/8")) || s.Contains(pfx("11.0.0.0/8")) {
+		t.Error("Contains wrong")
+	}
+	ps := s.Prefixes()
+	if len(ps) != 2 || ps[0] != pfx("10.0.0.0/8") || ps[1] != pfx("10.1.0.0/16") {
+		t.Errorf("Prefixes order: %v", ps)
+	}
+	items := s.Items()
+	if items[0].Prefix != pfx("10.0.0.0/8") {
+		t.Error("Items order")
+	}
+	if s.String() != "{10.0.0.0/8 10.1.0.0/16}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if items[0].String() == "" {
+		t.Error("Item.String empty")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(
+		Item{Prefix: pfx("1.0.0.0/8")},
+		Item{Prefix: pfx("2.0.0.0/8")},
+		Item{Prefix: pfx("3.0.0.0/8")},
+	)
+	b := NewSet(
+		Item{Prefix: pfx("2.0.0.0/8")},
+		Item{Prefix: pfx("3.0.0.0/8")},
+		Item{Prefix: pfx("4.0.0.0/8")},
+	)
+	if u := a.Union(b); u.Len() != 4 {
+		t.Errorf("Union len = %d", u.Len())
+	}
+	if d := a.Diff(b); d.Len() != 1 || !d.Contains(pfx("1.0.0.0/8")) {
+		t.Errorf("Diff = %v", d)
+	}
+	if i := a.Intersect(b); i.Len() != 2 {
+		t.Errorf("Intersect len = %d", i.Len())
+	}
+	if got := a.Jaccard(b); got != 0.5 {
+		t.Errorf("Jaccard = %v, want 0.5", got)
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("Equal wrong")
+	}
+	c := NewSet()
+	c.UnionInPlace(a)
+	if !c.Equal(a) {
+		t.Error("UnionInPlace")
+	}
+}
+
+func TestJaccardEdgeCases(t *testing.T) {
+	empty := NewSet()
+	if empty.Jaccard(NewSet()) != 1 {
+		t.Error("two empty sets should have Jaccard 1")
+	}
+	a := NewSet(Item{Prefix: pfx("1.0.0.0/8")})
+	if a.Jaccard(empty) != 0 || empty.Jaccard(a) != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+	if a.Jaccard(a) != 1 {
+		t.Error("self Jaccard should be 1")
+	}
+}
+
+func TestJaccardSymmetryProperty(t *testing.T) {
+	mk := func(bits []uint8) Set {
+		s := NewSet()
+		for _, b := range bits {
+			s.Add(Item{Prefix: ipv4.PrefixFrom(ipv4.Addr(uint32(b)<<24), 8)})
+		}
+		return s
+	}
+	f := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		j1, j2 := a.Jaccard(b), b.Jaccard(a)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if Threshold(1000, 0.05) != 50 {
+		t.Error("5% of 1000 should be 50")
+	}
+	if Threshold(10, 0.001) != 1 {
+		t.Error("tiny thresholds floor at 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Threshold(_, 0) should panic")
+		}
+	}()
+	Threshold(1000, 0)
+}
+
+// bruteHHH is an independent literal implementation of the discounted HHH
+// definition: processing levels bottom-up, a prefix's conditioned count is
+// the sum of leaf volumes underneath it that are not covered by any
+// already-marked (more specific) HHH.
+func bruteHHH(counts map[ipv4.Addr]int64, h ipv4.Hierarchy, T int64) Set {
+	type leaf struct {
+		addr ipv4.Addr
+		c    int64
+	}
+	var leaves []leaf
+	for a, c := range counts {
+		if c > 0 {
+			leaves = append(leaves, leaf{a, c})
+		}
+	}
+	out := Set{}
+	var marked []ipv4.Prefix
+	for l := 0; l < h.Levels(); l++ {
+		prefixes := map[ipv4.Prefix]bool{}
+		for _, lf := range leaves {
+			prefixes[h.At(lf.addr, l)] = true
+		}
+		var newly []ipv4.Prefix
+		for p := range prefixes {
+			var cond, total int64
+			for _, lf := range leaves {
+				if !p.Contains(lf.addr) {
+					continue
+				}
+				total += lf.c
+				covered := false
+				for _, m := range marked {
+					if m.Contains(lf.addr) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					cond += lf.c
+				}
+			}
+			if cond >= T {
+				out.Add(Item{Prefix: p, Count: total, Conditioned: cond})
+				newly = append(newly, p)
+			}
+		}
+		marked = append(marked, newly...)
+	}
+	return out
+}
+
+func randomCounts(rng *rand.Rand, n int) map[ipv4.Addr]int64 {
+	counts := map[ipv4.Addr]int64{}
+	for i := 0; i < n; i++ {
+		// Confine octets to {0,1} so prefixes collide across all levels.
+		a := ipv4.AddrFrom4(byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(2)))
+		counts[a] += int64(1 + rng.Intn(100))
+	}
+	return counts
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, g := range []ipv4.Granularity{ipv4.Byte, ipv4.Nibble} {
+		h := ipv4.NewHierarchy(g)
+		for trial := 0; trial < 60; trial++ {
+			counts := randomCounts(rng, 1+rng.Intn(30))
+			var total int64
+			for _, c := range counts {
+				total += c
+			}
+			T := Threshold(total, []float64{0.01, 0.05, 0.10, 0.30}[rng.Intn(4)])
+			got := ExactFromCounts(counts, h, T)
+			want := bruteHHH(counts, h, T)
+			if !got.Equal(want) {
+				t.Fatalf("granularity %v trial %d T=%d:\n got  %v\n want %v\n counts %v",
+					g, trial, T, got, want, counts)
+			}
+			// Conditioned values must agree too.
+			for p, it := range got {
+				if want[p].Conditioned != it.Conditioned {
+					t.Fatalf("cond mismatch at %v: got %d want %d", p, it.Conditioned, want[p].Conditioned)
+				}
+				if want[p].Count != it.Count {
+					t.Fatalf("count mismatch at %v: got %d want %d", p, it.Count, want[p].Count)
+				}
+			}
+		}
+	}
+}
+
+func TestExactInvariants(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		counts := randomCounts(rng, 1+rng.Intn(50))
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		T := Threshold(total, 0.05)
+		set := ExactFromCounts(counts, h, T)
+		var condSum int64
+		for p, it := range set {
+			if it.Conditioned < T {
+				t.Fatalf("item %v conditioned %d below threshold %d", p, it.Conditioned, T)
+			}
+			if it.Count < it.Conditioned {
+				t.Fatalf("item %v count %d < conditioned %d", p, it.Count, it.Conditioned)
+			}
+			if !h.OnLattice(p) {
+				t.Fatalf("item %v off lattice", p)
+			}
+			if p.Bits == 32 && it.Count != it.Conditioned {
+				t.Fatalf("leaf %v count != conditioned", p)
+			}
+			condSum += it.Conditioned
+		}
+		if condSum > total {
+			t.Fatalf("sum of conditioned %d exceeds total %d", condSum, total)
+		}
+	}
+}
+
+func TestExactSimpleScenario(t *testing.T) {
+	// Three hosts inside 10.1.2.0/24 each with 30 bytes; threshold 50.
+	// No single host qualifies; the /24 aggregates 90 >= 50 and becomes
+	// the HHH. Its ancestors see 0 unclaimed (all claimed by the /24),
+	// except nothing else flows, so no more HHHs.
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	counts := map[ipv4.Addr]int64{
+		ipv4.MustParseAddr("10.1.2.1"): 30,
+		ipv4.MustParseAddr("10.1.2.2"): 30,
+		ipv4.MustParseAddr("10.1.2.3"): 30,
+	}
+	set := ExactFromCounts(counts, h, 50)
+	if set.Len() != 1 || !set.Contains(pfx("10.1.2.0/24")) {
+		t.Fatalf("got %v, want exactly {10.1.2.0/24}", set)
+	}
+	it := set[pfx("10.1.2.0/24")]
+	if it.Count != 90 || it.Conditioned != 90 {
+		t.Errorf("item = %+v", it)
+	}
+}
+
+func TestExactDiscounting(t *testing.T) {
+	// One heavy host (100) plus siblings (30+30) under the same /24,
+	// threshold 50: host is an HHH; the /24's conditioned volume is only
+	// 60, which also qualifies; the /16 then sees 0 unclaimed.
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	counts := map[ipv4.Addr]int64{
+		ipv4.MustParseAddr("10.1.2.1"): 100,
+		ipv4.MustParseAddr("10.1.2.2"): 30,
+		ipv4.MustParseAddr("10.1.2.3"): 30,
+	}
+	set := ExactFromCounts(counts, h, 50)
+	want := NewSet(
+		Item{Prefix: pfx("10.1.2.1/32")},
+		Item{Prefix: pfx("10.1.2.0/24")},
+	)
+	if !set.Equal(want) {
+		t.Fatalf("got %v, want %v", set, want)
+	}
+	if it := set[pfx("10.1.2.0/24")]; it.Conditioned != 60 || it.Count != 160 {
+		t.Errorf("/24 item = %+v, want cond 60 count 160", it)
+	}
+}
+
+func TestExactRootHHH(t *testing.T) {
+	// Diffuse traffic: 100 hosts in distinct /8s, 10 bytes each, T=500.
+	// Nothing below the root qualifies; the root's conditioned volume is
+	// the full 1000 and it is the sole HHH.
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	counts := map[ipv4.Addr]int64{}
+	for i := 0; i < 100; i++ {
+		counts[ipv4.AddrFrom4(byte(i+1), 0, 0, 1)] = 10
+	}
+	set := ExactFromCounts(counts, h, 500)
+	if set.Len() != 1 || !set.Contains(ipv4.Root) {
+		t.Fatalf("got %v, want exactly the root", set)
+	}
+}
+
+func TestExactEmpty(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	set := Exact(sketch.NewExact(0), h, 100)
+	if set.Len() != 0 {
+		t.Errorf("empty input should give empty set, got %v", set)
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	e := sketch.NewExact(0)
+	e.Update(uint64(ipv4.MustParseAddr("1.2.3.4")), 100)
+	e.Update(uint64(ipv4.MustParseAddr("5.6.7.8")), 10)
+	set := HeavyHitters(e, 50)
+	if set.Len() != 1 || !set.Contains(pfx("1.2.3.4/32")) {
+		t.Fatalf("got %v", set)
+	}
+}
+
+func TestPerLevelExactWhenUnsaturated(t *testing.T) {
+	// With capacity >= distinct keys per level, Space-Saving is exact, so
+	// the engine must reproduce the exact HHH set bit-for-bit.
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		counts := randomCounts(rng, 1+rng.Intn(40))
+		eng := NewPerLevel(h, 1024)
+		exact := sketch.NewExact(len(counts))
+		var total int64
+		for a, c := range counts {
+			eng.Update(a, c)
+			exact.Update(uint64(a), c)
+			total += c
+		}
+		if eng.Total() != total {
+			t.Fatalf("engine total %d != %d", eng.Total(), total)
+		}
+		for _, phi := range []float64{0.01, 0.05, 0.2} {
+			T := Threshold(total, phi)
+			got := eng.Query(T)
+			want := Exact(exact, h, T)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d phi=%v:\n got  %v\n want %v", trial, phi, got, want)
+			}
+		}
+	}
+}
+
+func TestPerLevelNeverMissesLargeHHH(t *testing.T) {
+	// Even under heavy eviction pressure, a prefix carrying ~30% of
+	// traffic must be reported at phi=0.1 (Space-Saving never
+	// underestimates, so its subtree estimate stays above threshold).
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewPerLevel(h, 16)
+	rng := rand.New(rand.NewSource(13))
+	heavy := ipv4.MustParseAddr("10.1.2.3")
+	var total int64
+	for i := 0; i < 50000; i++ {
+		if i%3 == 0 {
+			eng.Update(heavy, 1000)
+			total += 1000
+		} else {
+			eng.Update(ipv4.Addr(rng.Uint32()), 700)
+			total += 700
+		}
+	}
+	set := eng.QueryFraction(0.1)
+	found := false
+	for p := range set {
+		if p.Contains(heavy) && p.Bits > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("heavy source not covered by any reported HHH: %v", set)
+	}
+}
+
+func TestPerLevelResetAndSize(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewPerLevel(h, 8)
+	eng.Update(ipv4.MustParseAddr("1.2.3.4"), 100)
+	eng.Reset()
+	if eng.Total() != 0 || eng.Query(1).Len() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if eng.SizeBytes() != 5*8*48 {
+		t.Errorf("SizeBytes = %d", eng.SizeBytes())
+	}
+	if eng.Hierarchy().Levels() != 5 {
+		t.Error("Hierarchy accessor")
+	}
+}
+
+func TestRHHHFindsHeavyPrefixes(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewRHHH(h, 64, 99)
+	rng := rand.New(rand.NewSource(17))
+	// 40% of bytes from one /24, rest spread over the space.
+	subnet := ipv4.MustParseAddr("192.168.7.0")
+	var total int64
+	for i := 0; i < 300000; i++ {
+		var a ipv4.Addr
+		if rng.Intn(10) < 4 {
+			a = subnet + ipv4.Addr(rng.Intn(256))
+		} else {
+			a = ipv4.Addr(rng.Uint32())
+		}
+		eng.Update(a, 1000)
+		total += 1000
+	}
+	if eng.Total() != total || eng.Updates() != 300000 {
+		t.Fatal("bookkeeping wrong")
+	}
+	set := eng.QueryFraction(0.1)
+	found := false
+	for p := range set {
+		if p.Bits >= 24 && p.Contains(subnet) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RHHH missed the 40%% /24: %v", set)
+	}
+}
+
+func TestRHHHEstimateAccuracy(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewRHHH(h, 256, 5)
+	heavy := ipv4.MustParseAddr("10.0.0.1")
+	var heavyBytes int64
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500000; i++ {
+		if i%2 == 0 {
+			eng.Update(heavy, 500)
+			heavyBytes += 500
+		} else {
+			eng.Update(ipv4.Addr(rng.Uint32()), 500)
+		}
+	}
+	set := eng.Query(Threshold(eng.Total(), 0.2))
+	it, ok := set[pfx("10.0.0.1/32")]
+	if !ok {
+		t.Fatalf("heavy host missing from %v", set)
+	}
+	rel := float64(it.Count-heavyBytes) / float64(heavyBytes)
+	if rel < -0.15 || rel > 0.15 {
+		t.Errorf("estimate %d vs true %d (rel %.3f)", it.Count, heavyBytes, rel)
+	}
+}
+
+func TestRHHHDeterministicUnderSeed(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	run := func(seed uint64) Set {
+		eng := NewRHHH(h, 32, seed)
+		rng := rand.New(rand.NewSource(23))
+		for i := 0; i < 20000; i++ {
+			eng.Update(ipv4.Addr(rng.Uint32()>>8), 100)
+		}
+		return eng.QueryFraction(0.05)
+	}
+	if !run(1).Equal(run(1)) {
+		t.Error("same seed should reproduce identical output")
+	}
+}
+
+func TestRHHHResetKeepsWorking(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewRHHH(h, 32, 1)
+	eng.Update(ipv4.MustParseAddr("1.1.1.1"), 100)
+	eng.Reset()
+	if eng.Total() != 0 || eng.Updates() != 0 {
+		t.Error("Reset bookkeeping")
+	}
+	eng.Update(ipv4.MustParseAddr("1.1.1.1"), 100)
+	if eng.Total() != 100 {
+		t.Error("post-Reset update")
+	}
+	if eng.SizeBytes() == 0 {
+		t.Error("SizeBytes should be positive")
+	}
+	if eng.Hierarchy().Levels() != 5 {
+		t.Error("Hierarchy accessor")
+	}
+}
+
+func BenchmarkExactHHH(b *testing.B) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	rng := rand.New(rand.NewSource(3))
+	e := sketch.NewExact(100000)
+	for i := 0; i < 100000; i++ {
+		e.Update(uint64(rng.Uint32()&0x0fffffff), int64(40+rng.Intn(1460)))
+	}
+	T := Threshold(e.Total(), 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := Exact(e, h, T)
+		if set.Len() == 0 {
+			b.Fatal("no HHHs")
+		}
+	}
+}
+
+func BenchmarkPerLevelUpdate(b *testing.B) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewPerLevel(h, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Update(ipv4.Addr(uint32(i)*2654435761), 1000)
+	}
+}
+
+func BenchmarkRHHHUpdate(b *testing.B) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewRHHH(h, 512, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Update(ipv4.Addr(uint32(i)*2654435761), 1000)
+	}
+}

@@ -1,0 +1,130 @@
+package hhh
+
+import (
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/sketch"
+)
+
+// PerLevel is the classical streaming HHH engine: one Space-Saving summary
+// per hierarchy level, each keyed by the packet's source address
+// generalised to that level. This mirrors the structure programmable
+// data-plane implementations use (a match-action stage per level).
+//
+// Estimates inherit Space-Saving's guarantees per level: never
+// underestimating subtree volumes, with overestimation bounded by N/k.
+// Conditioned volumes are derived at query time by discounting the
+// (estimated) subtree volume of every descendant HHH, mirroring the exact
+// bottom-up pass.
+type PerLevel struct {
+	h     ipv4.Hierarchy
+	sks   []*sketch.SpaceSaving
+	anc   []ipv4.Prefix
+	total int64
+}
+
+// NewPerLevel builds an engine with k Space-Saving counters per level.
+func NewPerLevel(h ipv4.Hierarchy, k int) *PerLevel {
+	levels := h.Levels()
+	p := &PerLevel{
+		h:   h,
+		sks: make([]*sketch.SpaceSaving, levels),
+		anc: make([]ipv4.Prefix, 0, levels),
+	}
+	for l := range p.sks {
+		p.sks[l] = sketch.NewSpaceSaving(k)
+	}
+	return p
+}
+
+// Hierarchy returns the configured hierarchy.
+func (p *PerLevel) Hierarchy() ipv4.Hierarchy { return p.h }
+
+// Update feeds one packet's source address and byte size.
+func (p *PerLevel) Update(src ipv4.Addr, bytes int64) {
+	p.total += bytes
+	p.anc = p.h.Ancestors(src, p.anc[:0])
+	for l, pre := range p.anc {
+		p.sks[l].Update(uint64(pre.Addr), bytes)
+	}
+}
+
+// Total returns the byte volume seen since the last Reset.
+func (p *PerLevel) Total() int64 { return p.total }
+
+// Reset clears all levels.
+func (p *PerLevel) Reset() {
+	for _, s := range p.sks {
+		s.Reset()
+	}
+	p.total = 0
+}
+
+// Query returns the HHH set at absolute byte threshold T.
+func (p *PerLevel) Query(T int64) Set {
+	return queryLevels(p.h, p.sks, 1, T)
+}
+
+// QueryFraction returns the HHH set at threshold phi of the observed
+// traffic volume.
+func (p *PerLevel) QueryFraction(phi float64) Set {
+	return p.Query(Threshold(p.total, phi))
+}
+
+// SizeBytes estimates the state footprint: per Space-Saving entry a heap
+// slot (24 B) plus a map slot (~24 B), per level.
+func (p *PerLevel) SizeBytes() int {
+	n := 0
+	for _, s := range p.sks {
+		n += s.Capacity() * 48
+	}
+	return n
+}
+
+// queryLevels performs the bottom-up conditioned pass over per-level
+// Space-Saving summaries. scale multiplies raw sketch counts (1 for
+// engines that update every level; V for RHHH's sampled levels). Claimed
+// subtree volume is propagated upward as a discount exactly as in the
+// exact algorithm.
+func queryLevels(h ipv4.Hierarchy, sks []*sketch.SpaceSaving, scale int64, T int64) Set {
+	levels := h.Levels()
+	out := Set{}
+	discount := map[ipv4.Addr]int64{}
+	for l := 0; l < levels; l++ {
+		var parentBits uint8
+		last := l+1 >= levels
+		if !last {
+			parentBits = h.Bits(l + 1)
+		}
+		next := map[ipv4.Addr]int64{}
+		for _, kv := range sks[l].Tracked() {
+			addr := ipv4.Addr(kv.Key)
+			est := kv.Count * scale
+			d := discount[addr]
+			delete(discount, addr)
+			cond := est - d
+			claimed := d
+			if cond >= T {
+				out.Add(Item{
+					Prefix:      ipv4.Prefix{Addr: addr, Bits: h.Bits(l)},
+					Count:       est,
+					Conditioned: cond,
+				})
+				claimed = est
+			}
+			if !last && claimed > 0 {
+				next[ipv4.Addr(uint32(addr)&ipv4.Mask(parentBits))] += claimed
+			}
+		}
+		// Discounts whose prefix fell out of this level's summary still
+		// represent claimed mass and must keep propagating upward.
+		if !last {
+			for addr, d := range discount {
+				if d > 0 {
+					next[ipv4.Addr(uint32(addr)&ipv4.Mask(parentBits))] += d
+				}
+			}
+		}
+		discount = next
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package hhh
+
+import (
+	"hiddenhhh/internal/hashx"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/sketch"
+)
+
+// RHHH is the randomised HHH algorithm of Ben Basat et al. (SIGCOMM 2017),
+// the state-of-the-art sketch the calibration notes name as prior work.
+// Instead of updating every hierarchy level for every packet, it draws one
+// uniform level per packet and updates only that level's Space-Saving
+// summary, cutting per-packet cost from O(levels) to O(1). Queries scale
+// each level's counts by the number of levels to recover unbiased subtree
+// estimates.
+//
+// The trade-off is variance: estimates converge as the per-level sample
+// grows, so RHHH needs a minimum stream length before its output
+// stabilises — one of the behaviours the continuous-comparison experiment
+// surfaces on short windows.
+type RHHH struct {
+	h       ipv4.Hierarchy
+	sks     []*sketch.SpaceSaving
+	levels  uint64
+	rng     uint64 // splitmix64 state; deterministic under seed
+	total   int64
+	updates int64
+}
+
+// NewRHHH builds an engine with k counters per level and a deterministic
+// sampling seed.
+func NewRHHH(h ipv4.Hierarchy, k int, seed uint64) *RHHH {
+	levels := h.Levels()
+	r := &RHHH{
+		h:      h,
+		sks:    make([]*sketch.SpaceSaving, levels),
+		levels: uint64(levels),
+		rng:    hashx.Mix64(seed ^ 0x5851f42d4c957f2d),
+	}
+	for l := range r.sks {
+		r.sks[l] = sketch.NewSpaceSaving(k)
+	}
+	return r
+}
+
+// Hierarchy returns the configured hierarchy.
+func (r *RHHH) Hierarchy() ipv4.Hierarchy { return r.h }
+
+// Update feeds one packet, sampling a single level to update.
+func (r *RHHH) Update(src ipv4.Addr, bytes int64) {
+	r.total += bytes
+	r.updates++
+	// splitmix64 step, then unbiased-enough high-multiply range reduction.
+	r.rng += 0x9e3779b97f4a7c15
+	l := int((hashx.Mix64(r.rng) >> 32) * r.levels >> 32)
+	pre := r.h.At(src, l)
+	r.sks[l].Update(uint64(pre.Addr), bytes)
+}
+
+// Total returns the byte volume seen since the last Reset.
+func (r *RHHH) Total() int64 { return r.total }
+
+// Updates returns the packet count seen since the last Reset.
+func (r *RHHH) Updates() int64 { return r.updates }
+
+// Reset clears all levels and keeps the RNG rolling (reusing the engine
+// across windows does not replay the same level sequence, matching how a
+// switch deployment would behave).
+func (r *RHHH) Reset() {
+	for _, s := range r.sks {
+		s.Reset()
+	}
+	r.total = 0
+	r.updates = 0
+}
+
+// Query returns the HHH set at absolute byte threshold T, scaling each
+// sampled level's counts by the level count.
+func (r *RHHH) Query(T int64) Set {
+	return queryLevels(r.h, r.sks, int64(r.levels), T)
+}
+
+// QueryFraction returns the HHH set at threshold phi of the observed
+// traffic volume.
+func (r *RHHH) QueryFraction(phi float64) Set {
+	return r.Query(Threshold(r.total, phi))
+}
+
+// SizeBytes estimates the state footprint (see PerLevel.SizeBytes).
+func (r *RHHH) SizeBytes() int {
+	n := 0
+	for _, s := range r.sks {
+		n += s.Capacity() * 48
+	}
+	return n
+}

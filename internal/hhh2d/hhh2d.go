@@ -1,0 +1,267 @@
+// Package hhh2d extends hierarchical heavy hitter detection to two
+// dimensions: source × destination prefix pairs, the setting needed to
+// localise "who is talking to whom" aggregates (DDoS victims, scanning
+// campaigns). The poster's study is one-dimensional; this package is the
+// natural extension its future-work direction implies, following the
+// multi-dimensional HHH formulation of Cormode et al.
+//
+// The generalisation lattice is the product of the two prefix
+// hierarchies: node (s,d) covers packet (x,y) when s covers x and d
+// covers y; its parents generalise either coordinate by one level. Unlike
+// the 1-D chain, ancestors of a leaf form a grid, and two incomparable
+// HHHs can cover the same traffic (the "diamond" problem). This package
+// uses the mass-assignment semantics: processing lattice nodes bottom-up
+// (by total generalisation depth, lexicographically within a depth), a
+// node's conditioned count is the volume of its leaves not covered by ANY
+// already-marked HHH. Every leaf is thereby claimed at most once, so
+// conditioned counts always sum to at most the total volume, and the
+// definition coincides exactly with the 1-D discounted semantics when one
+// hierarchy is trivial. Unlike the 1-D chain, nodes at the same depth can
+// overlap (e.g. (/24,/32) and (/32,/24) over one flow); the deterministic
+// within-depth order resolves those claims reproducibly.
+package hhh2d
+
+import (
+	"fmt"
+	"sort"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+// Key identifies a traffic leaf: a concrete (source, destination) pair.
+type Key struct {
+	Src ipv4.Addr
+	Dst ipv4.Addr
+}
+
+// Node is one lattice element: a source prefix × destination prefix pair.
+type Node struct {
+	Src ipv4.Prefix
+	Dst ipv4.Prefix
+}
+
+// String renders the node as "src→dst".
+func (n Node) String() string { return n.Src.String() + "->" + n.Dst.String() }
+
+// Covers reports whether n covers the leaf k.
+func (n Node) Covers(k Key) bool {
+	return n.Src.Contains(k.Src) && n.Dst.Contains(k.Dst)
+}
+
+// CoversNode reports whether n covers m (both coordinates cover).
+func (n Node) CoversNode(m Node) bool {
+	return n.Src.Covers(m.Src) && n.Dst.Covers(m.Dst)
+}
+
+// Item is one reported two-dimensional HHH.
+type Item struct {
+	Node        Node
+	Count       int64 // total volume under the node
+	Conditioned int64 // volume claimed by the node itself
+}
+
+// Set collects 2-D HHH items keyed by node.
+type Set map[Node]Item
+
+// Add inserts or replaces the item for its node.
+func (s Set) Add(it Item) { s[it.Node] = it }
+
+// Contains reports membership.
+func (s Set) Contains(n Node) bool {
+	_, ok := s[n]
+	return ok
+}
+
+// Len returns the set cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Nodes returns members ordered by (total bits ascending, then src, dst),
+// i.e. most general first, deterministically.
+func (s Set) Nodes() []Node {
+	out := make([]Node, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ta, tb := int(a.Src.Bits)+int(a.Dst.Bits), int(b.Src.Bits)+int(b.Dst.Bits)
+		if ta != tb {
+			return ta < tb
+		}
+		if a.Src.Compare(b.Src) != 0 {
+			return a.Src.Compare(b.Src) < 0
+		}
+		return a.Dst.Compare(b.Dst) < 0
+	})
+	return out
+}
+
+// Jaccard returns the similarity of two sets by node membership.
+func (s Set) Jaccard(t Set) float64 {
+	if len(s) == 0 && len(t) == 0 {
+		return 1
+	}
+	inter := 0
+	for n := range s {
+		if t.Contains(n) {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(s)+len(t)-inter)
+}
+
+// Hierarchy2 pairs the per-dimension hierarchies.
+type Hierarchy2 struct {
+	Src ipv4.Hierarchy
+	Dst ipv4.Hierarchy
+}
+
+// NewHierarchy2 builds a product hierarchy at the given granularities.
+func NewHierarchy2(src, dst ipv4.Granularity) Hierarchy2 {
+	return Hierarchy2{Src: ipv4.NewHierarchy(src), Dst: ipv4.NewHierarchy(dst)}
+}
+
+// Levels returns the number of lattice levels (total generalisation
+// depths), i.e. srcLevels + dstLevels - 1.
+func (h Hierarchy2) Levels() int { return h.Src.Levels() + h.Dst.Levels() - 1 }
+
+// NodeCount returns the number of (i,j) node classes in the lattice.
+func (h Hierarchy2) NodeCount() int { return h.Src.Levels() * h.Dst.Levels() }
+
+// At generalises a leaf to lattice class (i, j).
+func (h Hierarchy2) At(k Key, i, j int) Node {
+	return Node{Src: h.Src.At(k.Src, i), Dst: h.Dst.At(k.Dst, j)}
+}
+
+// Exact computes the exact 2-D HHH set of the aggregate counts at
+// absolute byte threshold T.
+//
+// Complexity is O(distinct leaves × lattice classes) for aggregation plus
+// O(candidates × leaves-under-candidate × marked) for the conditioning
+// passes; it is intended for offline analysis and ground-truth
+// generation, like its 1-D counterpart, but the 2-D lattice makes it
+// noticeably heavier — budget for tens of thousands of distinct pairs,
+// not millions.
+func Exact(counts map[Key]int64, h Hierarchy2, T int64) Set {
+	if T < 1 {
+		T = 1
+	}
+	type leaf struct {
+		k Key
+		c int64
+	}
+	leaves := make([]leaf, 0, len(counts))
+	for k, c := range counts {
+		if c > 0 {
+			leaves = append(leaves, leaf{k, c})
+		}
+	}
+
+	si, di := h.Src.Levels(), h.Dst.Levels()
+	// Total volume per node, per lattice class.
+	totals := make([]map[Node]int64, si*di)
+	for i := 0; i < si; i++ {
+		for j := 0; j < di; j++ {
+			m := make(map[Node]int64)
+			for _, lf := range leaves {
+				m[h.At(lf.k, i, j)] += lf.c
+			}
+			totals[i*di+j] = m
+		}
+	}
+
+	out := Set{}
+	var marked []Node
+	// Process lattice levels most-specific first: level l = i + j.
+	// Within a level, nodes can overlap (diamonds), so candidates are
+	// visited in a deterministic order and marked immediately: a leaf is
+	// claimed by the first qualifying node that reaches it.
+	for l := 0; l < si+di-1; l++ {
+		var candidates []Node
+		candTotal := map[Node]int64{}
+		for i := 0; i < si; i++ {
+			j := l - i
+			if j < 0 || j >= di {
+				continue
+			}
+			for node, total := range totals[i*di+j] {
+				if total < T {
+					continue // conditioned count can only be smaller
+				}
+				candidates = append(candidates, node)
+				candTotal[node] = total
+			}
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if c := candidates[a].Src.Compare(candidates[b].Src); c != 0 {
+				return c < 0
+			}
+			return candidates[a].Dst.Compare(candidates[b].Dst) < 0
+		})
+		for _, node := range candidates {
+			var cond int64
+			for _, lf := range leaves {
+				if !node.Covers(lf.k) {
+					continue
+				}
+				covered := false
+				for _, m := range marked {
+					if m.Covers(lf.k) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					cond += lf.c
+				}
+			}
+			if cond >= T {
+				out.Add(Item{Node: node, Count: candTotal[node], Conditioned: cond})
+				marked = append(marked, node)
+			}
+		}
+	}
+	return out
+}
+
+// ExactFromPackets is a convenience aggregating (src, dst, bytes) tuples.
+func ExactFromPackets(tuples []Tuple, h Hierarchy2, phi float64) Set {
+	counts := make(map[Key]int64, len(tuples))
+	var total int64
+	for _, t := range tuples {
+		counts[Key{t.Src, t.Dst}] += t.Bytes
+		total += t.Bytes
+	}
+	T := int64(phi * float64(total))
+	if T < 1 {
+		T = 1
+	}
+	return Exact(counts, h, T)
+}
+
+// Tuple is one traffic observation for the 2-D analyses.
+type Tuple struct {
+	Src   ipv4.Addr
+	Dst   ipv4.Addr
+	Bytes int64
+}
+
+// Validate sanity checks an item set against a threshold and total, for
+// tests and debugging: conditioned sums must not exceed the total and
+// every item must meet the threshold.
+func Validate(s Set, T, total int64) error {
+	var sum int64
+	for n, it := range s {
+		if it.Conditioned < T {
+			return fmt.Errorf("hhh2d: %v conditioned %d below threshold %d", n, it.Conditioned, T)
+		}
+		if it.Count < it.Conditioned {
+			return fmt.Errorf("hhh2d: %v count %d below conditioned %d", n, it.Count, it.Conditioned)
+		}
+		sum += it.Conditioned
+	}
+	if sum > total {
+		return fmt.Errorf("hhh2d: conditioned sum %d exceeds total %d", sum, total)
+	}
+	return nil
+}

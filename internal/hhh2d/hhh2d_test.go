@@ -1,0 +1,327 @@
+package hhh2d
+
+import (
+	"math/rand"
+	"testing"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+func addr(s string) ipv4.Addr { return ipv4.MustParseAddr(s) }
+
+func node(src, dst string) Node {
+	return Node{Src: ipv4.MustParsePrefix(src), Dst: ipv4.MustParsePrefix(dst)}
+}
+
+func byteH2() Hierarchy2 { return NewHierarchy2(ipv4.Byte, ipv4.Byte) }
+
+func TestNodeCovers(t *testing.T) {
+	n := node("10.0.0.0/8", "192.168.1.0/24")
+	if !n.Covers(Key{addr("10.1.2.3"), addr("192.168.1.7")}) {
+		t.Error("should cover")
+	}
+	if n.Covers(Key{addr("11.1.2.3"), addr("192.168.1.7")}) {
+		t.Error("src outside")
+	}
+	if n.Covers(Key{addr("10.1.2.3"), addr("192.168.2.7")}) {
+		t.Error("dst outside")
+	}
+	if !n.CoversNode(node("10.1.0.0/16", "192.168.1.4/32")) {
+		t.Error("node cover")
+	}
+	if n.CoversNode(node("0.0.0.0/0", "192.168.1.0/24")) {
+		t.Error("more general src should not be covered")
+	}
+	if n.String() != "10.0.0.0/8->192.168.1.0/24" {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+func TestHierarchy2Shape(t *testing.T) {
+	h := byteH2()
+	if h.Levels() != 9 {
+		t.Errorf("Levels = %d, want 9", h.Levels())
+	}
+	if h.NodeCount() != 25 {
+		t.Errorf("NodeCount = %d, want 25", h.NodeCount())
+	}
+	k := Key{addr("10.1.2.3"), addr("192.168.1.7")}
+	n := h.At(k, 1, 2)
+	if n != node("10.1.2.0/24", "192.168.0.0/16") {
+		t.Errorf("At(1,2) = %v", n)
+	}
+}
+
+func TestExactSingleHeavyPair(t *testing.T) {
+	h := byteH2()
+	counts := map[Key]int64{
+		{addr("10.0.0.1"), addr("20.0.0.1")}: 100,
+		{addr("30.0.0.1"), addr("40.0.0.1")}: 5,
+	}
+	set := Exact(counts, h, 50)
+	want := node("10.0.0.1/32", "20.0.0.1/32")
+	if !set.Contains(want) {
+		t.Fatalf("missing %v in %v", want, set.Nodes())
+	}
+	// Its ancestors are fully claimed: nothing else qualifies.
+	if set.Len() != 1 {
+		t.Fatalf("set = %v, want only the leaf pair", set.Nodes())
+	}
+}
+
+func TestExactAggregationAcrossDimensions(t *testing.T) {
+	h := byteH2()
+	// Three sources in 10.1.1.0/24 each sending 30 to distinct hosts in
+	// 20.2.0.0/16: only (10.1.1.0/24 -> 20.2.0.0/16) and its relatives
+	// aggregate to 90; threshold 80.
+	counts := map[Key]int64{
+		{addr("10.1.1.1"), addr("20.2.1.1")}: 30,
+		{addr("10.1.1.2"), addr("20.2.2.1")}: 30,
+		{addr("10.1.1.3"), addr("20.2.3.1")}: 30,
+	}
+	set := Exact(counts, h, 80)
+	if set.Len() == 0 {
+		t.Fatal("no HHH found")
+	}
+	// The most specific qualifying aggregate must be reported; it is
+	// (10.1.1.0/24 -> 20.2.0.0/16): src generalised one level, dst two.
+	want := node("10.1.1.0/24", "20.2.0.0/16")
+	if !set.Contains(want) {
+		t.Fatalf("missing %v; got %v", want, set.Nodes())
+	}
+	if it := set[want]; it.Conditioned != 90 || it.Count != 90 {
+		t.Errorf("item = %+v", it)
+	}
+	// And it claims everything: no ancestors reported.
+	if set.Len() != 1 {
+		t.Errorf("extra nodes: %v", set.Nodes())
+	}
+}
+
+func TestExactDiamondClaimsOnce(t *testing.T) {
+	h := byteH2()
+	// One heavy leaf covered by two incomparable aggregates:
+	// (10.1.0.0/16 -> 20.0.0.0/8) and (10.0.0.0/8 -> 20.2.0.0/16).
+	// After the leaf is marked, neither aggregate may claim its volume
+	// again, and conditioned sums must stay <= total.
+	counts := map[Key]int64{
+		{addr("10.1.1.1"), addr("20.2.1.1")}: 100, // the heavy leaf
+		{addr("10.1.2.1"), addr("20.9.1.1")}: 30,  // under src /16, other dst /8
+		{addr("10.9.1.1"), addr("20.2.2.1")}: 30,  // other src /8, under dst /16
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	T := int64(50)
+	set := Exact(counts, h, T)
+	if err := Validate(set, T, total); err != nil {
+		t.Fatal(err)
+	}
+	leafNode := node("10.1.1.1/32", "20.2.1.1/32")
+	if !set.Contains(leafNode) {
+		t.Fatalf("heavy leaf missing: %v", set.Nodes())
+	}
+	// The two side flows are only 30 each: the diamond aggregates must
+	// NOT qualify on claimed-leaf volume alone.
+	for _, n := range set.Nodes() {
+		if n != leafNode && n.Covers(Key{addr("10.1.1.1"), addr("20.2.1.1")}) {
+			it := set[n]
+			if it.Conditioned >= 100 {
+				t.Errorf("%v re-claimed the marked leaf: %+v", n, it)
+			}
+		}
+	}
+}
+
+func TestExactMatchesOneDimensionalSemantics(t *testing.T) {
+	// With the destination fixed to one address, 2-D reduces to 1-D on
+	// sources: conditioned counts must match the 1-D pass-up intuition.
+	h := byteH2()
+	counts := map[Key]int64{
+		{addr("10.1.2.1"), addr("99.0.0.1")}: 100,
+		{addr("10.1.2.2"), addr("99.0.0.1")}: 30,
+		{addr("10.1.2.3"), addr("99.0.0.1")}: 30,
+	}
+	set := Exact(counts, h, 50)
+	// 1-D expectation: host .1 (100) and /24 conditioned 60, then the
+	// destination-side generalisations of those are claimed.
+	if !set.Contains(node("10.1.2.1/32", "99.0.0.1/32")) {
+		t.Fatalf("leaf missing: %v", set.Nodes())
+	}
+	n24 := node("10.1.2.0/24", "99.0.0.1/32")
+	if !set.Contains(n24) {
+		t.Fatalf("/24 aggregate missing: %v", set.Nodes())
+	}
+	if it := set[n24]; it.Conditioned != 60 {
+		t.Errorf("/24 conditioned = %d, want 60", it.Conditioned)
+	}
+}
+
+func TestExactInvariantsRandom(t *testing.T) {
+	h := byteH2()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		counts := map[Key]int64{}
+		var total int64
+		for i := 0; i < 1+rng.Intn(25); i++ {
+			k := Key{
+				ipv4.AddrFrom4(byte(rng.Intn(2)), byte(rng.Intn(2)), 0, byte(rng.Intn(2))),
+				ipv4.AddrFrom4(byte(rng.Intn(2)), 0, byte(rng.Intn(2)), byte(rng.Intn(2))),
+			}
+			c := int64(1 + rng.Intn(100))
+			counts[k] += c
+			total += c
+		}
+		T := total/10 + 1
+		set := Exact(counts, h, T)
+		if err := Validate(set, T, total); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The root pair qualifies whenever nothing more specific claims
+		// enough mass; in all cases SOMETHING must be reported since
+		// total >= T.
+		if total >= T && set.Len() == 0 {
+			t.Fatalf("trial %d: empty set despite total %d >= T %d", trial, total, T)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Set{}
+	a.Add(Item{Node: node("10.0.0.0/8", "0.0.0.0/0")})
+	a.Add(Item{Node: node("10.1.0.0/16", "20.0.0.0/8")})
+	b := Set{}
+	b.Add(Item{Node: node("10.0.0.0/8", "0.0.0.0/0")})
+	if got := a.Jaccard(b); got != 0.5 {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if (Set{}).Jaccard(Set{}) != 1 {
+		t.Error("empty Jaccard")
+	}
+	nodes := a.Nodes()
+	if len(nodes) != 2 || nodes[0] != node("10.0.0.0/8", "0.0.0.0/0") {
+		t.Errorf("Nodes order: %v", nodes)
+	}
+}
+
+func TestPerNodeMatchesExactWhenUnsaturated(t *testing.T) {
+	// With capacity above the distinct node count per class and no
+	// diamonds among reported nodes, the streaming engine must reproduce
+	// the exact set. Use single-destination traffic (1-D reduction) to
+	// guarantee diamond-freedom.
+	h := byteH2()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		eng := NewPerNode(h, 512)
+		counts := map[Key]int64{}
+		var total int64
+		dst := addr("99.0.0.1")
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			src := ipv4.AddrFrom4(byte(rng.Intn(2)), byte(rng.Intn(2)), 0, byte(rng.Intn(2)))
+			c := int64(1 + rng.Intn(100))
+			counts[Key{src, dst}] += c
+			total += c
+			eng.Update(src, dst, c)
+		}
+		T := total/8 + 1
+		want := Exact(counts, h, T)
+		got := eng.Query(T)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got.Nodes(), want.Nodes())
+		}
+		for n := range want {
+			if !got.Contains(n) {
+				t.Fatalf("trial %d: missing %v", trial, n)
+			}
+		}
+	}
+}
+
+func TestPerNodeFindsHeavyPairUnderPressure(t *testing.T) {
+	h := byteH2()
+	eng := NewPerNode(h, 64)
+	rng := rand.New(rand.NewSource(13))
+	heavySrc, heavyDst := addr("10.1.2.3"), addr("198.51.100.7")
+	for i := 0; i < 50000; i++ {
+		if i%3 == 0 {
+			eng.Update(heavySrc, heavyDst, 1000)
+		} else {
+			eng.Update(ipv4.Addr(rng.Uint32()), ipv4.Addr(rng.Uint32()), 700)
+		}
+	}
+	set := eng.QueryFraction(0.2)
+	found := false
+	for n := range set {
+		if n.Covers(Key{heavySrc, heavyDst}) && n.Src.Bits > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("heavy pair not covered: %v", set.Nodes())
+	}
+	if eng.Total() == 0 || eng.SizeBytes() <= 0 {
+		t.Error("accessors")
+	}
+	eng.Reset()
+	if eng.Total() != 0 || eng.QueryFraction(0.5).Len() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestValidateCatchesBadSets(t *testing.T) {
+	bad := Set{}
+	bad.Add(Item{Node: node("10.0.0.0/8", "0.0.0.0/0"), Count: 10, Conditioned: 20})
+	if err := Validate(bad, 5, 100); err == nil {
+		t.Error("count < conditioned should fail")
+	}
+	bad2 := Set{}
+	bad2.Add(Item{Node: node("10.0.0.0/8", "0.0.0.0/0"), Count: 10, Conditioned: 1})
+	if err := Validate(bad2, 5, 100); err == nil {
+		t.Error("below threshold should fail")
+	}
+	bad3 := Set{}
+	bad3.Add(Item{Node: node("10.0.0.0/8", "0.0.0.0/0"), Count: 90, Conditioned: 90})
+	bad3.Add(Item{Node: node("11.0.0.0/8", "0.0.0.0/0"), Count: 90, Conditioned: 90})
+	if err := Validate(bad3, 5, 100); err == nil {
+		t.Error("conditioned sum above total should fail")
+	}
+}
+
+func TestExactFromPackets(t *testing.T) {
+	tuples := []Tuple{
+		{addr("10.0.0.1"), addr("20.0.0.1"), 600},
+		{addr("10.0.0.2"), addr("20.0.0.2"), 200},
+		{addr("10.0.0.3"), addr("20.0.0.3"), 200},
+	}
+	set := ExactFromPackets(tuples, byteH2(), 0.5)
+	if !set.Contains(node("10.0.0.1/32", "20.0.0.1/32")) {
+		t.Fatalf("heavy tuple missing: %v", set.Nodes())
+	}
+}
+
+func BenchmarkPerNodeUpdate(b *testing.B) {
+	eng := NewPerNode(byteH2(), 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Update(ipv4.Addr(uint32(i)*2654435761), ipv4.Addr(uint32(i)*40503), 1000)
+	}
+}
+
+func BenchmarkExact2D(b *testing.B) {
+	h := byteH2()
+	rng := rand.New(rand.NewSource(3))
+	counts := map[Key]int64{}
+	var total int64
+	for i := 0; i < 2000; i++ {
+		k := Key{ipv4.Addr(rng.Uint32() & 0x03030303), ipv4.Addr(rng.Uint32() & 0x03030303)}
+		counts[k] += int64(rng.Intn(1000) + 1)
+		total += int64(rng.Intn(1000) + 1)
+	}
+	T := total / 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(counts, h, T)
+	}
+}

@@ -1,0 +1,146 @@
+package hhh2d
+
+import (
+	"sort"
+
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/sketch"
+)
+
+// PerNode is the streaming 2-D HHH engine: one Space-Saving summary per
+// lattice class (source level × destination level), every packet updating
+// all of them with its generalised (src,dst) pair — the direct product
+// analogue of the 1-D per-level engine, and the structure a match-action
+// pipeline would implement with one stage per class.
+//
+// Queries perform the bottom-up conditioned pass with discounting of
+// maximal marked descendants. In two dimensions this discount is an
+// approximation: two incomparable marked descendants may cover
+// overlapping traffic (the diamond problem), in which case their claims
+// are both subtracted and interior conditioned estimates err low,
+// i.e. detection above the diamond becomes conservative. Exact reports
+// from the offline algorithm remain the ground truth; tests pin the
+// engine to it on diamond-free inputs.
+type PerNode struct {
+	h   Hierarchy2
+	sks []*sketch.SpaceSaving // indexed i*dstLevels + j
+	tot int64
+}
+
+// NewPerNode builds an engine with k counters per lattice class.
+func NewPerNode(h Hierarchy2, k int) *PerNode {
+	e := &PerNode{h: h, sks: make([]*sketch.SpaceSaving, h.NodeCount())}
+	for i := range e.sks {
+		e.sks[i] = sketch.NewSpaceSaving(k)
+	}
+	return e
+}
+
+// nodeKey packs a node into a sketch key: the class is implied by the
+// sketch index, so the two masked addresses suffice.
+func nodeKey(n Node) uint64 {
+	return uint64(n.Src.Addr)<<32 | uint64(n.Dst.Addr)
+}
+
+// Update feeds one packet's (src, dst, bytes).
+func (e *PerNode) Update(src, dst ipv4.Addr, bytes int64) {
+	e.tot += bytes
+	di := e.h.Dst.Levels()
+	for i := 0; i < e.h.Src.Levels(); i++ {
+		sp := e.h.Src.At(src, i)
+		for j := 0; j < di; j++ {
+			n := Node{Src: sp, Dst: e.h.Dst.At(dst, j)}
+			e.sks[i*di+j].Update(nodeKey(n), bytes)
+		}
+	}
+}
+
+// Total returns the byte volume seen since the last Reset.
+func (e *PerNode) Total() int64 { return e.tot }
+
+// Reset clears every class summary.
+func (e *PerNode) Reset() {
+	for _, s := range e.sks {
+		s.Reset()
+	}
+	e.tot = 0
+}
+
+// SizeBytes estimates the engine's state footprint.
+func (e *PerNode) SizeBytes() int {
+	n := 0
+	for _, s := range e.sks {
+		n += s.Capacity() * 48
+	}
+	return n
+}
+
+// Query returns the 2-D HHH set at absolute byte threshold T.
+func (e *PerNode) Query(T int64) Set {
+	si, di := e.h.Src.Levels(), e.h.Dst.Levels()
+	out := Set{}
+	var marked []Node
+	ests := map[Node]int64{}
+	for l := 0; l < si+di-1; l++ {
+		// Gather this depth's candidates, deterministically ordered (the
+		// sketch iteration order is map-random), then admit greedily so
+		// same-depth diamond overlaps resolve reproducibly.
+		var candidates []Node
+		for i := 0; i < si; i++ {
+			j := l - i
+			if j < 0 || j >= di {
+				continue
+			}
+			for _, kv := range e.sks[i*di+j].Tracked() {
+				node := Node{
+					Src: ipv4.Prefix{Addr: ipv4.Addr(kv.Key >> 32), Bits: e.h.Src.Bits(i)},
+					Dst: ipv4.Prefix{Addr: ipv4.Addr(kv.Key), Bits: e.h.Dst.Bits(j)},
+				}
+				ests[node] = kv.Count
+				if kv.Count >= T {
+					candidates = append(candidates, node)
+				}
+			}
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if c := candidates[a].Src.Compare(candidates[b].Src); c != 0 {
+				return c < 0
+			}
+			return candidates[a].Dst.Compare(candidates[b].Dst) < 0
+		})
+		for _, node := range candidates {
+			// Discount the claims of maximal marked descendants.
+			var claimed int64
+			for _, m := range marked {
+				if !node.CoversNode(m) || m == node {
+					continue
+				}
+				maximal := true
+				for _, m2 := range marked {
+					if m2 != m && m2 != node && node.CoversNode(m2) && m2.CoversNode(m) {
+						maximal = false
+						break
+					}
+				}
+				if maximal {
+					claimed += ests[m]
+				}
+			}
+			cond := ests[node] - claimed
+			if cond >= T {
+				out.Add(Item{Node: node, Count: ests[node], Conditioned: cond})
+				marked = append(marked, node)
+			}
+		}
+	}
+	return out
+}
+
+// QueryFraction queries at phi of the observed volume.
+func (e *PerNode) QueryFraction(phi float64) Set {
+	T := int64(phi * float64(e.tot))
+	if T < 1 {
+		T = 1
+	}
+	return e.Query(T)
+}

@@ -1,0 +1,301 @@
+// Package ipv4 provides compact IPv4 address and prefix primitives used
+// throughout the hierarchical-heavy-hitter pipeline.
+//
+// Addresses are represented as host-order uint32 values so they can be used
+// directly as map keys and sketch inputs without allocation. Prefixes pair
+// an address with a mask length and are always stored in canonical form
+// (host bits zeroed), which makes them safely comparable with == and usable
+// as map keys.
+package ipv4
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets returns the four dotted-quad octets of a.
+func (a Addr) Octets() (o [4]byte) {
+	o[0] = byte(a >> 24)
+	o[1] = byte(a >> 16)
+	o[2] = byte(a >> 8)
+	o[3] = byte(a)
+	return o
+}
+
+// String renders a in dotted-quad notation.
+func (a Addr) String() string {
+	o := a.Octets()
+	// Hand-rolled to avoid fmt allocation overhead in hot logging paths.
+	var b [15]byte
+	n := 0
+	for i, oct := range o {
+		if i > 0 {
+			b[n] = '.'
+			n++
+		}
+		n += copy(b[n:], strconv.AppendUint(b[n:n], uint64(oct), 10))
+	}
+	return string(b[:n])
+}
+
+// ErrBadAddr reports an unparsable dotted-quad address.
+var ErrBadAddr = errors.New("ipv4: invalid address")
+
+// ErrBadPrefix reports an unparsable or non-canonical CIDR prefix.
+var ErrBadPrefix = errors.New("ipv4: invalid prefix")
+
+// ParseAddr parses a dotted-quad IPv4 address such as "192.0.2.7".
+func ParseAddr(s string) (Addr, error) {
+	var a uint32
+	part := 0
+	val := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if val < 0 {
+				val = 0
+			}
+			val = val*10 + int(c-'0')
+			if val > 255 {
+				return 0, fmt.Errorf("%w: %q octet out of range", ErrBadAddr, s)
+			}
+		case c == '.':
+			if val < 0 || part == 3 {
+				return 0, fmt.Errorf("%w: %q", ErrBadAddr, s)
+			}
+			a = a<<8 | uint32(val)
+			val = -1
+			part++
+		default:
+			return 0, fmt.Errorf("%w: %q unexpected character", ErrBadAddr, s)
+		}
+	}
+	if part != 3 || val < 0 {
+		return 0, fmt.Errorf("%w: %q", ErrBadAddr, s)
+	}
+	a = a<<8 | uint32(val)
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error. For tests and constants.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Mask returns the network mask with the top bits set.
+// bits must be in [0,32].
+func Mask(bits uint8) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint32(bits))
+}
+
+// Prefix is an IPv4 CIDR prefix in canonical form: all bits below Bits are
+// zero. The zero value is the root prefix 0.0.0.0/0, which covers every
+// address.
+type Prefix struct {
+	Addr Addr
+	Bits uint8
+}
+
+// PrefixFrom canonicalises addr to bits mask length.
+func PrefixFrom(addr Addr, bits uint8) Prefix {
+	if bits > 32 {
+		bits = 32
+	}
+	return Prefix{Addr: Addr(uint32(addr) & Mask(bits)), Bits: bits}
+}
+
+// Root is the /0 prefix covering the whole address space.
+var Root = Prefix{}
+
+// Host returns the /32 prefix for addr.
+func Host(addr Addr) Prefix { return Prefix{Addr: addr, Bits: 32} }
+
+// ParsePrefix parses CIDR notation such as "10.1.0.0/16". The address part
+// must already be canonical (no host bits set).
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("%w: %q missing '/'", ErrBadPrefix, s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %q: %v", ErrBadPrefix, s, err)
+	}
+	bits, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: %q bad mask length", ErrBadPrefix, s)
+	}
+	p := PrefixFrom(addr, uint8(bits))
+	if p.Addr != addr {
+		return Prefix{}, fmt.Errorf("%w: %q has host bits set", ErrBadPrefix, s)
+	}
+	return p, nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders p in CIDR notation.
+func (p Prefix) String() string {
+	return p.Addr.String() + "/" + strconv.Itoa(int(p.Bits))
+}
+
+// Contains reports whether addr falls inside p.
+func (p Prefix) Contains(addr Addr) bool {
+	return uint32(addr)&Mask(p.Bits) == uint32(p.Addr)
+}
+
+// Covers reports whether p covers q, i.e. q's range is a subset of p's.
+// Every prefix covers itself.
+func (p Prefix) Covers(q Prefix) bool {
+	return p.Bits <= q.Bits && p.Contains(q.Addr)
+}
+
+// Parent returns the prefix obtained by shortening p by step bits,
+// saturating at the root. Parent of the root is the root.
+func (p Prefix) Parent(step uint8) Prefix {
+	if step >= p.Bits {
+		return Root
+	}
+	return PrefixFrom(p.Addr, p.Bits-step)
+}
+
+// Key packs p into a single uint64 suitable for hashing and map keys in the
+// sketch substrates: the address in the high 32 bits, mask length below.
+func (p Prefix) Key() uint64 {
+	return uint64(p.Addr)<<32 | uint64(p.Bits)
+}
+
+// PrefixFromKey unpacks a Key back into the Prefix it came from.
+func PrefixFromKey(k uint64) Prefix {
+	return Prefix{Addr: Addr(k >> 32), Bits: uint8(k & 0x3f)}
+}
+
+// Compare orders prefixes by (Bits, Addr): shorter (more general) prefixes
+// first, then numerically by address. Returns -1, 0 or +1.
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.Bits < q.Bits:
+		return -1
+	case p.Bits > q.Bits:
+		return 1
+	case p.Addr < q.Addr:
+		return -1
+	case p.Addr > q.Addr:
+		return 1
+	}
+	return 0
+}
+
+// Granularity is the step, in bits, between consecutive levels of a prefix
+// hierarchy. The hierarchical-heavy-hitter literature conventionally uses
+// byte granularity for IPv4 (levels /0 /8 /16 /24 /32).
+type Granularity uint8
+
+// Supported granularities.
+const (
+	Bit    Granularity = 1 // 33 levels: /0../32
+	Nibble Granularity = 4 // 9 levels: /0,/4,..,/32
+	Byte   Granularity = 8 // 5 levels: /0,/8,/16,/24,/32
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case Bit:
+		return "bit"
+	case Nibble:
+		return "nibble"
+	case Byte:
+		return "byte"
+	default:
+		return "granularity(" + strconv.Itoa(int(g)) + ")"
+	}
+}
+
+// Valid reports whether g divides 32 evenly, the requirement for a uniform
+// hierarchy over IPv4.
+func (g Granularity) Valid() bool {
+	return g > 0 && g <= 32 && 32%uint8(g) == 0
+}
+
+// Hierarchy describes a uniform generalisation lattice over IPv4 source
+// prefixes, the 1-D setting used throughout the paper. Level 0 is the most
+// specific (/32 hosts); level Levels()-1 is the root /0.
+type Hierarchy struct {
+	g Granularity
+}
+
+// NewHierarchy builds a hierarchy at granularity g.
+// It panics if g does not divide 32: such lattices would be non-uniform and
+// are never meaningful for IPv4 HHH.
+func NewHierarchy(g Granularity) Hierarchy {
+	if !g.Valid() {
+		panic("ipv4: granularity must divide 32, got " + g.String())
+	}
+	return Hierarchy{g: g}
+}
+
+// Granularity returns the configured per-level bit step.
+func (h Hierarchy) Granularity() Granularity { return h.g }
+
+// Levels returns the number of levels in the hierarchy, including both the
+// /32 leaves and the /0 root. Byte granularity yields 5.
+func (h Hierarchy) Levels() int { return int(32/uint8(h.g)) + 1 }
+
+// Bits returns the prefix length at the given level, where level 0 is the
+// /32 leaf level and level Levels()-1 is the root.
+func (h Hierarchy) Bits(level int) uint8 {
+	return 32 - uint8(level)*uint8(h.g)
+}
+
+// Level returns the level index for a prefix length, or -1 if bits does not
+// lie on this hierarchy's lattice.
+func (h Hierarchy) Level(bits uint8) int {
+	if bits > 32 || bits%uint8(h.g) != 0 {
+		return -1
+	}
+	return int((32 - bits) / uint8(h.g))
+}
+
+// At generalises addr to the given level.
+func (h Hierarchy) At(addr Addr, level int) Prefix {
+	return PrefixFrom(addr, h.Bits(level))
+}
+
+// Ancestors appends to dst the full generalisation chain of addr from the
+// /32 leaf (level 0) to the root, in that order, and returns the extended
+// slice. With a preallocated dst this performs no allocation; it is the hot
+// path of every per-packet HHH update.
+func (h Hierarchy) Ancestors(addr Addr, dst []Prefix) []Prefix {
+	for l := 0; l < h.Levels(); l++ {
+		dst = append(dst, h.At(addr, l))
+	}
+	return dst
+}
+
+// OnLattice reports whether p's mask length lies on the hierarchy lattice.
+func (h Hierarchy) OnLattice(p Prefix) bool { return h.Level(p.Bits) >= 0 }

@@ -1,0 +1,320 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	cases := []struct {
+		s string
+		a Addr
+	}{
+		{"0.0.0.0", 0},
+		{"255.255.255.255", 0xffffffff},
+		{"192.0.2.7", AddrFrom4(192, 0, 2, 7)},
+		{"10.1.2.3", AddrFrom4(10, 1, 2, 3)},
+		{"1.2.3.4", 0x01020304},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", c.s, err)
+		}
+		if got != c.a {
+			t.Errorf("ParseAddr(%q) = %08x, want %08x", c.s, uint32(got), uint32(c.a))
+		}
+		if got.String() != c.s {
+			t.Errorf("Addr(%08x).String() = %q, want %q", uint32(c.a), got.String(), c.s)
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	bad := []string{"", "1", "1.2", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1..2.3", "a.b.c.d", "1.2.3.4x", ".1.2.3", "1.2.3."}
+	for _, s := range bad {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestAddrStringQuick(t *testing.T) {
+	f := func(x uint32) bool {
+		a := Addr(x)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		bits uint8
+		want uint32
+	}{
+		{0, 0x00000000},
+		{1, 0x80000000},
+		{8, 0xff000000},
+		{16, 0xffff0000},
+		{24, 0xffffff00},
+		{31, 0xfffffffe},
+		{32, 0xffffffff},
+	}
+	for _, c := range cases {
+		if got := Mask(c.bits); got != c.want {
+			t.Errorf("Mask(%d) = %08x, want %08x", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestPrefixCanonicalisation(t *testing.T) {
+	p := PrefixFrom(MustParseAddr("10.1.2.3"), 16)
+	if want := MustParsePrefix("10.1.0.0/16"); p != want {
+		t.Errorf("PrefixFrom canonicalised to %v, want %v", p, want)
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("String() = %q", p.String())
+	}
+	// Over-long masks saturate to 32.
+	q := PrefixFrom(0, 99)
+	if q.Bits != 32 {
+		t.Errorf("PrefixFrom(_,99).Bits = %d, want 32", q.Bits)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	good := []string{"0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "192.0.2.7/32", "128.0.0.0/1"}
+	for _, s := range good {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			t.Fatalf("ParsePrefix(%q): %v", s, err)
+		}
+		if p.String() != s {
+			t.Errorf("ParsePrefix(%q).String() = %q", s, p.String())
+		}
+	}
+	bad := []string{"", "10.0.0.0", "10.0.0.0/", "10.0.0.0/33", "10.0.0.1/8", "x/8", "10.0.0.0/-1", "10.0.0.0/8/9"}
+	for _, s := range bad {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestContainsCovers(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.Contains(MustParseAddr("10.1.255.255")) {
+		t.Error("10.1.0.0/16 should contain 10.1.255.255")
+	}
+	if p.Contains(MustParseAddr("10.2.0.0")) {
+		t.Error("10.1.0.0/16 should not contain 10.2.0.0")
+	}
+	if !Root.Contains(MustParseAddr("203.0.113.9")) {
+		t.Error("root should contain everything")
+	}
+	if !p.Covers(MustParsePrefix("10.1.2.0/24")) {
+		t.Error("/16 should cover its /24")
+	}
+	if !p.Covers(p) {
+		t.Error("prefix should cover itself")
+	}
+	if p.Covers(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("/16 should not cover its /8 parent")
+	}
+	if p.Covers(MustParsePrefix("10.2.0.0/24")) {
+		t.Error("10.1.0.0/16 should not cover 10.2.0.0/24")
+	}
+}
+
+func TestParent(t *testing.T) {
+	p := MustParsePrefix("10.1.2.0/24")
+	if got, want := p.Parent(8), MustParsePrefix("10.1.0.0/16"); got != want {
+		t.Errorf("Parent(8) = %v, want %v", got, want)
+	}
+	if got := p.Parent(24); got != Root {
+		t.Errorf("Parent(24) = %v, want root", got)
+	}
+	if got := p.Parent(99); got != Root {
+		t.Errorf("Parent(99) = %v, want root", got)
+	}
+	if got := Root.Parent(8); got != Root {
+		t.Errorf("root.Parent(8) = %v, want root", got)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(x uint32, bits uint8) bool {
+		p := PrefixFrom(Addr(x), bits%33)
+		return PrefixFromKey(p.Key()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyDistinct(t *testing.T) {
+	// Prefixes differing only in length must have distinct keys.
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	if a.Key() == b.Key() {
+		t.Error("keys of /8 and /16 collide")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	ps := []Prefix{
+		Root,
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("11.0.0.0/8"),
+		MustParsePrefix("10.1.0.0/16"),
+		MustParsePrefix("10.1.2.0/24"),
+	}
+	for i, p := range ps {
+		for j, q := range ps {
+			got := p.Compare(q)
+			switch {
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", p, q, got)
+			case i < j && got != -1:
+				t.Errorf("Compare(%v,%v) = %d, want -1", p, q, got)
+			case i > j && got != 1:
+				t.Errorf("Compare(%v,%v) = %d, want 1", p, q, got)
+			}
+		}
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	for _, g := range []Granularity{1, 2, 4, 8, 16, 32} {
+		if !g.Valid() {
+			t.Errorf("granularity %d should be valid", g)
+		}
+	}
+	for _, g := range []Granularity{0, 3, 5, 7, 9, 33} {
+		if g.Valid() {
+			t.Errorf("granularity %d should be invalid", g)
+		}
+	}
+	if Bit.String() != "bit" || Nibble.String() != "nibble" || Byte.String() != "byte" {
+		t.Error("granularity String() mismatch")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	cases := []struct {
+		g      Granularity
+		levels int
+	}{
+		{Bit, 33},
+		{Nibble, 9},
+		{Byte, 5},
+	}
+	for _, c := range cases {
+		h := NewHierarchy(c.g)
+		if h.Levels() != c.levels {
+			t.Errorf("granularity %v: Levels() = %d, want %d", c.g, h.Levels(), c.levels)
+		}
+		if h.Bits(0) != 32 {
+			t.Errorf("granularity %v: level 0 should be /32", c.g)
+		}
+		if h.Bits(c.levels-1) != 0 {
+			t.Errorf("granularity %v: top level should be /0", c.g)
+		}
+		for l := 0; l < c.levels; l++ {
+			if h.Level(h.Bits(l)) != l {
+				t.Errorf("granularity %v: Level(Bits(%d)) != %d", c.g, l, l)
+			}
+		}
+	}
+	if NewHierarchy(Byte).Level(12) != -1 {
+		t.Error("Level(12) at byte granularity should be -1")
+	}
+}
+
+func TestHierarchyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHierarchy(3) should panic")
+		}
+	}()
+	NewHierarchy(3)
+}
+
+func TestAncestors(t *testing.T) {
+	h := NewHierarchy(Byte)
+	addr := MustParseAddr("10.1.2.3")
+	got := h.Ancestors(addr, nil)
+	want := []Prefix{
+		MustParsePrefix("10.1.2.3/32"),
+		MustParsePrefix("10.1.2.0/24"),
+		MustParsePrefix("10.1.0.0/16"),
+		MustParsePrefix("10.0.0.0/8"),
+		Root,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Ancestors returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ancestor[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAncestorsChainProperty(t *testing.T) {
+	h := NewHierarchy(Nibble)
+	f := func(x uint32) bool {
+		chain := h.Ancestors(Addr(x), nil)
+		if len(chain) != h.Levels() {
+			return false
+		}
+		for i := 1; i < len(chain); i++ {
+			// Each ancestor must cover the previous one and be one
+			// granularity step shorter.
+			if !chain[i].Covers(chain[i-1]) {
+				return false
+			}
+			if chain[i-1].Bits-chain[i].Bits != uint8(Nibble) {
+				return false
+			}
+		}
+		return chain[len(chain)-1] == Root
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestorsNoAlloc(t *testing.T) {
+	h := NewHierarchy(Byte)
+	buf := make([]Prefix, 0, h.Levels())
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = h.Ancestors(MustParseAddr("192.0.2.1"), buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("Ancestors with preallocated buffer allocates %v times per run", allocs)
+	}
+}
+
+func TestOnLattice(t *testing.T) {
+	h := NewHierarchy(Byte)
+	if !h.OnLattice(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("/8 should be on byte lattice")
+	}
+	if h.OnLattice(MustParsePrefix("10.0.0.0/12")) {
+		t.Error("/12 should not be on byte lattice")
+	}
+}
+
+func BenchmarkAncestorsByte(b *testing.B) {
+	h := NewHierarchy(Byte)
+	buf := make([]Prefix, 0, h.Levels())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = h.Ancestors(Addr(i*2654435761), buf[:0])
+	}
+	_ = buf
+}

@@ -1,0 +1,179 @@
+// Package metrics provides the evaluation machinery shared by the
+// experiments: set-accuracy scores against ground truth, error statistics
+// for estimates, empirical distributions (CDFs, percentiles), and plain
+// text table rendering for reports.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"hiddenhhh/internal/hhh"
+)
+
+// Confusion summarises a detector output against a ground-truth HHH set.
+type Confusion struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Compare scores detected against truth by prefix membership.
+func Compare(truth, detected hhh.Set) Confusion {
+	var c Confusion
+	for p := range detected {
+		if truth.Contains(p) {
+			c.TruePositives++
+		} else {
+			c.FalsePositives++
+		}
+	}
+	for p := range truth {
+		if !detected.Contains(p) {
+			c.FalseNegatives++
+		}
+	}
+	return c
+}
+
+// Precision is TP/(TP+FP); 1 when nothing was detected (vacuously
+// precise).
+func (c Confusion) Precision() float64 {
+	d := c.TruePositives + c.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(c.TruePositives) / float64(d)
+}
+
+// Recall is TP/(TP+FN); 1 when there was nothing to find.
+func (c Confusion) Recall() float64 {
+	d := c.TruePositives + c.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(c.TruePositives) / float64(d)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Add accumulates another confusion (e.g. across windows).
+func (c *Confusion) Add(o Confusion) {
+	c.TruePositives += o.TruePositives
+	c.FalsePositives += o.FalsePositives
+	c.FalseNegatives += o.FalseNegatives
+}
+
+// EstimateErrors computes relative and absolute error statistics of
+// detected item counts against ground-truth counts, over the true-positive
+// prefixes (the standard ARE/AAE of the sketching literature).
+func EstimateErrors(truth, detected hhh.Set) (are, aae float64) {
+	n := 0
+	for p, it := range detected {
+		tr, ok := truth[p]
+		if !ok || tr.Count == 0 {
+			continue
+		}
+		diff := math.Abs(float64(it.Count - tr.Count))
+		are += diff / float64(tr.Count)
+		aae += diff
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return are / float64(n), aae / float64(n)
+}
+
+// Dist is an accumulating empirical distribution.
+type Dist struct {
+	xs     []float64
+	sorted bool
+}
+
+// Observe appends a sample.
+func (d *Dist) Observe(x float64) {
+	d.xs = append(d.xs, x)
+	d.sorted = false
+}
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.xs) }
+
+func (d *Dist) sortIfNeeded() {
+	if !d.sorted {
+		sort.Float64s(d.xs)
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear
+// interpolation. NaN on an empty distribution.
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	d.sortIfNeeded()
+	if q <= 0 {
+		return d.xs[0]
+	}
+	if q >= 1 {
+		return d.xs[len(d.xs)-1]
+	}
+	pos := q * float64(len(d.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(d.xs) {
+		return d.xs[lo]
+	}
+	return d.xs[lo]*(1-frac) + d.xs[lo+1]*frac
+}
+
+// Mean returns the sample mean (NaN when empty).
+func (d *Dist) Mean() float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range d.xs {
+		s += x
+	}
+	return s / float64(len(d.xs))
+}
+
+// Min and Max return the extremes (NaN when empty).
+func (d *Dist) Min() float64 { return d.Quantile(0) }
+
+// Max returns the largest observed sample.
+func (d *Dist) Max() float64 { return d.Quantile(1) }
+
+// CDFAt returns the empirical P(X <= x).
+func (d *Dist) CDFAt(x float64) float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	d.sortIfNeeded()
+	// Count samples <= x by binary search.
+	n := sort.SearchFloat64s(d.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(d.xs))
+}
+
+// FractionAtMost is an alias of CDFAt with a name matching how the paper
+// phrases Fig 3 ("for at least 70% of the cases the similarity is below
+// x").
+func (d *Dist) FractionAtMost(x float64) float64 { return d.CDFAt(x) }
+
+// Samples returns a sorted copy of the observations.
+func (d *Dist) Samples() []float64 {
+	d.sortIfNeeded()
+	out := make([]float64, len(d.xs))
+	copy(out, d.xs)
+	return out
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+)
+
+func set(prefixes ...string) hhh.Set {
+	s := hhh.NewSet()
+	for _, p := range prefixes {
+		s.Add(hhh.Item{Prefix: ipv4.MustParsePrefix(p), Count: 100})
+	}
+	return s
+}
+
+func TestCompare(t *testing.T) {
+	truth := set("1.0.0.0/8", "2.0.0.0/8", "3.0.0.0/8")
+	det := set("1.0.0.0/8", "2.0.0.0/8", "9.0.0.0/8")
+	c := Compare(truth, det)
+	if c.TruePositives != 2 || c.FalsePositives != 1 || c.FalseNegatives != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if math.Abs(c.Precision()-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", c.Recall())
+	}
+	if math.Abs(c.F1()-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", c.F1())
+	}
+}
+
+func TestCompareEdgeCases(t *testing.T) {
+	empty := hhh.NewSet()
+	c := Compare(empty, empty)
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("empty vs empty should be vacuously perfect")
+	}
+	c = Compare(set("1.0.0.0/8"), empty)
+	if c.Recall() != 0 || c.Precision() != 1 {
+		t.Errorf("missed everything: %+v p=%v r=%v", c, c.Precision(), c.Recall())
+	}
+	if c.F1() != 0 {
+		t.Errorf("f1 = %v", c.F1())
+	}
+	c = Compare(empty, set("1.0.0.0/8"))
+	if c.Precision() != 0 || c.Recall() != 1 {
+		t.Error("all false positives")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{1, 2, 3}
+	a.Add(Confusion{10, 20, 30})
+	if a != (Confusion{11, 22, 33}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	truth := hhh.NewSet(
+		hhh.Item{Prefix: ipv4.MustParsePrefix("1.0.0.0/8"), Count: 100},
+		hhh.Item{Prefix: ipv4.MustParsePrefix("2.0.0.0/8"), Count: 200},
+	)
+	det := hhh.NewSet(
+		hhh.Item{Prefix: ipv4.MustParsePrefix("1.0.0.0/8"), Count: 110}, // +10%
+		hhh.Item{Prefix: ipv4.MustParsePrefix("2.0.0.0/8"), Count: 180}, // -10%
+		hhh.Item{Prefix: ipv4.MustParsePrefix("9.0.0.0/8"), Count: 999}, // FP: ignored
+	)
+	are, aae := EstimateErrors(truth, det)
+	if math.Abs(are-0.1) > 1e-12 {
+		t.Errorf("ARE = %v, want 0.1", are)
+	}
+	if math.Abs(aae-15) > 1e-12 {
+		t.Errorf("AAE = %v, want 15", aae)
+	}
+	if are2, aae2 := EstimateErrors(truth, hhh.NewSet()); are2 != 0 || aae2 != 0 {
+		t.Error("empty detection should have zero errors")
+	}
+}
+
+func TestDistQuantiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	if d.N() != 100 {
+		t.Fatal("N")
+	}
+	if d.Min() != 1 || d.Max() != 100 {
+		t.Errorf("min/max = %v/%v", d.Min(), d.Max())
+	}
+	if q := d.Quantile(0.5); math.Abs(q-50.5) > 1e-9 {
+		t.Errorf("median = %v", q)
+	}
+	if m := d.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+	if q := d.Quantile(-1); q != 1 {
+		t.Errorf("clamped low quantile = %v", q)
+	}
+	if q := d.Quantile(2); q != 100 {
+		t.Errorf("clamped high quantile = %v", q)
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if !math.IsNaN(d.Quantile(0.5)) || !math.IsNaN(d.Mean()) || !math.IsNaN(d.CDFAt(1)) {
+		t.Error("empty distribution should return NaN")
+	}
+}
+
+func TestDistCDF(t *testing.T) {
+	var d Dist
+	for _, x := range []float64{1, 2, 2, 3, 10} {
+		d.Observe(x)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.2},
+		{2, 0.6},
+		{2.5, 0.6},
+		{10, 1},
+		{11, 1},
+	}
+	for _, c := range cases {
+		if got := d.CDFAt(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if d.FractionAtMost(2) != d.CDFAt(2) {
+		t.Error("FractionAtMost should alias CDFAt")
+	}
+}
+
+func TestDistQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		var d Dist
+		for i := 0; i < int(n)+2; i++ {
+			d.Observe(rng.NormFloat64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := d.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		s := d.Samples()
+		return sort.Float64sAreSorted(s) && len(s) == d.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistObserveAfterQuery(t *testing.T) {
+	var d Dist
+	d.Observe(5)
+	_ = d.Quantile(0.5)
+	d.Observe(1) // must re-sort lazily
+	if d.Min() != 1 {
+		t.Error("Observe after query broke sorting")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value", "pct")
+	tb.AddRow("alpha", 12, 3.14159)
+	tb.AddRow("b", 12345, 0.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "3.14") {
+		t.Errorf("float formatting: %q", lines[2])
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("trailing whitespace in %q", l)
+		}
+	}
+	// Columns align: "value" cells right-padded to same start.
+	if strings.Index(lines[2], "12") == -1 || strings.Index(lines[3], "12345") == -1 {
+		t.Error("missing cells")
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tb := NewTable()
+	tb.AddRow("x", 1)
+	out := tb.String()
+	if strings.Contains(out, "-") {
+		t.Errorf("headerless table should have no rule: %q", out)
+	}
+}

@@ -1,0 +1,94 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"hiddenhhh/internal/trace"
+)
+
+// TestReaderNeverPanicsOnGarbage feeds the reader random byte streams and
+// randomly corrupted valid captures: it must always return an error or
+// EOF, never panic and never loop forever.
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	drain := func(data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("reader panicked on input of %d bytes: %v", len(data), r)
+			}
+		}()
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting the header is fine
+		}
+		var p trace.Packet
+		for i := 0; i < 1e6; i++ {
+			if err := r.Next(&p); err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadCapture) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				return
+			}
+		}
+		t.Fatal("reader did not terminate")
+	}
+
+	// Pure garbage of assorted sizes.
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		drain(data)
+	}
+
+	// Valid captures with random single-byte corruptions.
+	pkts := mkPackets(20, 2)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := range pkts {
+		w.Write(&pkts[i])
+	}
+	w.Close()
+	valid := buf.Bytes()
+	for i := 0; i < 300; i++ {
+		data := append([]byte(nil), valid...)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		drain(data)
+	}
+
+	// Truncations at every prefix length of a small capture.
+	for n := 0; n < len(valid); n += 7 {
+		drain(valid[:n])
+	}
+}
+
+// TestReaderRejectsAbsurdCaplen guards the allocation path: a record
+// header claiming a giant capture length must error out, not allocate.
+func TestReaderRejectsAbsurdCaplen(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNsecBE)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535) // snaplen
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[8:12], 1<<30) // absurd caplen
+	buf.Write(rec[:])
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p trace.Packet
+	if err := r.Next(&p); !errors.Is(err, ErrBadCapture) {
+		t.Fatalf("expected ErrBadCapture, got %v", err)
+	}
+}

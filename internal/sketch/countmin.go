@@ -1,0 +1,107 @@
+package sketch
+
+import "hiddenhhh/internal/hashx"
+
+// CountMin is the Cormode–Muthukrishnan Count-Min sketch with optional
+// conservative update. With depth d and width w it guarantees, for total
+// weight N:
+//
+//	true(key) <= Estimate(key)                         (always)
+//	Estimate(key) <= true(key) + e*N/w  w.p. 1-(1/2)^d (plain update)
+//
+// Conservative update only raises the cells that constrain the key's
+// current estimate, which strictly reduces overestimation at the cost of
+// making the sketch non-mergeable; the per-level HHH engine exposes it as
+// an ablation knob.
+type CountMin struct {
+	depth        int
+	width        int
+	conservative bool
+	rows         []int64 // depth*width, row-major
+	fam          *hashx.Family
+	total        int64
+}
+
+// CountMinOpts configures a CountMin sketch.
+type CountMinOpts struct {
+	Depth        int    // number of rows (hash functions); default 4
+	Width        int    // counters per row; default 2048
+	Seed         uint64 // hash seed; fixed default for reproducibility
+	Conservative bool   // enable conservative update
+}
+
+func (o *CountMinOpts) setDefaults() {
+	if o.Depth <= 0 {
+		o.Depth = 4
+	}
+	if o.Width <= 0 {
+		o.Width = 2048
+	}
+}
+
+// NewCountMin builds a sketch from opts.
+func NewCountMin(opts CountMinOpts) *CountMin {
+	opts.setDefaults()
+	return &CountMin{
+		depth:        opts.Depth,
+		width:        opts.Width,
+		conservative: opts.Conservative,
+		rows:         make([]int64, opts.Depth*opts.Width),
+		fam:          hashx.NewFamily(opts.Depth, opts.Seed),
+	}
+}
+
+// Depth returns the number of rows.
+func (c *CountMin) Depth() int { return c.depth }
+
+// Width returns the number of counters per row.
+func (c *CountMin) Width() int { return c.width }
+
+// SizeBytes returns the memory footprint of the counter array, the number
+// the resource-utilisation experiment reports.
+func (c *CountMin) SizeBytes() int { return len(c.rows) * 8 }
+
+// Update implements Sketch.
+func (c *CountMin) Update(key uint64, w int64) {
+	c.total += w
+	if !c.conservative {
+		for i := 0; i < c.depth; i++ {
+			c.rows[i*c.width+c.fam.Index(i, key, c.width)] += w
+		}
+		return
+	}
+	// Conservative update: raise every cell only as far as est+w.
+	est := c.estimate(key)
+	target := est + w
+	for i := 0; i < c.depth; i++ {
+		cell := &c.rows[i*c.width+c.fam.Index(i, key, c.width)]
+		if *cell < target {
+			*cell = target
+		}
+	}
+}
+
+func (c *CountMin) estimate(key uint64) int64 {
+	min := int64(1<<63 - 1)
+	for i := 0; i < c.depth; i++ {
+		v := c.rows[i*c.width+c.fam.Index(i, key, c.width)]
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Estimate implements Estimator.
+func (c *CountMin) Estimate(key uint64) int64 { return c.estimate(key) }
+
+// Total implements Sketch.
+func (c *CountMin) Total() int64 { return c.total }
+
+// Reset implements Sketch.
+func (c *CountMin) Reset() {
+	for i := range c.rows {
+		c.rows[i] = 0
+	}
+	c.total = 0
+}

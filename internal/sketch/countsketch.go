@@ -1,0 +1,99 @@
+package sketch
+
+import (
+	"sort"
+
+	"hiddenhhh/internal/hashx"
+)
+
+// CountSketch is the Charikar–Chen–Farach-Colton sketch: like Count-Min but
+// with ±1 sign hashes and a median estimator, giving an *unbiased* estimate
+// with error proportional to the stream's L2 norm instead of L1. It is the
+// inner sketch of the UnivMon universal-monitoring baseline.
+type CountSketch struct {
+	depth int
+	width int
+	rows  []int64
+	idx   *hashx.Family // bucket hashes
+	sgn   *hashx.Family // sign hashes
+	total int64
+	med   []int64 // scratch for median
+}
+
+// CountSketchOpts configures a CountSketch.
+type CountSketchOpts struct {
+	Depth int    // rows; odd values make the median well-defined; default 5
+	Width int    // counters per row; default 2048
+	Seed  uint64 // hash seed
+}
+
+func (o *CountSketchOpts) setDefaults() {
+	if o.Depth <= 0 {
+		o.Depth = 5
+	}
+	if o.Width <= 0 {
+		o.Width = 2048
+	}
+}
+
+// NewCountSketch builds a sketch from opts.
+func NewCountSketch(opts CountSketchOpts) *CountSketch {
+	opts.setDefaults()
+	return &CountSketch{
+		depth: opts.Depth,
+		width: opts.Width,
+		rows:  make([]int64, opts.Depth*opts.Width),
+		idx:   hashx.NewFamily(opts.Depth, opts.Seed),
+		sgn:   hashx.NewFamily(opts.Depth, opts.Seed^0xabcdef1234567890),
+		med:   make([]int64, opts.Depth),
+	}
+}
+
+// SizeBytes returns the memory footprint of the counter array.
+func (c *CountSketch) SizeBytes() int { return len(c.rows) * 8 }
+
+// Update implements Sketch.
+func (c *CountSketch) Update(key uint64, w int64) {
+	c.total += w
+	for i := 0; i < c.depth; i++ {
+		c.rows[i*c.width+c.idx.Index(i, key, c.width)] += c.sgn.Sign(i, key) * w
+	}
+}
+
+// Estimate implements Estimator: the median across rows of the signed cell
+// values. Unlike Count-Min the result can be negative for absent keys; it
+// is unbiased rather than one-sided.
+func (c *CountSketch) Estimate(key uint64) int64 {
+	for i := 0; i < c.depth; i++ {
+		c.med[i] = c.sgn.Sign(i, key) * c.rows[i*c.width+c.idx.Index(i, key, c.width)]
+	}
+	sort.Slice(c.med, func(a, b int) bool { return c.med[a] < c.med[b] })
+	return c.med[c.depth/2]
+}
+
+// Total implements Sketch.
+func (c *CountSketch) Total() int64 { return c.total }
+
+// Reset implements Sketch.
+func (c *CountSketch) Reset() {
+	for i := range c.rows {
+		c.rows[i] = 0
+	}
+	c.total = 0
+}
+
+// L2Estimate returns an estimate of the squared L2 norm of the frequency
+// vector (median across rows of the row's sum of squared cells). UnivMon
+// uses this to normalise its per-level heavy-hitter thresholds.
+func (c *CountSketch) L2Estimate() int64 {
+	for i := 0; i < c.depth; i++ {
+		var s int64
+		row := c.rows[i*c.width : (i+1)*c.width]
+		for _, v := range row {
+			s += v * v
+		}
+		c.med[i] = s
+	}
+	sort.Slice(c.med, func(a, b int) bool { return c.med[a] < c.med[b] })
+	return c.med[c.depth/2]
+}

@@ -1,0 +1,91 @@
+package sketch
+
+// MisraGries is the deterministic frequent-items summary generalised to
+// weighted updates. With k counters and total weight N it guarantees
+//
+//	true(key) - N/(k+1) <= Estimate(key) <= true(key)
+//
+// i.e. — dual to Space-Saving — it never *over*estimates. Keys whose true
+// weight exceeds N/(k+1) are always present.
+type MisraGries struct {
+	k     int
+	m     map[uint64]int64
+	total int64
+}
+
+// NewMisraGries builds a summary with capacity k >= 1 counters.
+func NewMisraGries(k int) *MisraGries {
+	if k < 1 {
+		panic("sketch: MisraGries capacity must be >= 1")
+	}
+	return &MisraGries{k: k, m: make(map[uint64]int64, k+1)}
+}
+
+// Capacity returns the configured number of counters.
+func (g *MisraGries) Capacity() int { return g.k }
+
+// Len returns the number of keys currently held.
+func (g *MisraGries) Len() int { return len(g.m) }
+
+// Update implements Sketch.
+func (g *MisraGries) Update(key uint64, w int64) {
+	g.total += w
+	if _, ok := g.m[key]; ok {
+		g.m[key] += w
+		return
+	}
+	g.m[key] = w
+	if len(g.m) <= g.k {
+		return
+	}
+	// Overflow: subtract the minimum counter value from everything and
+	// drop zeros — the weighted decrement step.
+	min := int64(1<<63 - 1)
+	for _, v := range g.m {
+		if v < min {
+			min = v
+		}
+	}
+	for k2, v := range g.m {
+		if v <= min {
+			delete(g.m, k2)
+		} else {
+			g.m[k2] = v - min
+		}
+	}
+}
+
+// Estimate implements Estimator. Absent keys estimate 0 (a valid lower
+// bound).
+func (g *MisraGries) Estimate(key uint64) int64 { return g.m[key] }
+
+// Total implements Sketch.
+func (g *MisraGries) Total() int64 { return g.total }
+
+// Reset implements Sketch.
+func (g *MisraGries) Reset() {
+	g.m = make(map[uint64]int64, g.k+1)
+	g.total = 0
+}
+
+// Tracked implements Tracker. ErrUB for Misra–Gries is the global
+// decrement bound N/(k+1); individual entries do not track it, so it is
+// reported as 0 and estimates are lower bounds.
+func (g *MisraGries) Tracked() []KV {
+	out := make([]KV, 0, len(g.m))
+	for k, v := range g.m {
+		out = append(out, KV{Key: k, Count: v})
+	}
+	return out
+}
+
+// HeavyKeys implements Tracker.
+func (g *MisraGries) HeavyKeys(threshold int64) []KV {
+	var out []KV
+	for k, v := range g.m {
+		if v >= threshold {
+			out = append(out, KV{Key: k, Count: v})
+		}
+	}
+	return out
+}

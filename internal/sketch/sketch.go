@@ -1,0 +1,151 @@
+// Package sketch implements the streaming frequency-estimation substrates
+// that hierarchical-heavy-hitter detectors are built from: an exact map
+// counter (ground truth), Misra–Gries and Space-Saving (counter-based,
+// key-tracking), and Count-Min / Count-Sketch (hash-based).
+//
+// All sketches count *weighted* updates — a packet contributes its byte
+// size, not 1 — because the paper defines heavy hitters by byte volume.
+// Keys are opaque uint64 values; callers pack IPv4 prefixes with
+// ipv4.Prefix.Key.
+package sketch
+
+// Estimator is the query side shared by every sketch: a (possibly
+// approximate) frequency oracle over uint64 keys.
+type Estimator interface {
+	// Estimate returns the sketch's estimate of the total weight added for
+	// key. Guarantees differ per implementation and are documented there.
+	Estimate(key uint64) int64
+}
+
+// Sketch is a weighted streaming frequency summary.
+type Sketch interface {
+	Estimator
+	// Update adds weight w (w >= 0) for key.
+	Update(key uint64, w int64)
+	// Total returns the sum of all weights added since the last Reset.
+	Total() int64
+	// Reset returns the sketch to its empty state, retaining configuration.
+	Reset()
+}
+
+// KV is a key with its estimated weight, as returned by key-tracking
+// sketches.
+type KV struct {
+	Key   uint64
+	Count int64 // estimated weight (upper bound for Space-Saving)
+	ErrUB int64 // upper bound on overestimation (0 for exact)
+}
+
+// Tracker is implemented by sketches that maintain an explicit key set
+// (Exact, Misra–Gries, Space-Saving) and can therefore enumerate heavy-key
+// candidates without an external key stream.
+type Tracker interface {
+	Sketch
+	// Tracked returns the currently monitored keys and their estimates, in
+	// unspecified order.
+	Tracked() []KV
+	// HeavyKeys returns tracked keys whose estimate is >= threshold.
+	HeavyKeys(threshold int64) []KV
+}
+
+// Exact is a map-backed exact counter. It implements Tracker and serves as
+// ground truth in tests and as the aggregate of the offline window engines.
+// The zero value is ready to use.
+type Exact struct {
+	m     map[uint64]int64
+	total int64
+}
+
+// NewExact returns an empty exact counter with a size hint.
+func NewExact(sizeHint int) *Exact {
+	return &Exact{m: make(map[uint64]int64, sizeHint)}
+}
+
+// Update implements Sketch.
+func (e *Exact) Update(key uint64, w int64) {
+	if e.m == nil {
+		e.m = make(map[uint64]int64)
+	}
+	e.m[key] += w
+	e.total += w
+}
+
+// Remove subtracts weight w for key, deleting the entry when it reaches
+// zero. Sliding-window engines use this to evict expired buckets. It panics
+// if the removal would drive the key negative, which indicates an eviction
+// bug rather than a recoverable condition.
+func (e *Exact) Remove(key uint64, w int64) {
+	v, ok := e.m[key]
+	if !ok || v < w {
+		panic("sketch: Exact.Remove below zero")
+	}
+	if v == w {
+		delete(e.m, key)
+	} else {
+		e.m[key] = v - w
+	}
+	e.total -= w
+}
+
+// Estimate implements Estimator; exact counters have no error.
+func (e *Exact) Estimate(key uint64) int64 { return e.m[key] }
+
+// Total implements Sketch.
+func (e *Exact) Total() int64 { return e.total }
+
+// Len returns the number of distinct keys currently held.
+func (e *Exact) Len() int { return len(e.m) }
+
+// Reset implements Sketch.
+func (e *Exact) Reset() {
+	e.m = make(map[uint64]int64)
+	e.total = 0
+}
+
+// Tracked implements Tracker.
+func (e *Exact) Tracked() []KV {
+	out := make([]KV, 0, len(e.m))
+	for k, v := range e.m {
+		out = append(out, KV{Key: k, Count: v})
+	}
+	return out
+}
+
+// HeavyKeys implements Tracker.
+func (e *Exact) HeavyKeys(threshold int64) []KV {
+	var out []KV
+	for k, v := range e.m {
+		if v >= threshold {
+			out = append(out, KV{Key: k, Count: v})
+		}
+	}
+	return out
+}
+
+// ForEach visits every (key, count) pair in unspecified order.
+func (e *Exact) ForEach(fn func(key uint64, count int64)) {
+	for k, v := range e.m {
+		fn(k, v)
+	}
+}
+
+// Clone returns an independent deep copy; experiment code uses this to
+// branch per-window aggregates.
+func (e *Exact) Clone() *Exact {
+	c := &Exact{m: make(map[uint64]int64, len(e.m)), total: e.total}
+	for k, v := range e.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// AddAll merges other into e.
+func (e *Exact) AddAll(other *Exact) {
+	if e.m == nil {
+		e.m = make(map[uint64]int64, other.Len())
+	}
+	for k, v := range other.m {
+		e.m[k] += v
+	}
+	e.total += other.total
+}

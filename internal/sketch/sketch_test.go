@@ -1,0 +1,527 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// zipfStream draws n weighted updates over a key universe with a skewed
+// (heavy-tailed) distribution, the regime sketches are designed for.
+func zipfStream(n int, universe int, seed int64) []KV {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(universe-1))
+	out := make([]KV, n)
+	for i := range out {
+		out[i] = KV{Key: z.Uint64(), Count: int64(40 + rng.Intn(1460))}
+	}
+	return out
+}
+
+func exactOf(stream []KV) map[uint64]int64 {
+	m := map[uint64]int64{}
+	for _, kv := range stream {
+		m[kv.Key] += kv.Count
+	}
+	return m
+}
+
+func totalOf(stream []KV) int64 {
+	var t int64
+	for _, kv := range stream {
+		t += kv.Count
+	}
+	return t
+}
+
+func TestExactBasics(t *testing.T) {
+	e := NewExact(0)
+	e.Update(1, 10)
+	e.Update(2, 20)
+	e.Update(1, 5)
+	if e.Estimate(1) != 15 || e.Estimate(2) != 20 || e.Estimate(3) != 0 {
+		t.Error("exact estimates wrong")
+	}
+	if e.Total() != 35 || e.Len() != 2 {
+		t.Errorf("total=%d len=%d", e.Total(), e.Len())
+	}
+	hk := e.HeavyKeys(16)
+	if len(hk) != 1 || hk[0].Key != 2 {
+		t.Errorf("HeavyKeys(16) = %v", hk)
+	}
+	if len(e.Tracked()) != 2 {
+		t.Error("Tracked size")
+	}
+	e.Remove(1, 15)
+	if e.Len() != 1 || e.Total() != 20 {
+		t.Error("Remove did not delete zeroed key")
+	}
+	e.Reset()
+	if e.Len() != 0 || e.Total() != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestExactZeroValue(t *testing.T) {
+	var e Exact
+	e.Update(7, 3)
+	if e.Estimate(7) != 3 {
+		t.Error("zero-value Exact must be usable")
+	}
+}
+
+func TestExactRemovePanics(t *testing.T) {
+	e := NewExact(0)
+	e.Update(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("Remove below zero should panic")
+		}
+	}()
+	e.Remove(1, 6)
+}
+
+func TestExactCloneIndependent(t *testing.T) {
+	e := NewExact(0)
+	e.Update(1, 10)
+	c := e.Clone()
+	c.Update(1, 5)
+	if e.Estimate(1) != 10 || c.Estimate(1) != 15 {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestExactAddAll(t *testing.T) {
+	a := NewExact(0)
+	a.Update(1, 10)
+	b := NewExact(0)
+	b.Update(1, 5)
+	b.Update(2, 7)
+	a.AddAll(b)
+	if a.Estimate(1) != 15 || a.Estimate(2) != 7 || a.Total() != 22 {
+		t.Error("AddAll merge wrong")
+	}
+}
+
+func TestExactForEach(t *testing.T) {
+	e := NewExact(0)
+	e.Update(1, 1)
+	e.Update(2, 2)
+	sum := int64(0)
+	e.ForEach(func(_ uint64, c int64) { sum += c })
+	if sum != 3 {
+		t.Errorf("ForEach sum = %d", sum)
+	}
+}
+
+func TestSpaceSavingNeverUnderestimates(t *testing.T) {
+	stream := zipfStream(20000, 5000, 1)
+	truth := exactOf(stream)
+	ss := NewSpaceSaving(64)
+	for _, kv := range stream {
+		ss.Update(kv.Key, kv.Count)
+	}
+	for key, want := range truth {
+		if got := ss.Estimate(key); got < want {
+			t.Fatalf("SpaceSaving underestimated key %d: %d < %d", key, got, want)
+		}
+	}
+}
+
+func TestSpaceSavingErrorBound(t *testing.T) {
+	stream := zipfStream(20000, 5000, 2)
+	truth := exactOf(stream)
+	N := totalOf(stream)
+	const k = 128
+	ss := NewSpaceSaving(k)
+	for _, kv := range stream {
+		ss.Update(kv.Key, kv.Count)
+	}
+	if ss.Total() != N {
+		t.Fatalf("Total = %d, want %d", ss.Total(), N)
+	}
+	bound := N / k
+	for _, kv := range ss.Tracked() {
+		over := kv.Count - truth[kv.Key]
+		if over < 0 {
+			t.Fatalf("tracked key %d underestimated", kv.Key)
+		}
+		if over > bound {
+			t.Fatalf("overestimation %d exceeds N/k = %d", over, bound)
+		}
+		if over > kv.ErrUB {
+			t.Fatalf("recorded error bound %d below actual overestimation %d", kv.ErrUB, over)
+		}
+	}
+}
+
+func TestSpaceSavingNoFalseNegatives(t *testing.T) {
+	stream := zipfStream(30000, 2000, 3)
+	truth := exactOf(stream)
+	N := totalOf(stream)
+	const k = 100
+	ss := NewSpaceSaving(k)
+	for _, kv := range stream {
+		ss.Update(kv.Key, kv.Count)
+	}
+	monitored := map[uint64]bool{}
+	for _, kv := range ss.Tracked() {
+		monitored[kv.Key] = true
+	}
+	for key, c := range truth {
+		if c > N/k && !monitored[key] {
+			t.Fatalf("key %d with weight %d > N/k=%d not monitored", key, c, N/k)
+		}
+	}
+}
+
+func TestSpaceSavingCapacityAndEviction(t *testing.T) {
+	ss := NewSpaceSaving(2)
+	ss.Update(1, 10)
+	ss.Update(2, 20)
+	if ss.Len() != 2 {
+		t.Fatal("should hold 2 keys")
+	}
+	ss.Update(3, 5) // evicts key 1 (min count 10): est = 15, err = 10
+	if ss.Len() != 2 {
+		t.Fatal("capacity exceeded")
+	}
+	if got := ss.Estimate(3); got != 15 {
+		t.Errorf("evicting insert estimate = %d, want 15", got)
+	}
+	if got := ss.ErrorBound(3); got != 10 {
+		t.Errorf("evicting insert err = %d, want 10", got)
+	}
+	// Unmonitored key estimate = current min when full.
+	if got := ss.Estimate(99); got == 0 {
+		t.Error("unmonitored estimate should be the min count when full")
+	}
+}
+
+func TestSpaceSavingGuaranteedKeys(t *testing.T) {
+	ss := NewSpaceSaving(2)
+	ss.Update(1, 100)
+	ss.Update(2, 10)
+	ss.Update(3, 1) // est 11, err 10 -> lower bound 1
+	g := ss.GuaranteedKeys(50)
+	if len(g) != 1 || g[0].Key != 1 {
+		t.Errorf("GuaranteedKeys(50) = %v, want key 1 only", g)
+	}
+}
+
+func TestSpaceSavingReset(t *testing.T) {
+	ss := NewSpaceSaving(4)
+	ss.Update(1, 5)
+	ss.Reset()
+	if ss.Len() != 0 || ss.Total() != 0 || ss.Estimate(1) != 0 {
+		t.Error("Reset incomplete")
+	}
+	ss.Update(2, 7)
+	if ss.Estimate(2) != 7 {
+		t.Error("post-Reset update broken")
+	}
+}
+
+func TestSpaceSavingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSpaceSaving(0) should panic")
+		}
+	}()
+	NewSpaceSaving(0)
+}
+
+func TestSpaceSavingHeapInvariant(t *testing.T) {
+	// Property: after arbitrary updates the root is the minimum count and
+	// index map is consistent.
+	f := func(keys []uint8, weights []uint8) bool {
+		ss := NewSpaceSaving(8)
+		for i, k := range keys {
+			w := int64(1)
+			if i < len(weights) {
+				w = int64(weights[i]) + 1
+			}
+			ss.Update(uint64(k%32), w)
+		}
+		if ss.Len() == 0 {
+			return true
+		}
+		min := ss.entries[0].count
+		for i, e := range ss.entries {
+			if e.count < min {
+				return false
+			}
+			if ss.index[e.key] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMisraGriesNeverOverestimates(t *testing.T) {
+	stream := zipfStream(20000, 5000, 4)
+	truth := exactOf(stream)
+	mg := NewMisraGries(64)
+	for _, kv := range stream {
+		mg.Update(kv.Key, kv.Count)
+	}
+	for _, kv := range mg.Tracked() {
+		if kv.Count > truth[kv.Key] {
+			t.Fatalf("MisraGries overestimated key %d: %d > %d", kv.Key, kv.Count, truth[kv.Key])
+		}
+	}
+}
+
+func TestMisraGriesErrorBound(t *testing.T) {
+	stream := zipfStream(20000, 5000, 5)
+	truth := exactOf(stream)
+	N := totalOf(stream)
+	const k = 128
+	mg := NewMisraGries(k)
+	for _, kv := range stream {
+		mg.Update(kv.Key, kv.Count)
+	}
+	bound := N / int64(k+1)
+	for key, want := range truth {
+		got := mg.Estimate(key)
+		if got > want {
+			t.Fatalf("overestimate on %d", key)
+		}
+		if want-got > bound {
+			t.Fatalf("underestimation %d exceeds N/(k+1) = %d", want-got, bound)
+		}
+	}
+	if mg.Len() > k {
+		t.Fatalf("holds %d > k=%d counters", mg.Len(), k)
+	}
+}
+
+func TestMisraGriesCapacityOne(t *testing.T) {
+	mg := NewMisraGries(1)
+	mg.Update(1, 10)
+	mg.Update(2, 4) // both decremented by 4; key2 dropped, key1 -> 6
+	if mg.Len() != 1 || mg.Estimate(1) != 6 {
+		t.Errorf("len=%d est1=%d, want 1/6", mg.Len(), mg.Estimate(1))
+	}
+	mg.Reset()
+	if mg.Len() != 0 || mg.Total() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestMisraGriesHeavyKeys(t *testing.T) {
+	mg := NewMisraGries(8)
+	for i := 0; i < 100; i++ {
+		mg.Update(7, 100)
+		mg.Update(uint64(i+10), 1)
+	}
+	hk := mg.HeavyKeys(5000)
+	if len(hk) != 1 || hk[0].Key != 7 {
+		t.Errorf("HeavyKeys = %v, want only key 7", hk)
+	}
+}
+
+func TestMisraGriesPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMisraGries(0) should panic")
+		}
+	}()
+	NewMisraGries(0)
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	for _, conservative := range []bool{false, true} {
+		stream := zipfStream(20000, 5000, 6)
+		truth := exactOf(stream)
+		cm := NewCountMin(CountMinOpts{Depth: 4, Width: 1024, Conservative: conservative})
+		for _, kv := range stream {
+			cm.Update(kv.Key, kv.Count)
+		}
+		for key, want := range truth {
+			if got := cm.Estimate(key); got < want {
+				t.Fatalf("conservative=%v: underestimated key %d: %d < %d",
+					conservative, key, got, want)
+			}
+		}
+	}
+}
+
+func TestCountMinConservativeIsTighter(t *testing.T) {
+	stream := zipfStream(30000, 3000, 7)
+	truth := exactOf(stream)
+	plain := NewCountMin(CountMinOpts{Depth: 4, Width: 512})
+	cons := NewCountMin(CountMinOpts{Depth: 4, Width: 512, Conservative: true})
+	for _, kv := range stream {
+		plain.Update(kv.Key, kv.Count)
+		cons.Update(kv.Key, kv.Count)
+	}
+	var plainErr, consErr int64
+	for key, want := range truth {
+		plainErr += plain.Estimate(key) - want
+		consErr += cons.Estimate(key) - want
+	}
+	if consErr > plainErr {
+		t.Errorf("conservative total error %d exceeds plain %d", consErr, plainErr)
+	}
+}
+
+func TestCountMinDefaultsAndSize(t *testing.T) {
+	cm := NewCountMin(CountMinOpts{})
+	if cm.Depth() != 4 || cm.Width() != 2048 {
+		t.Errorf("defaults: depth=%d width=%d", cm.Depth(), cm.Width())
+	}
+	if cm.SizeBytes() != 4*2048*8 {
+		t.Errorf("SizeBytes = %d", cm.SizeBytes())
+	}
+}
+
+func TestCountMinResetAndTotal(t *testing.T) {
+	cm := NewCountMin(CountMinOpts{Depth: 2, Width: 64})
+	cm.Update(1, 10)
+	cm.Update(2, 20)
+	if cm.Total() != 30 {
+		t.Errorf("Total = %d", cm.Total())
+	}
+	cm.Reset()
+	if cm.Total() != 0 || cm.Estimate(1) != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCountSketchUnbiasedOnHeavy(t *testing.T) {
+	stream := zipfStream(50000, 5000, 8)
+	truth := exactOf(stream)
+	cs := NewCountSketch(CountSketchOpts{Depth: 5, Width: 2048})
+	for _, kv := range stream {
+		cs.Update(kv.Key, kv.Count)
+	}
+	// The heaviest keys should be estimated within a few percent.
+	var heavyKey uint64
+	var heavyCount int64
+	for k, v := range truth {
+		if v > heavyCount {
+			heavyKey, heavyCount = k, v
+		}
+	}
+	got := cs.Estimate(heavyKey)
+	relErr := float64(got-heavyCount) / float64(heavyCount)
+	if relErr < -0.05 || relErr > 0.05 {
+		t.Errorf("heavy key estimate %d vs true %d (rel err %.3f)", got, heavyCount, relErr)
+	}
+}
+
+func TestCountSketchL2(t *testing.T) {
+	cs := NewCountSketch(CountSketchOpts{Depth: 5, Width: 4096})
+	var trueL2 int64
+	for i := uint64(0); i < 100; i++ {
+		w := int64(i + 1)
+		cs.Update(i, w)
+		trueL2 += w * w
+	}
+	got := cs.L2Estimate()
+	rel := float64(got-trueL2) / float64(trueL2)
+	if rel < -0.2 || rel > 0.2 {
+		t.Errorf("L2 estimate %d vs true %d (rel %.3f)", got, trueL2, rel)
+	}
+}
+
+func TestCountSketchResetAndSize(t *testing.T) {
+	cs := NewCountSketch(CountSketchOpts{Depth: 3, Width: 128})
+	cs.Update(5, 100)
+	if cs.Total() != 100 {
+		t.Error("Total")
+	}
+	cs.Reset()
+	if cs.Total() != 0 || cs.Estimate(5) != 0 {
+		t.Error("Reset incomplete")
+	}
+	if cs.SizeBytes() != 3*128*8 {
+		t.Errorf("SizeBytes = %d", cs.SizeBytes())
+	}
+}
+
+func TestTrackerInterfaceCompliance(t *testing.T) {
+	// Compile-time + runtime checks that our trackers satisfy Tracker.
+	for _, tr := range []Tracker{NewExact(0), NewSpaceSaving(8), NewMisraGries(8)} {
+		tr.Update(1, 2)
+		if tr.Total() != 2 {
+			t.Errorf("%T Total = %d", tr, tr.Total())
+		}
+		if len(tr.Tracked()) != 1 {
+			t.Errorf("%T Tracked size", tr)
+		}
+	}
+	var _ Sketch = NewCountMin(CountMinOpts{})
+	var _ Sketch = NewCountSketch(CountSketchOpts{})
+}
+
+func BenchmarkSpaceSavingUpdate(b *testing.B) {
+	stream := zipfStream(1<<16, 1<<14, 9)
+	ss := NewSpaceSaving(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv := stream[i&(1<<16-1)]
+		ss.Update(kv.Key, kv.Count)
+	}
+}
+
+func BenchmarkMisraGriesUpdate(b *testing.B) {
+	stream := zipfStream(1<<16, 1<<14, 10)
+	mg := NewMisraGries(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv := stream[i&(1<<16-1)]
+		mg.Update(kv.Key, kv.Count)
+	}
+}
+
+func BenchmarkCountMinUpdate(b *testing.B) {
+	stream := zipfStream(1<<16, 1<<14, 11)
+	cm := NewCountMin(CountMinOpts{Depth: 4, Width: 4096})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv := stream[i&(1<<16-1)]
+		cm.Update(kv.Key, kv.Count)
+	}
+}
+
+func BenchmarkCountMinConservativeUpdate(b *testing.B) {
+	stream := zipfStream(1<<16, 1<<14, 12)
+	cm := NewCountMin(CountMinOpts{Depth: 4, Width: 4096, Conservative: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv := stream[i&(1<<16-1)]
+		cm.Update(kv.Key, kv.Count)
+	}
+}
+
+func BenchmarkCountSketchUpdate(b *testing.B) {
+	stream := zipfStream(1<<16, 1<<14, 13)
+	cs := NewCountSketch(CountSketchOpts{Depth: 5, Width: 4096})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv := stream[i&(1<<16-1)]
+		cs.Update(kv.Key, kv.Count)
+	}
+}
+
+func BenchmarkExactUpdate(b *testing.B) {
+	stream := zipfStream(1<<16, 1<<14, 14)
+	e := NewExact(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv := stream[i&(1<<16-1)]
+		e.Update(kv.Key, kv.Count)
+	}
+}

@@ -1,0 +1,165 @@
+package sketch
+
+import "container/heap"
+
+// SpaceSaving is the Metwally et al. Space-Saving summary generalised to
+// weighted updates, the counter algorithm used by the per-level HHH
+// engine, RHHH and WCSS.
+//
+// It maintains at most k (key, count, err) entries. A monitored key's
+// update simply adds its weight. An unmonitored key evicts the entry with
+// the minimum count m and takes count = m + w, err = m.
+//
+// Guarantees (N = total weight added):
+//
+//	Estimate(key) >= true(key)                    (never underestimates)
+//	Estimate(key) -  true(key) <= N/k             (bounded overestimation)
+//	any key with true(key) > N/k is monitored     (no false negatives)
+//
+// Internally entries sit in a min-heap on count, giving O(log k) updates;
+// the hardware-oriented papers use the O(1) stream-summary list, but the
+// heap has identical output semantics, which is what the experiments
+// compare.
+type SpaceSaving struct {
+	k       int
+	entries []ssEntry // heap-ordered by count
+	index   map[uint64]int
+	total   int64
+}
+
+type ssEntry struct {
+	key   uint64
+	count int64
+	err   int64
+}
+
+// NewSpaceSaving builds a summary with capacity k >= 1 counters.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		panic("sketch: SpaceSaving capacity must be >= 1")
+	}
+	return &SpaceSaving{
+		k:     k,
+		index: make(map[uint64]int, k),
+	}
+}
+
+// Capacity returns the configured number of counters k.
+func (s *SpaceSaving) Capacity() int { return s.k }
+
+// Len returns the number of keys currently monitored.
+func (s *SpaceSaving) Len() int { return len(s.entries) }
+
+// Update implements Sketch.
+func (s *SpaceSaving) Update(key uint64, w int64) {
+	s.total += w
+	if i, ok := s.index[key]; ok {
+		s.entries[i].count += w
+		heap.Fix(s, i)
+		return
+	}
+	if len(s.entries) < s.k {
+		heap.Push(s, ssEntry{key: key, count: w})
+		return
+	}
+	// Evict the minimum: the incoming key inherits its count as error.
+	min := &s.entries[0]
+	delete(s.index, min.key)
+	s.index[key] = 0
+	min.err = min.count
+	min.key = key
+	min.count += w
+	heap.Fix(s, 0)
+}
+
+// Estimate implements Estimator. Unmonitored keys return the minimum
+// monitored count when the summary is full (the tight upper bound), or 0
+// when it is not.
+func (s *SpaceSaving) Estimate(key uint64) int64 {
+	if i, ok := s.index[key]; ok {
+		return s.entries[i].count
+	}
+	if len(s.entries) == s.k && s.k > 0 && len(s.entries) > 0 {
+		return s.entries[0].count
+	}
+	return 0
+}
+
+// ErrorBound returns the recorded overestimation bound for key (its err
+// field), or the minimum count for unmonitored keys.
+func (s *SpaceSaving) ErrorBound(key uint64) int64 {
+	if i, ok := s.index[key]; ok {
+		return s.entries[i].err
+	}
+	if len(s.entries) == s.k && len(s.entries) > 0 {
+		return s.entries[0].count
+	}
+	return 0
+}
+
+// Total implements Sketch.
+func (s *SpaceSaving) Total() int64 { return s.total }
+
+// Reset implements Sketch.
+func (s *SpaceSaving) Reset() {
+	s.entries = s.entries[:0]
+	s.index = make(map[uint64]int, s.k)
+	s.total = 0
+}
+
+// Tracked implements Tracker.
+func (s *SpaceSaving) Tracked() []KV {
+	out := make([]KV, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, KV{Key: e.key, Count: e.count, ErrUB: e.err})
+	}
+	return out
+}
+
+// HeavyKeys implements Tracker.
+func (s *SpaceSaving) HeavyKeys(threshold int64) []KV {
+	var out []KV
+	for _, e := range s.entries {
+		if e.count >= threshold {
+			out = append(out, KV{Key: e.key, Count: e.count, ErrUB: e.err})
+		}
+	}
+	return out
+}
+
+// GuaranteedKeys returns keys whose *lower bound* (count - err) meets the
+// threshold: detections that cannot be false positives.
+func (s *SpaceSaving) GuaranteedKeys(threshold int64) []KV {
+	var out []KV
+	for _, e := range s.entries {
+		if e.count-e.err >= threshold {
+			out = append(out, KV{Key: e.key, Count: e.count, ErrUB: e.err})
+		}
+	}
+	return out
+}
+
+// heap.Interface methods; Len above doubles as the heap length. Not for
+// external use.
+
+func (s *SpaceSaving) Less(i, j int) bool { return s.entries[i].count < s.entries[j].count }
+func (s *SpaceSaving) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.index[s.entries[i].key] = i
+	s.index[s.entries[j].key] = j
+}
+
+// Push implements heap.Interface.
+func (s *SpaceSaving) Push(x any) {
+	e := x.(ssEntry)
+	s.index[e.key] = len(s.entries)
+	s.entries = append(s.entries, e)
+}
+
+// Pop implements heap.Interface.
+func (s *SpaceSaving) Pop() any {
+	e := s.entries[len(s.entries)-1]
+	delete(s.index, e.key)
+	s.entries = s.entries[:len(s.entries)-1]
+	return e
+}

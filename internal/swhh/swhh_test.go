@@ -1,0 +1,216 @@
+package swhh
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+)
+
+const sec = int64(time.Second)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSliding(Config{Window: 0}); err == nil {
+		t.Error("zero window should fail")
+	}
+	s, err := NewSliding(Config{Window: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Frames != 8 || s.cfg.Counters != 256 {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+func TestRecentKeyIsCounted(t *testing.T) {
+	s, err := NewSliding(Config{Window: time.Second, Frames: 4, Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(7, 100, 0)
+	s.Update(7, 50, sec/2)
+	if got := s.Estimate(7, sec/2); got != 150 {
+		t.Errorf("estimate = %d, want 150", got)
+	}
+	if got := s.WindowTotal(sec / 2); got != 150 {
+		t.Errorf("total = %d", got)
+	}
+}
+
+func TestOldTrafficExpires(t *testing.T) {
+	s, err := NewSliding(Config{Window: time.Second, Frames: 4, Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(7, 1000, 0)
+	// After W(1+1/k) = 1.25 s the entry must be fully expired.
+	if got := s.Estimate(7, sec+sec/4+1); got != 0 {
+		t.Errorf("stale estimate = %d, want 0", got)
+	}
+	if got := s.WindowTotal(2 * sec); got != 0 {
+		t.Errorf("stale total = %d", got)
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	// A steady 1-unit-per-ms flow: the windowed total must land between
+	// W and W(1+1/k) worth of traffic.
+	s, err := NewSliding(Config{Window: time.Second, Frames: 8, Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		now += int64(time.Millisecond)
+		s.Update(1, 1, now)
+	}
+	got := s.WindowTotal(now)
+	if got < 1000 || got > 1125+1 {
+		t.Errorf("window total %d outside [1000, 1126]", got)
+	}
+}
+
+func TestHeavyKeysFindsHeavy(t *testing.T) {
+	s, err := NewSliding(Config{Window: time.Second, Frames: 8, Counters: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		now += int64(50 * time.Microsecond)
+		if i%4 == 0 {
+			s.Update(42, 1000, now) // 25% of packets, heavier bytes
+		} else {
+			s.Update(uint64(rng.Intn(5000))+100, 100, now)
+		}
+	}
+	hk := s.HeavyKeys(0.2, now)
+	found := false
+	for _, kv := range hk {
+		if kv.Key == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("heavy key missing from %v", hk)
+	}
+	// And a burst that ended long ago must not be reported.
+	if hk2 := s.HeavyKeys(0.2, now+10*sec); len(hk2) != 0 {
+		t.Errorf("stale heavy keys: %v", hk2)
+	}
+}
+
+func TestHeavyKeysEmptyWindow(t *testing.T) {
+	s, err := NewSliding(Config{Window: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hk := s.HeavyKeys(0.01, 0); hk != nil {
+		t.Errorf("empty window returned %v", hk)
+	}
+}
+
+func TestResetAndSize(t *testing.T) {
+	s, err := NewSliding(Config{Window: time.Second, Frames: 4, Counters: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(1, 10, 0)
+	s.Reset()
+	if s.Estimate(1, 0) != 0 || s.WindowTotal(0) != 0 {
+		t.Error("Reset incomplete")
+	}
+	if s.SizeBytes() != 5*32*48 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+}
+
+func TestSlidingHHHDetectsBoundaryBurst(t *testing.T) {
+	// The motivating scenario: a burst across what would be a disjoint
+	// window boundary is visible to the sliding detector at all times.
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	d, err := NewSlidingHHH(h, Config{Window: 2 * time.Second, Frames: 8, Counters: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	attacker := ipv4.MustParseAddr("203.0.113.7")
+	now := int64(0)
+	var atBoundary hhh.Set
+	for i := 0; i < 40000; i++ { // 20 s at 2000 pps
+		now += sec / 2000
+		d.Update(ipv4.Addr(rng.Uint32()), 500, now)
+		if now > 9500*int64(time.Millisecond) && now < 10500*int64(time.Millisecond) {
+			d.Update(attacker, 1000, now)
+		}
+		// Query exactly when crossing the would-be window boundary at
+		// 10 s: the burst is mid-flight, split across disjoint windows.
+		if atBoundary == nil && now >= 10*sec {
+			atBoundary = d.Query(0.05, now)
+		}
+	}
+	if !atBoundary.Contains(ipv4.Host(attacker)) {
+		t.Fatalf("sliding HHH missed mid-burst attacker: %v", atBoundary)
+	}
+	// Long after the burst, the attacker must have expired.
+	if final := d.Query(0.05, now); final.Contains(ipv4.Host(attacker)) {
+		t.Fatalf("attacker still reported 10 s after burst: %v", final)
+	}
+	if d.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+func TestSlidingHHHConditioning(t *testing.T) {
+	// One host dominating its /24: the host should be reported, the /24
+	// conditioned away.
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	d, err := NewSlidingHHH(h, Config{Window: time.Second, Frames: 4, Counters: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := ipv4.MustParseAddr("10.1.2.3")
+	rng := rand.New(rand.NewSource(3))
+	now := int64(0)
+	for i := 0; i < 10000; i++ {
+		now += int64(100 * time.Microsecond)
+		if i%3 == 0 {
+			d.Update(heavy, 1000, now)
+		} else {
+			d.Update(ipv4.Addr(rng.Uint32()), 500, now)
+		}
+	}
+	set := d.Query(0.1, now)
+	if !set.Contains(ipv4.Host(heavy)) {
+		t.Fatalf("heavy host missing: %v", set)
+	}
+	if set.Contains(ipv4.MustParsePrefix("10.1.2.0/24")) {
+		t.Fatalf("/24 not conditioned away: %v", set)
+	}
+}
+
+func BenchmarkSlidingUpdate(b *testing.B) {
+	s, err := NewSliding(Config{Window: time.Second, Frames: 8, Counters: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i)&1023, 1000, int64(i)*1000)
+	}
+}
+
+func BenchmarkSlidingHHHUpdate(b *testing.B) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	d, err := NewSlidingHHH(h, Config{Window: time.Second, Frames: 8, Counters: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Update(ipv4.Addr(uint32(i)*2654435761), 1000, int64(i)*1000)
+	}
+}

@@ -1,0 +1,323 @@
+package tdbf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const sec = int64(time.Second)
+
+func TestExponentialDecayLaw(t *testing.T) {
+	e := Exponential{Tau: time.Second}
+	if got := e.Apply(100, 0); got != 100 {
+		t.Errorf("zero dt should not decay: %v", got)
+	}
+	if got := e.Apply(100, time.Second); math.Abs(got-100/math.E) > 1e-9 {
+		t.Errorf("one tau should decay to v/e: %v", got)
+	}
+	if got := e.Apply(0, time.Hour); got != 0 {
+		t.Errorf("zero mass stays zero: %v", got)
+	}
+	if e.Horizon() != time.Second {
+		t.Error("Horizon should be tau")
+	}
+	if e.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestLeakyLinearDecayLaw(t *testing.T) {
+	l := LeakyLinear{Rate: 10}
+	if got := l.Apply(100, time.Second); got != 90 {
+		t.Errorf("Apply = %v, want 90", got)
+	}
+	if got := l.Apply(5, time.Second); got != 0 {
+		t.Errorf("clamp at zero: %v", got)
+	}
+	if got := l.Apply(100, 0); got != 100 {
+		t.Errorf("zero dt: %v", got)
+	}
+	if l.Horizon() != 0 {
+		t.Error("leaky Horizon should be 0")
+	}
+	if l.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestDecayComposition(t *testing.T) {
+	laws := []Decay{Exponential{Tau: 3 * time.Second}, LeakyLinear{Rate: 7}}
+	f := func(v uint32, a, b uint64) bool {
+		mass := float64(v%100000) + 1
+		d1 := time.Duration(a % uint64(10*time.Second))
+		d2 := time.Duration(b % uint64(10*time.Second))
+		for _, law := range laws {
+			split := law.Apply(law.Apply(mass, d1), d2)
+			whole := law.Apply(mass, d1+d2)
+			if math.Abs(split-whole) > 1e-6*math.Max(1, whole) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterRequiresDecay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without decay should panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestFilterDefaults(t *testing.T) {
+	f := New(Config{Decay: Exponential{Tau: time.Second}})
+	if f.Cells() != 1<<16 || f.Hashes() != 4 {
+		t.Errorf("defaults: m=%d k=%d", f.Cells(), f.Hashes())
+	}
+	if f.SizeBytes() != (1<<16)*16 {
+		t.Errorf("SizeBytes = %d", f.SizeBytes())
+	}
+	if f.Decay().Horizon() != time.Second {
+		t.Error("Decay accessor")
+	}
+}
+
+func TestFilterNeverUnderestimates(t *testing.T) {
+	// The min-rule can only overestimate: compare against exact decayed
+	// mass per key under a collision-heavy configuration.
+	law := Exponential{Tau: 2 * time.Second}
+	f := New(Config{Cells: 512, Hashes: 4, Decay: law})
+	rng := rand.New(rand.NewSource(1))
+
+	type upd struct {
+		key uint64
+		w   float64
+		at  int64
+	}
+	var updates []upd
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		now += rng.Int63n(2e6)
+		u := upd{key: uint64(rng.Intn(300)), w: float64(40 + rng.Intn(1460)), at: now}
+		updates = append(updates, u)
+		f.Add(u.key, u.w, u.at)
+	}
+	exact := func(key uint64, at int64) float64 {
+		var m float64
+		for _, u := range updates {
+			if u.key == key && u.at <= at {
+				m += law.Apply(u.w, time.Duration(at-u.at))
+			}
+		}
+		return m
+	}
+	for key := uint64(0); key < 300; key += 7 {
+		want := exact(key, now)
+		got := f.Estimate(key, now)
+		if got < want-1e-6 {
+			t.Fatalf("key %d: estimate %.3f below true decayed mass %.3f", key, got, want)
+		}
+	}
+}
+
+func TestFilterExactWhenNoCollisions(t *testing.T) {
+	// One key in a huge filter: estimates equal the true decayed mass.
+	law := Exponential{Tau: time.Second}
+	f := New(Config{Cells: 1 << 16, Hashes: 4, Decay: law})
+	f.Add(42, 100, 0)
+	f.Add(42, 50, sec) // decayed: 100/e + 50
+	want := 100/math.E + 50
+	if got := f.Estimate(42, sec); math.Abs(got-want) > 1e-9 {
+		t.Errorf("estimate %.6f, want %.6f", got, want)
+	}
+	// Reading further in the future decays further but must not mutate.
+	later := f.Estimate(42, 3*sec)
+	if math.Abs(later-want*math.Exp(-2)) > 1e-9 {
+		t.Errorf("later estimate %.6f", later)
+	}
+	if again := f.Estimate(42, sec); math.Abs(again-want) > 1e-9 {
+		t.Errorf("Estimate mutated state: %.6f vs %.6f", again, want)
+	}
+}
+
+func TestFilterColdKeyIsZero(t *testing.T) {
+	f := New(Config{Cells: 1 << 14, Hashes: 4, Decay: Exponential{Tau: time.Second}})
+	f.Add(1, 1000, 0)
+	if got := f.Estimate(999999, 0); got != 0 {
+		t.Errorf("cold key estimate %v in near-empty filter", got)
+	}
+}
+
+func TestFilterForgetsOldTraffic(t *testing.T) {
+	// A burst at t=0 must be invisible after many horizons — the property
+	// that makes the approach windowless.
+	f := New(Config{Cells: 1 << 12, Hashes: 4, Decay: Exponential{Tau: time.Second}})
+	f.Add(7, 1e9, 0)
+	if got := f.Estimate(7, 40*sec); got > 1e-6 {
+		t.Errorf("mass %v still visible after 40 tau", got)
+	}
+}
+
+func TestFilterResetAndAdds(t *testing.T) {
+	f := New(Config{Cells: 64, Hashes: 2, Decay: LeakyLinear{Rate: 1}})
+	f.Add(1, 10, 0)
+	f.Add(2, 10, 0)
+	if f.Adds() != 2 {
+		t.Error("Adds")
+	}
+	f.Reset()
+	if f.Adds() != 0 || f.Estimate(1, 0) != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestMassTracker(t *testing.T) {
+	m := NewMassTracker(Exponential{Tau: time.Second})
+	m.Add(100, 0)
+	if got := m.Value(0); got != 100 {
+		t.Errorf("Value(0) = %v", got)
+	}
+	if got := m.Value(sec); math.Abs(got-100/math.E) > 1e-9 {
+		t.Errorf("Value(1s) = %v", got)
+	}
+	m.Add(50, sec)
+	want := 100/math.E + 50
+	if got := m.Value(sec); math.Abs(got-want) > 1e-9 {
+		t.Errorf("after second add: %v want %v", got, want)
+	}
+	m.Reset()
+	if m.Value(2*sec) != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestMassTrackerRequiresDecay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMassTracker(nil) should panic")
+		}
+	}()
+	NewMassTracker(nil)
+}
+
+func TestMassTrackerSteadyState(t *testing.T) {
+	// A constant-rate flow converges to rate*tau mass, the equivalence
+	// that lets continuous thresholds mirror window thresholds.
+	tau := time.Second
+	m := NewMassTracker(Exponential{Tau: tau})
+	const perSecond = 1000.0
+	const stepMs = 10
+	for ts := int64(0); ts < 20*sec; ts += stepMs * int64(time.Millisecond) {
+		m.Add(perSecond*stepMs/1000, ts)
+	}
+	got := m.Value(20 * sec)
+	want := perSecond * tau.Seconds()
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("steady-state mass %.1f, want ~%.1f", got, want)
+	}
+}
+
+func TestPeriodicAgreesWithOnDemand(t *testing.T) {
+	// With updates aligned to tick boundaries the two designs are
+	// numerically identical.
+	law := Exponential{Tau: 2 * time.Second}
+	tick := 100 * time.Millisecond
+	onDemand := New(Config{Cells: 1 << 10, Hashes: 4, Decay: law, Seed: 9})
+	periodic := NewPeriodic(Config{Cells: 1 << 10, Hashes: 4, Decay: law, Seed: 9}, tick)
+	rng := rand.New(rand.NewSource(3))
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		now += int64(tick) * int64(1+rng.Intn(3))
+		key := uint64(rng.Intn(100))
+		w := float64(100 + rng.Intn(1000))
+		onDemand.Add(key, w, now)
+		periodic.Add(key, w, now)
+	}
+	for key := uint64(0); key < 100; key++ {
+		a := onDemand.Estimate(key, now)
+		b := periodic.Estimate(key, now)
+		if math.Abs(a-b) > 1e-6*math.Max(1, a) {
+			t.Fatalf("key %d: on-demand %.6f vs periodic %.6f", key, a, b)
+		}
+	}
+	if periodic.Sweeps() == 0 {
+		t.Error("periodic filter should have swept")
+	}
+}
+
+func TestPeriodicQuantisation(t *testing.T) {
+	// Between ticks the periodic filter holds estimates flat; after the
+	// tick it catches up.
+	law := Exponential{Tau: time.Second}
+	tick := time.Second
+	p := NewPeriodic(Config{Cells: 1 << 10, Hashes: 4, Decay: law}, tick)
+	p.Add(1, 100, 0)
+	if got := p.Estimate(1, int64(tick)/2); got != 100 {
+		t.Errorf("mid-tick estimate %v, want undecayed 100", got)
+	}
+	got := p.Estimate(1, int64(tick))
+	want := 100 / math.E
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("post-tick estimate %v, want %v", got, want)
+	}
+}
+
+func TestPeriodicReset(t *testing.T) {
+	p := NewPeriodic(Config{Cells: 64, Hashes: 2, Decay: LeakyLinear{Rate: 1}}, time.Second)
+	p.Add(1, 10, 0)
+	p.Estimate(1, 10*sec)
+	p.Reset()
+	if p.Sweeps() != 0 || p.Estimate(1, 0) != 0 {
+		t.Error("Reset incomplete")
+	}
+	if p.SizeBytes() != 64*16 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+}
+
+func TestPeriodicPanicsOnBadTick(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPeriodic with zero tick should panic")
+		}
+	}()
+	NewPeriodic(Config{Decay: LeakyLinear{Rate: 1}}, 0)
+}
+
+func BenchmarkFilterAdd(b *testing.B) {
+	f := New(Config{Cells: 1 << 16, Hashes: 4, Decay: Exponential{Tau: time.Second}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i)&1023, 1000, int64(i)*1000)
+	}
+}
+
+func BenchmarkFilterEstimate(b *testing.B) {
+	f := New(Config{Cells: 1 << 16, Hashes: 4, Decay: Exponential{Tau: time.Second}})
+	for i := 0; i < 10000; i++ {
+		f.Add(uint64(i)&1023, 1000, int64(i)*1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += f.Estimate(uint64(i)&1023, 1e10)
+	}
+	_ = acc
+}
+
+func BenchmarkPeriodicAdd(b *testing.B) {
+	p := NewPeriodic(Config{Cells: 1 << 16, Hashes: 4, Decay: Exponential{Tau: time.Second}}, 100*time.Millisecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Add(uint64(i)&1023, 1000, int64(i)*1000)
+	}
+}

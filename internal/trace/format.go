@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+// Binary trace format.
+//
+// A trace file is a 16-byte header followed by fixed-width little-endian
+// records:
+//
+//	header:  magic "HHHT" | u16 version | u16 reserved | u64 packet count
+//	                                                     (0 if unknown)
+//	record:  i64 ts | u32 src | u32 dst | u16 sport | u16 dport |
+//	         u8 proto | u8 pad | u32 size            (26 bytes)
+//
+// The fixed layout keeps readers allocation-free and makes record N
+// seekable at offset 16 + 26*N.
+
+const (
+	formatMagic   = "HHHT"
+	formatVersion = 1
+	headerSize    = 16
+	recordSize    = 26
+)
+
+// ErrBadFormat reports a malformed trace file.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Writer streams packets into the binary trace format. Close flushes
+// buffers and backpatches the packet count when the underlying stream is
+// seekable.
+type Writer struct {
+	w     *bufio.Writer
+	raw   io.Writer
+	count uint64
+	buf   [recordSize]byte
+}
+
+// NewWriter writes a trace header to w and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16), raw: w}
+	var hdr [headerSize]byte
+	copy(hdr[:4], formatMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], 0)
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return tw, nil
+}
+
+// Write implements Sink.
+func (tw *Writer) Write(p *Packet) error {
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:8], uint64(p.Ts))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(p.Src))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(p.Dst))
+	binary.LittleEndian.PutUint16(b[16:18], p.SrcPort)
+	binary.LittleEndian.PutUint16(b[18:20], p.DstPort)
+	b[20] = p.Proto
+	b[21] = 0
+	binary.LittleEndian.PutUint32(b[22:26], p.Size)
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Close flushes the writer and, if the underlying stream supports seeking,
+// backpatches the packet count into the header.
+func (tw *Writer) Close() error {
+	if err := tw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	if s, ok := tw.raw.(io.WriteSeeker); ok {
+		if _, err := s.Seek(8, io.SeekStart); err != nil {
+			return fmt.Errorf("trace: seek for count backpatch: %w", err)
+		}
+		var cnt [8]byte
+		binary.LittleEndian.PutUint64(cnt[:], tw.count)
+		if _, err := s.Write(cnt[:]); err != nil {
+			return fmt.Errorf("trace: count backpatch: %w", err)
+		}
+		if _, err := s.Seek(0, io.SeekEnd); err != nil {
+			return fmt.Errorf("trace: seek to end: %w", err)
+		}
+	}
+	return nil
+}
+
+// Reader streams packets from the binary trace format. It implements
+// Source.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64 // declared in header; 0 means unknown
+	read  uint64
+	buf   [recordSize]byte
+}
+
+// NewReader validates the header of r and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if string(hdr[:4]) != formatMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	tr.count = binary.LittleEndian.Uint64(hdr[8:16])
+	return tr, nil
+}
+
+// DeclaredCount returns the packet count recorded in the header, or 0 when
+// the producer could not backpatch it (non-seekable output).
+func (tr *Reader) DeclaredCount() uint64 { return tr.count }
+
+// Next implements Source.
+func (tr *Reader) Next(p *Packet) error {
+	b := tr.buf[:]
+	if _, err := io.ReadFull(tr.r, b); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: truncated record %d: %v", ErrBadFormat, tr.read, err)
+	}
+	p.Ts = int64(binary.LittleEndian.Uint64(b[0:8]))
+	p.Src = ipv4.Addr(binary.LittleEndian.Uint32(b[8:12]))
+	p.Dst = ipv4.Addr(binary.LittleEndian.Uint32(b[12:16]))
+	p.SrcPort = binary.LittleEndian.Uint16(b[16:18])
+	p.DstPort = binary.LittleEndian.Uint16(b[18:20])
+	p.Proto = b[20]
+	p.Size = binary.LittleEndian.Uint32(b[22:26])
+	tr.read++
+	return nil
+}
+
+// WriteFile stores pkts at path in the binary trace format.
+func WriteFile(path string, pkts []Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	tw, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := range pkts {
+		if err := tw.Write(&pkts[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads the whole trace at path into memory.
+func ReadFile(path string) ([]Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(tr, int(tr.DeclaredCount()))
+}
+
+// OpenFile opens the trace at path for streaming. The caller owns closing
+// the returned closer once done with the Source.
+func OpenFile(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: %w", err)
+	}
+	tr, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return tr, f, nil
+}

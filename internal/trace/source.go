@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"sort"
+)
+
+// SliceSource replays an in-memory packet slice. The zero value is an empty
+// stream. It is the workhorse of tests and of experiments that pass over
+// the same trace several times.
+type SliceSource struct {
+	pkts []Packet
+	pos  int
+}
+
+// NewSliceSource wraps pkts without copying; the caller must not mutate the
+// slice while the source is in use.
+func NewSliceSource(pkts []Packet) *SliceSource {
+	return &SliceSource{pkts: pkts}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(p *Packet) error {
+	if s.pos >= len(s.pkts) {
+		return io.EOF
+	}
+	*p = s.pkts[s.pos]
+	s.pos++
+	return nil
+}
+
+// Reset rewinds the source to the first packet.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of packets in the source.
+func (s *SliceSource) Len() int { return len(s.pkts) }
+
+// Collect drains src into a slice. sizeHint may be zero.
+func Collect(src Source, sizeHint int) ([]Packet, error) {
+	pkts := make([]Packet, 0, sizeHint)
+	var p Packet
+	for {
+		err := src.Next(&p)
+		if errors.Is(err, io.EOF) {
+			return pkts, nil
+		}
+		if err != nil {
+			return pkts, err
+		}
+		pkts = append(pkts, p)
+	}
+}
+
+// ForEach applies fn to every packet of src. It stops early and returns
+// fn's error if fn fails; io.EOF from the source is not an error.
+func ForEach(src Source, fn func(*Packet) error) error {
+	var p Packet
+	for {
+		err := src.Next(&p)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(&p); err != nil {
+			return err
+		}
+	}
+}
+
+// FilterSource passes through only packets for which Keep returns true.
+type FilterSource struct {
+	Src  Source
+	Keep func(*Packet) bool
+}
+
+// Next implements Source.
+func (f *FilterSource) Next(p *Packet) error {
+	for {
+		if err := f.Src.Next(p); err != nil {
+			return err
+		}
+		if f.Keep(p) {
+			return nil
+		}
+	}
+}
+
+// ClipSource passes through packets with From <= Ts < To.
+// Because sources are time-ordered it stops at the first packet past To.
+type ClipSource struct {
+	Src      Source
+	From, To int64
+	done     bool
+}
+
+// Next implements Source.
+func (c *ClipSource) Next(p *Packet) error {
+	if c.done {
+		return io.EOF
+	}
+	for {
+		if err := c.Src.Next(p); err != nil {
+			c.done = true
+			return err
+		}
+		if p.Ts >= c.To {
+			c.done = true
+			return io.EOF
+		}
+		if p.Ts >= c.From {
+			return nil
+		}
+	}
+}
+
+// IsSorted reports whether pkts is in non-decreasing timestamp order, the
+// invariant every Source must provide.
+func IsSorted(pkts []Packet) bool {
+	return sort.SliceIsSorted(pkts, func(i, j int) bool { return pkts[i].Ts < pkts[j].Ts })
+}
+
+// SortByTime sorts pkts in place into non-decreasing timestamp order using
+// a stable sort so equal-timestamp packets preserve generation order.
+func SortByTime(pkts []Packet) {
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Ts < pkts[j].Ts })
+}
+
+// MergeSources merges several individually time-sorted sources into one
+// time-sorted stream. It performs a simple k-way merge with a small linear
+// scan, which is efficient for the handful of sources experiments combine
+// (base traffic + attack overlays).
+type MergeSources struct {
+	srcs []Source
+	head []Packet
+	live []bool
+	init bool
+}
+
+// NewMergeSources builds a merge over srcs.
+func NewMergeSources(srcs ...Source) *MergeSources {
+	return &MergeSources{
+		srcs: srcs,
+		head: make([]Packet, len(srcs)),
+		live: make([]bool, len(srcs)),
+	}
+}
+
+// Next implements Source.
+func (m *MergeSources) Next(p *Packet) error {
+	if !m.init {
+		m.init = true
+		for i, s := range m.srcs {
+			err := s.Next(&m.head[i])
+			if err == nil {
+				m.live[i] = true
+			} else if !errors.Is(err, io.EOF) {
+				return err
+			}
+		}
+	}
+	best := -1
+	for i := range m.srcs {
+		if m.live[i] && (best < 0 || m.head[i].Ts < m.head[best].Ts) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return io.EOF
+	}
+	*p = m.head[best]
+	err := m.srcs[best].Next(&m.head[best])
+	if errors.Is(err, io.EOF) {
+		m.live[best] = false
+	} else if err != nil {
+		return err
+	}
+	return nil
+}

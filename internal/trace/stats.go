@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+// Stats summarises a trace: the sanity numbers printed by cmd/tracegen and
+// checked by the experiment preflight.
+type Stats struct {
+	Packets      int
+	Bytes        int64
+	FirstTs      int64
+	LastTs       int64
+	DistinctSrc  int
+	DistinctDst  int
+	ProtoPackets map[uint8]int
+	MinSize      uint32
+	MaxSize      uint32
+}
+
+// Duration is the time span covered by the trace.
+func (s Stats) Duration() time.Duration {
+	if s.Packets == 0 {
+		return 0
+	}
+	return time.Duration(s.LastTs - s.FirstTs)
+}
+
+// PacketRate is the average packets/second over the trace span.
+func (s Stats) PacketRate() float64 {
+	d := s.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.Packets) / d
+}
+
+// BitRate is the average bits/second over the trace span.
+func (s Stats) BitRate() float64 {
+	d := s.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / d
+}
+
+// String renders a one-paragraph human-readable summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"packets=%d bytes=%d duration=%v pps=%.0f bps=%.3g srcs=%d dsts=%d sizes=[%d,%d]",
+		s.Packets, s.Bytes, s.Duration().Round(time.Millisecond),
+		s.PacketRate(), s.BitRate(), s.DistinctSrc, s.DistinctDst,
+		s.MinSize, s.MaxSize)
+}
+
+// ComputeStats makes a full pass over src and accumulates Stats.
+func ComputeStats(src Source) (Stats, error) {
+	s := Stats{ProtoPackets: map[uint8]int{}, MinSize: ^uint32(0)}
+	srcs := map[ipv4.Addr]struct{}{}
+	dsts := map[ipv4.Addr]struct{}{}
+	first := true
+	err := ForEach(src, func(p *Packet) error {
+		if first {
+			s.FirstTs = p.Ts
+			first = false
+		}
+		s.LastTs = p.Ts
+		s.Packets++
+		s.Bytes += int64(p.Size)
+		s.ProtoPackets[p.Proto]++
+		srcs[p.Src] = struct{}{}
+		dsts[p.Dst] = struct{}{}
+		if p.Size < s.MinSize {
+			s.MinSize = p.Size
+		}
+		if p.Size > s.MaxSize {
+			s.MaxSize = p.Size
+		}
+		return nil
+	})
+	if s.Packets == 0 {
+		s.MinSize = 0
+	}
+	s.DistinctSrc = len(srcs)
+	s.DistinctDst = len(dsts)
+	return s, err
+}

@@ -1,0 +1,54 @@
+// Package trace defines the packet-record model shared by every component
+// of the pipeline — generators, window engines, sketches, detectors — plus a
+// compact binary on-disk trace format and stream utilities.
+//
+// A trace is a time-ordered sequence of Packet records. The experiments in
+// the paper consume one-hour Tier-1 ISP captures; this package's format
+// stores the handful of header fields those experiments need (timestamps,
+// addresses, ports, protocol, wire length) at 26 bytes per packet instead
+// of retaining full payloads.
+package trace
+
+import (
+	"time"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+// Packet is a single observed packet. Timestamps are nanoseconds since an
+// arbitrary trace epoch; only differences matter to the algorithms. Size is
+// the wire length in bytes, the quantity all byte-threshold experiments
+// aggregate.
+type Packet struct {
+	Ts      int64 // nanoseconds since trace epoch
+	Src     ipv4.Addr
+	Dst     ipv4.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+	Size    uint32
+}
+
+// Common IANA protocol numbers for synthesised traffic.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Time converts a packet timestamp to a duration since the trace epoch.
+func (p *Packet) Time() time.Duration { return time.Duration(p.Ts) }
+
+// Source yields packets in non-decreasing timestamp order. Next returns
+// io.EOF after the final packet. Implementations are not safe for
+// concurrent use unless documented otherwise.
+type Source interface {
+	// Next fills *p with the next packet. It returns io.EOF at the end of
+	// the stream, in which case *p is unspecified.
+	Next(p *Packet) error
+}
+
+// Sink consumes packets, e.g. a file writer or an in-memory collector.
+type Sink interface {
+	Write(p *Packet) error
+}

@@ -1,0 +1,367 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+func mkPackets(n int, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]Packet, n)
+	ts := int64(0)
+	for i := range pkts {
+		ts += rng.Int63n(1e6)
+		pkts[i] = Packet{
+			Ts:      ts,
+			Src:     ipv4.Addr(rng.Uint32()),
+			Dst:     ipv4.Addr(rng.Uint32()),
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			Proto:   uint8([]int{ProtoTCP, ProtoUDP, ProtoICMP}[rng.Intn(3)]),
+			Size:    uint32(40 + rng.Intn(1460)),
+		}
+	}
+	return pkts
+}
+
+func TestSliceSource(t *testing.T) {
+	pkts := mkPackets(10, 1)
+	s := NewSliceSource(pkts)
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := Collect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pkts) {
+		t.Error("Collect did not reproduce input")
+	}
+	var p Packet
+	if err := s.Next(&p); !errors.Is(err, io.EOF) {
+		t.Errorf("exhausted source Next = %v, want EOF", err)
+	}
+	s.Reset()
+	if err := s.Next(&p); err != nil || p != pkts[0] {
+		t.Error("Reset should rewind to first packet")
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	pkts := mkPackets(10, 2)
+	boom := errors.New("boom")
+	count := 0
+	err := ForEach(NewSliceSource(pkts), func(*Packet) error {
+		count++
+		if count == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || count != 3 {
+		t.Errorf("ForEach err=%v count=%d, want boom after 3", err, count)
+	}
+}
+
+func TestFilterSource(t *testing.T) {
+	pkts := mkPackets(100, 3)
+	f := &FilterSource{
+		Src:  NewSliceSource(pkts),
+		Keep: func(p *Packet) bool { return p.Proto == ProtoTCP },
+	}
+	got, err := Collect(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range pkts {
+		if p.Proto == ProtoTCP {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("filter kept %d, want %d", len(got), want)
+	}
+	for _, p := range got {
+		if p.Proto != ProtoTCP {
+			t.Fatal("non-TCP packet leaked through filter")
+		}
+	}
+}
+
+func TestClipSource(t *testing.T) {
+	pkts := mkPackets(200, 4)
+	from, to := pkts[50].Ts, pkts[150].Ts
+	c := &ClipSource{Src: NewSliceSource(pkts), From: from, To: to}
+	got, err := Collect(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range pkts {
+		if p.Ts >= from && p.Ts < to {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("clip kept %d, want %d", len(got), want)
+	}
+	for _, p := range got {
+		if p.Ts < from || p.Ts >= to {
+			t.Fatal("packet outside clip range")
+		}
+	}
+	// After EOF it must stay at EOF.
+	var p Packet
+	if err := c.Next(&p); !errors.Is(err, io.EOF) {
+		t.Error("clip should remain EOF once done")
+	}
+}
+
+func TestSortAndIsSorted(t *testing.T) {
+	pkts := mkPackets(50, 5)
+	if !IsSorted(pkts) {
+		t.Fatal("generator should emit sorted packets")
+	}
+	// Shuffle and re-sort.
+	rng := rand.New(rand.NewSource(6))
+	rng.Shuffle(len(pkts), func(i, j int) { pkts[i], pkts[j] = pkts[j], pkts[i] })
+	SortByTime(pkts)
+	if !IsSorted(pkts) {
+		t.Fatal("SortByTime failed")
+	}
+}
+
+func TestMergeSources(t *testing.T) {
+	a := mkPackets(100, 7)
+	b := mkPackets(60, 8)
+	c := mkPackets(0, 9)
+	m := NewMergeSources(NewSliceSource(a), NewSliceSource(b), NewSliceSource(c))
+	got, err := Collect(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(a)+len(b) {
+		t.Fatalf("merged %d packets, want %d", len(got), len(a)+len(b))
+	}
+	if !IsSorted(got) {
+		t.Fatal("merge output not time-sorted")
+	}
+	// Byte totals must be preserved.
+	var wantBytes, gotBytes int64
+	for _, p := range a {
+		wantBytes += int64(p.Size)
+	}
+	for _, p := range b {
+		wantBytes += int64(p.Size)
+	}
+	for _, p := range got {
+		gotBytes += int64(p.Size)
+	}
+	if wantBytes != gotBytes {
+		t.Errorf("merge changed byte total: got %d want %d", gotBytes, wantBytes)
+	}
+}
+
+func TestFormatRoundTripMemory(t *testing.T) {
+	pkts := mkPackets(1000, 10)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		if err := w.Write(&pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1000 {
+		t.Errorf("writer count = %d", w.Count())
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pkts) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFormatRoundTripFile(t *testing.T) {
+	pkts := mkPackets(500, 11)
+	path := filepath.Join(t.TempDir(), "x.hhht")
+	if err := WriteFile(path, pkts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pkts) {
+		t.Fatal("file round trip mismatch")
+	}
+	// File writers are seekable, so the declared count must be patched.
+	r, closer, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if r.DeclaredCount() != 500 {
+		t.Errorf("DeclaredCount = %d, want 500", r.DeclaredCount())
+	}
+}
+
+func TestFormatQuickRoundTrip(t *testing.T) {
+	f := func(ts int64, src, dst uint32, sp, dp uint16, proto uint8, size uint32) bool {
+		in := Packet{Ts: ts, Src: ipv4.Addr(src), Dst: ipv4.Addr(dst),
+			SrcPort: sp, DstPort: dp, Proto: proto, Size: size}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if w.Write(&in) != nil || w.Close() != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		var out Packet
+		if r.Next(&out) != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX000000000000"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	// Short header.
+	if _, err := NewReader(bytes.NewReader([]byte("HH"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("short header: err = %v", err)
+	}
+	// Bad version.
+	hdr := append([]byte(formatMagic), 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := NewReader(bytes.NewReader(hdr)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad version: err = %v", err)
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	p := Packet{Ts: 1}
+	w.Write(&p)
+	w.Close()
+	trunc := buf.Bytes()[:headerSize+5]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Packet
+	if err := r.Next(&out); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated record: err = %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	pkts := []Packet{
+		{Ts: 0, Src: 1, Dst: 10, Proto: ProtoTCP, Size: 100},
+		{Ts: 1e9, Src: 1, Dst: 11, Proto: ProtoUDP, Size: 200},
+		{Ts: 2e9, Src: 2, Dst: 10, Proto: ProtoTCP, Size: 300},
+	}
+	s, err := ComputeStats(NewSliceSource(pkts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Packets != 3 || s.Bytes != 600 {
+		t.Errorf("packets=%d bytes=%d", s.Packets, s.Bytes)
+	}
+	if s.DistinctSrc != 2 || s.DistinctDst != 2 {
+		t.Errorf("srcs=%d dsts=%d", s.DistinctSrc, s.DistinctDst)
+	}
+	if s.Duration().Seconds() != 2 {
+		t.Errorf("duration=%v", s.Duration())
+	}
+	if s.PacketRate() != 1.5 {
+		t.Errorf("pps=%v", s.PacketRate())
+	}
+	if s.BitRate() != 2400 {
+		t.Errorf("bps=%v", s.BitRate())
+	}
+	if s.ProtoPackets[ProtoTCP] != 2 || s.ProtoPackets[ProtoUDP] != 1 {
+		t.Errorf("proto map %v", s.ProtoPackets)
+	}
+	if s.MinSize != 100 || s.MaxSize != 300 {
+		t.Errorf("sizes [%d,%d]", s.MinSize, s.MaxSize)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s, err := ComputeStats(NewSliceSource(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Packets != 0 || s.Duration() != 0 || s.PacketRate() != 0 || s.BitRate() != 0 || s.MinSize != 0 {
+		t.Errorf("empty stats not zeroed: %+v", s)
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	p := Packet{Ts: 1, Src: 2, Dst: 3, Size: 1500}
+	w, _ := NewWriter(io.Discard)
+	b.SetBytes(recordSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Ts = int64(i)
+		if err := w.Write(&p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReaderThroughput(b *testing.B) {
+	pkts := mkPackets(100000, 42)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := range pkts {
+		w.Write(&pkts[i])
+	}
+	w.Close()
+	data := buf.Bytes()
+	b.SetBytes(recordSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var p Packet
+	for i := 0; i < b.N; {
+		r, _ := NewReader(bytes.NewReader(data))
+		for ; i < b.N; i++ {
+			if err := r.Next(&p); err != nil {
+				break
+			}
+		}
+	}
+}

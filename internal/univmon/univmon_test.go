@@ -1,0 +1,171 @@
+package univmon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	u := New(Config{})
+	if len(u.levels) != 8 {
+		t.Errorf("levels = %d", len(u.levels))
+	}
+	if u.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+func TestSamplingIsNestedAndHalving(t *testing.T) {
+	u := New(Config{Levels: 6, Seed: 1})
+	const n = 20000
+	counts := make([]int, 6)
+	for k := uint64(0); k < n; k++ {
+		for l := 0; l < 6; l++ {
+			if u.sampledAt(k, l) {
+				counts[l]++
+			} else {
+				// Nested: failing level l must fail all deeper levels.
+				for m := l + 1; m < 6; m++ {
+					if u.sampledAt(k, m) {
+						t.Fatalf("key %d sampled at %d but not %d", k, m, l)
+					}
+				}
+				break
+			}
+		}
+	}
+	if counts[0] != n {
+		t.Fatal("level 0 must see everything")
+	}
+	for l := 1; l < 6; l++ {
+		ratio := float64(counts[l]) / float64(counts[l-1])
+		if ratio < 0.4 || ratio > 0.6 {
+			t.Errorf("level %d keeps %.2f of level %d, want ~0.5", l, ratio, l-1)
+		}
+	}
+}
+
+func TestHeavyKeysDetection(t *testing.T) {
+	u := New(Config{Levels: 6, TopK: 32, Seed: 2})
+	rng := rand.New(rand.NewSource(1))
+	var heavyTrue int64
+	const heavy = uint64(777777)
+	for i := 0; i < 100000; i++ {
+		if i%4 == 0 {
+			u.Update(heavy, 1000)
+			heavyTrue += 1000
+		} else {
+			u.Update(uint64(rng.Intn(20000)), 100)
+		}
+	}
+	found := false
+	for _, kv := range u.HeavyKeys(heavyTrue / 2) {
+		if kv.Key == heavy {
+			found = true
+			rel := math.Abs(float64(kv.Count-heavyTrue)) / float64(heavyTrue)
+			if rel > 0.1 {
+				t.Errorf("estimate %d vs true %d (rel %.3f)", kv.Count, heavyTrue, rel)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("heavy key not detected")
+	}
+}
+
+func TestDistinctEstimate(t *testing.T) {
+	u := New(Config{Levels: 10, TopK: 128, Seed: 3})
+	const distinct = 2000
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		u.Update(uint64(rng.Intn(distinct)), 100)
+	}
+	got := u.DistinctEstimate()
+	// The lite candidate lists make this coarse; demand the right order
+	// of magnitude.
+	if got < distinct/4 || got > distinct*4 {
+		t.Errorf("distinct estimate %.0f vs true %d", got, distinct)
+	}
+}
+
+func TestEntropyEstimateUniformVsSkewed(t *testing.T) {
+	// Entropy of a uniform distribution must exceed a concentrated one.
+	uniform := New(Config{Levels: 8, TopK: 64, Seed: 4})
+	skewed := New(Config{Levels: 8, TopK: 64, Seed: 4})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		uniform.Update(uint64(rng.Intn(1000)), 100)
+		if i%2 == 0 {
+			skewed.Update(1, 100) // half the mass on one key
+		} else {
+			skewed.Update(uint64(rng.Intn(1000)), 100)
+		}
+	}
+	hu, hs := uniform.EntropyEstimate(), skewed.EntropyEstimate()
+	if hu <= hs {
+		t.Errorf("uniform entropy %.2f should exceed skewed %.2f", hu, hs)
+	}
+	if hu < 0 || hu > 20 {
+		t.Errorf("entropy estimate %.2f implausible", hu)
+	}
+}
+
+func TestEntropyEmpty(t *testing.T) {
+	u := New(Config{})
+	if u.EntropyEstimate() != 0 {
+		t.Error("empty entropy should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	u := New(Config{Levels: 4, TopK: 8})
+	u.Update(1, 100)
+	u.Reset()
+	if u.Total() != 0 {
+		t.Error("Total after Reset")
+	}
+	if len(u.HeavyKeys(1)) != 0 {
+		t.Error("candidates after Reset")
+	}
+}
+
+func TestCandidateHeap(t *testing.T) {
+	h := newCandidateHeap(3)
+	h.offer(1, 10)
+	h.offer(2, 20)
+	h.offer(3, 30)
+	h.offer(4, 5) // below min: rejected
+	if len(h.keys()) != 3 {
+		t.Fatalf("size %d", len(h.keys()))
+	}
+	for _, k := range h.keys() {
+		if k == 4 {
+			t.Fatal("weak key admitted")
+		}
+	}
+	h.offer(5, 40) // evicts key 1
+	for _, k := range h.keys() {
+		if k == 1 {
+			t.Fatal("min not evicted")
+		}
+	}
+	h.offer(2, 50) // update in place
+	found := false
+	for _, c := range h.items {
+		if c.key == 2 && c.est == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("in-place update failed")
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	u := New(Config{Levels: 8, TopK: 64})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Update(uint64(i)&16383, 1000)
+	}
+}

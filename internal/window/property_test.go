@@ -1,0 +1,80 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/trace"
+)
+
+// TestSlideRandomConfigsMatchBruteForce drives the sliding engine with
+// randomly drawn (width, step, span, traffic) configurations and checks
+// every emitted window against a brute-force recount — the engine's
+// bucketed increment/evict logic must be exact for all of them.
+func TestSlideRandomConfigsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfgGen := func() (Config, []trace.Packet) {
+		step := time.Duration(1+rng.Intn(5)) * 100 * time.Millisecond
+		width := step * time.Duration(1+rng.Intn(6))
+		spanWindows := 1 + rng.Intn(8)
+		span := int64(width) + int64(step)*int64(spanWindows)
+		n := 200 + rng.Intn(2000)
+		pkts := make([]trace.Packet, n)
+		for i := range pkts {
+			pkts[i] = trace.Packet{
+				Ts:   rng.Int63n(span + int64(width)), // some beyond span
+				Src:  ipv4.Addr(rng.Uint32() & 0x3f),
+				Size: uint32(1 + rng.Intn(1500)),
+			}
+		}
+		trace.SortByTime(pkts)
+		return Config{Width: width, Step: step, End: span}, pkts
+	}
+	f := func(seed int64) bool {
+		cfg, pkts := cfgGen()
+		ok := true
+		err := Slide(trace.NewSliceSource(pkts), cfg, func(r *Result) error {
+			wantLeaves, wantPk, wantBytes := recount(pkts, r.Start, r.End)
+			if r.Packets != wantPk || r.Bytes != wantBytes || !sameLeaves(r.Leaves, wantLeaves) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTumblePacketsNeverDropsInSpanPackets verifies conservation: every
+// in-span packet is delivered to onPacket exactly once regardless of
+// window configuration.
+func TestTumblePacketsNeverDropsInSpanPackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(widthSteps uint8, n uint16) bool {
+		width := time.Duration(1+int(widthSteps%9)) * 250 * time.Millisecond
+		span := int64(width) * int64(2+widthSteps%5)
+		pkts := make([]trace.Packet, int(n)%1500+1)
+		want := 0
+		for i := range pkts {
+			pkts[i] = trace.Packet{Ts: rng.Int63n(span * 2), Size: 100}
+			if pkts[i].Ts < span-span%int64(width) {
+				want++
+			}
+		}
+		trace.SortByTime(pkts)
+		got := 0
+		err := TumblePackets(trace.NewSliceSource(pkts),
+			Config{Width: width, End: span},
+			func(*trace.Packet) { got++ },
+			func(Span) error { return nil })
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
