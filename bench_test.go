@@ -163,9 +163,31 @@ func BenchmarkE4cTDBFSweep(b *testing.B) {
 }
 
 // Per-detector packet throughput: the "performance" column of Section 3,
-// isolated from experiment scaffolding. One iteration = one packet.
+// isolated from experiment scaffolding. One iteration = one packet,
+// delivered through the batch ingest path (the production spine); the
+// *Observe variants below measure the per-packet path for comparison.
+
+const benchBatch = 512
 
 func benchDetector(b *testing.B, det Detector) {
+	pkts, _ := getBenchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		off := done % len(pkts)
+		n := len(pkts) - off
+		if n > benchBatch {
+			n = benchBatch
+		}
+		if rem := b.N - done; n > rem {
+			n = rem
+		}
+		det.ObserveBatch(pkts[off : off+n])
+		done += n
+	}
+}
+
+func benchDetectorObserve(b *testing.B, det Detector) {
 	pkts, _ := getBenchTrace(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -230,6 +252,55 @@ func BenchmarkDetectorContinuousSampled(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchDetector(b, det)
+}
+
+// BenchmarkDetectorWindowedPerLevelObserve measures the per-level engine
+// through the single-packet Observe path, isolating the batch-spine gain
+// from the O(1) sketch gain.
+func BenchmarkDetectorWindowedPerLevelObserve(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EnginePerLevel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetectorObserve(b, det)
+}
+
+// BenchmarkDetectorWindowedRHHHObserve is the RHHH per-packet analogue.
+func BenchmarkDetectorWindowedRHHHObserve(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EngineRHHH})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetectorObserve(b, det)
+}
+
+// BenchmarkPerLevelQuery measures the conditioned bottom-up query of a
+// warmed per-level engine — the per-window-close cost, where the reusable
+// discount tables replaced per-query map churn.
+func BenchmarkPerLevelQuery(b *testing.B) {
+	pkts, _ := getBenchTrace(b)
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: time.Hour, Phi: 0.05, Engine: EnginePerLevel,
+		OnWindow: func(start, end int64, set Set) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	limit := len(pkts)
+	if limit > 200000 {
+		limit = 200000
+	}
+	det.ObserveBatch(pkts[:limit])
+	inner := det.(interface{ queryNow() Set })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := inner.queryNow(); set.Len() == 0 {
+			b.Fatal("no HHHs")
+		}
+	}
 }
 
 // BenchmarkTraceGeneration measures synthetic trace throughput

@@ -1,0 +1,138 @@
+// Command benchjson captures a benchmark snapshot as JSON, the format of
+// the repository's BENCH_*.json performance-trajectory files.
+//
+// By default it runs the detector and sketch throughput benchmarks itself
+// and writes the snapshot to stdout:
+//
+//	go run ./cmd/benchjson > BENCH_2.json
+//
+// With -stdin it instead parses `go test -bench` output piped into it,
+// which is how CI or a developer can snapshot an arbitrary benchmark run:
+//
+//	go test -run '^$' -bench Detector -benchmem ./... | go run ./cmd/benchjson -stdin
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// OpsPerSec is 1e9/NsPerOp — packets/sec for the Detector benchmarks,
+	// whose op is one packet.
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the BENCH_*.json document.
+type Snapshot struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Benchtime   string  `json:"benchtime,omitempty"`
+	Note        string  `json:"note,omitempty"`
+	Benchmarks  []Entry `json:"benchmarks"`
+}
+
+func main() {
+	stdin := flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running benchmarks")
+	benchRE := flag.String("bench", "Detector|SpaceSavingUpdate|PerLevelEngine", "benchmark pattern to run (ignored with -stdin)")
+	benchtime := flag.String("benchtime", "2000000x", "benchtime to run with (ignored with -stdin)")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	flag.Parse()
+
+	var out bytes.Buffer
+	usedBenchtime := *benchtime
+	if *stdin {
+		if _, err := io.Copy(&out, os.Stdin); err != nil {
+			fatal(err)
+		}
+		usedBenchtime = ""
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *benchRE, "-benchmem", "-benchtime", *benchtime, "./...")
+		cmd.Stderr = os.Stderr
+		cmd.Stdout = &out
+		if err := cmd.Run(); err != nil {
+			fatal(fmt.Errorf("go test -bench: %w", err))
+		}
+	}
+
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchtime:   usedBenchtime,
+		Note:        *note,
+		Benchmarks:  parseBench(out.Bytes()),
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench extracts Benchmark lines from `go test -bench -benchmem`
+// output. Lines look like:
+//
+//	BenchmarkFoo-8   2000000   69.29 ns/op   0 B/op   0 allocs/op
+func parseBench(out []byte) []Entry {
+	var entries []Entry
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip -GOMAXPROCS suffix
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || ns <= 0 {
+			continue
+		}
+		e := Entry{Name: name, Iterations: iters, NsPerOp: ns, OpsPerSec: 1e9 / ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package hiddenhhh
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"hiddenhhh/internal/continuous"
@@ -19,6 +20,13 @@ import (
 type Detector interface {
 	// Observe processes one packet.
 	Observe(p *Packet)
+	// ObserveBatch processes a run of packets in time order — the
+	// high-throughput ingest path. It is equivalent to calling Observe
+	// per packet but amortises dispatch, window-boundary checks and
+	// hierarchy expansion over the run. The sketch-backed windowed and
+	// sliding detectors allocate nothing here; the continuous detector
+	// still pays its usual per-packet admission cost.
+	ObserveBatch(pkts []Packet)
 	// Snapshot returns the detector's current HHH set at time now (ns,
 	// >= the last observed timestamp). For windowed detectors this is
 	// the set reported at the end of the most recently completed window.
@@ -143,17 +151,47 @@ func (d *windowedDetector) Observe(p *Packet) {
 	}
 }
 
+func (d *windowedDetector) ObserveBatch(pkts []Packet) {
+	for len(pkts) > 0 {
+		p := &pkts[0]
+		if !d.started {
+			d.started = true
+			d.curEnd = (p.Ts/d.width + 1) * d.width
+		}
+		for p.Ts >= d.curEnd {
+			d.closeWindow()
+		}
+		// Longest prefix of the (time-ordered) run inside the current
+		// window; the engines absorb it in one batch call.
+		n := sort.Search(len(pkts), func(i int) bool { return pkts[i].Ts >= d.curEnd })
+		chunk := pkts[:n]
+		switch {
+		case d.exact != nil:
+			for i := range chunk {
+				w := int64(chunk[i].Size)
+				d.bytes += w
+				d.exact.Update(uint64(chunk[i].Src), w)
+			}
+			if d.exact.Len() > d.exactPeak {
+				d.exactPeak = d.exact.Len()
+			}
+		case d.pl != nil:
+			d.bytes += d.pl.UpdateBatch(chunk)
+		default:
+			d.bytes += d.rh.UpdateBatch(chunk)
+		}
+		pkts = pkts[n:]
+	}
+}
+
 func (d *windowedDetector) closeWindow() {
-	T := hhh.Threshold(d.bytes, d.cfg.Phi)
+	d.last = d.queryNow()
 	switch {
 	case d.exact != nil:
-		d.last = hhh.Exact(d.exact, d.cfg.Hierarchy, T)
 		d.exact.Reset()
 	case d.pl != nil:
-		d.last = d.pl.Query(T)
 		d.pl.Reset()
 	default:
-		d.last = d.rh.Query(T)
 		d.rh.Reset()
 	}
 	if d.cfg.OnWindow != nil {
@@ -161,6 +199,20 @@ func (d *windowedDetector) closeWindow() {
 	}
 	d.bytes = 0
 	d.curEnd += d.width
+}
+
+// queryNow evaluates the current (still open) window's HHH set without
+// closing it. Benchmarks use it to isolate the query cost from ingest.
+func (d *windowedDetector) queryNow() Set {
+	T := hhh.Threshold(d.bytes, d.cfg.Phi)
+	switch {
+	case d.exact != nil:
+		return hhh.Exact(d.exact, d.cfg.Hierarchy, T)
+	case d.pl != nil:
+		return d.pl.Query(T)
+	default:
+		return d.rh.Query(T)
+	}
 }
 
 func (d *windowedDetector) Snapshot(now int64) Set {
@@ -228,6 +280,10 @@ func (d *slidingDetector) Observe(p *Packet) {
 	d.d.Update(p.Src, int64(p.Size), p.Ts)
 }
 
+func (d *slidingDetector) ObserveBatch(pkts []Packet) {
+	d.d.UpdateBatch(pkts)
+}
+
 func (d *slidingDetector) Snapshot(now int64) Set {
 	return d.d.Query(d.cfg.Phi, now)
 }
@@ -292,6 +348,10 @@ func NewContinuousDetector(cfg ContinuousConfig) (Detector, error) {
 
 func (d *continuousDetector) Observe(p *Packet) {
 	d.d.Observe(p.Src, int64(p.Size), p.Ts)
+}
+
+func (d *continuousDetector) ObserveBatch(pkts []Packet) {
+	d.d.ObserveBatch(pkts)
 }
 
 func (d *continuousDetector) Snapshot(now int64) Set { return d.d.Query(now) }

@@ -1,0 +1,3 @@
+module hiddenhhh
+
+go 1.22

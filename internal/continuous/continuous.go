@@ -28,6 +28,7 @@ import (
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/tdbf"
+	"hiddenhhh/internal/trace"
 )
 
 // Config configures a Detector.
@@ -192,6 +193,16 @@ func (d *Detector) Observe(src ipv4.Addr, bytes int64, now int64) {
 				d.cfg.OnEnter(p, now)
 			}
 		}
+	}
+}
+
+// ObserveBatch feeds a run of time-ordered packets. Admission checks are
+// inherently per packet (each arrival can change the active set), so the
+// batch form's gain is amortising the ingest spine's per-packet dispatch,
+// not reordering work.
+func (d *Detector) ObserveBatch(pkts []trace.Packet) {
+	for i := range pkts {
+		d.Observe(pkts[i].Src, int64(pkts[i].Size), pkts[i].Ts)
 	}
 }
 

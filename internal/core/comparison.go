@@ -181,13 +181,14 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 	out.Reports = append(out.Reports,
 		score("sliding-exact", sliding, nsPerPkt(elapsed), peakLeaves*16))
 
-	// Windowed streaming detectors: reset-per-window discipline.
+	// Windowed streaming detectors: reset-per-window discipline, driven
+	// through the batch ingest spine.
 	type windowedEngine struct {
-		name   string
-		update func(src ipv4.Addr, bytes int64)
-		close  func(windowBytes int64) hhh.Set
-		reset  func()
-		size   func() int
+		name        string
+		updateBatch func(pkts []trace.Packet) int64
+		close       func(windowBytes int64) hhh.Set
+		reset       func()
+		size        func() int
 	}
 	mkWindowed := func(we windowedEngine) error {
 		src, err := provider()
@@ -196,9 +197,9 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 		}
 		reported := hhh.NewSet()
 		start := time.Now()
-		err = window.TumblePackets(src,
-			window.Config{Width: cfg.Window, End: cfg.Span},
-			func(p *trace.Packet) { we.update(p.Src, int64(p.Size)) },
+		err = window.TumbleBatches(src,
+			window.Config{Width: cfg.Window, End: cfg.Span}, 0,
+			we.updateBatch,
 			func(s window.Span) error {
 				reported.UnionInPlace(we.close(s.Bytes))
 				we.reset()
@@ -216,8 +217,16 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 	leaves := sketch.NewExact(4096)
 	peak := 0
 	if err := mkWindowed(windowedEngine{
-		name:   "disjoint-exact",
-		update: func(src ipv4.Addr, bytes int64) { leaves.Update(uint64(src), bytes) },
+		name: "disjoint-exact",
+		updateBatch: func(pkts []trace.Packet) int64 {
+			var bytes int64
+			for i := range pkts {
+				w := int64(pkts[i].Size)
+				bytes += w
+				leaves.Update(uint64(pkts[i].Src), w)
+			}
+			return bytes
+		},
 		close: func(windowBytes int64) hhh.Set {
 			if leaves.Len() > peak {
 				peak = leaves.Len()
@@ -233,8 +242,8 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 	// disjoint-perlevel: Space-Saving per level, reset per window.
 	pl := hhh.NewPerLevel(cfg.Hierarchy, cfg.Counters)
 	if err := mkWindowed(windowedEngine{
-		name:   "disjoint-perlevel",
-		update: pl.Update,
+		name:        "disjoint-perlevel",
+		updateBatch: pl.UpdateBatch,
 		close: func(windowBytes int64) hhh.Set {
 			return pl.Query(hhh.Threshold(windowBytes, cfg.Phi))
 		},
@@ -247,8 +256,8 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 	// disjoint-rhhh: randomised level sampling, reset per window.
 	rh := hhh.NewRHHH(cfg.Hierarchy, cfg.Counters, cfg.Seed)
 	if err := mkWindowed(windowedEngine{
-		name:   "disjoint-rhhh",
-		update: rh.Update,
+		name:        "disjoint-rhhh",
+		updateBatch: rh.UpdateBatch,
 		close: func(windowBytes int64) hhh.Set {
 			return rh.Query(hhh.Threshold(windowBytes, cfg.Phi))
 		},
@@ -283,10 +292,10 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 			return err
 		}
 		start := time.Now()
-		err = trace.ForEach(src, func(p *trace.Packet) error {
-			if p.Ts >= 0 && p.Ts < cfg.Span {
-				det.Observe(p.Src, int64(p.Size), p.Ts)
-			}
+		// Clip to the analysis span and feed the detector in batches.
+		clipped := &trace.ClipSource{Src: src, From: 0, To: cfg.Span}
+		err = trace.ForEachBatch(clipped, 0, func(pkts []trace.Packet) error {
+			det.ObserveBatch(pkts)
 			return nil
 		})
 		if err != nil {

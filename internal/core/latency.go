@@ -189,13 +189,25 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 		if err != nil {
 			return nil, nil, err
 		}
+		// Batch-ingest between query instants: each run covers the packets
+		// before the next query cadence tick plus the packet that crosses
+		// it, matching the per-packet ordering (the crossing packet was
+		// always ingested before the query fired).
 		nextQ := int64(time.Second)
-		for i := range pkts {
-			d.Update(pkts[i].Src, int64(pkts[i].Size), pkts[i].Ts)
-			for pkts[i].Ts >= nextQ {
+		for i := 0; i < len(pkts); {
+			j := i
+			for j < len(pkts) && pkts[j].Ts < nextQ {
+				j++
+			}
+			if j < len(pkts) {
+				j++
+			}
+			d.UpdateBatch(pkts[i:j])
+			for last := pkts[j-1].Ts; last >= nextQ; {
 				record(slid, d.Query(cfg.Phi, nextQ), nextQ)
 				nextQ += int64(time.Second)
 			}
+			i = j
 		}
 	}
 
@@ -215,9 +227,7 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 		if err != nil {
 			return nil, nil, err
 		}
-		for i := range pkts {
-			det.Observe(pkts[i].Src, int64(pkts[i].Size), pkts[i].Ts)
-		}
+		det.ObserveBatch(pkts)
 	}
 
 	var reports []LatencyReport

@@ -386,8 +386,9 @@ func TestPerLevelResetAndSize(t *testing.T) {
 	if eng.Total() != 0 || eng.Query(1).Len() != 0 {
 		t.Error("Reset incomplete")
 	}
-	if eng.SizeBytes() != 5*8*48 {
-		t.Errorf("SizeBytes = %d", eng.SizeBytes())
+	// Exact accounting: one summary per level, as the summary reports it.
+	if want := 5 * sketch.NewSpaceSaving(8).SizeBytes(); eng.SizeBytes() != want {
+		t.Errorf("SizeBytes = %d, want %d", eng.SizeBytes(), want)
 	}
 	if eng.Hierarchy().Levels() != 5 {
 		t.Error("Hierarchy accessor")

@@ -3,6 +3,7 @@ package hhh
 import (
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/trace"
 )
 
 // PerLevel is the classical streaming HHH engine: one Space-Saving summary
@@ -18,7 +19,8 @@ import (
 type PerLevel struct {
 	h     ipv4.Hierarchy
 	sks   []*sketch.SpaceSaving
-	anc   []ipv4.Prefix
+	masks []uint32 // per-level network masks, hoisted out of the hot path
+	qs    *QueryScratch
 	total int64
 }
 
@@ -26,12 +28,14 @@ type PerLevel struct {
 func NewPerLevel(h ipv4.Hierarchy, k int) *PerLevel {
 	levels := h.Levels()
 	p := &PerLevel{
-		h:   h,
-		sks: make([]*sketch.SpaceSaving, levels),
-		anc: make([]ipv4.Prefix, 0, levels),
+		h:     h,
+		sks:   make([]*sketch.SpaceSaving, levels),
+		masks: make([]uint32, levels),
+		qs:    NewQueryScratch(),
 	}
 	for l := range p.sks {
 		p.sks[l] = sketch.NewSpaceSaving(k)
+		p.masks[l] = ipv4.Mask(h.Bits(l))
 	}
 	return p
 }
@@ -42,16 +46,38 @@ func (p *PerLevel) Hierarchy() ipv4.Hierarchy { return p.h }
 // Update feeds one packet's source address and byte size.
 func (p *PerLevel) Update(src ipv4.Addr, bytes int64) {
 	p.total += bytes
-	p.anc = p.h.Ancestors(src, p.anc[:0])
-	for l, pre := range p.anc {
-		p.sks[l].Update(uint64(pre.Addr), bytes)
+	for l, m := range p.masks {
+		p.sks[l].Update(uint64(uint32(src)&m), bytes)
 	}
+}
+
+// UpdateBatch feeds a run of packets (source address keyed, byte
+// weighted) and returns the total byte weight added. The batch is applied
+// level-major: each level's summary absorbs the whole run while its
+// working set is hot, which is where the batch ingest path gains over
+// per-packet calls. The final state is identical to calling Update per
+// packet — per-level summaries are independent, and each still sees the
+// packets in stream order.
+func (p *PerLevel) UpdateBatch(pkts []trace.Packet) int64 {
+	var bytes int64
+	for i := range pkts {
+		bytes += int64(pkts[i].Size)
+	}
+	p.total += bytes
+	for l, m := range p.masks {
+		sk := p.sks[l]
+		for i := range pkts {
+			sk.Update(uint64(uint32(pkts[i].Src)&m), int64(pkts[i].Size))
+		}
+	}
+	return bytes
 }
 
 // Total returns the byte volume seen since the last Reset.
 func (p *PerLevel) Total() int64 { return p.total }
 
-// Reset clears all levels.
+// Reset clears all levels. Sketch storage is retained, so the
+// reset-per-window discipline performs no allocation.
 func (p *PerLevel) Reset() {
 	for _, s := range p.sks {
 		s.Reset()
@@ -61,7 +87,7 @@ func (p *PerLevel) Reset() {
 
 // Query returns the HHH set at absolute byte threshold T.
 func (p *PerLevel) Query(T int64) Set {
-	return queryLevels(p.h, p.sks, 1, T)
+	return queryLevels(p.h, p.sks, 1, T, p.qs)
 }
 
 // QueryFraction returns the HHH set at threshold phi of the observed
@@ -70,61 +96,12 @@ func (p *PerLevel) QueryFraction(phi float64) Set {
 	return p.Query(Threshold(p.total, phi))
 }
 
-// SizeBytes estimates the state footprint: per Space-Saving entry a heap
-// slot (24 B) plus a map slot (~24 B), per level.
+// SizeBytes reports the state footprint: the exact per-level summary
+// sizes (entry nodes, count buckets, occupancy bitmap, key index).
 func (p *PerLevel) SizeBytes() int {
 	n := 0
 	for _, s := range p.sks {
-		n += s.Capacity() * 48
+		n += s.SizeBytes()
 	}
 	return n
-}
-
-// queryLevels performs the bottom-up conditioned pass over per-level
-// Space-Saving summaries. scale multiplies raw sketch counts (1 for
-// engines that update every level; V for RHHH's sampled levels). Claimed
-// subtree volume is propagated upward as a discount exactly as in the
-// exact algorithm.
-func queryLevels(h ipv4.Hierarchy, sks []*sketch.SpaceSaving, scale int64, T int64) Set {
-	levels := h.Levels()
-	out := Set{}
-	discount := map[ipv4.Addr]int64{}
-	for l := 0; l < levels; l++ {
-		var parentBits uint8
-		last := l+1 >= levels
-		if !last {
-			parentBits = h.Bits(l + 1)
-		}
-		next := map[ipv4.Addr]int64{}
-		for _, kv := range sks[l].Tracked() {
-			addr := ipv4.Addr(kv.Key)
-			est := kv.Count * scale
-			d := discount[addr]
-			delete(discount, addr)
-			cond := est - d
-			claimed := d
-			if cond >= T {
-				out.Add(Item{
-					Prefix:      ipv4.Prefix{Addr: addr, Bits: h.Bits(l)},
-					Count:       est,
-					Conditioned: cond,
-				})
-				claimed = est
-			}
-			if !last && claimed > 0 {
-				next[ipv4.Addr(uint32(addr)&ipv4.Mask(parentBits))] += claimed
-			}
-		}
-		// Discounts whose prefix fell out of this level's summary still
-		// represent claimed mass and must keep propagating upward.
-		if !last {
-			for addr, d := range discount {
-				if d > 0 {
-					next[ipv4.Addr(uint32(addr)&ipv4.Mask(parentBits))] += d
-				}
-			}
-		}
-		discount = next
-	}
-	return out
 }

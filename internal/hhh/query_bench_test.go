@@ -1,0 +1,52 @@
+package hhh
+
+import (
+	"math/rand"
+	"testing"
+
+	"hiddenhhh/internal/ipv4"
+)
+
+// BenchmarkPerLevelEngineQuery measures the conditioned bottom-up query
+// of a warmed detector-sized per-level engine — the cost paid at every
+// window close, and where per-query map and Tracked-slice churn was
+// replaced by reusable scratch tables.
+func BenchmarkPerLevelEngineQuery(b *testing.B) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewPerLevel(h, 512)
+	rng := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(rng, 1.2, 1, 1<<16)
+	for i := 0; i < 300000; i++ {
+		addr := ipv4.Addr(uint32(z.Uint64()) * 2654435761)
+		eng.Update(addr, int64(40+rng.Intn(1460)))
+	}
+	T := Threshold(eng.Total(), 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := eng.Query(T); s.Len() == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}
+
+// BenchmarkPerLevelEngineUpdate measures the per-packet engine update
+// (all hierarchy levels) against a detector-sized summary.
+func BenchmarkPerLevelEngineUpdate(b *testing.B) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	eng := NewPerLevel(h, 512)
+	rng := rand.New(rand.NewSource(2))
+	z := rand.NewZipf(rng, 1.2, 1, 1<<16)
+	const n = 1 << 16
+	addrs := make([]ipv4.Addr, n)
+	sizes := make([]int64, n)
+	for i := range addrs {
+		addrs[i] = ipv4.Addr(uint32(z.Uint64()) * 2654435761)
+		sizes[i] = int64(40 + rng.Intn(1460))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Update(addrs[i&(n-1)], sizes[i&(n-1)])
+	}
+}

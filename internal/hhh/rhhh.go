@@ -4,6 +4,7 @@ import (
 	"hiddenhhh/internal/hashx"
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/trace"
 )
 
 // RHHH is the randomised HHH algorithm of Ben Basat et al. (SIGCOMM 2017),
@@ -21,10 +22,12 @@ import (
 type RHHH struct {
 	h       ipv4.Hierarchy
 	sks     []*sketch.SpaceSaving
+	masks   []uint32 // per-level network masks, hoisted out of the hot path
 	levels  uint64
 	rng     uint64 // splitmix64 state; deterministic under seed
 	total   int64
 	updates int64
+	qs      *QueryScratch
 }
 
 // NewRHHH builds an engine with k counters per level and a deterministic
@@ -34,11 +37,14 @@ func NewRHHH(h ipv4.Hierarchy, k int, seed uint64) *RHHH {
 	r := &RHHH{
 		h:      h,
 		sks:    make([]*sketch.SpaceSaving, levels),
+		masks:  make([]uint32, levels),
 		levels: uint64(levels),
 		rng:    hashx.Mix64(seed ^ 0x5851f42d4c957f2d),
+		qs:     NewQueryScratch(),
 	}
 	for l := range r.sks {
 		r.sks[l] = sketch.NewSpaceSaving(k)
+		r.masks[l] = ipv4.Mask(h.Bits(l))
 	}
 	return r
 }
@@ -53,8 +59,27 @@ func (r *RHHH) Update(src ipv4.Addr, bytes int64) {
 	// splitmix64 step, then unbiased-enough high-multiply range reduction.
 	r.rng += 0x9e3779b97f4a7c15
 	l := int((hashx.Mix64(r.rng) >> 32) * r.levels >> 32)
-	pre := r.h.At(src, l)
-	r.sks[l].Update(uint64(pre.Addr), bytes)
+	r.sks[l].Update(uint64(uint32(src)&r.masks[l]), bytes)
+}
+
+// UpdateBatch feeds a run of packets and returns the total byte weight
+// added. Levels are drawn per packet in the same deterministic sequence
+// as repeated Update calls, so the final state is identical; the batch
+// form amortises the per-packet call overhead of the ingest spine.
+func (r *RHHH) UpdateBatch(pkts []trace.Packet) int64 {
+	var bytes int64
+	rng := r.rng
+	for i := range pkts {
+		w := int64(pkts[i].Size)
+		bytes += w
+		rng += 0x9e3779b97f4a7c15
+		l := int((hashx.Mix64(rng) >> 32) * r.levels >> 32)
+		r.sks[l].Update(uint64(uint32(pkts[i].Src)&r.masks[l]), w)
+	}
+	r.rng = rng
+	r.total += bytes
+	r.updates += int64(len(pkts))
+	return bytes
 }
 
 // Total returns the byte volume seen since the last Reset.
@@ -65,7 +90,7 @@ func (r *RHHH) Updates() int64 { return r.updates }
 
 // Reset clears all levels and keeps the RNG rolling (reusing the engine
 // across windows does not replay the same level sequence, matching how a
-// switch deployment would behave).
+// switch deployment would behave). Sketch storage is retained.
 func (r *RHHH) Reset() {
 	for _, s := range r.sks {
 		s.Reset()
@@ -77,7 +102,7 @@ func (r *RHHH) Reset() {
 // Query returns the HHH set at absolute byte threshold T, scaling each
 // sampled level's counts by the level count.
 func (r *RHHH) Query(T int64) Set {
-	return queryLevels(r.h, r.sks, int64(r.levels), T)
+	return queryLevels(r.h, r.sks, int64(r.levels), T, r.qs)
 }
 
 // QueryFraction returns the HHH set at threshold phi of the observed
@@ -86,11 +111,11 @@ func (r *RHHH) QueryFraction(phi float64) Set {
 	return r.Query(Threshold(r.total, phi))
 }
 
-// SizeBytes estimates the state footprint (see PerLevel.SizeBytes).
+// SizeBytes reports the state footprint (see PerLevel.SizeBytes).
 func (r *RHHH) SizeBytes() int {
 	n := 0
 	for _, s := range r.sks {
-		n += s.Capacity() * 48
+		n += s.SizeBytes()
 	}
 	return n
 }

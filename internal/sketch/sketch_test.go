@@ -231,11 +231,76 @@ func TestSpaceSavingPanicsOnBadCapacity(t *testing.T) {
 	NewSpaceSaving(0)
 }
 
-func TestSpaceSavingHeapInvariant(t *testing.T) {
-	// Property: after arbitrary updates the root is the minimum count and
-	// index map is consistent.
+func TestSpaceSavingStructureInvariant(t *testing.T) {
+	// Property: after arbitrary updates the bucket list is strictly
+	// ascending by count, every entry sits in the bucket matching its
+	// count, the index resolves every monitored key, and Min() is the
+	// head bucket's count.
 	f := func(keys []uint8, weights []uint8) bool {
 		ss := NewSpaceSaving(8)
+		for i, k := range keys {
+			w := int64(1)
+			if i < len(weights) {
+				w = int64(weights[i]) + 1
+			}
+			ss.Update(uint64(k%32), w)
+		}
+		if ss.Len() == 0 {
+			return ss.ringN == 0
+		}
+		trueMin := ss.nodes[0].count
+		ringLinked := 0
+		for i := 0; i < ss.Len(); i++ {
+			n := ss.nodes[i]
+			if n.count < trueMin {
+				trueMin = n.count
+			}
+			if ss.idxFind(n.key) != int32(i) {
+				return false // index must resolve every monitored key
+			}
+			if n.slot == hotSlot {
+				continue
+			}
+			ringLinked++
+			if n.count-ss.base != int64(n.slot) {
+				return false // ring entry must sit in the bucket of its count
+			}
+			wi, bit := uint32(n.slot)>>6, uint64(1)<<(uint32(n.slot)&63)
+			if ss.words[wi]&bit == 0 || ss.summary&(uint64(1)<<wi) == 0 {
+				return false // occupancy bitmap out of sync
+			}
+			// The node must be reachable from its bucket's list, with
+			// stamps ascending (arrival order = eviction tie order).
+			found := false
+			lastStamp := int64(-1)
+			for ni := ss.slots[n.slot].head; ni != nilIdx; ni = ss.nodes[ni].next {
+				if ss.nodes[ni].stamp <= lastStamp {
+					return false
+				}
+				lastStamp = ss.nodes[ni].stamp
+				if ni == int32(i) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		if ringLinked != ss.ringN {
+			return false
+		}
+		return ss.Min() == trueMin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapSpaceSavingHeapInvariant(t *testing.T) {
+	// Property: after arbitrary updates the oracle's root is the minimum
+	// count and its index map is consistent.
+	f := func(keys []uint8, weights []uint8) bool {
+		ss := NewHeapSpaceSaving(8)
 		for i, k := range keys {
 			w := int64(1)
 			if i < len(weights) {
@@ -463,6 +528,17 @@ func TestTrackerInterfaceCompliance(t *testing.T) {
 func BenchmarkSpaceSavingUpdate(b *testing.B) {
 	stream := zipfStream(1<<16, 1<<14, 9)
 	ss := NewSpaceSaving(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv := stream[i&(1<<16-1)]
+		ss.Update(kv.Key, kv.Count)
+	}
+}
+
+func BenchmarkHeapSpaceSavingUpdate(b *testing.B) {
+	stream := zipfStream(1<<16, 1<<14, 9)
+	ss := NewHeapSpaceSaving(1024)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,6 +1,11 @@
 package sketch
 
-import "container/heap"
+import (
+	"math/bits"
+	"slices"
+
+	"hiddenhhh/internal/hashx"
+)
 
 // SpaceSaving is the Metwally et al. Space-Saving summary generalised to
 // weighted updates, the counter algorithm used by the per-level HHH
@@ -16,21 +21,86 @@ import "container/heap"
 //	Estimate(key) -  true(key) <= N/k             (bounded overestimation)
 //	any key with true(key) > N/k is monitored     (no false negatives)
 //
-// Internally entries sit in a min-heap on count, giving O(log k) updates;
-// the hardware-oriented papers use the O(1) stream-summary list, but the
-// heap has identical output semantics, which is what the experiments
-// compare.
+// Internally this is a stream-summary in the spirit of Metwally's bucket
+// list and of "Constant Time Updates in Hierarchical Heavy Hitters", but
+// adapted to weighted updates: a linked bucket list degrades to long
+// walks when byte-sized increments land in the dense count region near
+// the minimum, so the buckets here are direct-addressed instead. A ring
+// of ringSlots count buckets covers the window [base, base+ringSlots);
+// each bucket is an intrusive doubly-linked list of the entries sharing
+// that exact count, and a two-level occupancy bitmap finds the minimum
+// bucket in O(1). Entries whose count grows past the window leave for an
+// unsorted "hot" zone where an update is a bare count increment — under
+// heavy-tailed traffic that is the vast majority of updates. The ring is
+// rebuilt from the hot zone only when it runs empty, i.e. after the
+// minimum has advanced by a full window, which amortises the rebuild to
+// O(1) per update for packet-scale weights. The key index is open
+// addressed with backward-shift deletion. All storage is allocated at
+// construction and reused across Reset, so the per-packet path never
+// allocates.
+//
+// Eviction among equal minimum counts is deterministic: the entry whose
+// count changed least recently goes first (bucket lists keep arrival
+// order, rebuilds sort by the recorded change stamp). HeapSpaceSaving
+// implements the identical rule, which is what makes the two
+// differentially testable entry for entry.
 type SpaceSaving struct {
-	k       int
-	entries []ssEntry // heap-ordered by count
-	index   map[uint64]int
+	k     int
+	nodes []ssNode
+	n     int // nodes in use; they are recycled in place, never freed
+
+	// Direct-addressed count buckets over [base, base+ringSlots).
+	base    int64
+	minIdx  int32 // lower bound on the first occupied slot
+	ringN   int   // entries currently linked into the ring
+	live    bool  // ring built since the last Reset
+	slots   []ssRingSlot
+	words   []uint64 // occupancy bitmap, one bit per slot
+	summary uint64   // one bit per occupancy word
+
+	// Open-addressed key index.
+	tab  []ssSlot
+	mask uint32
+
+	scratch []int32 // rebuild candidate buffer
 	total   int64
+	clock   int64 // logical time of count changes, breaks eviction ties
 }
 
-type ssEntry struct {
-	key   uint64
-	count int64
-	err   int64
+// ringSlots is the count window the direct-addressed buckets cover. It
+// must comfortably exceed the common per-update weight (packet sizes top
+// out around 1500 B) so that evictions and light-entry increments stay
+// inside the ring; larger weights merely park entries in the hot zone
+// until the next rebuild reaches them.
+const ringSlots = 2048
+
+const (
+	nilIdx  = int32(-1)
+	hotSlot = int32(-2) // node is in the unsorted hot zone
+)
+
+// ssNode is one monitored entry. Ring entries are linked into their count
+// bucket's list; hot entries are not linked anywhere.
+type ssNode struct {
+	key        uint64
+	count      int64
+	err        int64
+	stamp      int64 // logical time of the last count change
+	slot       int32 // ring slot index, or hotSlot
+	prev, next int32 // neighbours within the bucket's entry list
+}
+
+// ssRingSlot heads one count bucket. Entry lists keep arrival order: head
+// is the entry that has sat at this count longest.
+type ssRingSlot struct {
+	head, tail int32
+}
+
+// ssSlot is one open-addressed index slot. node stores nodeIndex+1 so the
+// zero value means empty and Reset can clear the table with one memclr.
+type ssSlot struct {
+	key  uint64
+	node int32
 }
 
 // NewSpaceSaving builds a summary with capacity k >= 1 counters.
@@ -38,9 +108,18 @@ func NewSpaceSaving(k int) *SpaceSaving {
 	if k < 1 {
 		panic("sketch: SpaceSaving capacity must be >= 1")
 	}
+	tabSize := uint32(4)
+	for tabSize < uint32(2*k) {
+		tabSize <<= 1
+	}
 	return &SpaceSaving{
-		k:     k,
-		index: make(map[uint64]int, k),
+		k:       k,
+		nodes:   make([]ssNode, k),
+		slots:   make([]ssRingSlot, ringSlots),
+		words:   make([]uint64, ringSlots/64),
+		tab:     make([]ssSlot, tabSize),
+		mask:    tabSize - 1,
+		scratch: make([]int32, 0, k),
 	}
 }
 
@@ -48,39 +127,262 @@ func NewSpaceSaving(k int) *SpaceSaving {
 func (s *SpaceSaving) Capacity() int { return s.k }
 
 // Len returns the number of keys currently monitored.
-func (s *SpaceSaving) Len() int { return len(s.entries) }
+func (s *SpaceSaving) Len() int { return s.n }
+
+// --- open-addressed index (linear probing, backward-shift deletion) ---
+
+func ssHash(key uint64) uint32 { return uint32(hashx.Mix64(key)) }
+
+// idxFind returns the node slot monitoring key, or nilIdx.
+func (s *SpaceSaving) idxFind(key uint64) int32 {
+	i := ssHash(key) & s.mask
+	for {
+		sl := s.tab[i]
+		if sl.node == 0 {
+			return nilIdx
+		}
+		if sl.key == key {
+			return sl.node - 1
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *SpaceSaving) idxInsert(key uint64, node int32) {
+	i := ssHash(key) & s.mask
+	for s.tab[i].node != 0 {
+		i = (i + 1) & s.mask
+	}
+	s.tab[i] = ssSlot{key: key, node: node + 1}
+}
+
+func (s *SpaceSaving) idxDelete(key uint64) {
+	i := ssHash(key) & s.mask
+	for s.tab[i].key != key || s.tab[i].node == 0 {
+		i = (i + 1) & s.mask
+	}
+	// Backward-shift deletion keeps probe chains intact without
+	// tombstones, so the table never degrades across windows.
+	for {
+		s.tab[i] = ssSlot{}
+		j := i
+		for {
+			j = (j + 1) & s.mask
+			if s.tab[j].node == 0 {
+				return
+			}
+			h := ssHash(s.tab[j].key) & s.mask
+			// tab[j] may stay only if its home h lies cyclically in (i, j].
+			if i <= j {
+				if i < h && h <= j {
+					continue
+				}
+			} else if h > i || h <= j {
+				continue
+			}
+			s.tab[i] = s.tab[j]
+			i = j
+			break
+		}
+	}
+}
+
+// --- ring plumbing ---
+
+// ringLink appends node ni to the bucket at ring index idx, keeping
+// oldest-at-this-count-first order.
+func (s *SpaceSaving) ringLink(ni, idx int32) {
+	n := &s.nodes[ni]
+	n.slot = idx
+	n.next = nilIdx
+	wi := uint32(idx) >> 6
+	bit := uint64(1) << (uint32(idx) & 63)
+	if s.words[wi]&bit != 0 {
+		tail := s.slots[idx].tail
+		n.prev = tail
+		s.nodes[tail].next = ni
+		s.slots[idx].tail = ni
+	} else {
+		n.prev = nilIdx
+		s.slots[idx] = ssRingSlot{head: ni, tail: ni}
+		s.words[wi] |= bit
+		s.summary |= uint64(1) << wi
+	}
+	if idx < s.minIdx {
+		s.minIdx = idx
+	}
+	s.ringN++
+}
+
+// ringRemove unlinks node ni from its bucket and marks it hot.
+func (s *SpaceSaving) ringRemove(ni int32) {
+	n := &s.nodes[ni]
+	idx := n.slot
+	if n.prev == nilIdx {
+		s.slots[idx].head = n.next
+	} else {
+		s.nodes[n.prev].next = n.next
+	}
+	if n.next == nilIdx {
+		s.slots[idx].tail = n.prev
+	} else {
+		s.nodes[n.next].prev = n.prev
+	}
+	if s.slots[idx].head == nilIdx {
+		wi := uint32(idx) >> 6
+		s.words[wi] &^= uint64(1) << (uint32(idx) & 63)
+		if s.words[wi] == 0 {
+			s.summary &^= uint64(1) << wi
+		}
+	}
+	n.slot = hotSlot
+	s.ringN--
+}
+
+// ringMin returns the first occupied slot index. The ring must be
+// non-empty. minIdx is a monotone lower bound within a ring epoch, so the
+// bitmap scan is amortised O(1).
+func (s *SpaceSaving) ringMin() int32 {
+	i := uint32(s.minIdx)
+	wi := i >> 6
+	w := s.words[wi] >> (i & 63) << (i & 63)
+	if w == 0 {
+		sum := s.summary >> (wi + 1) << (wi + 1)
+		wi = uint32(bits.TrailingZeros64(sum))
+		w = s.words[wi]
+	}
+	return int32(wi<<6 + uint32(bits.TrailingZeros64(w)))
+}
+
+// dropRing unlinks every ring entry, sending the structure back to the
+// all-hot state. Only taken on the rare path where a new key arrives
+// below the ring's base while the summary is still filling.
+func (s *SpaceSaving) dropRing() {
+	for i := 0; i < s.n; i++ {
+		s.nodes[i].slot = hotSlot
+	}
+	clear(s.words)
+	s.summary = 0
+	s.ringN = 0
+	s.live = false
+}
+
+// ensureRing guarantees at least one ring entry, rebuilding the window
+// from the hot zone when the minimum has advanced past it.
+func (s *SpaceSaving) ensureRing() {
+	if s.live && s.ringN > 0 {
+		return
+	}
+	s.rebase()
+}
+
+// rebase rebuilds the ring window anchored at the current global minimum:
+// every entry within ringSlots of it is linked back into direct-addressed
+// buckets, in (count, stamp) order so that eviction order is preserved.
+func (s *SpaceSaving) rebase() {
+	mn := s.nodes[0].count
+	for i := 1; i < s.n; i++ {
+		if c := s.nodes[i].count; c < mn {
+			mn = c
+		}
+	}
+	s.base = mn
+	s.minIdx = 0
+	s.ringN = 0
+	s.live = true
+	clear(s.words)
+	s.summary = 0
+	cand := s.scratch[:0]
+	for i := 0; i < s.n; i++ {
+		if s.nodes[i].count-mn < ringSlots {
+			cand = append(cand, int32(i))
+		}
+	}
+	slices.SortFunc(cand, func(a, b int32) int {
+		na, nb := &s.nodes[a], &s.nodes[b]
+		if na.count != nb.count {
+			if na.count < nb.count {
+				return -1
+			}
+			return 1
+		}
+		if na.stamp < nb.stamp {
+			return -1
+		}
+		return 1
+	})
+	for _, ni := range cand {
+		s.ringLink(ni, int32(s.nodes[ni].count-mn))
+	}
+	s.scratch = cand[:0]
+}
+
+// increase adds w to node ni's count and relinks it if it is in the ring.
+// Hot entries — the common case under heavy-tailed traffic — pay for a
+// bare increment only.
+func (s *SpaceSaving) increase(ni int32, w int64) {
+	if w == 0 {
+		return
+	}
+	n := &s.nodes[ni]
+	s.clock++
+	n.count += w
+	n.stamp = s.clock
+	if n.slot == hotSlot {
+		return
+	}
+	s.ringRemove(ni)
+	if idx := n.count - s.base; idx < ringSlots {
+		s.ringLink(ni, int32(idx))
+	}
+}
 
 // Update implements Sketch.
 func (s *SpaceSaving) Update(key uint64, w int64) {
 	s.total += w
-	if i, ok := s.index[key]; ok {
-		s.entries[i].count += w
-		heap.Fix(s, i)
+	if ni := s.idxFind(key); ni != nilIdx {
+		s.increase(ni, w)
 		return
 	}
-	if len(s.entries) < s.k {
-		heap.Push(s, ssEntry{key: key, count: w})
+	if s.n < s.k {
+		ni := int32(s.n)
+		s.n++
+		s.clock++
+		s.nodes[ni] = ssNode{key: key, count: w, stamp: s.clock, slot: hotSlot, prev: nilIdx, next: nilIdx}
+		s.idxInsert(key, ni)
+		if s.live {
+			if w < s.base {
+				s.dropRing()
+			} else if idx := w - s.base; idx < ringSlots {
+				s.ringLink(ni, int32(idx))
+			}
+		}
 		return
 	}
-	// Evict the minimum: the incoming key inherits its count as error.
-	min := &s.entries[0]
-	delete(s.index, min.key)
-	s.index[key] = 0
-	min.err = min.count
-	min.key = key
-	min.count += w
-	heap.Fix(s, 0)
+	// Evict the minimum: the head entry of the minimum bucket is the one
+	// that has sat at the minimum count longest. The incoming key takes
+	// over its node and inherits the minimum as error.
+	s.ensureRing()
+	mi := s.ringMin()
+	s.minIdx = mi
+	ni := s.slots[mi].head
+	n := &s.nodes[ni]
+	s.idxDelete(n.key)
+	s.idxInsert(key, ni)
+	n.key = key
+	n.err = n.count
+	s.increase(ni, w)
 }
 
 // Estimate implements Estimator. Unmonitored keys return the minimum
 // monitored count when the summary is full (the tight upper bound), or 0
 // when it is not.
 func (s *SpaceSaving) Estimate(key uint64) int64 {
-	if i, ok := s.index[key]; ok {
-		return s.entries[i].count
+	if ni := s.idxFind(key); ni != nilIdx {
+		return s.nodes[ni].count
 	}
-	if len(s.entries) == s.k && s.k > 0 && len(s.entries) > 0 {
-		return s.entries[0].count
+	if s.n == s.k {
+		return s.Min()
 	}
 	return 0
 }
@@ -88,40 +390,77 @@ func (s *SpaceSaving) Estimate(key uint64) int64 {
 // ErrorBound returns the recorded overestimation bound for key (its err
 // field), or the minimum count for unmonitored keys.
 func (s *SpaceSaving) ErrorBound(key uint64) int64 {
-	if i, ok := s.index[key]; ok {
-		return s.entries[i].err
+	if ni := s.idxFind(key); ni != nilIdx {
+		return s.nodes[ni].err
 	}
-	if len(s.entries) == s.k && len(s.entries) > 0 {
-		return s.entries[0].count
+	if s.n == s.k {
+		return s.Min()
 	}
 	return 0
+}
+
+// Min returns the minimum monitored count, or 0 when empty.
+func (s *SpaceSaving) Min() int64 {
+	if s.n == 0 {
+		return 0
+	}
+	s.ensureRing()
+	mi := s.ringMin()
+	s.minIdx = mi
+	return s.base + int64(mi)
 }
 
 // Total implements Sketch.
 func (s *SpaceSaving) Total() int64 { return s.total }
 
-// Reset implements Sketch.
+// Reset implements Sketch. All storage is retained: the index is cleared
+// in place and nodes, buckets and bitmaps are recycled, so a
+// reset-per-window discipline performs no allocation after construction.
 func (s *SpaceSaving) Reset() {
-	s.entries = s.entries[:0]
-	s.index = make(map[uint64]int, s.k)
+	clear(s.tab)
+	clear(s.words)
+	s.summary = 0
+	s.n = 0
+	s.ringN = 0
+	s.live = false
+	s.minIdx = 0
+	s.base = 0
 	s.total = 0
+	s.clock = 0
+}
+
+// ForEachTracked visits every monitored entry in unspecified order
+// without allocating — the zero-allocation query path used by the HHH
+// engines' conditioned bottom-up pass.
+func (s *SpaceSaving) ForEachTracked(fn func(key uint64, count, errUB int64)) {
+	for i := 0; i < s.n; i++ {
+		n := &s.nodes[i]
+		fn(n.key, n.count, n.err)
+	}
+}
+
+// AppendTracked appends the currently monitored keys to dst and returns
+// the extended slice; with a preallocated dst it performs no allocation.
+func (s *SpaceSaving) AppendTracked(dst []KV) []KV {
+	for i := 0; i < s.n; i++ {
+		n := &s.nodes[i]
+		dst = append(dst, KV{Key: n.key, Count: n.count, ErrUB: n.err})
+	}
+	return dst
 }
 
 // Tracked implements Tracker.
 func (s *SpaceSaving) Tracked() []KV {
-	out := make([]KV, 0, len(s.entries))
-	for _, e := range s.entries {
-		out = append(out, KV{Key: e.key, Count: e.count, ErrUB: e.err})
-	}
-	return out
+	return s.AppendTracked(make([]KV, 0, s.n))
 }
 
 // HeavyKeys implements Tracker.
 func (s *SpaceSaving) HeavyKeys(threshold int64) []KV {
 	var out []KV
-	for _, e := range s.entries {
-		if e.count >= threshold {
-			out = append(out, KV{Key: e.key, Count: e.count, ErrUB: e.err})
+	for i := 0; i < s.n; i++ {
+		n := &s.nodes[i]
+		if n.count >= threshold {
+			out = append(out, KV{Key: n.key, Count: n.count, ErrUB: n.err})
 		}
 	}
 	return out
@@ -131,35 +470,18 @@ func (s *SpaceSaving) HeavyKeys(threshold int64) []KV {
 // threshold: detections that cannot be false positives.
 func (s *SpaceSaving) GuaranteedKeys(threshold int64) []KV {
 	var out []KV
-	for _, e := range s.entries {
-		if e.count-e.err >= threshold {
-			out = append(out, KV{Key: e.key, Count: e.count, ErrUB: e.err})
+	for i := 0; i < s.n; i++ {
+		n := &s.nodes[i]
+		if n.count-n.err >= threshold {
+			out = append(out, KV{Key: n.key, Count: n.count, ErrUB: n.err})
 		}
 	}
 	return out
 }
 
-// heap.Interface methods; Len above doubles as the heap length. Not for
-// external use.
-
-func (s *SpaceSaving) Less(i, j int) bool { return s.entries[i].count < s.entries[j].count }
-func (s *SpaceSaving) Swap(i, j int) {
-	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
-	s.index[s.entries[i].key] = i
-	s.index[s.entries[j].key] = j
-}
-
-// Push implements heap.Interface.
-func (s *SpaceSaving) Push(x any) {
-	e := x.(ssEntry)
-	s.index[e.key] = len(s.entries)
-	s.entries = append(s.entries, e)
-}
-
-// Pop implements heap.Interface.
-func (s *SpaceSaving) Pop() any {
-	e := s.entries[len(s.entries)-1]
-	delete(s.index, e.key)
-	s.entries = s.entries[:len(s.entries)-1]
-	return e
+// SizeBytes reports the exact state footprint of the summary: entry
+// nodes, direct-addressed buckets with their occupancy bitmap, and the
+// open-addressed key index.
+func (s *SpaceSaving) SizeBytes() int {
+	return len(s.nodes)*48 + len(s.slots)*8 + len(s.words)*8 + 8 + len(s.tab)*16
 }

@@ -1,0 +1,237 @@
+package sketch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortedTracked returns a sketch's tracked set sorted by key for
+// order-insensitive comparison.
+func sortedTracked(kvs []KV) []KV {
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	return kvs
+}
+
+// requireIdentical asserts that the stream-summary and the heap oracle
+// agree on every observable: total, monitored set, counts, error bounds
+// and unmonitored-key estimates.
+func requireIdentical(t *testing.T, tag string, ss *SpaceSaving, or *HeapSpaceSaving, probes []uint64) {
+	t.Helper()
+	if ss.Total() != or.Total() {
+		t.Fatalf("%s: Total %d != oracle %d", tag, ss.Total(), or.Total())
+	}
+	if ss.Len() != or.Len() {
+		t.Fatalf("%s: Len %d != oracle %d", tag, ss.Len(), or.Len())
+	}
+	if ss.Min() != or.Min() {
+		t.Fatalf("%s: Min %d != oracle %d", tag, ss.Min(), or.Min())
+	}
+	a, b := sortedTracked(ss.Tracked()), sortedTracked(or.Tracked())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: tracked[%d] = %+v, oracle has %+v", tag, i, a[i], b[i])
+		}
+	}
+	for _, key := range probes {
+		if g, w := ss.Estimate(key), or.Estimate(key); g != w {
+			t.Fatalf("%s: Estimate(%d) = %d, oracle %d", tag, key, g, w)
+		}
+		if g, w := ss.ErrorBound(key), or.ErrorBound(key); g != w {
+			t.Fatalf("%s: ErrorBound(%d) = %d, oracle %d", tag, key, g, w)
+		}
+	}
+}
+
+// TestSpaceSavingDifferentialVsHeapOracle drives the O(1) stream-summary
+// and the heap-based oracle through identical million-update random
+// weighted streams and requires bit-identical observable state, including
+// at intermediate checkpoints and across window resets. This is the
+// acceptance proof that the constant-time rewrite changed the data
+// structure, not the algorithm.
+func TestSpaceSavingDifferentialVsHeapOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-update differential stream")
+	}
+	const updates = 1 << 20 // >= 10^6 updates
+	cases := []struct {
+		name     string
+		k        int
+		universe int
+		zipfS    float64
+	}{
+		{"k16-dense", 16, 64, 1.1},       // constant eviction churn, many count ties
+		{"k128-skewed", 128, 4096, 1.4},  // heavy-hitter regime
+		{"k512-wide", 512, 1 << 16, 1.2}, // detector-sized summary
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xD1FF + int64(tc.k)))
+			z := rand.NewZipf(rng, tc.zipfS, 1, uint64(tc.universe-1))
+			ss := NewSpaceSaving(tc.k)
+			or := NewHeapSpaceSaving(tc.k)
+			probes := make([]uint64, 256)
+			for i := range probes {
+				probes[i] = uint64(rng.Intn(tc.universe))
+			}
+			checkpoint := updates / 8
+			for i := 0; i < updates; i++ {
+				key := z.Uint64()
+				var w int64
+				switch i % 3 {
+				case 0:
+					w = int64(40 + rng.Intn(1460)) // packet-sized weights
+				case 1:
+					w = int64(rng.Intn(4)) // tiny weights incl. zero
+				default:
+					w = 1 // unit updates
+				}
+				ss.Update(key, w)
+				or.Update(key, w)
+				if (i+1)%checkpoint == 0 {
+					requireIdentical(t, tc.name, ss, or, probes)
+				}
+			}
+			requireIdentical(t, tc.name+"/final", ss, or, probes)
+
+			// Reset must return both to identical empty state and stay
+			// equivalent through a second (shorter) window.
+			ss.Reset()
+			or.Reset()
+			requireIdentical(t, tc.name+"/reset", ss, or, probes)
+			for i := 0; i < updates/16; i++ {
+				key := z.Uint64()
+				w := int64(1 + rng.Intn(1500))
+				ss.Update(key, w)
+				or.Update(key, w)
+			}
+			requireIdentical(t, tc.name+"/rewindowed", ss, or, probes)
+		})
+	}
+}
+
+// TestSpaceSavingDifferentialAdversarialTies hammers the deterministic
+// tie-break: unit weights over a tiny universe make almost every eviction
+// choose among multiple minimum-count entries.
+func TestSpaceSavingDifferentialAdversarialTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ss := NewSpaceSaving(8)
+	or := NewHeapSpaceSaving(8)
+	probes := make([]uint64, 24)
+	for i := range probes {
+		probes[i] = uint64(i)
+	}
+	for i := 0; i < 200000; i++ {
+		key := uint64(rng.Intn(24))
+		ss.Update(key, 1)
+		or.Update(key, 1)
+		if i%1000 == 999 {
+			requireIdentical(t, "ties", ss, or, probes)
+		}
+	}
+}
+
+// TestSpaceSavingGuaranteesProperty re-checks the three Space-Saving
+// guarantees on the stream-summary against exact ground truth across
+// several random weighted streams:
+//
+//	(1) estimates never underestimate,
+//	(2) overestimation is bounded by N/k (and by the recorded err),
+//	(3) every key above N/k is monitored (no false negatives).
+func TestSpaceSavingGuaranteesProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		const k = 96
+		stream := zipfStream(40000, 3000, 100+seed)
+		truth := exactOf(stream)
+		N := totalOf(stream)
+		ss := NewSpaceSaving(k)
+		for _, kv := range stream {
+			ss.Update(kv.Key, kv.Count)
+		}
+		if ss.Total() != N {
+			t.Fatalf("seed %d: Total = %d, want %d", seed, ss.Total(), N)
+		}
+		monitored := map[uint64]bool{}
+		for _, kv := range ss.Tracked() {
+			monitored[kv.Key] = true
+			over := kv.Count - truth[kv.Key]
+			if over < 0 {
+				t.Fatalf("seed %d: key %d underestimated: %d < %d",
+					seed, kv.Key, kv.Count, truth[kv.Key])
+			}
+			if over > N/k {
+				t.Fatalf("seed %d: overestimation %d exceeds N/k = %d", seed, over, N/k)
+			}
+			if over > kv.ErrUB {
+				t.Fatalf("seed %d: recorded err %d below actual overestimation %d",
+					seed, kv.ErrUB, over)
+			}
+		}
+		for key, want := range truth {
+			if got := ss.Estimate(key); got < want {
+				t.Fatalf("seed %d: Estimate(%d) = %d underestimates %d", seed, key, got, want)
+			}
+			if want > N/k && !monitored[key] {
+				t.Fatalf("seed %d: key %d with weight %d > N/k=%d not monitored",
+					seed, key, want, N/k)
+			}
+		}
+	}
+}
+
+// TestSpaceSavingAppendTrackedMatchesTracked pins the zero-allocation
+// iteration paths to the allocating one.
+func TestSpaceSavingAppendTrackedMatchesTracked(t *testing.T) {
+	stream := zipfStream(20000, 2000, 42)
+	ss := NewSpaceSaving(64)
+	for _, kv := range stream {
+		ss.Update(kv.Key, kv.Count)
+	}
+	want := sortedTracked(ss.Tracked())
+	got := sortedTracked(ss.AppendTracked(make([]KV, 0, 64)))
+	if len(got) != len(want) {
+		t.Fatalf("AppendTracked len %d, Tracked len %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AppendTracked[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var visited []KV
+	ss.ForEachTracked(func(key uint64, count, errUB int64) {
+		visited = append(visited, KV{Key: key, Count: count, ErrUB: errUB})
+	})
+	visited = sortedTracked(visited)
+	for i := range visited {
+		if visited[i] != want[i] {
+			t.Fatalf("ForEachTracked[%d] = %+v, want %+v", i, visited[i], want[i])
+		}
+	}
+}
+
+// TestSpaceSavingResetReusesStorage verifies the zero-allocation window
+// reset: after Reset the summary must behave like a fresh one while
+// retaining its backing arrays.
+func TestSpaceSavingResetReusesStorage(t *testing.T) {
+	ss := NewSpaceSaving(32)
+	fresh := NewSpaceSaving(32)
+	stream := zipfStream(5000, 500, 77)
+	for window := 0; window < 4; window++ {
+		for _, kv := range stream {
+			ss.Update(kv.Key, kv.Count)
+			fresh.Update(kv.Key, kv.Count)
+		}
+		a, b := sortedTracked(ss.Tracked()), sortedTracked(fresh.Tracked())
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("window %d: reused summary diverged from fresh: %+v vs %+v",
+					window, a[i], b[i])
+			}
+		}
+		ss.Reset()
+		fresh = NewSpaceSaving(32)
+		if ss.Len() != 0 || ss.Total() != 0 || ss.Min() != 0 {
+			t.Fatal("Reset incomplete")
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/trace"
 )
 
 // Config configures a sliding heavy-hitter summary.
@@ -101,15 +102,21 @@ func (s *Sliding) Update(key uint64, w int64, now int64) {
 	s.totals[slot] += w
 }
 
-// Estimate returns the upper-bound estimate of key's weight over the
-// covered window at time now.
-func (s *Sliding) Estimate(key uint64, now int64) int64 {
-	s.advance(now)
+// estimate sums the per-frame estimates for key without advancing; the
+// caller must have advanced to the query time already.
+func (s *Sliding) estimate(key uint64) int64 {
 	var sum int64
 	for _, f := range s.frames {
 		sum += f.Estimate(key)
 	}
 	return sum
+}
+
+// Estimate returns the upper-bound estimate of key's weight over the
+// covered window at time now.
+func (s *Sliding) Estimate(key uint64, now int64) int64 {
+	s.advance(now)
+	return s.estimate(key)
 }
 
 // WindowTotal returns the total weight currently covered.
@@ -143,7 +150,7 @@ func (s *Sliding) HeavyKeys(phi float64, now int64) []sketch.KV {
 				continue
 			}
 			seen[kv.Key] = true
-			est := s.Estimate(kv.Key, now)
+			est := s.estimate(kv.Key)
 			if est >= threshold {
 				out = append(out, sketch.KV{Key: kv.Key, Count: est})
 			}
@@ -152,9 +159,13 @@ func (s *Sliding) HeavyKeys(phi float64, now int64) []sketch.KV {
 	return out
 }
 
-// SizeBytes estimates the summary footprint (48 B per Space-Saving entry).
+// SizeBytes reports the summary footprint: the exact per-frame sizes.
 func (s *Sliding) SizeBytes() int {
-	return len(s.frames) * s.cfg.Counters * 48
+	n := 0
+	for _, f := range s.frames {
+		n += f.SizeBytes()
+	}
+	return n
 }
 
 // Reset clears all frames.
@@ -172,85 +183,100 @@ func (s *Sliding) Reset() {
 type SlidingHHH struct {
 	h      ipv4.Hierarchy
 	levels []*Sliding
-	anc    []ipv4.Prefix
+	masks  []uint32 // per-level network masks, hoisted out of the hot path
+	// Reusable query scratch: per-level candidate dedup plus the shared
+	// conditioned pass's discount tables, cleared in place per query.
+	seen map[uint64]struct{}
+	qs   *hhh.QueryScratch
 }
 
 // NewSlidingHHH builds a per-level sliding HHH detector.
 func NewSlidingHHH(h ipv4.Hierarchy, cfg Config) (*SlidingHHH, error) {
-	d := &SlidingHHH{h: h, levels: make([]*Sliding, h.Levels())}
+	d := &SlidingHHH{
+		h:      h,
+		levels: make([]*Sliding, h.Levels()),
+		masks:  make([]uint32, h.Levels()),
+		seen:   make(map[uint64]struct{}, 64),
+		qs:     hhh.NewQueryScratch(),
+	}
 	for l := range d.levels {
 		s, err := NewSliding(cfg)
 		if err != nil {
 			return nil, err
 		}
 		d.levels[l] = s
+		d.masks[l] = ipv4.Mask(h.Bits(l))
 	}
-	d.anc = make([]ipv4.Prefix, 0, h.Levels())
 	return d, nil
 }
 
 // Update feeds one packet's source and byte size at time now.
 func (d *SlidingHHH) Update(src ipv4.Addr, bytes int64, now int64) {
-	d.anc = d.h.Ancestors(src, d.anc[:0])
-	for l, pre := range d.anc {
-		d.levels[l].Update(uint64(pre.Addr), bytes, now)
+	for l, m := range d.masks {
+		d.levels[l].Update(uint64(uint32(src)&m), bytes, now)
+	}
+}
+
+// UpdateBatch feeds a run of time-ordered packets. Packets are chunked by
+// frame so each chunk advances the frame ring once per level and then
+// applies its updates level-major into the current frame — the same final
+// state as per-packet Update calls, at a fraction of the call overhead.
+func (d *SlidingHHH) UpdateBatch(pkts []trace.Packet) {
+	frameNs := d.levels[0].frameNs
+	for i := 0; i < len(pkts); {
+		fi := pkts[i].Ts / frameNs
+		j := i + 1
+		for j < len(pkts) && pkts[j].Ts/frameNs == fi {
+			j++
+		}
+		chunk := pkts[i:j]
+		var bytes int64
+		for c := range chunk {
+			bytes += int64(chunk[c].Size)
+		}
+		for l, lv := range d.levels {
+			lv.advance(chunk[0].Ts)
+			slot := int(lv.curFrame % int64(len(lv.frames)))
+			f := lv.frames[slot]
+			m := d.masks[l]
+			for c := range chunk {
+				f.Update(uint64(uint32(chunk[c].Src)&m), int64(chunk[c].Size))
+			}
+			lv.totals[slot] += bytes
+		}
+		i = j
 	}
 }
 
 // Query returns the HHH set at fraction phi of the covered window total,
-// using bottom-up conditioning over the per-level heavy keys.
+// using the shared bottom-up conditioned pass over the per-level heavy
+// keys. The candidate and discount tables are reused across queries, so
+// the pass allocates only the returned Set.
 func (d *SlidingHHH) Query(phi float64, now int64) hhh.Set {
+	for _, lv := range d.levels {
+		lv.advance(now)
+	}
 	total := d.levels[0].WindowTotal(now)
 	threshold := int64(phi * float64(total))
 	if threshold < 1 {
 		threshold = 1
 	}
-	out := hhh.Set{}
-	discount := map[ipv4.Addr]int64{}
-	for l := 0; l < d.h.Levels(); l++ {
-		last := l+1 >= d.h.Levels()
-		var parentBits uint8
-		if !last {
-			parentBits = d.h.Bits(l + 1)
-		}
-		next := map[ipv4.Addr]int64{}
-		// Candidates: every key any frame tracks at this level.
-		seen := map[uint64]bool{}
-		for _, f := range d.levels[l].frames {
-			for _, kv := range f.Tracked() {
-				if seen[kv.Key] {
-					continue
-				}
-				seen[kv.Key] = true
-				addr := ipv4.Addr(kv.Key)
-				est := d.levels[l].Estimate(kv.Key, now)
-				dsc := discount[addr]
-				delete(discount, addr)
-				cond := est - dsc
-				claimed := dsc
-				if cond >= threshold {
-					out.Add(hhh.Item{
-						Prefix:      ipv4.Prefix{Addr: addr, Bits: d.h.Bits(l)},
-						Count:       est,
-						Conditioned: cond,
-					})
-					claimed = est
-				}
-				if !last && claimed > 0 {
-					next[ipv4.Addr(uint32(addr)&ipv4.Mask(parentBits))] += claimed
-				}
+	return hhh.ConditionedLevels(d.h, threshold, d.qs,
+		func(l int, emit func(addr ipv4.Addr, est int64)) {
+			lv := d.levels[l]
+			clear(d.seen)
+			// Candidates: every key any frame tracks at this level, each
+			// estimated once across all frames.
+			for _, f := range lv.frames {
+				f.ForEachTracked(func(key uint64, _, _ int64) {
+					if _, dup := d.seen[key]; dup {
+						return
+					}
+					d.seen[key] = struct{}{}
+					emit(ipv4.Addr(key), lv.estimate(key))
+				})
 			}
-		}
-		if !last {
-			for addr, dsc := range discount {
-				if dsc > 0 {
-					next[ipv4.Addr(uint32(addr)&ipv4.Mask(parentBits))] += dsc
-				}
-			}
-		}
-		discount = next
-	}
-	return out
+		})
 }
 
 // SizeBytes sums the per-level footprints.

@@ -7,6 +7,7 @@ import (
 
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/sketch"
 )
 
 const sec = int64(time.Second)
@@ -123,8 +124,9 @@ func TestResetAndSize(t *testing.T) {
 	if s.Estimate(1, 0) != 0 || s.WindowTotal(0) != 0 {
 		t.Error("Reset incomplete")
 	}
-	if s.SizeBytes() != 5*32*48 {
-		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	// Exact accounting: frames+1 summaries, as the summary reports it.
+	if want := 5 * sketch.NewSpaceSaving(32).SizeBytes(); s.SizeBytes() != want {
+		t.Errorf("SizeBytes = %d, want %d", s.SizeBytes(), want)
 	}
 }
 

@@ -70,6 +70,38 @@ func ForEach(src Source, fn func(*Packet) error) error {
 	}
 }
 
+// ForEachBatch drains src through fn in runs of up to batchSize packets
+// (default 512), reusing a single buffer for every run — the batch
+// counterpart of ForEach for drivers feeding batch-ingest detectors. The
+// slice passed to fn is only valid during the call.
+func ForEachBatch(src Source, batchSize int, fn func(pkts []Packet) error) error {
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	buf := make([]Packet, batchSize)
+	n := 0
+	for {
+		err := src.Next(&buf[n])
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		if n == len(buf) {
+			if err := fn(buf); err != nil {
+				return err
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		return fn(buf[:n])
+	}
+	return nil
+}
+
 // FilterSource passes through only packets for which Keep returns true.
 type FilterSource struct {
 	Src  Source

@@ -1,0 +1,91 @@
+package window
+
+import (
+	"errors"
+	"io"
+
+	"hiddenhhh/internal/trace"
+)
+
+// TumbleBatches is the batch-ingest counterpart of TumblePackets: it
+// drives a streaming detector through disjoint windows delivering runs of
+// in-span packets instead of single ones. Runs never straddle a window
+// boundary, so the consumer may treat each as belonging to the current
+// window; onWindow fires at every window close (including empty windows)
+// exactly as in TumblePackets. Span.Bytes accumulates onBatch's return
+// value — the weight the consumer accounted for the run — which keeps
+// the driver free of per-packet callbacks, the point of the batch path.
+// A caller that sets cfg.Weight explicitly overrides that: the driver
+// then weighs every packet itself, exactly as TumblePackets would, and
+// onBatch's return value is ignored.
+func TumbleBatches(src trace.Source, cfg Config, batchSize int, onBatch func(pkts []trace.Packet) int64, onWindow func(Span) error) error {
+	customWeight := cfg.Weight
+	cfg.setDefaults()
+	cfg.Step = cfg.Width
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	width := int64(cfg.Width)
+	positions := cfg.Count()
+	endTs := cfg.Origin + int64(positions)*width
+	cur := Span{Start: cfg.Origin, End: cfg.Origin + width}
+	buf := make([]trace.Packet, 0, batchSize)
+
+	flushBatch := func() {
+		if len(buf) > 0 {
+			cur.Packets += len(buf)
+			w := onBatch(buf)
+			if customWeight != nil {
+				w = 0
+				for i := range buf {
+					w += customWeight(&buf[i])
+				}
+			}
+			cur.Bytes += w
+			buf = buf[:0]
+		}
+	}
+	flushThrough := func(idx int) error {
+		for cur.Index < idx && cur.Index < positions {
+			if err := onWindow(cur); err != nil {
+				return err
+			}
+			cur = Span{
+				Index: cur.Index + 1,
+				Start: cur.End,
+				End:   cur.End + width,
+			}
+		}
+		return nil
+	}
+
+	var p trace.Packet
+	for {
+		err := src.Next(&p)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		if p.Ts < cfg.Origin || p.Ts >= endTs {
+			continue
+		}
+		idx := int((p.Ts - cfg.Origin) / width)
+		if idx > cur.Index {
+			flushBatch()
+			if err := flushThrough(idx); err != nil {
+				return err
+			}
+		}
+		buf = append(buf, p)
+		if len(buf) == cap(buf) {
+			flushBatch()
+		}
+	}
+	flushBatch()
+	return flushThrough(positions)
+}
