@@ -8,7 +8,10 @@
 //
 //   - Detectors: windowed (disjoint, reset-per-window), sliding-window,
 //     and continuous time-decaying HHH detection over packet streams (see
-//     NewWindowedDetector, NewSlidingDetector, NewContinuousDetector).
+//     NewWindowedDetector, NewSlidingDetector, NewContinuousDetector),
+//     plus a sharded concurrent pipeline that parallelises windowed
+//     ingest across hash-partitioned worker shards and merges their
+//     summaries at query time (see NewShardedDetector).
 //   - Traffic: a seeded synthetic Tier-1 traffic generator (the stand-in
 //     for the paper's proprietary CAIDA traces), binary trace files, and
 //     pcap interchange.

@@ -254,6 +254,36 @@ func BenchmarkDetectorContinuousSampled(b *testing.B) {
 	benchDetector(b, det)
 }
 
+// benchSharded measures the sharded pipeline's ingest throughput at a
+// given shard count, batch-fed like the other detector benchmarks. One op
+// is one packet; speedup over BenchmarkDetectorSharded1 is the parallel
+// scaling factor (bounded by the machine's core count — a single-core
+// runner shows ~1x regardless of shards).
+func benchSharded(b *testing.B, shards int) {
+	det, err := NewShardedDetector(ShardedConfig{
+		Shards: shards, Window: 10 * time.Second, Phi: 0.05, Engine: EnginePerLevel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+	b.StopTimer()
+	det.Close()
+}
+
+// BenchmarkDetectorSharded1 is the 1-shard pipeline baseline (pipeline
+// overhead over BenchmarkDetectorWindowedPerLevel is the partition+ring
+// cost).
+func BenchmarkDetectorSharded1(b *testing.B) { benchSharded(b, 1) }
+
+// BenchmarkDetectorSharded2 measures 2-shard parallel ingest.
+func BenchmarkDetectorSharded2(b *testing.B) { benchSharded(b, 2) }
+
+// BenchmarkDetectorSharded4 measures 4-shard parallel ingest.
+func BenchmarkDetectorSharded4(b *testing.B) { benchSharded(b, 4) }
+
+// BenchmarkDetectorSharded8 measures 8-shard parallel ingest.
+func BenchmarkDetectorSharded8(b *testing.B) { benchSharded(b, 8) }
+
 // BenchmarkDetectorWindowedPerLevelObserve measures the per-level engine
 // through the single-packet Observe path, isolating the batch-spine gain
 // from the O(1) sketch gain.

@@ -52,7 +52,10 @@ type Snapshot struct {
 
 func main() {
 	stdin := flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running benchmarks")
-	benchRE := flag.String("bench", "Detector|SpaceSavingUpdate|PerLevelEngine", "benchmark pattern to run (ignored with -stdin)")
+	// The pattern is anchored: an unanchored "Detector" would also match
+	// BenchmarkE3Detectors, a whole-experiment benchmark whose per-op cost
+	// makes fixed iteration counts run for hours.
+	benchRE := flag.String("bench", "^BenchmarkDetector|^BenchmarkPerLevel|^BenchmarkSpaceSaving|^BenchmarkHeapSpaceSaving", "benchmark pattern to run (ignored with -stdin)")
 	benchtime := flag.String("benchtime", "2000000x", "benchtime to run with (ignored with -stdin)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
 	flag.Parse()

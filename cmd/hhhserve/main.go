@@ -1,0 +1,298 @@
+// Command hhhserve runs a live hierarchical-heavy-hitter query server: it
+// ingests a packet stream — a generated scenario or a binary trace file —
+// through the sharded concurrent pipeline and answers JSON queries while
+// ingest is running.
+//
+//	go run ./cmd/hhhserve -addr :8080 -scenario day0 -shards 4
+//	curl localhost:8080/hhh      # current merged HHH set
+//	curl localhost:8080/stats    # pipeline counters
+//	curl localhost:8080/healthz  # liveness
+//
+// With -loop (the default) the trace replays continuously, each lap
+// shifted forward in time, so the server stays live indefinitely; -laps
+// bounds the replay for scripted runs. -pps throttles ingest to a target
+// packet rate (0 ingests at full speed), which makes the windowed
+// reports evolve at a human-watchable pace.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hiddenhhh"
+)
+
+// server owns the sharded detector. The Detector ingest contract is
+// single-goroutine, so every detector touch — batch ingest and snapshot
+// alike — serialises on mu; the parallelism lives inside the pipeline,
+// behind the shard rings.
+type server struct {
+	mu     sync.Mutex
+	det    hiddenhhh.ShardedDetector
+	window time.Duration
+	phi    float64
+
+	lastTs  atomic.Int64 // highest ingested timestamp (trace time, ns)
+	laps    atomic.Int64
+	started time.Time
+}
+
+func newServer(det hiddenhhh.ShardedDetector, window time.Duration, phi float64) *server {
+	return &server{det: det, window: window, phi: phi, started: time.Now()}
+}
+
+// ingestBatch feeds one time-ordered run into the detector.
+func (s *server) ingestBatch(pkts []hiddenhhh.Packet) {
+	s.mu.Lock()
+	s.det.ObserveBatch(pkts)
+	s.mu.Unlock()
+	s.lastTs.Store(pkts[len(pkts)-1].Ts)
+}
+
+// run replays the trace through the pipeline. Each lap shifts timestamps
+// by the trace span so trace time keeps advancing monotonically. laps <=
+// 0 replays forever. pps > 0 paces ingest to that packet rate.
+func (s *server) run(pkts []hiddenhhh.Packet, span int64, laps int, pps float64, stop <-chan struct{}) {
+	const batch = 512
+	var interval time.Duration
+	if pps > 0 {
+		interval = time.Duration(float64(batch) / pps * float64(time.Second))
+	}
+	shifted := make([]hiddenhhh.Packet, batch)
+	for lap := 0; laps <= 0 || lap < laps; lap++ {
+		off := int64(lap) * span
+		for i := 0; i < len(pkts); i += batch {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := copy(shifted, pkts[i:min(i+batch, len(pkts))])
+			for j := 0; j < n; j++ {
+				shifted[j].Ts += off
+			}
+			s.ingestBatch(shifted[:n])
+			if interval > 0 {
+				time.Sleep(interval)
+			}
+		}
+		s.laps.Store(int64(lap + 1))
+	}
+}
+
+// hhhItem is one reported heavy hitter, JSON-shaped for /hhh.
+type hhhItem struct {
+	Prefix      string  `json:"prefix"`
+	Bytes       int64   `json:"bytes"`
+	Conditioned int64   `json:"conditioned_bytes"`
+	Share       float64 `json:"share"`
+}
+
+type hhhResponse struct {
+	TraceTimeNs int64     `json:"trace_time_ns"`
+	WindowNs    int64     `json:"window_ns"`
+	WindowBytes int64     `json:"window_bytes"`
+	Phi         float64   `json:"phi"`
+	Count       int       `json:"count"`
+	Items       []hhhItem `json:"items"`
+}
+
+func (s *server) handleHHH(w http.ResponseWriter, r *http.Request) {
+	now := s.lastTs.Load()
+	// Read the window volume under the same critical section as the
+	// snapshot so the share denominator belongs to the returned set's
+	// window even while ingest keeps closing new ones.
+	s.mu.Lock()
+	set := s.det.Snapshot(now)
+	windowBytes := s.det.Stats().LastWindowBytes
+	s.mu.Unlock()
+	resp := hhhResponse{
+		TraceTimeNs: now,
+		WindowNs:    int64(s.window),
+		WindowBytes: windowBytes,
+		Phi:         s.phi,
+		Count:       set.Len(),
+		Items:       make([]hhhItem, 0, set.Len()),
+	}
+	for _, it := range set.Items() {
+		item := hhhItem{
+			Prefix:      it.Prefix.String(),
+			Bytes:       it.Count,
+			Conditioned: it.Conditioned,
+		}
+		if windowBytes > 0 {
+			item.Share = float64(it.Conditioned) / float64(windowBytes)
+		}
+		resp.Items = append(resp.Items, item)
+	}
+	writeJSON(w, resp)
+}
+
+type statsResponse struct {
+	hiddenhhh.PipelineStats
+	UptimeSec   float64 `json:"uptime_sec"`
+	Laps        int64   `json:"laps"`
+	TraceTimeNs int64   `json:"trace_time_ns"`
+	IngestPPS   float64 `json:"ingest_pps"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.det.Stats()
+	up := time.Since(s.started).Seconds()
+	resp := statsResponse{
+		PipelineStats: st,
+		UptimeSec:     up,
+		Laps:          s.laps.Load(),
+		TraceTimeNs:   s.lastTs.Load(),
+	}
+	if up > 0 {
+		resp.IngestPPS = float64(st.Packets) / up
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hhh", s.handleHHH)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// scenarioConfig resolves the -scenario flag.
+func scenarioConfig(name string, duration time.Duration, seed int64) (hiddenhhh.TraceConfig, error) {
+	switch name {
+	case "day0", "day1", "day2", "day3":
+		return hiddenhhh.Tier1Day(int(name[3]-'0'), duration), nil
+	case "ddos":
+		return hiddenhhh.DDoSScenario(duration, seed), nil
+	case "default":
+		cfg := hiddenhhh.DefaultTraceConfig()
+		cfg.Duration = duration
+		cfg.Seed = seed
+		return cfg, nil
+	default:
+		return hiddenhhh.TraceConfig{}, fmt.Errorf("unknown scenario %q (want day0..day3, ddos, default)", name)
+	}
+}
+
+func parseEngine(name string) (hiddenhhh.Engine, error) {
+	switch name {
+	case "exact":
+		return hiddenhhh.EngineExact, nil
+	case "perlevel":
+		return hiddenhhh.EnginePerLevel, nil
+	case "rhhh":
+		return hiddenhhh.EngineRHHH, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want exact, perlevel, rhhh)", name)
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+		engineStr = flag.String("engine", "perlevel", "per-shard engine: exact, perlevel, rhhh")
+		window    = flag.Duration("window", 10*time.Second, "disjoint window length")
+		phi       = flag.Float64("phi", 0.05, "HHH threshold fraction of window bytes")
+		counters  = flag.Int("counters", 512, "Space-Saving counters per level")
+		scenario  = flag.String("scenario", "day0", "traffic scenario: day0..day3, ddos, default")
+		tracePath = flag.String("trace", "", "binary trace file to replay instead of a scenario")
+		duration  = flag.Duration("duration", time.Minute, "generated scenario length")
+		seed      = flag.Int64("seed", 1, "scenario seed")
+		pps       = flag.Float64("pps", 0, "ingest pacing in packets/sec (0 = full speed)")
+		laps      = flag.Int("laps", 0, "trace replay count (0 = loop forever)")
+	)
+	flag.Parse()
+
+	engine, err := parseEngine(*engineStr)
+	if err != nil {
+		log.Fatal("hhhserve: ", err)
+	}
+
+	var pkts []hiddenhhh.Packet
+	if *tracePath != "" {
+		pkts, err = hiddenhhh.ReadTraceFile(*tracePath)
+		if err != nil {
+			log.Fatal("hhhserve: ", err)
+		}
+	} else {
+		cfg, err := scenarioConfig(*scenario, *duration, *seed)
+		if err != nil {
+			log.Fatal("hhhserve: ", err)
+		}
+		pkts, err = hiddenhhh.GenerateTrace(cfg)
+		if err != nil {
+			log.Fatal("hhhserve: ", err)
+		}
+	}
+	if len(pkts) == 0 {
+		log.Fatal("hhhserve: empty trace")
+	}
+	span := pkts[len(pkts)-1].Ts + 1
+
+	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
+		Shards:   *shards,
+		Window:   *window,
+		Phi:      *phi,
+		Engine:   engine,
+		Counters: *counters,
+	})
+	if err != nil {
+		log.Fatal("hhhserve: ", err)
+	}
+
+	srv := newServer(det, *window, *phi)
+	stop := make(chan struct{})
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		srv.run(pkts, span, *laps, *pps, stop)
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	go func() {
+		log.Printf("hhhserve: listening on %s (%d packets/lap, %d shards, engine %s)",
+			*addr, len(pkts), det.Stats().Shards, *engineStr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal("hhhserve: ", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("hhhserve: shutting down")
+	close(stop)
+	<-ingestDone
+	httpSrv.Close()
+	if err := det.Close(); err != nil {
+		log.Fatal("hhhserve: ", err)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hiddenhhh"
+)
+
+// startTestServer builds a server over a short generated scenario and
+// ingests the whole trace synchronously (one lap, full speed), so the
+// handlers answer from a fully-closed-window state.
+func startTestServer(t *testing.T) (*server, func()) {
+	t.Helper()
+	cfg, err := scenarioConfig("ddos", 15*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := hiddenhhh.GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
+		Shards: 3,
+		Window: 5 * time.Second,
+		Phi:    0.05,
+		Engine: hiddenhhh.EnginePerLevel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(det, 5*time.Second, 0.05)
+	srv.run(pkts, pkts[len(pkts)-1].Ts+1, 1, 0, make(chan struct{}))
+	return srv, func() { det.Close() }
+}
+
+// TestServeHHH checks /hhh answers valid JSON with a plausible HHH set.
+func TestServeHHH(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/hhh", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/hhh status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/hhh content type %q", ct)
+	}
+	var resp hhhResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("/hhh invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if resp.Count == 0 || len(resp.Items) != resp.Count {
+		t.Fatalf("/hhh count=%d items=%d", resp.Count, len(resp.Items))
+	}
+	if resp.WindowBytes <= 0 {
+		t.Fatalf("/hhh window bytes %d", resp.WindowBytes)
+	}
+	for _, it := range resp.Items {
+		if it.Prefix == "" || it.Conditioned <= 0 || it.Share <= 0 || it.Share > 1 {
+			t.Errorf("implausible item %+v", it)
+		}
+	}
+}
+
+// TestServeStats checks /stats reflects the ingested trace.
+func TestServeStats(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/stats status %d", rec.Code)
+	}
+	var resp statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("/stats invalid JSON: %v", err)
+	}
+	if resp.Packets == 0 || resp.Windows == 0 || resp.Shards != 3 {
+		t.Fatalf("/stats implausible: %+v", resp)
+	}
+	if resp.Laps != 1 {
+		t.Fatalf("/stats laps %d, want 1", resp.Laps)
+	}
+}
+
+// TestServeHealthz checks the liveness endpoint.
+func TestServeHealthz(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("/healthz invalid JSON: %v", err)
+	}
+	if resp["status"] != "ok" {
+		t.Fatalf("/healthz status field %v", resp["status"])
+	}
+}
+
+// TestScenarioAndEngineFlags pins the flag parsers.
+func TestScenarioAndEngineFlags(t *testing.T) {
+	for _, name := range []string{"day0", "day1", "day2", "day3", "ddos", "default"} {
+		if _, err := scenarioConfig(name, time.Minute, 1); err != nil {
+			t.Errorf("scenario %q rejected: %v", name, err)
+		}
+	}
+	if _, err := scenarioConfig("nope", time.Minute, 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	for name, want := range map[string]hiddenhhh.Engine{
+		"exact": hiddenhhh.EngineExact, "perlevel": hiddenhhh.EnginePerLevel, "rhhh": hiddenhhh.EngineRHHH,
+	} {
+		got, err := parseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("engine %q: got %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseEngine("nope"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hiddenhhh/internal/continuous"
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/pipeline"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/swhh"
 	"hiddenhhh/internal/tdbf"
@@ -233,6 +234,80 @@ func (d *windowedDetector) SizeBytes() int {
 	default:
 		return d.rh.SizeBytes()
 	}
+}
+
+// ShardedConfig configures NewShardedDetector.
+type ShardedConfig struct {
+	// Shards is the number of parallel worker shards. Default GOMAXPROCS.
+	Shards int
+	// Window is the disjoint window length. Required.
+	Window time.Duration
+	// Phi is the threshold fraction of per-window bytes. Required.
+	Phi float64
+	// Engine selects the per-shard summary structure. Default EngineExact
+	// (lossless merge); EnginePerLevel and EngineRHHH merge with the
+	// bounded error documented on SpaceSaving.Merge.
+	Engine Engine
+	// Counters per level for sketch engines. Default 512.
+	Counters int
+	// Hierarchy defaults to byte granularity.
+	Hierarchy Hierarchy
+	// Seed drives EngineRHHH sampling; each shard derives its own
+	// deterministic stream from it.
+	Seed uint64
+	// Batch is the number of packets staged per shard before a ring
+	// push. Default 256.
+	Batch int
+	// RingDepth is the per-shard ring capacity in batches. Default 64.
+	RingDepth int
+	// OnWindow, when set, receives every completed window's merged HHH
+	// set. It runs on a worker goroutine (in window order) and must not
+	// call back into the detector.
+	OnWindow func(start, end int64, set Set)
+}
+
+// PipelineStats is a point-in-time view of a sharded detector's ingest
+// and windowing counters.
+type PipelineStats = pipeline.Stats
+
+// ShardedDetector is a Detector with the lifecycle and introspection
+// surface of the concurrent pipeline. Observe, ObserveBatch and Snapshot
+// follow the usual single-goroutine Detector contract; Stats and
+// SizeBytes may be called concurrently with ingest. Close releases the
+// worker goroutines; the detector must not be used afterwards.
+type ShardedDetector interface {
+	Detector
+	// Stats reports ingest and windowing counters.
+	Stats() PipelineStats
+	// Close stops the worker shards and waits for them to drain.
+	Close() error
+}
+
+// NewShardedDetector builds a disjoint-window HHH detector that ingests
+// through N parallel worker shards. Packets are hash-partitioned by
+// source address onto per-shard bounded SPSC rings; each shard feeds an
+// independent summary engine, and at every window close the shard
+// summaries are merged (SpaceSaving.Merge per level) into a single HHH
+// set. Because the shards partition the stream, the merged error bound
+// telescopes to the single-engine bound N/k per window; merging
+// summaries of overlapping streams would instead sum the bounds.
+func NewShardedDetector(cfg ShardedConfig) (ShardedDetector, error) {
+	d, err := pipeline.New(pipeline.Config{
+		Shards:    cfg.Shards,
+		Window:    cfg.Window,
+		Phi:       cfg.Phi,
+		Engine:    pipeline.Kind(cfg.Engine),
+		Counters:  cfg.Counters,
+		Hierarchy: cfg.Hierarchy,
+		Seed:      cfg.Seed,
+		Batch:     cfg.Batch,
+		RingDepth: cfg.RingDepth,
+		OnWindow:  cfg.OnWindow,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hiddenhhh: %w", err)
+	}
+	return d, nil
 }
 
 // SlidingConfig configures NewSlidingDetector.

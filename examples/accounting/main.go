@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"hiddenhhh"
@@ -35,31 +36,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Stream packets; sample the heavy-prefix report every 15 seconds.
+	// Stream packets through the batch ingest path, pausing at each
+	// 15-second sampling boundary to read the heavy-prefix report.
 	next := int64(30 * time.Second) // first full window
 	type usage struct {
 		seen  int
 		bytes int64
 	}
 	ledger := map[hiddenhhh.Prefix]*usage{}
-	for i := range pkts {
-		det.Observe(&pkts[i])
-		if pkts[i].Ts >= next {
-			set := det.Snapshot(pkts[i].Ts)
-			fmt.Printf("t=%-5v top prefixes (last 30 s, >=5%% of bytes):\n",
-				time.Duration(next).Round(time.Second))
-			for _, item := range set.Items() {
-				fmt.Printf("   %-18v %9.2f MB\n", item.Prefix, float64(item.Count)/1e6)
-				u := ledger[item.Prefix]
-				if u == nil {
-					u = &usage{}
-					ledger[item.Prefix] = u
-				}
-				u.seen++
-				u.bytes += item.Count
-			}
-			next += int64(15 * time.Second)
+	for len(pkts) > 0 {
+		n := sort.Search(len(pkts), func(i int) bool { return pkts[i].Ts >= next })
+		det.ObserveBatch(pkts[:n])
+		pkts = pkts[n:]
+		if len(pkts) == 0 {
+			break
 		}
+		set := det.Snapshot(next)
+		fmt.Printf("t=%-5v top prefixes (last 30 s, >=5%% of bytes):\n",
+			time.Duration(next).Round(time.Second))
+		for _, item := range set.Items() {
+			fmt.Printf("   %-18v %9.2f MB\n", item.Prefix, float64(item.Count)/1e6)
+			u := ledger[item.Prefix]
+			if u == nil {
+				u = &usage{}
+				ledger[item.Prefix] = u
+			}
+			u.seen++
+			u.bytes += item.Count
+		}
+		next += int64(15 * time.Second)
 	}
 
 	// Aggregate ledger: which prefixes were persistently heavy?

@@ -67,9 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := range pkts {
-		wd.Observe(&pkts[i])
-	}
+	wd.ObserveBatch(pkts)
 	wd.Snapshot(int64(cfg.Duration))
 	report("disjoint windows", disjointHit,
 		fmt.Sprintf("(burst split across [20s,30s) and [30s,40s); phi=%.0f%%)", 100*phi))
@@ -83,16 +81,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Batch-feed one second at a time and poll the report at each
+	// boundary, as a sliding analysis would.
 	var slidingHit bool
 	var slidingAt time.Duration
-	for i := range pkts {
-		sd.Observe(&pkts[i])
-		// Poll once a second, as a sliding analysis would.
-		if !slidingHit && pkts[i].Ts%int64(time.Second) < int64(time.Millisecond) {
-			if sd.Snapshot(pkts[i].Ts).Contains(hiddenhhh.Prefix{Addr: attacker, Bits: 32}) {
-				slidingHit = true
-				slidingAt = time.Duration(pkts[i].Ts)
-			}
+	for rest, sec := pkts, int64(time.Second); len(rest) > 0; sec += int64(time.Second) {
+		n := sort.Search(len(rest), func(i int) bool { return rest[i].Ts >= sec })
+		sd.ObserveBatch(rest[:n])
+		rest = rest[n:]
+		if !slidingHit && sd.Snapshot(sec).Contains(hiddenhhh.Prefix{Addr: attacker, Bits: 32}) {
+			slidingHit = true
+			slidingAt = time.Duration(sec)
 		}
 	}
 	report("sliding window", slidingHit, fmt.Sprintf("(first seen at %v)", slidingAt.Round(time.Second)))
@@ -113,9 +112,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := range pkts {
-		cd.Observe(&pkts[i])
-	}
+	cd.ObserveBatch(pkts)
 	report("continuous (TDBF)", contHit, fmt.Sprintf("(entered active set at %v)", contAt.Round(time.Second)))
 
 	_ = shares

@@ -62,8 +62,6 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nstreaming the full minute through a windowed detector:")
-	for i := range pkts {
-		det.Observe(&pkts[i])
-	}
+	det.ObserveBatch(pkts)            // the zero-allocation batch ingest path
 	det.Snapshot(int64(cfg.Duration)) // flush the final window
 }

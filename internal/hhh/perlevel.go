@@ -76,6 +76,21 @@ func (p *PerLevel) UpdateBatch(pkts []trace.Packet) int64 {
 // Total returns the byte volume seen since the last Reset.
 func (p *PerLevel) Total() int64 { return p.total }
 
+// Merge folds engine o into p level by level (see SpaceSaving.Merge for
+// the bound arithmetic). o is not modified. Both engines must share the
+// same hierarchy; capacities may differ, with the merged error bound the
+// sum of the two engines' bounds. Merging hash-partitioned shards of one
+// stream telescopes back to the single-engine bound.
+func (p *PerLevel) Merge(o *PerLevel) {
+	if p.h != o.h {
+		panic("hhh: PerLevel.Merge hierarchy mismatch")
+	}
+	for l := range p.sks {
+		p.sks[l].Merge(o.sks[l])
+	}
+	p.total += o.total
+}
+
 // Reset clears all levels. Sketch storage is retained, so the
 // reset-per-window discipline performs no allocation.
 func (p *PerLevel) Reset() {

@@ -85,6 +85,24 @@ func (r *RHHH) UpdateBatch(pkts []trace.Packet) int64 {
 // Total returns the byte volume seen since the last Reset.
 func (r *RHHH) Total() int64 { return r.total }
 
+// Merge folds engine o into r level by level. o is not modified; r's RNG
+// state is kept. Both engines must share the same hierarchy. Because
+// RHHH's level sampling is order-insensitive (each packet draws a level
+// independently), summaries built on disjoint substreams merge exactly
+// like their underlying Space-Saving levels: raw per-level counts add,
+// and the query-time V-scaling of the merged counts remains unbiased for
+// the combined stream.
+func (r *RHHH) Merge(o *RHHH) {
+	if r.h != o.h {
+		panic("hhh: RHHH.Merge hierarchy mismatch")
+	}
+	for l := range r.sks {
+		r.sks[l].Merge(o.sks[l])
+	}
+	r.total += o.total
+	r.updates += o.updates
+}
+
 // Updates returns the packet count seen since the last Reset.
 func (r *RHHH) Updates() int64 { return r.updates }
 

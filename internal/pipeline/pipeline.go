@@ -1,0 +1,564 @@
+// Package pipeline implements the sharded concurrent ingest pipeline: N
+// worker shards, each owning an independent windowed HHH engine fed
+// through a bounded SPSC ring of packet batches, with packets
+// hash-partitioned by source address.
+//
+// The coordinator (the caller's goroutine) sees the global time-ordered
+// stream, so it alone decides window boundaries: at each boundary it
+// flushes the staged batches and pushes one barrier token into every
+// shard's ring. Ring FIFO order guarantees a shard reaches the token only
+// after absorbing every batch of the closing window; the last shard to
+// arrive merges all shard summaries (SpaceSaving.Merge level by level)
+// into one engine, runs the conditioned HHH query, publishes the window's
+// set, and releases the barrier. Shards then reset and continue with the
+// next window's batches, which the coordinator has been queueing behind
+// the token in the meantime — ingest never stops for a merge.
+//
+// Correctness rests on two properties of the underlying summaries:
+// Space-Saving summaries admit bounded-error merging (Mitzenmacher,
+// Steinke & Thaler), and RHHH's per-packet level sampling is
+// order-insensitive (Ben Basat et al.), so hash-partitioned substreams
+// recombine exactly. Because the shards partition the stream, the merged
+// error bound telescopes: K shards with k counters each over a window of
+// N bytes still bound overestimation by N/k, the single-engine bound.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiddenhhh/internal/hashx"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/trace"
+)
+
+// Kind selects the per-shard summary engine. Values mirror the public
+// Engine constants (Exact=0, PerLevel=1, RHHH=2).
+type Kind int
+
+// Supported engines.
+const (
+	KindExact Kind = iota
+	KindPerLevel
+	KindRHHH
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindExact:
+		return "exact"
+	case KindPerLevel:
+		return "perlevel"
+	case KindRHHH:
+		return "rhhh"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config parameterises New.
+type Config struct {
+	// Shards is the worker count. Default GOMAXPROCS.
+	Shards int
+	// Window is the disjoint window length. Required.
+	Window time.Duration
+	// Phi is the threshold fraction of per-window bytes. Required.
+	Phi float64
+	// Engine selects the per-shard summary. Default KindExact.
+	Engine Kind
+	// Counters per level for sketch engines. Default 512.
+	Counters int
+	// Hierarchy defaults to byte granularity.
+	Hierarchy ipv4.Hierarchy
+	// Seed drives KindRHHH sampling; shard i derives its own stream from
+	// it (shard 0 uses Seed itself, so a 1-shard pipeline reproduces the
+	// single-detector sequence exactly).
+	Seed uint64
+	// Batch is the packets staged per shard before a ring push.
+	// Default 256.
+	Batch int
+	// RingDepth is the per-shard ring capacity in batches (rounded up to
+	// a power of two). Default 64.
+	RingDepth int
+	// OnWindow, when set, receives every completed window's merged HHH
+	// set, in window order. For windows with traffic it runs on a worker
+	// goroutine while the other shards wait at the barrier; for empty
+	// windows it runs on the ingest goroutine. It must not call back
+	// into the detector.
+	OnWindow func(start, end int64, set hhh.Set)
+}
+
+func (c *Config) setDefaults() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("pipeline: window must be positive")
+	}
+	if c.Phi <= 0 || c.Phi > 1 {
+		return fmt.Errorf("pipeline: phi %v out of (0,1]", c.Phi)
+	}
+	if c.Engine < KindExact || c.Engine > KindRHHH {
+		return fmt.Errorf("pipeline: unknown engine %v", c.Engine)
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Counters <= 0 {
+		c.Counters = 512
+	}
+	if c.Hierarchy == (ipv4.Hierarchy{}) {
+		c.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	if c.RingDepth <= 0 {
+		c.RingDepth = 64
+	}
+	return nil
+}
+
+// shardEngine is one shard's summary — exactly one of the three fields is
+// active, mirroring the windowed detector's engine dispatch.
+type shardEngine struct {
+	h  ipv4.Hierarchy
+	pl *hhh.PerLevel
+	rh *hhh.RHHH
+	ex *sketch.Exact
+}
+
+func newShardEngine(cfg *Config, shard int) *shardEngine {
+	e := &shardEngine{h: cfg.Hierarchy}
+	switch cfg.Engine {
+	case KindPerLevel:
+		e.pl = hhh.NewPerLevel(cfg.Hierarchy, cfg.Counters)
+	case KindRHHH:
+		// splitmix64 increments decorrelate the per-shard sampling
+		// streams; shard 0 keeps cfg.Seed for 1-shard reproducibility.
+		e.rh = hhh.NewRHHH(cfg.Hierarchy, cfg.Counters, cfg.Seed^(uint64(shard)*0x9e3779b97f4a7c15))
+	default:
+		e.ex = sketch.NewExact(1024)
+	}
+	return e
+}
+
+func (e *shardEngine) updateBatch(pkts []trace.Packet) {
+	switch {
+	case e.pl != nil:
+		e.pl.UpdateBatch(pkts)
+	case e.rh != nil:
+		e.rh.UpdateBatch(pkts)
+	default:
+		for i := range pkts {
+			e.ex.Update(uint64(pkts[i].Src), int64(pkts[i].Size))
+		}
+	}
+}
+
+// merge folds o into e. Engines are built from one Config, so kinds and
+// shapes always match.
+func (e *shardEngine) merge(o *shardEngine) {
+	switch {
+	case e.pl != nil:
+		e.pl.Merge(o.pl)
+	case e.rh != nil:
+		e.rh.Merge(o.rh)
+	default:
+		e.ex.AddAll(o.ex)
+	}
+}
+
+func (e *shardEngine) total() int64 {
+	switch {
+	case e.pl != nil:
+		return e.pl.Total()
+	case e.rh != nil:
+		return e.rh.Total()
+	default:
+		return e.ex.Total()
+	}
+}
+
+func (e *shardEngine) query(T int64) hhh.Set {
+	switch {
+	case e.pl != nil:
+		return e.pl.Query(T)
+	case e.rh != nil:
+		return e.rh.Query(T)
+	default:
+		return hhh.Exact(e.ex, e.h, T)
+	}
+}
+
+func (e *shardEngine) reset() {
+	switch {
+	case e.pl != nil:
+		e.pl.Reset()
+	case e.rh != nil:
+		e.rh.Reset()
+	default:
+		e.ex.Reset()
+	}
+}
+
+func (e *shardEngine) sizeBytes() int {
+	switch {
+	case e.pl != nil:
+		return e.pl.SizeBytes()
+	case e.rh != nil:
+		return e.rh.SizeBytes()
+	default:
+		return e.ex.Len() * 16
+	}
+}
+
+// windowBarrier synchronises one window close across all shards.
+type windowBarrier struct {
+	start, end int64
+	need       int32
+	arrived    atomic.Int32
+	done       chan struct{}
+}
+
+// shard is one worker: a ring, an engine, and a batch-buffer freelist.
+type shard struct {
+	ring    *spscRing
+	eng     *shardEngine
+	free    chan []trace.Packet
+	packets atomic.Int64
+	size    atomic.Int64 // last published engine footprint
+}
+
+// Sharded is the concurrent windowed HHH detector. The ingest surface
+// (Observe, ObserveBatch, Snapshot) follows the Detector contract — one
+// goroutine at a time — while Stats and SizeBytes may be called
+// concurrently with ingest (hhhserve reads them from HTTP handlers).
+type Sharded struct {
+	cfg    Config
+	width  int64
+	shards []*shard
+	merged *shardEngine
+
+	// Coordinator state: owned by the ingest goroutine.
+	started       bool
+	curEnd        int64
+	staging       [][]trace.Packet
+	lastBarrier   *windowBarrier
+	windowHasData bool
+	closed        bool
+
+	// Shared state.
+	mu         sync.Mutex
+	last       hhh.Set
+	windows    int64
+	lastEnd    int64
+	lastBytes  int64
+	packets    atomic.Int64
+	bytes      atomic.Int64
+	mergedSize atomic.Int64
+	wg         sync.WaitGroup
+}
+
+// New builds and starts a sharded pipeline. The caller must Close it to
+// release the worker goroutines.
+func New(cfg Config) (*Sharded, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	d := &Sharded{
+		cfg:     cfg,
+		width:   int64(cfg.Window),
+		shards:  make([]*shard, cfg.Shards),
+		merged:  newShardEngine(&cfg, 0),
+		staging: make([][]trace.Packet, cfg.Shards),
+		last:    hhh.NewSet(),
+	}
+	d.mergedSize.Store(int64(d.merged.sizeBytes()))
+	for i := range d.shards {
+		s := &shard{
+			ring: newRing(cfg.RingDepth),
+			eng:  newShardEngine(&cfg, i),
+			free: make(chan []trace.Packet, cfg.RingDepth+2),
+		}
+		s.size.Store(int64(s.eng.sizeBytes()))
+		d.shards[i] = s
+		d.staging[i] = make([]trace.Packet, 0, cfg.Batch)
+		d.wg.Add(1)
+		go d.worker(s)
+	}
+	return d, nil
+}
+
+// worker drains one shard's ring until the ring is closed.
+func (d *Sharded) worker(s *shard) {
+	defer d.wg.Done()
+	for {
+		m, ok := s.ring.pop()
+		if !ok {
+			return
+		}
+		if m.bar != nil {
+			d.arrive(m.bar, s)
+			continue
+		}
+		s.eng.updateBatch(m.pkts)
+		s.packets.Add(int64(len(m.pkts)))
+		s.size.Store(int64(s.eng.sizeBytes()))
+		select {
+		case s.free <- m.pkts[:0]:
+		default: // freelist full; let the GC take it
+		}
+	}
+}
+
+// arrive is the shard side of the window-close barrier. The last arriver
+// performs the merge and query; everyone resets only after the merged
+// set is published, since the merge reads every shard's engine.
+func (d *Sharded) arrive(b *windowBarrier, s *shard) {
+	if b.arrived.Add(1) == b.need {
+		d.completeWindow(b)
+	}
+	<-b.done
+	s.eng.reset()
+	s.size.Store(int64(s.eng.sizeBytes()))
+}
+
+// completeWindow merges all shard summaries, queries the merged engine at
+// the window's threshold, and publishes the result. Runs on the last
+// arriving worker while its peers are parked at the barrier, so it has
+// exclusive access to every engine.
+func (d *Sharded) completeWindow(b *windowBarrier) {
+	d.merged.reset()
+	for _, s := range d.shards {
+		d.merged.merge(s.eng)
+	}
+	total := d.merged.total()
+	set := d.merged.query(hhh.Threshold(total, d.cfg.Phi))
+	d.mergedSize.Store(int64(d.merged.sizeBytes()))
+	d.mu.Lock()
+	d.last = set
+	d.windows++
+	d.lastEnd = b.end
+	d.lastBytes = total
+	d.mu.Unlock()
+	if d.cfg.OnWindow != nil {
+		d.cfg.OnWindow(b.start, b.end, set)
+	}
+	close(b.done)
+}
+
+// shardOf hash-partitions a source address onto a shard.
+func (d *Sharded) shardOf(src ipv4.Addr) int {
+	return hashx.Bucket(hashx.Mix64(uint64(src)), len(d.shards))
+}
+
+// Observe implements the Detector ingest contract for one packet.
+func (d *Sharded) Observe(p *trace.Packet) {
+	d.checkOpen()
+	if !d.started {
+		d.started = true
+		d.curEnd = (p.Ts/d.width + 1) * d.width
+	}
+	for p.Ts >= d.curEnd {
+		d.closeWindow()
+	}
+	d.stage(p)
+}
+
+// ObserveBatch processes a run of packets in time order, splitting it at
+// window boundaries and scattering each in-window run across the shards.
+func (d *Sharded) ObserveBatch(pkts []trace.Packet) {
+	d.checkOpen()
+	for len(pkts) > 0 {
+		p := &pkts[0]
+		if !d.started {
+			d.started = true
+			d.curEnd = (p.Ts/d.width + 1) * d.width
+		}
+		for p.Ts >= d.curEnd {
+			d.closeWindow()
+		}
+		n := sort.Search(len(pkts), func(i int) bool { return pkts[i].Ts >= d.curEnd })
+		for i := range pkts[:n] {
+			d.stage(&pkts[i])
+		}
+		pkts = pkts[n:]
+	}
+}
+
+// stage appends one packet to its shard's staging buffer, flushing the
+// buffer into the ring when full.
+func (d *Sharded) stage(p *trace.Packet) {
+	si := d.shardOf(p.Src)
+	buf := append(d.staging[si], *p)
+	d.windowHasData = true
+	d.packets.Add(1)
+	d.bytes.Add(int64(p.Size))
+	if len(buf) >= d.cfg.Batch {
+		d.pushBatch(si, buf)
+		return
+	}
+	d.staging[si] = buf
+}
+
+// pushBatch hands a staged buffer to the shard's ring and replaces the
+// staging slot from the freelist (allocating only when the freelist runs
+// dry, i.e. when the ring is persistently deep).
+func (d *Sharded) pushBatch(si int, buf []trace.Packet) {
+	d.shards[si].ring.push(message{pkts: buf})
+	select {
+	case nb := <-d.shards[si].free:
+		d.staging[si] = nb
+	default:
+		d.staging[si] = make([]trace.Packet, 0, d.cfg.Batch)
+	}
+}
+
+// flushStaging pushes every non-empty staging buffer.
+func (d *Sharded) flushStaging() {
+	for si, buf := range d.staging {
+		if len(buf) > 0 {
+			d.pushBatch(si, buf)
+		}
+	}
+}
+
+// closeWindow flushes staged batches and broadcasts a barrier token. The
+// coordinator does not wait for the merge: the next window's batches
+// queue behind the token, and the barrier itself orders the shards.
+//
+// Empty windows — common when a trace has idle gaps much longer than the
+// window — skip the barrier entirely: the shard engines hold nothing, so
+// the coordinator publishes the empty set itself after waiting out any
+// in-flight merge (which keeps window reports ordered). A gap of G
+// windows then costs one barrier wait plus G cheap publishes instead of
+// G full shard synchronisations.
+func (d *Sharded) closeWindow() {
+	start, end := d.curEnd-d.width, d.curEnd
+	d.curEnd += d.width
+	if !d.windowHasData {
+		if b := d.lastBarrier; b != nil {
+			<-b.done
+		}
+		set := hhh.NewSet()
+		d.mu.Lock()
+		d.last = set
+		d.windows++
+		d.lastEnd = end
+		d.lastBytes = 0
+		d.mu.Unlock()
+		if d.cfg.OnWindow != nil {
+			d.cfg.OnWindow(start, end, set)
+		}
+		return
+	}
+	d.windowHasData = false
+	d.flushStaging()
+	b := &windowBarrier{
+		start: start,
+		end:   end,
+		need:  int32(len(d.shards)),
+		done:  make(chan struct{}),
+	}
+	for _, s := range d.shards {
+		s.ring.push(message{bar: b})
+	}
+	d.lastBarrier = b
+}
+
+// Snapshot implements Detector: it closes every window that ends at or
+// before now, waits for its merge to complete, and returns the most
+// recently completed window's merged HHH set.
+func (d *Sharded) Snapshot(now int64) hhh.Set {
+	d.checkOpen()
+	for d.started && now >= d.curEnd {
+		d.closeWindow()
+	}
+	if b := d.lastBarrier; b != nil {
+		<-b.done
+	}
+	d.mu.Lock()
+	set := d.last
+	d.mu.Unlock()
+	return set
+}
+
+// SizeBytes reports the pipeline's summary footprint: every shard engine
+// plus the merge accumulator. Safe to call concurrently with ingest.
+func (d *Sharded) SizeBytes() int {
+	n := int(d.mergedSize.Load())
+	for _, s := range d.shards {
+		n += int(s.size.Load())
+	}
+	return n
+}
+
+// Stats is a point-in-time view of the pipeline, JSON-ready for the
+// query server.
+type Stats struct {
+	Shards        int    `json:"shards"`
+	Engine        string `json:"engine"`
+	Packets       int64  `json:"packets"`
+	Bytes         int64  `json:"bytes"`
+	Windows       int64  `json:"windows"`
+	LastWindowEnd int64  `json:"last_window_end_ns"`
+	// LastWindowBytes is the merged byte volume of the most recently
+	// completed window — the denominator of its HHH threshold.
+	LastWindowBytes int64   `json:"last_window_bytes"`
+	ShardPackets    []int64 `json:"shard_packets"`
+	QueueDepth      []int   `json:"queue_depth"`
+	SizeBytes       int     `json:"size_bytes"`
+}
+
+// Stats reports ingest and windowing counters. Safe to call concurrently
+// with ingest.
+func (d *Sharded) Stats() Stats {
+	st := Stats{
+		Shards:       len(d.shards),
+		Engine:       d.cfg.Engine.String(),
+		Packets:      d.packets.Load(),
+		Bytes:        d.bytes.Load(),
+		ShardPackets: make([]int64, len(d.shards)),
+		QueueDepth:   make([]int, len(d.shards)),
+		SizeBytes:    d.SizeBytes(),
+	}
+	for i, s := range d.shards {
+		st.ShardPackets[i] = s.packets.Load()
+		st.QueueDepth[i] = s.ring.depth()
+	}
+	d.mu.Lock()
+	st.Windows = d.windows
+	st.LastWindowEnd = d.lastEnd
+	st.LastWindowBytes = d.lastBytes
+	d.mu.Unlock()
+	return st
+}
+
+// Close flushes staged batches, stops the workers and waits for them to
+// drain. The detector must not be used after Close; Close itself is
+// idempotent. Packets of the final, never-closed window are absorbed into
+// shard engines but — exactly like the single-threaded windowed detector
+// — are only reported if a Snapshot past the window boundary closed it
+// first.
+func (d *Sharded) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	d.flushStaging()
+	for _, s := range d.shards {
+		s.ring.close()
+	}
+	d.wg.Wait()
+	return nil
+}
+
+func (d *Sharded) checkOpen() {
+	if d.closed {
+		panic("pipeline: detector used after Close")
+	}
+}

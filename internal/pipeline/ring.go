@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"sync/atomic"
+
+	"hiddenhhh/internal/trace"
+)
+
+// message is one unit flowing through a shard's ring: a packet batch
+// (pkts != nil) or a window-close barrier token (bar != nil). Tokens are
+// ordered with batches, which is what makes the barrier protocol correct:
+// by the time a shard pops a token, it has absorbed every batch of the
+// closing window.
+type message struct {
+	pkts []trace.Packet
+	bar  *windowBarrier
+}
+
+// spscRing is a bounded single-producer single-consumer ring of messages.
+// The fast path is lock-free: the producer writes the slot then publishes
+// with an atomic tail store; the consumer reads the tail, consumes the
+// slot, then publishes with an atomic head store. Go's atomics give the
+// required acquire/release ordering.
+//
+// Blocking (ring full / ring empty) parks on a 1-buffered notification
+// channel instead of spinning. The wakeup protocol cannot lose signals:
+// the counterpart always performs a non-blocking send after making
+// progress, and a send that finds the channel full is droppable precisely
+// because a token is already pending — the parked side will wake and
+// re-check its condition in the loop.
+type spscRing struct {
+	buf  []message
+	mask uint64
+
+	_    [64]byte // keep head and tail on separate cache lines
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+
+	closed   atomic.Bool
+	notEmpty chan struct{}
+	notFull  chan struct{}
+}
+
+// newRing builds a ring with capacity rounded up to a power of two.
+func newRing(capacity int) *spscRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &spscRing{
+		buf:      make([]message, size),
+		mask:     uint64(size - 1),
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+	}
+}
+
+// push enqueues m, blocking while the ring is full. Producer-side only;
+// must not be called after close.
+func (r *spscRing) push(m message) {
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[t&r.mask] = m
+			r.tail.Store(t + 1)
+			select {
+			case r.notEmpty <- struct{}{}:
+			default:
+			}
+			return
+		}
+		<-r.notFull
+	}
+}
+
+// pop dequeues the next message, blocking while the ring is empty. It
+// returns ok=false once the ring is closed and fully drained. Consumer-
+// side only.
+func (r *spscRing) pop() (message, bool) {
+	for {
+		h := r.head.Load()
+		if h != r.tail.Load() {
+			m := r.buf[h&r.mask]
+			r.buf[h&r.mask] = message{} // drop references for the GC
+			r.head.Store(h + 1)
+			select {
+			case r.notFull <- struct{}{}:
+			default:
+			}
+			return m, true
+		}
+		if r.closed.Load() && h == r.tail.Load() {
+			return message{}, false
+		}
+		<-r.notEmpty
+	}
+}
+
+// close marks the stream ended. The consumer drains remaining messages,
+// then pop returns false. Producer-side only.
+func (r *spscRing) close() {
+	r.closed.Store(true)
+	select {
+	case r.notEmpty <- struct{}{}:
+	default:
+	}
+}
+
+// depth reports the number of queued messages (approximate under
+// concurrency; used for stats only).
+func (r *spscRing) depth() int {
+	return int(r.tail.Load() - r.head.Load())
+}

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"hiddenhhh/internal/trace"
+)
+
+// TestRingOrderAndBackpressure pushes far more batches than the ring
+// holds and checks FIFO delivery with the producer blocking on a slow
+// consumer.
+func TestRingOrderAndBackpressure(t *testing.T) {
+	r := newRing(4)
+	const n = 10000
+	done := make(chan error, 1)
+	go func() {
+		seq := int64(0)
+		for {
+			m, ok := r.pop()
+			if !ok {
+				if seq != n {
+					done <- errFmt("consumer saw %d messages, want %d", seq, n)
+					return
+				}
+				done <- nil
+				return
+			}
+			if got := m.pkts[0].Ts; got != seq {
+				done <- errFmt("out of order: got %d want %d", got, seq)
+				return
+			}
+			seq++
+		}
+	}()
+	for i := int64(0); i < n; i++ {
+		r.push(message{pkts: []trace.Packet{{Ts: i}}})
+	}
+	r.close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingCloseDrains ensures messages pushed before close are all
+// delivered before pop reports closed.
+func TestRingCloseDrains(t *testing.T) {
+	r := newRing(16)
+	for i := int64(0); i < 10; i++ {
+		r.push(message{pkts: []trace.Packet{{Ts: i}}})
+	}
+	r.close()
+	for i := int64(0); i < 10; i++ {
+		m, ok := r.pop()
+		if !ok {
+			t.Fatalf("ring reported closed with %d messages undelivered", 10-i)
+		}
+		if m.pkts[0].Ts != i {
+			t.Fatalf("message %d out of order: %d", i, m.pkts[0].Ts)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop returned a message after the ring drained")
+	}
+}
+
+// TestRingCapacityRounding pins the power-of-two sizing.
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {3, 4}, {4, 4}, {64, 64}, {65, 128}} {
+		if got := len(newRing(tc.in).buf); got != tc.want {
+			t.Errorf("newRing(%d): capacity %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func errFmt(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

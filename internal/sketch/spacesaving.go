@@ -280,12 +280,7 @@ func (s *SpaceSaving) ensureRing() {
 // every entry within ringSlots of it is linked back into direct-addressed
 // buckets, in (count, stamp) order so that eviction order is preserved.
 func (s *SpaceSaving) rebase() {
-	mn := s.nodes[0].count
-	for i := 1; i < s.n; i++ {
-		if c := s.nodes[i].count; c < mn {
-			mn = c
-		}
-	}
+	mn := s.minCount()
 	s.base = mn
 	s.minIdx = 0
 	s.ringN = 0
@@ -372,6 +367,124 @@ func (s *SpaceSaving) Update(key uint64, w int64) {
 	n.key = key
 	n.err = n.count
 	s.increase(ni, w)
+}
+
+// minCount returns the minimum monitored count by direct scan, without
+// touching the ring (unlike Min it leaves the structure untouched, so it
+// is safe on a summary being read during a merge). Returns 0 when empty.
+func (s *SpaceSaving) minCount() int64 {
+	if s.n == 0 {
+		return 0
+	}
+	mn := s.nodes[0].count
+	for i := 1; i < s.n; i++ {
+		if c := s.nodes[i].count; c < mn {
+			mn = c
+		}
+	}
+	return mn
+}
+
+// Merge folds summary o into s, producing a summary of the combined
+// stream with bounded error (Agarwal et al., "Mergeable Summaries";
+// Mitzenmacher, Steinke & Thaler for the Space-Saving form). o is not
+// modified.
+//
+// For every key, the merged upper bound is the sum of the two upper
+// bounds (a monitored key contributes its count, an unmonitored one the
+// summary's minimum count — or 0 while the summary is below capacity),
+// and the merged lower bound is the sum of the two lower bounds. The
+// union is then truncated to s's capacity by keeping the k largest
+// counts; every merged count is at least minS+minO, so the truncated
+// summary's minimum remains a valid upper bound for unmonitored keys and
+// all three Space-Saving guarantees survive with error bound the sum of
+// the two inputs' bounds:
+//
+//	Estimate(key) - true(key) <= Ns/ks + No/ko
+//
+// When the two inputs summarise *disjoint* streams (the sharded
+// pipeline's hash-partitioned case), the per-shard terms telescope:
+// merging K shards of a stream of total weight N, each with k counters,
+// keeps the overall bound at N/k — no worse than one detector over the
+// whole stream.
+//
+// Merging an empty summary is an identity. Merge costs O((ns+no) log)
+// and allocates scratch; it is a query-time path, not an ingest path.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	var minS, minO int64
+	if s.n == s.k {
+		minS = s.minCount()
+	}
+	if o.n == o.k {
+		minO = o.minCount()
+	}
+	type mergedEntry struct {
+		key        uint64
+		count, err int64
+	}
+	all := make([]mergedEntry, 0, s.n+o.n)
+	for i := 0; i < s.n; i++ {
+		n := &s.nodes[i]
+		c, e := n.count, n.err
+		if oi := o.idxFind(n.key); oi != nilIdx {
+			c += o.nodes[oi].count
+			e += o.nodes[oi].err
+		} else {
+			c += minO
+			e += minO
+		}
+		all = append(all, mergedEntry{key: n.key, count: c, err: e})
+	}
+	for i := 0; i < o.n; i++ {
+		n := &o.nodes[i]
+		if s.idxFind(n.key) != nilIdx {
+			continue // already combined above
+		}
+		all = append(all, mergedEntry{key: n.key, count: n.count + minS, err: n.err + minS})
+	}
+	// Keep the k largest counts; ties break on key for determinism.
+	slices.SortFunc(all, func(a, b mergedEntry) int {
+		if a.count != b.count {
+			if a.count > b.count {
+				return -1
+			}
+			return 1
+		}
+		if a.key < b.key {
+			return -1
+		}
+		if a.key > b.key {
+			return 1
+		}
+		return 0
+	})
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	total := s.total + o.total
+	s.Reset()
+	s.total = total
+	for i := range all {
+		m := &all[i]
+		// Stamps follow descending-count order so eviction ties after a
+		// merge prefer the smaller entries first, matching the rule that
+		// the least-recently-grown entry goes first.
+		s.nodes[i] = ssNode{
+			key:   m.key,
+			count: m.count,
+			err:   m.err,
+			stamp: int64(len(all) - i),
+			slot:  hotSlot,
+			prev:  nilIdx,
+			next:  nilIdx,
+		}
+		s.idxInsert(m.key, int32(i))
+	}
+	s.n = len(all)
+	s.clock = int64(len(all))
 }
 
 // Estimate implements Estimator. Unmonitored keys return the minimum

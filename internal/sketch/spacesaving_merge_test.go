@@ -1,0 +1,213 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mergeStream is one synthetic weighted stream: zipf-ish keys, packet-like
+// weights, reproducible under seed.
+func mergeStream(seed int64, n, keys int) [][2]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]int64, n)
+	for i := range out {
+		// Quadratic skew concentrates weight on low keys, the regime
+		// Space-Saving is designed for.
+		k := int64(float64(keys) * rng.Float64() * rng.Float64())
+		w := int64(40 + rng.Intn(1460))
+		out[i] = [2]int64{k, w}
+	}
+	return out
+}
+
+func feed(s *SpaceSaving, ex *Exact, stream [][2]int64) {
+	for _, kw := range stream {
+		s.Update(uint64(kw[0]), kw[1])
+		if ex != nil {
+			ex.Update(uint64(kw[0]), kw[1])
+		}
+	}
+}
+
+// TestSpaceSavingMergeBounds checks the merged summary's per-key
+// guarantees against exact counts of the combined stream: the lower bound
+// (count-err) never exceeds the true count, the count never falls below
+// it, total is the combined weight, and the overestimate stays within the
+// summed N/k bound.
+func TestSpaceSavingMergeBounds(t *testing.T) {
+	const k = 64
+	for _, tc := range []struct {
+		name      string
+		na, nb    int
+		keys      int
+		seedA, sB int64
+	}{
+		{"balanced", 20000, 20000, 400, 1, 2},
+		{"skewSizes", 30000, 5000, 300, 3, 4},
+		{"fewKeysExact", 8000, 8000, 40, 5, 6}, // fits in k: no error at all
+		{"manyKeys", 25000, 25000, 5000, 7, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := NewSpaceSaving(k), NewSpaceSaving(k)
+			exact := NewExact(1024)
+			sa := mergeStream(tc.seedA, tc.na, tc.keys)
+			sb := mergeStream(tc.sB, tc.nb, tc.keys)
+			feed(a, exact, sa)
+			feed(b, exact, sb)
+
+			bound := a.Total()/int64(k) + b.Total()/int64(k)
+			wantTotal := a.Total() + b.Total()
+			a.Merge(b)
+			if a.Total() != wantTotal {
+				t.Fatalf("merged total = %d, want %d", a.Total(), wantTotal)
+			}
+			if a.Len() > k {
+				t.Fatalf("merged len %d exceeds capacity %d", a.Len(), k)
+			}
+			a.ForEachTracked(func(key uint64, count, errUB int64) {
+				truth := exact.Estimate(key)
+				if count < truth {
+					t.Errorf("key %d: merged estimate %d underestimates true %d", key, count, truth)
+				}
+				if count-errUB > truth {
+					t.Errorf("key %d: merged lower bound %d exceeds true %d", key, count-errUB, truth)
+				}
+				if count-truth > bound {
+					t.Errorf("key %d: overestimate %d exceeds summed bound %d", key, count-truth, bound)
+				}
+			})
+			// Unmonitored keys must still be upper-bounded by the estimate.
+			exact.ForEach(func(key uint64, truth int64) {
+				if est := a.Estimate(key); est < truth {
+					t.Errorf("key %d: estimate %d below true %d", key, est, truth)
+				}
+			})
+			// The merged summary must keep monitoring every key that could
+			// exceed the summed error bound (no false negatives).
+			exact.ForEach(func(key uint64, truth int64) {
+				if truth > bound {
+					if a.idxFind(key) == nilIdx {
+						t.Errorf("key %d with true count %d > bound %d not monitored after merge", key, truth, bound)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestSpaceSavingMergeEmptyIdentity checks both identity directions:
+// merging an empty summary changes nothing, and merging into an empty
+// summary copies the other side entry for entry.
+func TestSpaceSavingMergeEmptyIdentity(t *testing.T) {
+	const k = 32
+	stream := mergeStream(11, 15000, 500)
+
+	full := NewSpaceSaving(k)
+	feed(full, nil, stream)
+	ref := NewSpaceSaving(k)
+	feed(ref, nil, stream)
+
+	entries := func(s *SpaceSaving) map[uint64][2]int64 {
+		m := map[uint64][2]int64{}
+		s.ForEachTracked(func(key uint64, count, errUB int64) {
+			m[key] = [2]int64{count, errUB}
+		})
+		return m
+	}
+
+	full.Merge(NewSpaceSaving(k))
+	if got, want := entries(full), entries(ref); len(got) != len(want) {
+		t.Fatalf("merge with empty changed entry count: %d != %d", len(got), len(want))
+	} else {
+		for key, w := range want {
+			if got[key] != w {
+				t.Fatalf("merge with empty changed key %d: %v != %v", key, got[key], w)
+			}
+		}
+	}
+	if full.Total() != ref.Total() {
+		t.Fatalf("merge with empty changed total: %d != %d", full.Total(), ref.Total())
+	}
+
+	empty := NewSpaceSaving(k)
+	empty.Merge(ref)
+	if got, want := entries(empty), entries(ref); len(got) != len(want) {
+		t.Fatalf("merge into empty dropped entries: %d != %d", len(got), len(want))
+	} else {
+		for key, w := range want {
+			if got[key] != w {
+				t.Fatalf("merge into empty changed key %d: %v != %v", key, got[key], w)
+			}
+		}
+	}
+	if empty.Total() != ref.Total() {
+		t.Fatalf("merge into empty total: %d != %d", empty.Total(), ref.Total())
+	}
+}
+
+// TestSpaceSavingMergeDisjointPartition checks the sharded-pipeline
+// telescoping property: hash-partitioning one stream across K summaries
+// and merging them keeps the error within the single-summary N/k bound.
+func TestSpaceSavingMergeDisjointPartition(t *testing.T) {
+	const k = 64
+	for _, K := range []int{2, 4, 8} {
+		stream := mergeStream(21, 40000, 800)
+		exact := NewExact(1024)
+		shards := make([]*SpaceSaving, K)
+		for i := range shards {
+			shards[i] = NewSpaceSaving(k)
+		}
+		var total int64
+		for _, kw := range stream {
+			exact.Update(uint64(kw[0]), kw[1])
+			shards[uint64(kw[0])%uint64(K)].Update(uint64(kw[0]), kw[1])
+			total += kw[1]
+		}
+		merged := NewSpaceSaving(k)
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if merged.Total() != total {
+			t.Fatalf("K=%d: merged total %d != %d", K, merged.Total(), total)
+		}
+		bound := total / int64(k) // telescoped: sum of Ni/k over the partition
+		merged.ForEachTracked(func(key uint64, count, errUB int64) {
+			truth := exact.Estimate(key)
+			if count < truth {
+				t.Errorf("K=%d key %d: underestimate %d < %d", K, key, count, truth)
+			}
+			if count-truth > bound {
+				t.Errorf("K=%d key %d: overestimate %d exceeds telescoped bound %d", K, key, count-truth, bound)
+			}
+		})
+	}
+}
+
+// TestSpaceSavingMergeUsableAfter verifies a merged summary keeps
+// functioning as a live stream summary: updates, evictions and queries
+// after a merge behave identically to a summary rebuilt from scratch
+// state (structure invariants hold, no panics, bounds persist).
+func TestSpaceSavingMergeUsableAfter(t *testing.T) {
+	const k = 48
+	a, b := NewSpaceSaving(k), NewSpaceSaving(k)
+	exact := NewExact(1024)
+	feed(a, exact, mergeStream(31, 12000, 600))
+	feed(b, exact, mergeStream(32, 12000, 600))
+	a.Merge(b)
+	// Keep streaming into the merged summary.
+	post := mergeStream(33, 12000, 600)
+	feed(a, exact, post)
+	bound := a.Total() / int64(k) * 2 // two k-counter summaries' worth of error
+	a.ForEachTracked(func(key uint64, count, errUB int64) {
+		truth := exact.Estimate(key)
+		if count < truth {
+			t.Errorf("key %d: post-merge underestimate %d < %d", key, count, truth)
+		}
+		if count-truth > bound {
+			t.Errorf("key %d: post-merge overestimate %d > %d", key, count-truth, bound)
+		}
+	})
+	if a.Len() != k {
+		t.Fatalf("post-merge summary not full: %d != %d", a.Len(), k)
+	}
+}

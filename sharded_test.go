@@ -1,0 +1,256 @@
+package hiddenhhh
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// propStream synthesises a random weighted stream: skewed sources drawn
+// from a hierarchical address space, packet-like sizes, fixed span. The
+// resulting HHH sets are dominated by clearly-heavy prefixes.
+func propStream(seed int64, n int, spanSec int) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Packet, n)
+	step := int64(spanSec) * int64(time.Second) / int64(n)
+	for i := range out {
+		org := uint32(rng.Intn(7))
+		net := uint32(float64(220) * rng.Float64() * rng.Float64())
+		host := uint32(rng.Intn(60))
+		out[i] = Packet{
+			Ts:   int64(i) * step,
+			Src:  Addr(10<<24 | org<<16 | net<<8 | host),
+			Size: uint32(40 + rng.Intn(1460)),
+		}
+	}
+	return out
+}
+
+// nearThresholdStream stacks many /24 subnets whose per-window share
+// clusters around phi, over scattered background noise — the adversarial
+// regime where set membership is decided inside the sketch error bound.
+func nearThresholdStream(seed int64, n int, spanSec int) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Packet, n)
+	step := int64(spanSec) * int64(time.Second) / int64(n)
+	for i := range out {
+		var src uint32
+		sub := uint32(rng.Intn(40))
+		// Ramp subnet intensity with rank so the population straddles the
+		// threshold; the rest of the mass is background /16 noise.
+		if rng.Float64() < 0.75 && rng.Float64() <= 0.3+1.2*float64(sub)/40 {
+			src = 10<<24 | (sub/16)<<16 | (sub%16+1)<<8 | uint32(rng.Intn(200))
+		} else {
+			src = 172<<24 | uint32(rng.Intn(1<<16))
+		}
+		out[i] = Packet{Ts: int64(i) * step, Src: Addr(src), Size: uint32(40 + rng.Intn(1460))}
+	}
+	return out
+}
+
+// windowTotals returns per-window byte volumes for margin computation.
+func windowTotals(pkts []Packet, width int64) map[int64]int64 {
+	totals := map[int64]int64{}
+	for i := range pkts {
+		totals[pkts[i].Ts/width] += int64(pkts[i].Size)
+	}
+	return totals
+}
+
+// collectWindows runs a detector over the stream and returns the ordered
+// per-window HHH sets reported through OnWindow.
+func collectWindows(t *testing.T, pkts []Packet, mk func(onWindow func(start, end int64, set Set)) Detector) []Set {
+	t.Helper()
+	var sets []Set
+	det := mk(func(start, end int64, set Set) { sets = append(sets, set) })
+	det.ObserveBatch(pkts)
+	det.Snapshot(pkts[len(pkts)-1].Ts + int64(time.Second))
+	if c, ok := det.(interface{ Close() error }); ok {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sets
+}
+
+// TestShardedMatchesSingleProperty is the shard-vs-single equivalence
+// property test: for random weighted streams, a K-shard pipeline's merged
+// per-window HHH sets match the single-detector sets up to the summed
+// shard error bound. Because the shards hash-partition the stream, the
+// summed per-shard bounds (sum of Ni/k) telescope to the single-engine
+// bound N/k per window; the comparison margin allows a small constant
+// factor for error compounding through the conditioned bottom-up pass,
+// plus RHHH's level-sampling variance for the sampled engine.
+func TestShardedMatchesSingleProperty(t *testing.T) {
+	const (
+		counters = 64
+		phi      = 0.02
+		nPkts    = 80000
+		spanSec  = 9
+	)
+	window := 3 * time.Second
+	width := int64(window)
+
+	for _, engine := range []struct {
+		kind   Engine
+		stream func(seed int64, n, spanSec int) []Packet
+		// marginFactor scales the per-window sketch bound N/k into the
+		// set-agreement margin.
+		marginFactor float64
+		// extraFrac adds a fraction of the window volume for RHHH's
+		// level-sampling variance. RHHH is compared on the
+		// dominant-hitter stream only: in the near-threshold regime its
+		// sampling noise flips borderline descendants, which shifts
+		// ancestors' conditioned volumes by whole multiples of T — a
+		// property of conditioned HHH semantics under randomised
+		// engines, not of the sharded merge.
+		extraFrac float64
+	}{
+		{EnginePerLevel, propStream, 4, 0},
+		{EnginePerLevel, nearThresholdStream, 4, 0},
+		{EngineRHHH, propStream, 4, 0.02},
+	} {
+		for _, seed := range []int64{1, 2, 3} {
+			pkts := engine.stream(seed, nPkts, spanSec)
+			totals := windowTotals(pkts, width)
+
+			single := collectWindows(t, pkts, func(onWindow func(int64, int64, Set)) Detector {
+				det, err := NewWindowedDetector(WindowedConfig{
+					Window: window, Phi: phi, Engine: engine.kind,
+					Counters: counters, Seed: 42, OnWindow: onWindow,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return det
+			})
+
+			for _, K := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%v/seed=%d/K=%d", engine.kind, seed, K)
+				sharded := collectWindows(t, pkts, func(onWindow func(int64, int64, Set)) Detector {
+					det, err := NewShardedDetector(ShardedConfig{
+						Shards: K, Window: window, Phi: phi, Engine: engine.kind,
+						Counters: counters, Seed: 42, OnWindow: onWindow,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return det
+				})
+				if len(sharded) != len(single) {
+					t.Fatalf("%s: window counts differ: sharded %d vs single %d",
+						name, len(sharded), len(single))
+				}
+				for w := range single {
+					N := totals[int64(w)]
+					T := Threshold(N, phi)
+					margin := int64(engine.marginFactor*float64(N)/float64(counters) +
+						engine.extraFrac*float64(N))
+					// Items clearing the threshold by more than the margin
+					// must be reported by both; symmetric-difference items
+					// must be borderline.
+					for _, d := range []struct {
+						label    string
+						from, to Set
+					}{
+						{"single-only", single[w], sharded[w]},
+						{"sharded-only", sharded[w], single[w]},
+					} {
+						for p, it := range d.from.Diff(d.to) {
+							if it.Conditioned-T > margin {
+								t.Errorf("%s window %d %s: %v cond=%d clears T=%d by %d > margin %d",
+									name, w, d.label, p, it.Conditioned, T, it.Conditioned-T, margin)
+							}
+						}
+					}
+					// K=1 sharding is the same computation reordered only by
+					// the merge copy, so the sets must be identical.
+					if K == 1 && !sharded[w].Equal(single[w]) {
+						t.Errorf("%s window %d: K=1 sets differ:\nsharded %v\nsingle  %v",
+							name, w, sharded[w], single[w])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedExactEngineLossless checks that with the exact engine the
+// sharded detector reproduces the single-threaded windowed detector's
+// reports verbatim for every shard count — exact maps merge losslessly,
+// so any disagreement is a pipeline bug, not sketch error.
+func TestShardedExactEngineLossless(t *testing.T) {
+	pkts := propStream(11, 30000, 6)
+	window := 2 * time.Second
+	single := collectWindows(t, pkts, func(onWindow func(int64, int64, Set)) Detector {
+		det, err := NewWindowedDetector(WindowedConfig{
+			Window: window, Phi: 0.03, Engine: EngineExact, OnWindow: onWindow,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	})
+	for _, K := range []int{1, 2, 4, 8} {
+		sharded := collectWindows(t, pkts, func(onWindow func(int64, int64, Set)) Detector {
+			det, err := NewShardedDetector(ShardedConfig{
+				Shards: K, Window: window, Phi: 0.03, Engine: EngineExact, OnWindow: onWindow,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return det
+		})
+		if len(sharded) != len(single) {
+			t.Fatalf("K=%d: window counts differ: %d vs %d", K, len(sharded), len(single))
+		}
+		for w := range single {
+			if !sharded[w].Equal(single[w]) {
+				t.Errorf("K=%d window %d: %v != %v", K, w, sharded[w], single[w])
+			}
+		}
+	}
+}
+
+// TestShardedDetectorSurface exercises the public ShardedDetector surface
+// end to end on generated Tier-1 traffic: snapshot semantics, stats
+// accounting and lifecycle.
+func TestShardedDetectorSurface(t *testing.T) {
+	cfg := Tier1Day(0, 20*time.Second)
+	pkts, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewShardedDetector(ShardedConfig{
+		Shards: 4,
+		Window: 5 * time.Second,
+		Phi:    0.05,
+		Engine: EnginePerLevel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det2 Detector = det // must satisfy the uniform Detector interface
+	det2.ObserveBatch(pkts)
+	set := det2.Snapshot(int64(cfg.Duration))
+	if set.Len() == 0 {
+		t.Error("no HHHs reported on Tier-1 traffic")
+	}
+	if det2.SizeBytes() <= 0 {
+		t.Error("non-positive SizeBytes")
+	}
+	st := det.Stats()
+	if st.Packets != int64(len(pkts)) {
+		t.Errorf("stats packets %d != trace %d", st.Packets, len(pkts))
+	}
+	if st.Windows < 3 {
+		t.Errorf("expected >= 3 closed windows, got %d", st.Windows)
+	}
+	if st.Engine != "perlevel" {
+		t.Errorf("stats engine %q", st.Engine)
+	}
+	if err := det.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
