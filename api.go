@@ -9,9 +9,11 @@
 //   - Detectors: windowed (disjoint, reset-per-window), sliding-window,
 //     and continuous time-decaying HHH detection over packet streams (see
 //     NewWindowedDetector, NewSlidingDetector, NewContinuousDetector),
-//     plus a sharded concurrent pipeline that parallelises windowed
-//     ingest across hash-partitioned worker shards and merges their
-//     summaries at query time (see NewShardedDetector).
+//     plus a sharded concurrent pipeline that parallelises ingest for any
+//     of the three window models across hash-partitioned worker shards
+//     and merges their summaries — at window closes for the windowed
+//     model, at query time for the sliding and continuous ones (see
+//     NewShardedDetector and ShardedConfig.Mode).
 //   - Traffic: a seeded synthetic Tier-1 traffic generator (the stand-in
 //     for the paper's proprietary CAIDA traces), binary trace files, and
 //     pcap interchange.

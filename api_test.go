@@ -245,3 +245,44 @@ func TestPresetsThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWindowedEmptyWindowsFastPath pins the empty-window short circuit:
+// an idle gap of many windows must report one empty set per window (in
+// order, via OnWindow) without running the conditioned query, and the
+// data windows on both sides must be unaffected. The gap of 10k windows
+// closes in the one Snapshot call; the fast path keeps that loop cheap.
+func TestWindowedEmptyWindowsFastPath(t *testing.T) {
+	width := int64(time.Second)
+	const gap = 10000
+	var pkts []Packet
+	for i := 0; i < 1000; i++ { // window 0
+		pkts = append(pkts, Packet{Ts: int64(i) * width / 1000, Src: Addr(10<<24 | uint32(i%16)), Size: 1000})
+	}
+	for i := 0; i < 1000; i++ { // window gap+1
+		pkts = append(pkts, Packet{Ts: (gap+1)*width + int64(i)*width/1000, Src: Addr(10<<24 | uint32(i%16)), Size: 1000})
+	}
+	var sets []Set
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: time.Second, Phi: 0.05, Engine: EnginePerLevel,
+		OnWindow: func(start, end int64, set Set) { sets = append(sets, set) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.ObserveBatch(pkts)
+	last := det.Snapshot(pkts[len(pkts)-1].Ts + width)
+	if len(sets) != gap+2 {
+		t.Fatalf("closed %d windows, want %d", len(sets), gap+2)
+	}
+	if sets[0].Len() == 0 {
+		t.Error("first data window reported no HHHs")
+	}
+	for i := 1; i <= gap; i++ {
+		if sets[i].Len() != 0 {
+			t.Fatalf("idle window %d reported %v", i, sets[i])
+		}
+	}
+	if sets[gap+1].Len() == 0 || last.Len() == 0 {
+		t.Error("post-gap data window reported no HHHs")
+	}
+}

@@ -284,6 +284,44 @@ func BenchmarkDetectorSharded4(b *testing.B) { benchSharded(b, 4) }
 // BenchmarkDetectorSharded8 measures 8-shard parallel ingest.
 func BenchmarkDetectorSharded8(b *testing.B) { benchSharded(b, 8) }
 
+// benchSlidingSharded measures the sliding-mode pipeline's ingest
+// throughput: per-shard WCSS frame rings fed through the same
+// partition+ring spine, merged only at snapshot time (so ingest here is
+// pure sharded frame updates).
+func benchSlidingSharded(b *testing.B, shards int) {
+	det, err := NewShardedDetector(ShardedConfig{
+		Mode: ModeSliding, Shards: shards, Window: 10 * time.Second, Phi: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+	b.StopTimer()
+	det.Close()
+}
+
+// BenchmarkSlidingSharded1 is the 1-shard sliding pipeline baseline
+// (overhead over BenchmarkDetectorSliding is the partition+ring cost).
+func BenchmarkSlidingSharded1(b *testing.B) { benchSlidingSharded(b, 1) }
+
+// BenchmarkSlidingSharded2 measures 2-shard sliding ingest.
+func BenchmarkSlidingSharded2(b *testing.B) { benchSlidingSharded(b, 2) }
+
+// BenchmarkSlidingSharded4 measures 4-shard sliding ingest.
+func BenchmarkSlidingSharded4(b *testing.B) { benchSlidingSharded(b, 4) }
+
+// BenchmarkContinuousSharded4 measures 4-shard continuous (TDBF) ingest,
+// the third window model behind the same pipeline.
+func BenchmarkContinuousSharded4(b *testing.B) {
+	det, err := NewShardedDetector(ShardedConfig{
+		Mode: ModeContinuous, Shards: 4, Window: 10 * time.Second, Phi: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+	b.StopTimer()
+	det.Close()
+}
+
 // BenchmarkDetectorWindowedPerLevelObserve measures the per-level engine
 // through the single-packet Observe path, isolating the batch-spine gain
 // from the O(1) sketch gain.

@@ -55,7 +55,7 @@ func main() {
 	// The pattern is anchored: an unanchored "Detector" would also match
 	// BenchmarkE3Detectors, a whole-experiment benchmark whose per-op cost
 	// makes fixed iteration counts run for hours.
-	benchRE := flag.String("bench", "^BenchmarkDetector|^BenchmarkPerLevel|^BenchmarkSpaceSaving|^BenchmarkHeapSpaceSaving", "benchmark pattern to run (ignored with -stdin)")
+	benchRE := flag.String("bench", "^BenchmarkDetector|^BenchmarkSlidingSharded|^BenchmarkContinuousSharded|^BenchmarkPerLevel|^BenchmarkSpaceSaving|^BenchmarkHeapSpaceSaving", "benchmark pattern to run (ignored with -stdin)")
 	benchtime := flag.String("benchtime", "2000000x", "benchtime to run with (ignored with -stdin)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
 	flag.Parse()

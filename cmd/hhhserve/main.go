@@ -8,6 +8,13 @@
 //	curl localhost:8080/stats    # pipeline counters
 //	curl localhost:8080/healthz  # liveness
 //
+// -mode selects the window model: "windowed" (default) reports the most
+// recently completed disjoint window; "sliding" and "continuous" — the
+// views the paper shows reveal boundary-hidden HHHs — answer /hhh with a
+// query-time merge of the live shard summaries at the current trace
+// timestamp, so reports move continuously instead of stepping once per
+// window.
+//
 // With -loop (the default) the trace replays continuously, each lap
 // shifted forward in time, so the server stays live indefinitely; -laps
 // bounds the replay for scripted runs. -pps throttles ingest to a target
@@ -214,14 +221,29 @@ func parseEngine(name string) (hiddenhhh.Engine, error) {
 	}
 }
 
+func parseMode(name string) (hiddenhhh.Mode, error) {
+	switch name {
+	case "windowed":
+		return hiddenhhh.ModeWindowed, nil
+	case "sliding":
+		return hiddenhhh.ModeSliding, nil
+	case "continuous":
+		return hiddenhhh.ModeContinuous, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want windowed, sliding, continuous)", name)
+	}
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		modeStr   = flag.String("mode", "windowed", "window model: windowed, sliding, continuous")
 		shards    = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
-		engineStr = flag.String("engine", "perlevel", "per-shard engine: exact, perlevel, rhhh")
-		window    = flag.Duration("window", 10*time.Second, "disjoint window length")
-		phi       = flag.Float64("phi", 0.05, "HHH threshold fraction of window bytes")
+		engineStr = flag.String("engine", "perlevel", "per-shard engine for -mode windowed: exact, perlevel, rhhh")
+		window    = flag.Duration("window", 10*time.Second, "window length / sliding span / decay horizon")
+		phi       = flag.Float64("phi", 0.05, "HHH threshold fraction of the mode's total mass")
 		counters  = flag.Int("counters", 512, "Space-Saving counters per level")
+		frames    = flag.Int("frames", 0, "sliding frame count (0 = default 8, -mode sliding)")
 		scenario  = flag.String("scenario", "day0", "traffic scenario: day0..day3, ddos, default")
 		tracePath = flag.String("trace", "", "binary trace file to replay instead of a scenario")
 		duration  = flag.Duration("duration", time.Minute, "generated scenario length")
@@ -231,6 +253,10 @@ func main() {
 	)
 	flag.Parse()
 
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		log.Fatal("hhhserve: ", err)
+	}
 	engine, err := parseEngine(*engineStr)
 	if err != nil {
 		log.Fatal("hhhserve: ", err)
@@ -258,11 +284,13 @@ func main() {
 	span := pkts[len(pkts)-1].Ts + 1
 
 	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
+		Mode:     mode,
 		Shards:   *shards,
 		Window:   *window,
 		Phi:      *phi,
 		Engine:   engine,
 		Counters: *counters,
+		Frames:   *frames,
 	})
 	if err != nil {
 		log.Fatal("hhhserve: ", err)
@@ -278,8 +306,9 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
 	go func() {
-		log.Printf("hhhserve: listening on %s (%d packets/lap, %d shards, engine %s)",
-			*addr, len(pkts), det.Stats().Shards, *engineStr)
+		st := det.Stats()
+		log.Printf("hhhserve: listening on %s (%d packets/lap, %d shards, mode %s, engine %s)",
+			*addr, len(pkts), st.Shards, st.Mode, st.Engine)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatal("hhhserve: ", err)
 		}

@@ -126,3 +126,68 @@ func TestScenarioAndEngineFlags(t *testing.T) {
 		t.Error("unknown engine accepted")
 	}
 }
+
+// TestModeFlag pins the -mode parser.
+func TestModeFlag(t *testing.T) {
+	for name, want := range map[string]hiddenhhh.Mode{
+		"windowed": hiddenhhh.ModeWindowed, "sliding": hiddenhhh.ModeSliding, "continuous": hiddenhhh.ModeContinuous,
+	} {
+		got, err := parseMode(name)
+		if err != nil || got != want {
+			t.Errorf("mode %q: got %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMode("nope"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestServeSlidingMode runs the server over a sliding-mode sharded
+// detector: /hhh must answer from a query-time merge of the live shard
+// summaries at the current trace timestamp.
+func TestServeSlidingMode(t *testing.T) {
+	cfg, err := scenarioConfig("ddos", 15*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := hiddenhhh.GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
+		Mode:   hiddenhhh.ModeSliding,
+		Shards: 3,
+		Window: 5 * time.Second,
+		Phi:    0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	srv := newServer(det, 5*time.Second, 0.05)
+	srv.run(pkts, pkts[len(pkts)-1].Ts+1, 1, 0, make(chan struct{}))
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/hhh", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/hhh status %d", rec.Code)
+	}
+	var resp hhhResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("/hhh invalid JSON: %v", err)
+	}
+	if resp.Count == 0 {
+		t.Fatal("sliding /hhh reported nothing at end of a ddos trace")
+	}
+	if resp.WindowBytes <= 0 {
+		t.Fatalf("window bytes %d", resp.WindowBytes)
+	}
+	rec = httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/stats invalid JSON: %v", err)
+	}
+	if st.Mode != "sliding" {
+		t.Fatalf("/stats mode %q", st.Mode)
+	}
+}

@@ -186,6 +186,19 @@ func (d *windowedDetector) ObserveBatch(pkts []Packet) {
 }
 
 func (d *windowedDetector) closeWindow() {
+	if d.bytes == 0 {
+		// Empty window: the engines saw nothing since their last reset, so
+		// the conditioned query would walk empty summaries to produce an
+		// empty set — and Snapshot closes idle-gap windows one by one, so
+		// the short-circuit mirrors the sharded pipeline's empty-window
+		// fast path.
+		d.last = hhh.NewSet()
+		if d.cfg.OnWindow != nil {
+			d.cfg.OnWindow(d.curEnd-d.width, d.curEnd, d.last)
+		}
+		d.curEnd += d.width
+		return
+	}
 	d.last = d.queryNow()
 	switch {
 	case d.exact != nil:
@@ -236,24 +249,66 @@ func (d *windowedDetector) SizeBytes() int {
 	}
 }
 
+// Mode selects the window model a sharded detector parallelises.
+type Mode int
+
+// Supported sharded window models.
+const (
+	// ModeWindowed shards the disjoint-window detector: summaries reset
+	// at every boundary and Snapshot reports the most recently completed
+	// window's merged set.
+	ModeWindowed Mode = iota
+	// ModeSliding shards the WCSS-style sliding-window detector: each
+	// shard keeps a frame ring per hierarchy level, and Snapshot merges
+	// the live shard summaries frame by frame at the query timestamp.
+	ModeSliding
+	// ModeContinuous shards the time-decaying Bloom filter detector:
+	// Snapshot merges the shard filters cell-wise (decay-to-common-time
+	// plus add) at the query timestamp.
+	ModeContinuous
+)
+
+func (m Mode) String() string { return pipeline.Mode(m).String() }
+
 // ShardedConfig configures NewShardedDetector.
 type ShardedConfig struct {
+	// Mode selects the window model. Default ModeWindowed.
+	Mode Mode
 	// Shards is the number of parallel worker shards. Default GOMAXPROCS.
 	Shards int
-	// Window is the disjoint window length. Required.
+	// Window is the disjoint window length (ModeWindowed), the sliding
+	// span queries cover (ModeSliding), or the decay time constant tau
+	// (ModeContinuous). Required.
 	Window time.Duration
-	// Phi is the threshold fraction of per-window bytes. Required.
+	// Phi is the threshold fraction of the mode's total mass: per-window
+	// bytes, covered sliding-window bytes, or total decayed mass.
+	// Required.
 	Phi float64
-	// Engine selects the per-shard summary structure. Default EngineExact
-	// (lossless merge); EnginePerLevel and EngineRHHH merge with the
-	// bounded error documented on SpaceSaving.Merge.
+	// Engine selects the per-shard summary structure of ModeWindowed.
+	// Default EngineExact (lossless merge); EnginePerLevel and EngineRHHH
+	// merge with the bounded error documented on SpaceSaving.Merge. The
+	// other modes fix their engine (WCSS frames, TDBFs) and ignore it.
 	Engine Engine
-	// Counters per level for sketch engines. Default 512.
+	// Counters per level for sketch engines (per frame and level in
+	// ModeSliding). Default 512.
 	Counters int
+	// Frames is ModeSliding's expiry granularity (coverage overshoots by
+	// Window/Frames). Default 8.
+	Frames int
+	// Cells and Hashes size ModeContinuous's per-level time-decaying
+	// Bloom filters. Defaults 1<<16 and 4.
+	Cells  int
+	Hashes int
+	// ExitRatio is ModeContinuous's hysteresis fraction (see
+	// internal/continuous). Default 0.9.
+	ExitRatio float64
+	// Sampled makes ModeContinuous update one random level per packet.
+	Sampled bool
 	// Hierarchy defaults to byte granularity.
 	Hierarchy Hierarchy
-	// Seed drives EngineRHHH sampling; each shard derives its own
-	// deterministic stream from it.
+	// Seed drives EngineRHHH sampling (each shard derives its own
+	// deterministic stream from it) and ModeContinuous's filter hashes
+	// (shared verbatim across shards, so the filters merge cell-wise).
 	Seed uint64
 	// Batch is the number of packets staged per shard before a ring
 	// push. Default 256.
@@ -261,8 +316,8 @@ type ShardedConfig struct {
 	// RingDepth is the per-shard ring capacity in batches. Default 64.
 	RingDepth int
 	// OnWindow, when set, receives every completed window's merged HHH
-	// set. It runs on a worker goroutine (in window order) and must not
-	// call back into the detector.
+	// set (ModeWindowed only). It runs on a worker goroutine (in window
+	// order) and must not call back into the detector.
 	OnWindow func(start, end int64, set Set)
 }
 
@@ -283,21 +338,29 @@ type ShardedDetector interface {
 	Close() error
 }
 
-// NewShardedDetector builds a disjoint-window HHH detector that ingests
-// through N parallel worker shards. Packets are hash-partitioned by
-// source address onto per-shard bounded SPSC rings; each shard feeds an
-// independent summary engine, and at every window close the shard
-// summaries are merged (SpaceSaving.Merge per level) into a single HHH
-// set. Because the shards partition the stream, the merged error bound
-// telescopes to the single-engine bound N/k per window; merging
+// NewShardedDetector builds an HHH detector — windowed, sliding or
+// continuous, per cfg.Mode — that ingests through N parallel worker
+// shards. Packets are hash-partitioned by source address onto per-shard
+// bounded SPSC rings; each shard feeds an independent mergeable summary.
+// In windowed mode the shard summaries are merged and reset at every
+// window close; in sliding and continuous mode the live summaries are
+// merged — without being consumed — at every Snapshot, which is the
+// query-time merged view. Because the shards partition the stream, the
+// merged error bound telescopes to the single-engine bound N/k; merging
 // summaries of overlapping streams would instead sum the bounds.
 func NewShardedDetector(cfg ShardedConfig) (ShardedDetector, error) {
 	d, err := pipeline.New(pipeline.Config{
+		Mode:      pipeline.Mode(cfg.Mode),
 		Shards:    cfg.Shards,
 		Window:    cfg.Window,
 		Phi:       cfg.Phi,
 		Engine:    pipeline.Kind(cfg.Engine),
 		Counters:  cfg.Counters,
+		Frames:    cfg.Frames,
+		Cells:     cfg.Cells,
+		Hashes:    cfg.Hashes,
+		ExitRatio: cfg.ExitRatio,
+		Sampled:   cfg.Sampled,
 		Hierarchy: cfg.Hierarchy,
 		Seed:      cfg.Seed,
 		Batch:     cfg.Batch,

@@ -29,7 +29,8 @@ func NewHierarchy2D(src, dst Granularity) Hierarchy2D {
 }
 
 // ExactHHH2D computes the exact 2-D HHH set of the given observations at
-// a fraction phi of their total byte volume.
+// a fraction phi of their total byte volume. Like Threshold, it panics
+// when phi is outside (0,1].
 func ExactHHH2D(tuples []Tuple2D, h Hierarchy2D, phi float64) Set2D {
 	return hhh2d.ExactFromPackets(tuples, h, phi)
 }

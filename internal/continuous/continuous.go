@@ -49,8 +49,12 @@ type Config struct {
 	// 1.0 disables hysteresis.
 	ExitRatio float64
 	// Warmup suppresses admissions until this much trace time has
-	// passed, letting the decayed total reach steady state. Default is
-	// the decay horizon (zero for laws without one).
+	// passed after the first observed packet, letting the decayed total
+	// reach steady state. Default is the decay horizon (zero for laws
+	// without one). Anchoring at the first packet rather than at
+	// timestamp zero keeps detection invariant under time translation:
+	// a trace stamped in epoch nanoseconds warms up exactly like the
+	// same trace stamped from zero.
 	Warmup time.Duration
 	// Sampled, when true, updates a single uniformly drawn level per
 	// packet (RHHH-style) and scales estimates by the level count,
@@ -72,7 +76,8 @@ type Detector struct {
 	active  map[ipv4.Prefix]int64 // prefix -> activation timestamp
 	anc     []ipv4.Prefix
 	rng     uint64
-	warmEnd int64
+	started bool  // first packet seen; warmEnd is anchored
+	warmEnd int64 // first packet timestamp + Warmup
 	pkts    int64
 }
 
@@ -94,12 +99,11 @@ func NewDetector(cfg Config) (*Detector, error) {
 		cfg.Warmup = cfg.Filter.Decay.Horizon()
 	}
 	d := &Detector{
-		cfg:     cfg,
-		levels:  cfg.Hierarchy.Levels(),
-		total:   tdbf.NewMassTracker(cfg.Filter.Decay),
-		active:  make(map[ipv4.Prefix]int64),
-		rng:     hashx.Mix64(cfg.Seed ^ 0x6a09e667f3bcc909),
-		warmEnd: int64(cfg.Warmup),
+		cfg:    cfg,
+		levels: cfg.Hierarchy.Levels(),
+		total:  tdbf.NewMassTracker(cfg.Filter.Decay),
+		active: make(map[ipv4.Prefix]int64),
+		rng:    hashx.Mix64(cfg.Seed ^ 0x6a09e667f3bcc909),
 	}
 	d.filters = make([]*tdbf.Filter, d.levels)
 	for l := range d.filters {
@@ -156,6 +160,10 @@ func (d *Detector) claimedUnder(p ipv4.Prefix, now int64) float64 {
 // filters at timestamp now (ns, non-decreasing), and the chain's prefixes
 // are checked for admission or exit.
 func (d *Detector) Observe(src ipv4.Addr, bytes int64, now int64) {
+	if !d.started {
+		d.started = true
+		d.warmEnd = now + int64(d.cfg.Warmup)
+	}
 	d.pkts++
 	w := float64(bytes)
 	d.total.Add(w, now)
@@ -297,6 +305,44 @@ func less(a, b ipv4.Prefix) bool {
 	return a.Addr < b.Addr
 }
 
+// Merge folds detector o into d; o is not modified. Both detectors must
+// be built from the same Config (hierarchy, filter shape, seed and decay
+// law), so their per-level filters merge cell-wise (see tdbf.Filter.Merge
+// — decay-to-common-time plus add, preserving the conservative
+// overestimate) and the total mass trackers likewise. The active sets are
+// unioned, keeping the earlier activation timestamp.
+//
+// In the sharded pipeline every shard admits against its *own* decayed
+// mass — a fraction ~1/K of the global mass under hash partitioning — so
+// the shard-local thresholds are proportionally lower and the union of
+// shard active sets is a superset of the globally admissible candidates.
+// A Query on the merged detector re-validates every candidate against
+// the merged (global) mass and deactivates the over-admissions, so
+// merged reports match a single detector's up to filter collision noise
+// and partitioning variance on interior prefixes.
+func (d *Detector) Merge(o *Detector) {
+	if o == nil {
+		return
+	}
+	if d.levels != o.levels || d.cfg.Hierarchy != o.cfg.Hierarchy {
+		panic("continuous: Merge hierarchy mismatch")
+	}
+	for l := range d.filters {
+		d.filters[l].Merge(o.filters[l])
+	}
+	d.total.Merge(o.total)
+	for p, at := range o.active {
+		if cur, ok := d.active[p]; !ok || at < cur {
+			d.active[p] = at
+		}
+	}
+	if o.started && (!d.started || o.warmEnd > d.warmEnd) {
+		d.started = true
+		d.warmEnd = o.warmEnd
+	}
+	d.pkts += o.pkts
+}
+
 // ActiveLen returns the size of the active set without revalidation.
 func (d *Detector) ActiveLen() int { return len(d.active) }
 
@@ -323,5 +369,7 @@ func (d *Detector) Reset() {
 	}
 	d.total.Reset()
 	d.active = make(map[ipv4.Prefix]int64)
+	d.started = false
+	d.warmEnd = 0
 	d.pkts = 0
 }

@@ -326,3 +326,136 @@ func BenchmarkObserveSampled(b *testing.B) {
 		d.Observe(ipv4.Addr(uint32(i)*2654435761), 1000, int64(i)*1000)
 	}
 }
+
+// TestMergeIdentity: merging one detector into a fresh one of the same
+// config and querying reproduces the original's report exactly (the K=1
+// sharded case).
+func TestMergeIdentity(t *testing.T) {
+	cfg := defaultCfg(0.05, time.Second)
+	src, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	now := int64(0)
+	for i := 0; i < 30000; i++ {
+		now += int64(100 * time.Microsecond)
+		if i%3 == 0 {
+			src.Observe(ipv4.MustParseAddr("10.1.2.3"), 1000, now)
+		} else {
+			src.Observe(ipv4.Addr(rng.Uint32()), 400, now)
+		}
+	}
+	dst, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Merge(src)
+	if got, want := dst.TotalMass(now), src.TotalMass(now); got != want {
+		t.Errorf("merged mass %g != %g", got, want)
+	}
+	want, got := src.Query(now), dst.Query(now)
+	if !got.Equal(want) {
+		t.Fatalf("merged copy differs:\n got %v\nwant %v", got, want)
+	}
+	if !want.Contains(ipv4.MustParsePrefix("10.1.2.3/32")) {
+		t.Fatalf("heavy host missing from %v", want)
+	}
+}
+
+// TestMergePartitionedShards: splitting a stream by source hash across
+// two detectors and merging approximates the single-detector view — the
+// heavy host (whose packets all land in one shard) must be reported with
+// its full mass, and the merged total must equal the union's.
+func TestMergePartitionedShards(t *testing.T) {
+	cfg := defaultCfg(0.05, time.Second)
+	mk := func() *Detector {
+		d, err := NewDetector(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	shards := []*Detector{mk(), mk()}
+	whole := mk()
+	rng := rand.New(rand.NewSource(12))
+	heavy := ipv4.MustParseAddr("10.1.2.3")
+	now := int64(0)
+	for i := 0; i < 30000; i++ {
+		now += int64(100 * time.Microsecond)
+		src, w := ipv4.Addr(rng.Uint32()), int64(400)
+		if i%3 == 0 {
+			src, w = heavy, 1000
+		}
+		shards[uint32(src)&1].Observe(src, w, now)
+		whole.Observe(src, w, now)
+	}
+	merged := mk()
+	merged.Merge(shards[0])
+	merged.Merge(shards[1])
+	gotMass, wantMass := merged.TotalMass(now), whole.TotalMass(now)
+	if diff := gotMass - wantMass; diff > 1e-6*wantMass || diff < -1e-6*wantMass {
+		t.Errorf("merged mass %g != union %g", gotMass, wantMass)
+	}
+	set := merged.Query(now)
+	if !set.Contains(ipv4.MustParsePrefix("10.1.2.3/32")) {
+		t.Fatalf("heavy host missing from merged report %v", set)
+	}
+	// Shard-local admission uses shard-local mass, so candidates are a
+	// superset; after re-validation nothing below the global threshold
+	// may survive.
+	exitT := cfg.Phi * merged.TotalMass(now) * 0.9
+	for p, it := range set {
+		if float64(it.Conditioned) < exitT-1 {
+			t.Errorf("%v survived with conditioned %d below exit threshold %g", p, it.Conditioned, exitT)
+		}
+	}
+}
+
+// TestMergeHierarchyMismatchPanics pins the guard.
+func TestMergeHierarchyMismatchPanics(t *testing.T) {
+	a, err := NewDetector(defaultCfg(0.1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCfg(0.1, time.Second)
+	cfg.Hierarchy = ipv4.NewHierarchy(ipv4.Nibble)
+	b, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on hierarchy mismatch")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestWarmupAnchorsAtFirstPacket: warmup is measured from the first
+// observed packet, not from timestamp zero, so an epoch-stamped trace
+// warms up identically to a zero-based one.
+func TestWarmupAnchorsAtFirstPacket(t *testing.T) {
+	epoch := int64(1_700_000_000_000_000_000)
+	cfg := defaultCfg(0.1, time.Second)
+	cfg.Warmup = 5 * time.Second
+	var enterTimes []int64
+	cfg.OnEnter = func(_ ipv4.Prefix, at int64) { enterTimes = append(enterTimes, at) }
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := epoch
+	for i := 0; i < 12000; i++ { // 12 s at 1000 pps, heavy throughout
+		now += int64(time.Millisecond)
+		d.Observe(ipv4.MustParseAddr("10.0.0.1"), 1000, now)
+	}
+	if len(enterTimes) == 0 {
+		t.Fatal("no detections after warmup")
+	}
+	for _, at := range enterTimes {
+		if at < epoch+int64(5*time.Second) {
+			t.Fatalf("detection %v into the trace, during warmup", time.Duration(at-epoch))
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 )
 
@@ -225,6 +226,8 @@ func Exact(counts map[Key]int64, h Hierarchy2, T int64) Set {
 }
 
 // ExactFromPackets is a convenience aggregating (src, dst, bytes) tuples.
+// The threshold is hhh.Threshold(total, phi), which panics when phi is
+// outside (0,1].
 func ExactFromPackets(tuples []Tuple, h Hierarchy2, phi float64) Set {
 	counts := make(map[Key]int64, len(tuples))
 	var total int64
@@ -232,11 +235,7 @@ func ExactFromPackets(tuples []Tuple, h Hierarchy2, phi float64) Set {
 		counts[Key{t.Src, t.Dst}] += t.Bytes
 		total += t.Bytes
 	}
-	T := int64(phi * float64(total))
-	if T < 1 {
-		T = 1
-	}
-	return Exact(counts, h, T)
+	return Exact(counts, h, hhh.Threshold(total, phi))
 }
 
 // Tuple is one traffic observation for the 2-D analyses.

@@ -325,3 +325,20 @@ func BenchmarkExact2D(b *testing.B) {
 		Exact(counts, h, T)
 	}
 }
+
+// TestFractionThresholdContract pins the unified hhh.Threshold semantics
+// on the 2-D fraction paths: floor-at-1 inside (0,1], panic outside —
+// the same contract as the public Threshold facade.
+func TestFractionThresholdContract(t *testing.T) {
+	h := NewHierarchy2(ipv4.Byte, ipv4.Byte)
+	tuples := []Tuple{{Src: 1, Dst: 2, Bytes: 10}}
+	if set := ExactFromPackets(tuples, h, 0.001); set.Len() == 0 {
+		t.Error("tiny phi must floor the threshold at 1, not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on phi=0")
+		}
+	}()
+	ExactFromPackets(tuples, h, 0)
+}

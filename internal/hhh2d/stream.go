@@ -3,6 +3,7 @@ package hhh2d
 import (
 	"sort"
 
+	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
 )
@@ -136,11 +137,9 @@ func (e *PerNode) Query(T int64) Set {
 	return out
 }
 
-// QueryFraction queries at phi of the observed volume.
+// QueryFraction queries at phi of the observed volume, with the shared
+// floor-at-1 threshold clamp of hhh.Threshold — which, like every
+// fraction-threshold path, panics when phi is outside (0,1].
 func (e *PerNode) QueryFraction(phi float64) Set {
-	T := int64(phi * float64(e.tot))
-	if T < 1 {
-		T = 1
-	}
-	return e.Query(T)
+	return e.Query(hhh.Threshold(e.tot, phi))
 }

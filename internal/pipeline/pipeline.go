@@ -1,25 +1,42 @@
 // Package pipeline implements the sharded concurrent ingest pipeline: N
-// worker shards, each owning an independent windowed HHH engine fed
-// through a bounded SPSC ring of packet batches, with packets
-// hash-partitioned by source address.
+// worker shards, each owning an independent mergeable summary fed through
+// a bounded SPSC ring of packet batches, with packets hash-partitioned by
+// source address.
 //
-// The coordinator (the caller's goroutine) sees the global time-ordered
-// stream, so it alone decides window boundaries: at each boundary it
-// flushes the staged batches and pushes one barrier token into every
-// shard's ring. Ring FIFO order guarantees a shard reaches the token only
-// after absorbing every batch of the closing window; the last shard to
-// arrive merges all shard summaries (SpaceSaving.Merge level by level)
-// into one engine, runs the conditioned HHH query, publishes the window's
-// set, and releases the barrier. Shards then reset and continue with the
-// next window's batches, which the coordinator has been queueing behind
-// the token in the meantime — ingest never stops for a merge.
+// The pipeline is generic over the paper's three window models, selected
+// by Config.Mode. Each shard holds a Summary — a mergeable digest of its
+// substream — and all coordination happens through barrier tokens pushed
+// into every shard's ring. Ring FIFO order guarantees a shard reaches a
+// token only after absorbing every batch staged before it; the last shard
+// to arrive has exclusive access to every shard's summary, merges them
+// all into one accumulator, queries it, publishes the result and releases
+// the barrier.
 //
-// Correctness rests on two properties of the underlying summaries:
-// Space-Saving summaries admit bounded-error merging (Mitzenmacher,
-// Steinke & Thaler), and RHHH's per-packet level sampling is
+//   - ModeWindowed (disjoint windows): the coordinator (the caller's
+//     goroutine) sees the global time-ordered stream, so it alone decides
+//     window boundaries; at each boundary it broadcasts a closing barrier.
+//     After the merged set is published the shards reset and continue with
+//     the next window's batches, which the coordinator has been queueing
+//     behind the token — ingest never stops for a merge.
+//   - ModeSliding (WCSS frame ring per level) and ModeContinuous
+//     (time-decaying Bloom filters per level): there are no boundaries, so
+//     barriers are query-driven. Snapshot(now) broadcasts a query barrier
+//     carrying now; each shard first advances its summary to now (aligning
+//     sliding frame rings; a no-op for the lazily-decaying filters), the
+//     merged accumulator absorbs all shards *without resetting them*, and
+//     the merged set at now is published. Shards keep their state and
+//     continue — the merge reads, never consumes.
+//
+// Correctness rests on the summaries being mergeable with bounded error
+// (Agarwal et al., "Mergeable Summaries"): Space-Saving summaries merge
+// with summed bounds (Mitzenmacher, Steinke & Thaler) — which covers the
+// windowed engines and the sliding detector's per-frame summaries
+// (Ben-Basat et al., INFOCOM 2016) — and time-decaying Bloom filters
+// merge cell-wise by decay-to-common-time plus add, preserving the
+// conservative overestimate. RHHH's per-packet level sampling is
 // order-insensitive (Ben Basat et al.), so hash-partitioned substreams
 // recombine exactly. Because the shards partition the stream, the merged
-// error bound telescopes: K shards with k counters each over a window of
+// error bound telescopes: K shards with k counters each over a stream of
 // N bytes still bound overestimation by N/k, the single-engine bound.
 package pipeline
 
@@ -31,18 +48,51 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hiddenhhh/internal/continuous"
 	"hiddenhhh/internal/hashx"
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/tdbf"
 	"hiddenhhh/internal/trace"
 )
 
-// Kind selects the per-shard summary engine. Values mirror the public
-// Engine constants (Exact=0, PerLevel=1, RHHH=2).
+// Mode selects the window model the pipeline shards. Values mirror the
+// public hiddenhhh.Mode constants.
+type Mode int
+
+// Supported window models.
+const (
+	// ModeWindowed is the disjoint-window model: summaries reset at every
+	// boundary and Snapshot reports the most recently completed window.
+	ModeWindowed Mode = iota
+	// ModeSliding shards the WCSS-style sliding-window detector; Snapshot
+	// merges the live shard summaries at the query timestamp.
+	ModeSliding
+	// ModeContinuous shards the time-decaying Bloom filter detector;
+	// Snapshot merges filters cell-wise at the query timestamp.
+	ModeContinuous
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeWindowed:
+		return "windowed"
+	case ModeSliding:
+		return "sliding"
+	case ModeContinuous:
+		return "continuous"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Kind selects the per-shard summary engine of ModeWindowed. Values
+// mirror the public Engine constants (Exact=0, PerLevel=1, RHHH=2).
 type Kind int
 
-// Supported engines.
+// Supported windowed engines.
 const (
 	KindExact Kind = iota
 	KindPerLevel
@@ -62,23 +112,67 @@ func (k Kind) String() string {
 	}
 }
 
+// Summary is the pluggable per-shard digest: any mergeable summary of a
+// packet substream can sit behind the pipeline's rings and barriers. All
+// methods are called from a single goroutine at a time (the shard's
+// worker, or — between barriers — the merging worker).
+type Summary interface {
+	// UpdateBatch absorbs a time-ordered run of packets.
+	UpdateBatch(pkts []trace.Packet)
+	// Advance aligns time-dependent state to now (expiring sliding
+	// frames) so that equally-advanced summaries merge frame-for-frame.
+	// Summaries without eager time state treat it as a no-op.
+	Advance(now int64)
+	// Merge folds o — a summary built from the same Config — into the
+	// receiver without modifying o.
+	Merge(o Summary)
+	// Query returns the HHH set at time now together with the total mass
+	// (the threshold denominator: window bytes, covered sliding bytes, or
+	// decayed mass).
+	Query(now int64) (hhh.Set, int64)
+	// Reset returns the summary to its empty state.
+	Reset()
+	// SizeBytes reports the summary's state footprint.
+	SizeBytes() int
+}
+
 // Config parameterises New.
 type Config struct {
+	// Mode selects the window model. Default ModeWindowed.
+	Mode Mode
 	// Shards is the worker count. Default GOMAXPROCS.
 	Shards int
-	// Window is the disjoint window length. Required.
+	// Window is the disjoint window length (ModeWindowed), the sliding
+	// span (ModeSliding), or the decay horizon tau (ModeContinuous).
+	// Required.
 	Window time.Duration
-	// Phi is the threshold fraction of per-window bytes. Required.
+	// Phi is the threshold fraction of the mode's total mass. Required.
 	Phi float64
-	// Engine selects the per-shard summary. Default KindExact.
+	// Engine selects the per-shard summary for ModeWindowed. Default
+	// KindExact. Ignored by the other modes.
 	Engine Kind
-	// Counters per level for sketch engines. Default 512.
+	// Counters per level for sketch engines (per frame and level for
+	// ModeSliding). Default 512.
 	Counters int
+	// Frames is the sliding ring's expiry granularity. Default 8
+	// (ModeSliding only).
+	Frames int
+	// Cells and Hashes size the per-level time-decaying Bloom filters
+	// (ModeContinuous only). Defaults 1<<16 and 4.
+	Cells  int
+	Hashes int
+	// ExitRatio is the continuous detector's hysteresis fraction
+	// (ModeContinuous only). Default 0.9.
+	ExitRatio float64
+	// Sampled updates one random level per packet (ModeContinuous only).
+	Sampled bool
 	// Hierarchy defaults to byte granularity.
 	Hierarchy ipv4.Hierarchy
-	// Seed drives KindRHHH sampling; shard i derives its own stream from
-	// it (shard 0 uses Seed itself, so a 1-shard pipeline reproduces the
-	// single-detector sequence exactly).
+	// Seed drives KindRHHH sampling — shard i derives its own stream
+	// from it (shard 0 uses Seed itself, so a 1-shard pipeline reproduces
+	// the single-detector sequence exactly) — and the continuous mode's
+	// filter hashes, where every shard shares it verbatim: cell-wise
+	// filter merging requires identical hash seeds.
 	Seed uint64
 	// Batch is the packets staged per shard before a ring push.
 	// Default 256.
@@ -87,14 +181,17 @@ type Config struct {
 	// a power of two). Default 64.
 	RingDepth int
 	// OnWindow, when set, receives every completed window's merged HHH
-	// set, in window order. For windows with traffic it runs on a worker
-	// goroutine while the other shards wait at the barrier; for empty
-	// windows it runs on the ingest goroutine. It must not call back
-	// into the detector.
+	// set, in window order (ModeWindowed only). For windows with traffic
+	// it runs on a worker goroutine while the other shards wait at the
+	// barrier; for empty windows it runs on the ingest goroutine. It must
+	// not call back into the detector.
 	OnWindow func(start, end int64, set hhh.Set)
 }
 
 func (c *Config) setDefaults() error {
+	if c.Mode < ModeWindowed || c.Mode > ModeContinuous {
+		return fmt.Errorf("pipeline: unknown mode %v", c.Mode)
+	}
 	if c.Window <= 0 {
 		return fmt.Errorf("pipeline: window must be positive")
 	}
@@ -103,6 +200,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Engine < KindExact || c.Engine > KindRHHH {
 		return fmt.Errorf("pipeline: unknown engine %v", c.Engine)
+	}
+	if c.OnWindow != nil && c.Mode != ModeWindowed {
+		return fmt.Errorf("pipeline: OnWindow requires ModeWindowed (mode %v has no window closes)", c.Mode)
 	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
@@ -122,31 +222,77 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
-// shardEngine is one shard's summary — exactly one of the three fields is
-// active, mirroring the windowed detector's engine dispatch.
-type shardEngine struct {
-	h  ipv4.Hierarchy
-	pl *hhh.PerLevel
-	rh *hhh.RHHH
-	ex *sketch.Exact
-}
-
-func newShardEngine(cfg *Config, shard int) *shardEngine {
-	e := &shardEngine{h: cfg.Hierarchy}
-	switch cfg.Engine {
-	case KindPerLevel:
-		e.pl = hhh.NewPerLevel(cfg.Hierarchy, cfg.Counters)
-	case KindRHHH:
-		// splitmix64 increments decorrelate the per-shard sampling
-		// streams; shard 0 keeps cfg.Seed for 1-shard reproducibility.
-		e.rh = hhh.NewRHHH(cfg.Hierarchy, cfg.Counters, cfg.Seed^(uint64(shard)*0x9e3779b97f4a7c15))
+// label is the engine string Stats reports.
+func (c *Config) label() string {
+	switch c.Mode {
+	case ModeSliding:
+		return "wcss"
+	case ModeContinuous:
+		return "tdbf"
 	default:
-		e.ex = sketch.NewExact(1024)
+		return c.Engine.String()
 	}
-	return e
 }
 
-func (e *shardEngine) updateBatch(pkts []trace.Packet) {
+// newSummary builds one shard's summary for cfg.
+func newSummary(cfg *Config, shard int) (Summary, error) {
+	switch cfg.Mode {
+	case ModeSliding:
+		d, err := swhh.NewSlidingHHH(cfg.Hierarchy, swhh.Config{
+			Window:   cfg.Window,
+			Frames:   cfg.Frames,
+			Counters: cfg.Counters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &slidingSummary{d: d, phi: cfg.Phi}, nil
+	case ModeContinuous:
+		d, err := continuous.NewDetector(continuous.Config{
+			Hierarchy: cfg.Hierarchy,
+			Phi:       cfg.Phi,
+			Filter: tdbf.Config{
+				Cells:  cfg.Cells,
+				Hashes: cfg.Hashes,
+				Decay:  tdbf.Exponential{Tau: cfg.Window},
+			},
+			ExitRatio: cfg.ExitRatio,
+			Sampled:   cfg.Sampled,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &continuousSummary{d: d}, nil
+	default:
+		e := &windowedSummary{h: cfg.Hierarchy, phi: cfg.Phi}
+		switch cfg.Engine {
+		case KindPerLevel:
+			e.pl = hhh.NewPerLevel(cfg.Hierarchy, cfg.Counters)
+		case KindRHHH:
+			// splitmix64 increments decorrelate the per-shard sampling
+			// streams; shard 0 keeps cfg.Seed for 1-shard reproducibility.
+			e.rh = hhh.NewRHHH(cfg.Hierarchy, cfg.Counters, cfg.Seed^(uint64(shard)*0x9e3779b97f4a7c15))
+		default:
+			e.ex = sketch.NewExact(1024)
+		}
+		return e, nil
+	}
+}
+
+// windowedSummary is one disjoint-window shard summary — exactly one of
+// the three engine fields is active, mirroring the windowed detector's
+// engine dispatch. It carries no time state: Advance is a no-op and Query
+// ignores now, thresholding against the accumulated window volume.
+type windowedSummary struct {
+	h   ipv4.Hierarchy
+	phi float64
+	pl  *hhh.PerLevel
+	rh  *hhh.RHHH
+	ex  *sketch.Exact
+}
+
+func (e *windowedSummary) UpdateBatch(pkts []trace.Packet) {
 	switch {
 	case e.pl != nil:
 		e.pl.UpdateBatch(pkts)
@@ -159,9 +305,12 @@ func (e *shardEngine) updateBatch(pkts []trace.Packet) {
 	}
 }
 
-// merge folds o into e. Engines are built from one Config, so kinds and
+func (e *windowedSummary) Advance(int64) {}
+
+// Merge folds o into e. Summaries are built from one Config, so kinds and
 // shapes always match.
-func (e *shardEngine) merge(o *shardEngine) {
+func (e *windowedSummary) Merge(s Summary) {
+	o := s.(*windowedSummary)
 	switch {
 	case e.pl != nil:
 		e.pl.Merge(o.pl)
@@ -172,7 +321,7 @@ func (e *shardEngine) merge(o *shardEngine) {
 	}
 }
 
-func (e *shardEngine) total() int64 {
+func (e *windowedSummary) total() int64 {
 	switch {
 	case e.pl != nil:
 		return e.pl.Total()
@@ -183,18 +332,20 @@ func (e *shardEngine) total() int64 {
 	}
 }
 
-func (e *shardEngine) query(T int64) hhh.Set {
+func (e *windowedSummary) Query(int64) (hhh.Set, int64) {
+	total := e.total()
+	T := hhh.Threshold(total, e.phi)
 	switch {
 	case e.pl != nil:
-		return e.pl.Query(T)
+		return e.pl.Query(T), total
 	case e.rh != nil:
-		return e.rh.Query(T)
+		return e.rh.Query(T), total
 	default:
-		return hhh.Exact(e.ex, e.h, T)
+		return hhh.Exact(e.ex, e.h, T), total
 	}
 }
 
-func (e *shardEngine) reset() {
+func (e *windowedSummary) Reset() {
 	switch {
 	case e.pl != nil:
 		e.pl.Reset()
@@ -205,7 +356,7 @@ func (e *shardEngine) reset() {
 	}
 }
 
-func (e *shardEngine) sizeBytes() int {
+func (e *windowedSummary) SizeBytes() int {
 	switch {
 	case e.pl != nil:
 		return e.pl.SizeBytes()
@@ -216,45 +367,83 @@ func (e *shardEngine) sizeBytes() int {
 	}
 }
 
-// windowBarrier synchronises one window close across all shards.
-type windowBarrier struct {
-	start, end int64
+// slidingSummary adapts the per-level WCSS sliding detector. Advance
+// aligns the frame rings at the query barrier so Merge is frame-by-frame.
+type slidingSummary struct {
+	d   *swhh.SlidingHHH
+	phi float64
+}
+
+func (e *slidingSummary) UpdateBatch(pkts []trace.Packet) { e.d.UpdateBatch(pkts) }
+func (e *slidingSummary) Advance(now int64)               { e.d.Advance(now) }
+func (e *slidingSummary) Merge(s Summary)                 { e.d.Merge(s.(*slidingSummary).d) }
+func (e *slidingSummary) Reset()                          { e.d.Reset() }
+func (e *slidingSummary) SizeBytes() int                  { return e.d.SizeBytes() }
+
+func (e *slidingSummary) Query(now int64) (hhh.Set, int64) {
+	return e.d.Query(e.phi, now), e.d.WindowTotal(now)
+}
+
+// continuousSummary adapts the time-decaying Bloom filter detector. The
+// filters decay lazily, so Advance has nothing to do; Merge decays cell
+// pairs to a common time as it adds them.
+type continuousSummary struct {
+	d *continuous.Detector
+}
+
+func (e *continuousSummary) UpdateBatch(pkts []trace.Packet) { e.d.ObserveBatch(pkts) }
+func (e *continuousSummary) Advance(int64)                   {}
+func (e *continuousSummary) Merge(s Summary)                 { e.d.Merge(s.(*continuousSummary).d) }
+func (e *continuousSummary) Reset()                          { e.d.Reset() }
+func (e *continuousSummary) SizeBytes() int                  { return e.d.SizeBytes() }
+
+func (e *continuousSummary) Query(now int64) (hhh.Set, int64) {
+	return e.d.Query(now), int64(e.d.TotalMass(now))
+}
+
+// barrier synchronises one merge point across all shards: a window close
+// (reset true) or a snapshot-time query (reset false).
+type barrier struct {
+	start, end int64 // window span (ModeWindowed) — end doubles as query time
+	at         int64 // query/alignment timestamp
+	reset      bool  // shards reset after the merged set is published
 	need       int32
 	arrived    atomic.Int32
 	done       chan struct{}
 }
 
-// shard is one worker: a ring, an engine, and a batch-buffer freelist.
+// shard is one worker: a ring, a summary, and a batch-buffer freelist.
 type shard struct {
 	ring    *spscRing
-	eng     *shardEngine
+	eng     Summary
 	free    chan []trace.Packet
 	packets atomic.Int64
-	size    atomic.Int64 // last published engine footprint
+	size    atomic.Int64 // last published summary footprint
 }
 
-// Sharded is the concurrent windowed HHH detector. The ingest surface
-// (Observe, ObserveBatch, Snapshot) follows the Detector contract — one
-// goroutine at a time — while Stats and SizeBytes may be called
-// concurrently with ingest (hhhserve reads them from HTTP handlers).
+// Sharded is the concurrent HHH detector over any of the three window
+// models. The ingest surface (Observe, ObserveBatch, Snapshot) follows
+// the Detector contract — one goroutine at a time — while Stats and
+// SizeBytes may be called concurrently with ingest (hhhserve reads them
+// from HTTP handlers).
 type Sharded struct {
 	cfg    Config
 	width  int64
 	shards []*shard
-	merged *shardEngine
+	merged Summary
 
 	// Coordinator state: owned by the ingest goroutine.
 	started       bool
 	curEnd        int64
 	staging       [][]trace.Packet
-	lastBarrier   *windowBarrier
+	lastBarrier   *barrier
 	windowHasData bool
 	closed        bool
 
 	// Shared state.
 	mu         sync.Mutex
 	last       hhh.Set
-	windows    int64
+	merges     int64
 	lastEnd    int64
 	lastBytes  int64
 	packets    atomic.Int64
@@ -269,22 +458,30 @@ func New(cfg Config) (*Sharded, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	merged, err := newSummary(&cfg, 0)
+	if err != nil {
+		return nil, err
+	}
 	d := &Sharded{
 		cfg:     cfg,
 		width:   int64(cfg.Window),
 		shards:  make([]*shard, cfg.Shards),
-		merged:  newShardEngine(&cfg, 0),
+		merged:  merged,
 		staging: make([][]trace.Packet, cfg.Shards),
 		last:    hhh.NewSet(),
 	}
-	d.mergedSize.Store(int64(d.merged.sizeBytes()))
+	d.mergedSize.Store(int64(d.merged.SizeBytes()))
 	for i := range d.shards {
+		eng, err := newSummary(&cfg, i)
+		if err != nil {
+			return nil, err
+		}
 		s := &shard{
 			ring: newRing(cfg.RingDepth),
-			eng:  newShardEngine(&cfg, i),
+			eng:  eng,
 			free: make(chan []trace.Packet, cfg.RingDepth+2),
 		}
-		s.size.Store(int64(s.eng.sizeBytes()))
+		s.size.Store(int64(s.eng.SizeBytes()))
 		d.shards[i] = s
 		d.staging[i] = make([]trace.Packet, 0, cfg.Batch)
 		d.wg.Add(1)
@@ -305,9 +502,9 @@ func (d *Sharded) worker(s *shard) {
 			d.arrive(m.bar, s)
 			continue
 		}
-		s.eng.updateBatch(m.pkts)
+		s.eng.UpdateBatch(m.pkts)
 		s.packets.Add(int64(len(m.pkts)))
-		s.size.Store(int64(s.eng.sizeBytes()))
+		s.size.Store(int64(s.eng.SizeBytes()))
 		select {
 		case s.free <- m.pkts[:0]:
 		default: // freelist full; let the GC take it
@@ -315,34 +512,39 @@ func (d *Sharded) worker(s *shard) {
 	}
 }
 
-// arrive is the shard side of the window-close barrier. The last arriver
-// performs the merge and query; everyone resets only after the merged
-// set is published, since the merge reads every shard's engine.
-func (d *Sharded) arrive(b *windowBarrier, s *shard) {
+// arrive is the shard side of a barrier. Each shard first advances its
+// own summary to the barrier timestamp — aligning sliding frame rings so
+// the merge is frame-for-frame — then the last arriver performs the merge
+// and query. Everyone proceeds (and, for window closes, resets) only
+// after the merged set is published, since the merge reads every shard's
+// summary.
+func (d *Sharded) arrive(b *barrier, s *shard) {
+	s.eng.Advance(b.at)
 	if b.arrived.Add(1) == b.need {
-		d.completeWindow(b)
+		d.completeBarrier(b)
 	}
 	<-b.done
-	s.eng.reset()
-	s.size.Store(int64(s.eng.sizeBytes()))
+	if b.reset {
+		s.eng.Reset()
+		s.size.Store(int64(s.eng.SizeBytes()))
+	}
 }
 
-// completeWindow merges all shard summaries, queries the merged engine at
-// the window's threshold, and publishes the result. Runs on the last
+// completeBarrier merges all shard summaries, queries the merged summary
+// at the barrier timestamp, and publishes the result. Runs on the last
 // arriving worker while its peers are parked at the barrier, so it has
-// exclusive access to every engine.
-func (d *Sharded) completeWindow(b *windowBarrier) {
-	d.merged.reset()
+// exclusive access to every summary.
+func (d *Sharded) completeBarrier(b *barrier) {
+	d.merged.Reset()
 	for _, s := range d.shards {
-		d.merged.merge(s.eng)
+		d.merged.Merge(s.eng)
 	}
-	total := d.merged.total()
-	set := d.merged.query(hhh.Threshold(total, d.cfg.Phi))
-	d.mergedSize.Store(int64(d.merged.sizeBytes()))
+	set, total := d.merged.Query(b.at)
+	d.mergedSize.Store(int64(d.merged.SizeBytes()))
 	d.mu.Lock()
 	d.last = set
-	d.windows++
-	d.lastEnd = b.end
+	d.merges++
+	d.lastEnd = b.at
 	d.lastBytes = total
 	d.mu.Unlock()
 	if d.cfg.OnWindow != nil {
@@ -359,6 +561,10 @@ func (d *Sharded) shardOf(src ipv4.Addr) int {
 // Observe implements the Detector ingest contract for one packet.
 func (d *Sharded) Observe(p *trace.Packet) {
 	d.checkOpen()
+	if d.cfg.Mode != ModeWindowed {
+		d.stage(p)
+		return
+	}
 	if !d.started {
 		d.started = true
 		d.curEnd = (p.Ts/d.width + 1) * d.width
@@ -369,10 +575,17 @@ func (d *Sharded) Observe(p *trace.Packet) {
 	d.stage(p)
 }
 
-// ObserveBatch processes a run of packets in time order, splitting it at
-// window boundaries and scattering each in-window run across the shards.
+// ObserveBatch processes a run of packets in time order. In windowed mode
+// the run is split at window boundaries; the other modes have none, so
+// the whole run scatters straight across the shards.
 func (d *Sharded) ObserveBatch(pkts []trace.Packet) {
 	d.checkOpen()
+	if d.cfg.Mode != ModeWindowed {
+		for i := range pkts {
+			d.stage(&pkts[i])
+		}
+		return
+	}
 	for len(pkts) > 0 {
 		p := &pkts[0]
 		if !d.started {
@@ -427,13 +640,23 @@ func (d *Sharded) flushStaging() {
 	}
 }
 
-// closeWindow flushes staged batches and broadcasts a barrier token. The
-// coordinator does not wait for the merge: the next window's batches
-// queue behind the token, and the barrier itself orders the shards.
+// broadcast flushes staged batches and pushes b into every shard's ring.
+func (d *Sharded) broadcast(b *barrier) {
+	d.flushStaging()
+	for _, s := range d.shards {
+		s.ring.push(message{bar: b})
+	}
+	d.lastBarrier = b
+}
+
+// closeWindow flushes staged batches and broadcasts a closing barrier
+// (ModeWindowed). The coordinator does not wait for the merge: the next
+// window's batches queue behind the token, and the barrier itself orders
+// the shards.
 //
 // Empty windows — common when a trace has idle gaps much longer than the
-// window — skip the barrier entirely: the shard engines hold nothing, so
-// the coordinator publishes the empty set itself after waiting out any
+// window — skip the barrier entirely: the shard summaries hold nothing,
+// so the coordinator publishes the empty set itself after waiting out any
 // in-flight merge (which keeps window reports ordered). A gap of G
 // windows then costs one barrier wait plus G cheap publishes instead of
 // G full shard synchronisations.
@@ -447,7 +670,7 @@ func (d *Sharded) closeWindow() {
 		set := hhh.NewSet()
 		d.mu.Lock()
 		d.last = set
-		d.windows++
+		d.merges++
 		d.lastEnd = end
 		d.lastBytes = 0
 		d.mu.Unlock()
@@ -457,26 +680,35 @@ func (d *Sharded) closeWindow() {
 		return
 	}
 	d.windowHasData = false
-	d.flushStaging()
-	b := &windowBarrier{
+	d.broadcast(&barrier{
 		start: start,
 		end:   end,
+		at:    end,
+		reset: true,
 		need:  int32(len(d.shards)),
 		done:  make(chan struct{}),
-	}
-	for _, s := range d.shards {
-		s.ring.push(message{bar: b})
-	}
-	d.lastBarrier = b
+	})
 }
 
-// Snapshot implements Detector: it closes every window that ends at or
-// before now, waits for its merge to complete, and returns the most
-// recently completed window's merged HHH set.
+// Snapshot implements Detector. In windowed mode it closes every window
+// that ends at or before now, waits for its merge to complete, and
+// returns the most recently completed window's merged HHH set. In sliding
+// and continuous mode it broadcasts a query barrier at now — every shard
+// aligns its live summary to now, the last arriver merges them all
+// (without consuming them) and queries the merged summary — and returns
+// the freshly published set.
 func (d *Sharded) Snapshot(now int64) hhh.Set {
 	d.checkOpen()
-	for d.started && now >= d.curEnd {
-		d.closeWindow()
+	if d.cfg.Mode == ModeWindowed {
+		for d.started && now >= d.curEnd {
+			d.closeWindow()
+		}
+	} else {
+		d.broadcast(&barrier{
+			at:   now,
+			need: int32(len(d.shards)),
+			done: make(chan struct{}),
+		})
 	}
 	if b := d.lastBarrier; b != nil {
 		<-b.done
@@ -487,7 +719,7 @@ func (d *Sharded) Snapshot(now int64) hhh.Set {
 	return set
 }
 
-// SizeBytes reports the pipeline's summary footprint: every shard engine
+// SizeBytes reports the pipeline's summary footprint: every shard summary
 // plus the merge accumulator. Safe to call concurrently with ingest.
 func (d *Sharded) SizeBytes() int {
 	n := int(d.mergedSize.Load())
@@ -500,26 +732,31 @@ func (d *Sharded) SizeBytes() int {
 // Stats is a point-in-time view of the pipeline, JSON-ready for the
 // query server.
 type Stats struct {
-	Shards        int    `json:"shards"`
-	Engine        string `json:"engine"`
-	Packets       int64  `json:"packets"`
-	Bytes         int64  `json:"bytes"`
-	Windows       int64  `json:"windows"`
-	LastWindowEnd int64  `json:"last_window_end_ns"`
-	// LastWindowBytes is the merged byte volume of the most recently
-	// completed window — the denominator of its HHH threshold.
+	Mode    string `json:"mode"`
+	Shards  int    `json:"shards"`
+	Engine  string `json:"engine"`
+	Packets int64  `json:"packets"`
+	Bytes   int64  `json:"bytes"`
+	// Windows counts published merges: window closes in windowed mode,
+	// snapshot-time merged queries in sliding/continuous mode.
+	Windows       int64 `json:"windows"`
+	LastWindowEnd int64 `json:"last_window_end_ns"`
+	// LastWindowBytes is the total mass of the most recently published
+	// merge — the denominator of its HHH threshold (window bytes, covered
+	// sliding bytes, or decayed mass).
 	LastWindowBytes int64   `json:"last_window_bytes"`
 	ShardPackets    []int64 `json:"shard_packets"`
 	QueueDepth      []int   `json:"queue_depth"`
 	SizeBytes       int     `json:"size_bytes"`
 }
 
-// Stats reports ingest and windowing counters. Safe to call concurrently
+// Stats reports ingest and merge counters. Safe to call concurrently
 // with ingest.
 func (d *Sharded) Stats() Stats {
 	st := Stats{
+		Mode:         d.cfg.Mode.String(),
 		Shards:       len(d.shards),
-		Engine:       d.cfg.Engine.String(),
+		Engine:       d.cfg.label(),
 		Packets:      d.packets.Load(),
 		Bytes:        d.bytes.Load(),
 		ShardPackets: make([]int64, len(d.shards)),
@@ -531,7 +768,7 @@ func (d *Sharded) Stats() Stats {
 		st.QueueDepth[i] = s.ring.depth()
 	}
 	d.mu.Lock()
-	st.Windows = d.windows
+	st.Windows = d.merges
 	st.LastWindowEnd = d.lastEnd
 	st.LastWindowBytes = d.lastBytes
 	d.mu.Unlock()
@@ -540,10 +777,10 @@ func (d *Sharded) Stats() Stats {
 
 // Close flushes staged batches, stops the workers and waits for them to
 // drain. The detector must not be used after Close; Close itself is
-// idempotent. Packets of the final, never-closed window are absorbed into
-// shard engines but — exactly like the single-threaded windowed detector
-// — are only reported if a Snapshot past the window boundary closed it
-// first.
+// idempotent. In windowed mode, packets of the final, never-closed window
+// are absorbed into shard summaries but — exactly like the
+// single-threaded windowed detector — are only reported if a Snapshot
+// past the window boundary closed it first.
 func (d *Sharded) Close() error {
 	if d.closed {
 		return nil

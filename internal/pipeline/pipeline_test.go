@@ -336,3 +336,58 @@ func TestShardedUseAfterClosePanics(t *testing.T) {
 	}()
 	d.Observe(&trace.Packet{Ts: 1, Size: 100})
 }
+
+// TestModeValidation pins the mode-specific constructor errors.
+func TestModeValidation(t *testing.T) {
+	if _, err := New(Config{Mode: Mode(7), Window: time.Second, Phi: 0.05}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := New(Config{
+		Mode: ModeSliding, Window: time.Second, Phi: 0.05,
+		OnWindow: func(start, end int64, set hhh.Set) {},
+	}); err == nil {
+		t.Error("OnWindow accepted outside ModeWindowed")
+	}
+	for _, m := range []Mode{ModeWindowed, ModeSliding, ModeContinuous} {
+		d, err := New(Config{Mode: m, Window: time.Second, Phi: 0.05, Shards: 2})
+		if err != nil {
+			t.Fatalf("mode %v rejected: %v", m, err)
+		}
+		if got := d.Stats().Mode; got != m.String() {
+			t.Errorf("stats mode %q, want %q", got, m)
+		}
+		d.Close()
+	}
+}
+
+// TestSlidingObserveMatchesObserveBatch checks the two ingest paths agree
+// in the non-windowed modes too (no boundary splitting on either path).
+func TestSlidingObserveMatchesObserveBatch(t *testing.T) {
+	pkts := testStream(5, 20000, 7)
+	run := func(batch bool) hhh.Set {
+		d, err := New(Config{
+			Mode:     ModeSliding,
+			Shards:   2,
+			Window:   2 * time.Second,
+			Phi:      0.05,
+			Counters: 128,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch {
+			d.ObserveBatch(pkts)
+		} else {
+			for i := range pkts {
+				d.Observe(&pkts[i])
+			}
+		}
+		set := d.Snapshot(pkts[len(pkts)-1].Ts)
+		d.Close()
+		return set
+	}
+	a, b := run(false), run(true)
+	if !a.Equal(b) {
+		t.Errorf("Observe %v != ObserveBatch %v", a, b)
+	}
+}

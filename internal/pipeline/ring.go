@@ -7,13 +7,13 @@ import (
 )
 
 // message is one unit flowing through a shard's ring: a packet batch
-// (pkts != nil) or a window-close barrier token (bar != nil). Tokens are
-// ordered with batches, which is what makes the barrier protocol correct:
-// by the time a shard pops a token, it has absorbed every batch of the
-// closing window.
+// (pkts != nil) or a barrier token (bar != nil) — a window close or a
+// snapshot-time query. Tokens are ordered with batches, which is what
+// makes the barrier protocol correct: by the time a shard pops a token,
+// it has absorbed every batch staged before it.
 type message struct {
 	pkts []trace.Packet
-	bar  *windowBarrier
+	bar  *barrier
 }
 
 // spscRing is a bounded single-producer single-consumer ring of messages.

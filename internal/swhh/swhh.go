@@ -15,6 +15,22 @@
 // A per-level wrapper (SlidingHHH) lifts the flat detector to hierarchical
 // heavy hitters, giving a streaming counterpart to the exact sliding-window
 // analysis.
+//
+// # Merge semantics
+//
+// Sliding summaries are mergeable: the per-frame Space-Saving summaries
+// are mergeable (Agarwal et al., "Mergeable Summaries"), and the frame
+// ring is addressed by *global* frame index, so two summaries built from
+// the same Config can be combined frame by frame. Merge first advances
+// the receiver to the other summary's frame (expiring what a live summary
+// would have expired), then folds each overlapping frame's summary and
+// total. The merged per-frame error bound is the sum of the inputs'
+// bounds; for hash-partitioned substreams of one stream (the sharded
+// pipeline) the per-shard terms telescope back to the single-summary
+// bound per frame. Summaries being merged should be advanced to a common
+// timestamp first — the sharded pipeline aligns every shard at the query
+// barrier — so that no side's recent frames fall outside the other's
+// ring.
 package swhh
 
 import (
@@ -71,9 +87,16 @@ func NewSliding(cfg Config) (*Sliding, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	frameNs := int64(cfg.Window) / int64(cfg.Frames)
+	if frameNs < 1 {
+		// Window < Frames nanoseconds: floor the frame length at 1 ns
+		// rather than dividing by zero in advance. Every frame then covers
+		// a single nanosecond, the finest granularity timestamps carry.
+		frameNs = 1
+	}
 	s := &Sliding{
 		cfg:     cfg,
-		frameNs: int64(cfg.Window) / int64(cfg.Frames),
+		frameNs: frameNs,
 		frames:  make([]*sketch.SpaceSaving, cfg.Frames+1),
 		totals:  make([]int64, cfg.Frames+1),
 	}
@@ -85,7 +108,27 @@ func NewSliding(cfg Config) (*Sliding, error) {
 
 // advance rotates frames so that the frame containing now is current.
 func (s *Sliding) advance(now int64) {
-	target := now / s.frameNs
+	s.advanceTo(now / s.frameNs)
+}
+
+// advanceTo rotates frames up to the global frame index target. A jump of
+// at least the ring length expires every frame, so it is taken in one
+// wholesale reset instead of one iteration per elapsed frame — the
+// per-frame loop would spin ~10^10 iterations on the first packet of an
+// epoch-nanosecond trace (curFrame starts at 0), or once per elapsed
+// frame across any idle gap.
+func (s *Sliding) advanceTo(target int64) {
+	if target <= s.curFrame {
+		return
+	}
+	if target-s.curFrame >= int64(len(s.frames)) {
+		for i := range s.frames {
+			s.frames[i].Reset()
+			s.totals[i] = 0
+		}
+		s.curFrame = target
+		return
+	}
 	for s.curFrame < target {
 		s.curFrame++
 		slot := int(s.curFrame % int64(len(s.frames)))
@@ -119,6 +162,46 @@ func (s *Sliding) Estimate(key uint64, now int64) int64 {
 	return s.estimate(key)
 }
 
+// Advance expires frames up to time now without recording anything: the
+// explicit form of the rotation every Update/Estimate performs. The
+// sharded pipeline advances all shard summaries to the query timestamp
+// before merging so their frame rings align.
+func (s *Sliding) Advance(now int64) {
+	s.advance(now)
+}
+
+// Merge folds summary o into s frame by frame; o is not modified. Both
+// summaries must come from the same Config (frame length and ring size).
+// s is first advanced to o's current frame, expiring whatever a live
+// summary would have expired; then every global frame index covered by
+// both rings has o's Space-Saving summary merged into s's (bounded-error
+// mergeable-summaries combination, see sketch.SpaceSaving.Merge) and its
+// total added. Frames only o's ring still covers but s's no longer does
+// are already expired from s's perspective and are dropped, exactly as
+// live updates would have dropped them.
+func (s *Sliding) Merge(o *Sliding) {
+	if o == nil {
+		return
+	}
+	if s.frameNs != o.frameNs || len(s.frames) != len(o.frames) {
+		panic("swhh: Sliding.Merge config mismatch")
+	}
+	s.advanceTo(o.curFrame)
+	k := int64(len(s.frames))
+	lo := s.curFrame - k + 1
+	if olo := o.curFrame - k + 1; olo > lo {
+		lo = olo
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for g := lo; g <= o.curFrame; g++ {
+		slot := int(g % k)
+		s.frames[slot].Merge(o.frames[slot])
+		s.totals[slot] += o.totals[slot]
+	}
+}
+
 // WindowTotal returns the total weight currently covered.
 func (s *Sliding) WindowTotal(now int64) int64 {
 	s.advance(now)
@@ -137,10 +220,7 @@ func (s *Sliding) HeavyKeys(phi float64, now int64) []sketch.KV {
 	if total == 0 {
 		return nil
 	}
-	threshold := int64(phi * float64(total))
-	if threshold < 1 {
-		threshold = 1
-	}
+	threshold := hhh.Threshold(total, phi)
 	// Candidates: keys tracked in any frame; estimates summed over all.
 	seen := map[uint64]bool{}
 	var out []sketch.KV
@@ -257,10 +337,7 @@ func (d *SlidingHHH) Query(phi float64, now int64) hhh.Set {
 		lv.advance(now)
 	}
 	total := d.levels[0].WindowTotal(now)
-	threshold := int64(phi * float64(total))
-	if threshold < 1 {
-		threshold = 1
-	}
+	threshold := hhh.Threshold(total, phi)
 	return hhh.ConditionedLevels(d.h, threshold, d.qs,
 		func(l int, emit func(addr ipv4.Addr, est int64)) {
 			lv := d.levels[l]
@@ -277,6 +354,39 @@ func (d *SlidingHHH) Query(phi float64, now int64) hhh.Set {
 				})
 			}
 		})
+}
+
+// Advance expires frames up to time now on every level. The sharded
+// pipeline advances all shards to the query timestamp before merging.
+func (d *SlidingHHH) Advance(now int64) {
+	for _, lv := range d.levels {
+		lv.advance(now)
+	}
+}
+
+// WindowTotal returns the total byte weight currently covered (level 0
+// sees every packet once, so any level's total is the stream's).
+func (d *SlidingHHH) WindowTotal(now int64) int64 {
+	return d.levels[0].WindowTotal(now)
+}
+
+// Merge folds detector o into d level by level (see Sliding.Merge for the
+// frame alignment and bound arithmetic). o is not modified; both
+// detectors must share hierarchy and Config.
+func (d *SlidingHHH) Merge(o *SlidingHHH) {
+	if d.h != o.h || len(d.levels) != len(o.levels) {
+		panic("swhh: SlidingHHH.Merge hierarchy mismatch")
+	}
+	for l := range d.levels {
+		d.levels[l].Merge(o.levels[l])
+	}
+}
+
+// Reset clears every level's frames.
+func (d *SlidingHHH) Reset() {
+	for _, lv := range d.levels {
+		lv.Reset()
+	}
 }
 
 // SizeBytes sums the per-level footprints.

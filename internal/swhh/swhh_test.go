@@ -8,6 +8,7 @@ import (
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/trace"
 )
 
 const sec = int64(time.Second)
@@ -22,6 +23,93 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if s.cfg.Frames != 8 || s.cfg.Counters != 256 {
 		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+// TestEpochTimestampFirstPacket is the frame-advance spin regression: the
+// first packet of a real trace carries an epoch-nanosecond timestamp
+// (~1.7e18), and advance used to loop once per elapsed frame from
+// curFrame 0 — ~10^10 iterations before the packet landed. The clamp must
+// jump in one step; the deadline is generous only to keep slow CI from
+// flaking, the jump itself is microseconds.
+func TestEpochTimestampFirstPacket(t *testing.T) {
+	s, err := NewSliding(Config{Window: time.Second, Frames: 8, Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := int64(1_700_000_000_000_000_000) // 2023-11-14 in ns
+	start := time.Now()
+	s.Update(7, 100, epoch)
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("first epoch-timestamp update took %v", el)
+	}
+	if got := s.Estimate(7, epoch); got != 100 {
+		t.Errorf("estimate = %d, want 100", got)
+	}
+	if got := s.WindowTotal(epoch); got != 100 {
+		t.Errorf("total = %d, want 100", got)
+	}
+	// And the hierarchical wrapper must survive the same first packet
+	// through both ingest paths.
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	d, err := NewSlidingHHH(h, Config{Window: time.Second, Frames: 8, Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	d.Update(ipv4.MustParseAddr("10.1.2.3"), 100, epoch)
+	d.UpdateBatch([]trace.Packet{{Ts: epoch + 1, Src: ipv4.MustParseAddr("10.1.2.4"), Size: 50}})
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("SlidingHHH epoch ingest took %v", el)
+	}
+	if got := d.WindowTotal(epoch + 1); got != 150 {
+		t.Errorf("SlidingHHH total = %d, want 150", got)
+	}
+}
+
+// TestIdleGapAdvances pins the other face of the same bug: an idle gap of
+// one hour over 1 ms frames is 3.6e6 elapsed frames, which must collapse
+// into one wholesale reset, not a per-frame loop.
+func TestIdleGapAdvances(t *testing.T) {
+	s, err := NewSliding(Config{Window: 8 * time.Millisecond, Frames: 8, Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.frameNs != int64(time.Millisecond) {
+		t.Fatalf("frameNs = %d, want 1ms", s.frameNs)
+	}
+	s.Update(7, 100, 0)
+	start := time.Now()
+	s.Update(9, 50, int64(time.Hour)) // 3.6e6 frames later
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("1h-gap update took %v", el)
+	}
+	if got := s.Estimate(7, int64(time.Hour)); got != 0 {
+		t.Errorf("pre-gap key not expired: %d", got)
+	}
+	if got := s.WindowTotal(int64(time.Hour)); got != 50 {
+		t.Errorf("post-gap total = %d, want 50", got)
+	}
+}
+
+// TestSubFrameWindow pins the frameNs divide-by-zero fix: a window
+// shorter than Frames nanoseconds used to yield frameNs == 0 and panic in
+// advance; it must instead floor the frame length at 1 ns and work.
+func TestSubFrameWindow(t *testing.T) {
+	s, err := NewSliding(Config{Window: 3, Frames: 8, Counters: 16}) // 3 ns window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.frameNs != 1 {
+		t.Fatalf("frameNs = %d, want 1", s.frameNs)
+	}
+	s.Update(7, 10, 5)
+	if got := s.Estimate(7, 5); got != 10 {
+		t.Errorf("estimate = %d, want 10", got)
+	}
+	// 9 ns later every 1-ns frame has expired.
+	if got := s.Estimate(7, 14); got != 0 {
+		t.Errorf("estimate after expiry = %d, want 0", got)
 	}
 }
 
@@ -191,6 +279,131 @@ func TestSlidingHHHConditioning(t *testing.T) {
 	}
 	if set.Contains(ipv4.MustParsePrefix("10.1.2.0/24")) {
 		t.Fatalf("/24 not conditioned away: %v", set)
+	}
+}
+
+// TestSlidingMergeDisjointExact: merging summaries of disjoint key
+// streams with ample capacity reproduces the union stream's estimates and
+// totals exactly, frame for frame.
+func TestSlidingMergeDisjointExact(t *testing.T) {
+	cfg := Config{Window: time.Second, Frames: 4, Counters: 64}
+	mk := func() *Sliding {
+		s, err := NewSliding(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b, whole := mk(), mk(), mk()
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		now += int64(time.Millisecond)
+		keyA, keyB := uint64(i%7), uint64(100+i%5)
+		a.Update(keyA, 10, now)
+		whole.Update(keyA, 10, now)
+		b.Update(keyB, 3, now)
+		whole.Update(keyB, 3, now)
+	}
+	a.Advance(now)
+	b.Advance(now)
+	merged := mk()
+	merged.Merge(a)
+	merged.Merge(b)
+	if got, want := merged.WindowTotal(now), whole.WindowTotal(now); got != want {
+		t.Errorf("merged total %d != whole %d", got, want)
+	}
+	for _, key := range []uint64{0, 3, 6, 100, 104} {
+		if got, want := merged.Estimate(key, now), whole.Estimate(key, now); got != want {
+			t.Errorf("key %d: merged %d != whole %d", key, got, want)
+		}
+	}
+}
+
+// TestSlidingMergeAlignsFrames: merging a summary that is several frames
+// ahead first expires the receiver's stale frames, so mass the live
+// stream would have dropped does not resurface.
+func TestSlidingMergeAlignsFrames(t *testing.T) {
+	cfg := Config{Window: time.Second, Frames: 4, Counters: 64}
+	old, err := NewSliding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Update(7, 100, 0) // frame 0 only
+	fresh, err := NewSliding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	later := 3 * int64(time.Second) // frame 12: all of old's frames expired
+	fresh.Update(9, 50, later)
+	fresh.Merge(old)
+	if got := fresh.Estimate(7, later); got != 0 {
+		t.Errorf("expired key resurfaced with %d", got)
+	}
+	if got := fresh.WindowTotal(later); got != 50 {
+		t.Errorf("total = %d, want 50", got)
+	}
+	// Reverse direction: merging a fresher summary advances the stale
+	// receiver past its own frames.
+	old2, err := NewSliding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old2.Update(7, 100, 0)
+	old2.Merge(fresh)
+	if got := old2.Estimate(7, later); got != 0 {
+		t.Errorf("receiver kept expired mass: %d", got)
+	}
+	if got := old2.Estimate(9, later); got != 50 {
+		t.Errorf("merged-in key = %d, want 50", got)
+	}
+}
+
+// TestSlidingMergeConfigMismatch pins the panic on incompatible shapes.
+func TestSlidingMergeConfigMismatch(t *testing.T) {
+	a, _ := NewSliding(Config{Window: time.Second, Frames: 4})
+	b, _ := NewSliding(Config{Window: time.Second, Frames: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on frame-count mismatch")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestSlidingHHHMergeIdentity: merging one detector into an empty one and
+// querying reproduces the original's HHH set exactly (the K=1 sharded
+// case).
+func TestSlidingHHHMergeIdentity(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	cfg := Config{Window: time.Second, Frames: 4, Counters: 128}
+	src, err := NewSlidingHHH(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		now += int64(50 * time.Microsecond)
+		if i%3 == 0 {
+			src.Update(ipv4.MustParseAddr("10.1.2.3"), 900, now)
+		} else {
+			src.Update(ipv4.Addr(rng.Uint32()), 400, now)
+		}
+	}
+	src.Advance(now)
+	dst, err := NewSlidingHHH(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Merge(src)
+	want, got := src.Query(0.05, now), dst.Query(0.05, now)
+	if !got.Equal(want) {
+		t.Fatalf("merged copy differs:\n got %v\nwant %v", got, want)
+	}
+	for p, it := range want {
+		if got[p].Count != it.Count || got[p].Conditioned != it.Conditioned {
+			t.Errorf("%v: merged %+v != original %+v", p, got[p], it)
+		}
 	}
 }
 

@@ -18,6 +18,14 @@
 // linear (constant drain rate). A PeriodicFilter applying eager whole-array
 // refresh ticks is included as the classical baseline the on-demand design
 // improves on; the ablation bench compares the two.
+//
+// Filters built from one config (same shape, seed and decay law) are
+// mergeable: because decay laws compose over time, two cells summarising
+// substreams can be decayed to a common timestamp and added, giving
+// exactly the cell a single filter over the union stream would hold (up
+// to floating-point association). Filter.Merge and MassTracker.Merge
+// implement this; the sharded continuous detector merges per-shard
+// filters at query time.
 package tdbf
 
 import (
@@ -193,6 +201,46 @@ func (f *Filter) Estimate(key uint64, now int64) float64 {
 	return min
 }
 
+// Merge folds filter o into f cell by cell; o is not modified. Both
+// filters must share shape (cells, hashes), seed and decay law, so that a
+// key maps to the same cells in both — the sharded pipeline builds every
+// shard's filters from one config for exactly this reason.
+//
+// Each cell pair is decayed to the later of the two touch timestamps and
+// then summed. Decay laws compose over time, so decaying the earlier cell
+// forward is exactly the mass it would hold had it been left untouched
+// until then, and the sum of two per-cell upper bounds is an upper bound
+// for the union stream: the merged filter keeps the conservative
+// never-underestimate guarantee, overestimating only through the same
+// collision mechanism as a single filter over the combined stream.
+func (f *Filter) Merge(o *Filter) {
+	if o == nil {
+		return
+	}
+	if len(f.cells) != len(o.cells) || f.k != o.k || f.seed != o.seed ||
+		f.decay.String() != o.decay.String() {
+		panic("tdbf: Filter.Merge shape/seed/decay mismatch")
+	}
+	for i := range f.cells {
+		c := &f.cells[i]
+		oc := o.cells[i]
+		t := c.touch
+		if oc.touch > t {
+			t = oc.touch
+		}
+		v := c.v
+		if dt := t - c.touch; dt > 0 && v > 0 {
+			v = f.decay.Apply(v, time.Duration(dt))
+		}
+		ov := oc.v
+		if dt := t - oc.touch; dt > 0 && ov > 0 {
+			ov = f.decay.Apply(ov, time.Duration(dt))
+		}
+		c.v, c.touch = v+ov, t
+	}
+	f.adds += o.adds
+}
+
 // Reset clears all cells.
 func (f *Filter) Reset() {
 	for i := range f.cells {
@@ -234,6 +282,31 @@ func (t *MassTracker) Value(now int64) float64 {
 		v = t.decay.Apply(v, time.Duration(dt))
 	}
 	return v
+}
+
+// Merge folds tracker o into t: both are decayed to the later touch
+// timestamp and summed, the single-cell case of Filter.Merge. The decay
+// laws must match.
+func (t *MassTracker) Merge(o *MassTracker) {
+	if o == nil {
+		return
+	}
+	if t.decay.String() != o.decay.String() {
+		panic("tdbf: MassTracker.Merge decay mismatch")
+	}
+	at := t.touch
+	if o.touch > at {
+		at = o.touch
+	}
+	v := t.v
+	if dt := at - t.touch; dt > 0 && v > 0 {
+		v = t.decay.Apply(v, time.Duration(dt))
+	}
+	ov := o.v
+	if dt := at - o.touch; dt > 0 && ov > 0 {
+		ov = t.decay.Apply(ov, time.Duration(dt))
+	}
+	t.v, t.touch = v+ov, at
 }
 
 // Reset clears the tracker.

@@ -321,3 +321,109 @@ func BenchmarkPeriodicAdd(b *testing.B) {
 		p.Add(uint64(i)&1023, 1000, int64(i)*1000)
 	}
 }
+
+// TestFilterMergeMatchesUnionStream: merging two filters that each saw a
+// substream approximates a single filter fed the interleaved union.
+// Per-cell, decay laws compose over time, so the only difference is
+// floating-point association of the decay factors — the values must agree
+// to relative epsilon.
+func TestFilterMergeMatchesUnionStream(t *testing.T) {
+	cfg := Config{Cells: 1 << 12, Hashes: 4, Seed: 9, Decay: Exponential{Tau: time.Second}}
+	a, b, whole := New(cfg), New(cfg), New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		now += int64(rng.Intn(200)) * int64(time.Microsecond)
+		key := uint64(rng.Intn(500))
+		w := float64(40 + rng.Intn(1460))
+		if key%2 == 0 {
+			a.Add(key, w, now)
+		} else {
+			b.Add(key, w, now)
+		}
+		whole.Add(key, w, now)
+	}
+	a.Merge(b)
+	for key := uint64(0); key < 500; key++ {
+		got, want := a.Estimate(key, now), whole.Estimate(key, now)
+		if diff := got - want; diff > 1e-6*want+1e-9 || diff < -1e-6*want-1e-9 {
+			t.Errorf("key %d: merged %g != union %g", key, got, want)
+		}
+	}
+	if a.Adds() != whole.Adds() {
+		t.Errorf("adds %d != %d", a.Adds(), whole.Adds())
+	}
+}
+
+// TestFilterMergeNeverUnderestimates: the conservative overestimate
+// survives merging — every key's true decayed substream mass stays below
+// the merged estimate.
+func TestFilterMergeNeverUnderestimates(t *testing.T) {
+	cfg := Config{Cells: 1 << 8, Hashes: 3, Seed: 2, Decay: Exponential{Tau: 100 * time.Millisecond}}
+	a, b := New(cfg), New(cfg)
+	type add struct {
+		key uint64
+		w   float64
+		at  int64
+	}
+	var adds []add
+	rng := rand.New(rand.NewSource(6))
+	now := int64(0)
+	for i := 0; i < 5000; i++ { // small filter: collisions guaranteed
+		now += int64(rng.Intn(300)) * int64(time.Microsecond)
+		ad := add{key: uint64(rng.Intn(2000)), w: float64(100 + rng.Intn(900)), at: now}
+		adds = append(adds, ad)
+		if ad.key < 1000 {
+			a.Add(ad.key, ad.w, ad.at)
+		} else {
+			b.Add(ad.key, ad.w, ad.at)
+		}
+	}
+	a.Merge(b)
+	truth := map[uint64]float64{}
+	law := cfg.Decay
+	for _, ad := range adds {
+		truth[ad.key] += law.Apply(ad.w, time.Duration(now-ad.at))
+	}
+	for key, want := range truth {
+		if got := a.Estimate(key, now); got < want-1e-6*want {
+			t.Errorf("key %d: merged estimate %g underestimates %g", key, got, want)
+		}
+	}
+}
+
+// TestFilterMergeMismatchPanics pins the shape/seed guard.
+func TestFilterMergeMismatchPanics(t *testing.T) {
+	a := New(Config{Cells: 1 << 8, Seed: 1, Decay: Exponential{Tau: time.Second}})
+	b := New(Config{Cells: 1 << 8, Seed: 2, Decay: Exponential{Tau: time.Second}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on seed mismatch")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestMassTrackerMerge: two trackers over substreams merge to the union
+// stream's decayed mass.
+func TestMassTrackerMerge(t *testing.T) {
+	law := Exponential{Tau: time.Second}
+	a, b, whole := NewMassTracker(law), NewMassTracker(law), NewMassTracker(law)
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	for i := 0; i < 10000; i++ {
+		now += int64(rng.Intn(500)) * int64(time.Microsecond)
+		w := float64(40 + rng.Intn(1460))
+		if i%3 == 0 {
+			a.Add(w, now)
+		} else {
+			b.Add(w, now)
+		}
+		whole.Add(w, now)
+	}
+	a.Merge(b)
+	got, want := a.Value(now), whole.Value(now)
+	if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
+		t.Errorf("merged mass %g != union %g", got, want)
+	}
+}

@@ -1,0 +1,101 @@
+package hiddenhhh
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimeTranslationInvariance is the property behind the frame-advance
+// and warmup-anchor bugfixes: every detector must report identical sets —
+// items, counts and conditioned volumes — for a trace and for the same
+// trace shifted deep into epoch-nanosecond territory. The shift is a
+// multiple of every window and frame length in play, so window tilings
+// align; the continuous detector decays on time *differences* only and
+// must be invariant under any shift.
+//
+// Before this PR the sliding detectors hung here (advance looped once per
+// elapsed frame from zero, ~10^10 iterations) and the continuous detector
+// skipped its warmup (warmEnd was anchored at absolute zero), so this
+// doubles as the epoch-timestamp regression test; the whole run must
+// finish in well under a second of detector time per case.
+func TestTimeTranslationInvariance(t *testing.T) {
+	// 1.7e18 ns ≈ 2023-11-14; a multiple of 1 s windows and of the 125 ms
+	// (1s/8) sliding frames.
+	const shift = int64(1_700_000_000_000_000_000)
+	window := time.Second
+	phi := 0.02
+
+	pkts := propStream(21, 40000, 5)
+	shifted := make([]Packet, len(pkts))
+	copy(shifted, pkts)
+	for i := range shifted {
+		shifted[i].Ts += shift
+	}
+	// Snapshot at the first boundary past the last packet: closes the
+	// final data window for windowed modes while sliding/continuous mass
+	// is still covered.
+	snapAt := (pkts[len(pkts)-1].Ts/int64(window) + 1) * int64(window)
+
+	cases := []struct {
+		name string
+		mk   func() (Detector, error)
+	}{
+		{"windowed-exact", func() (Detector, error) {
+			return NewWindowedDetector(WindowedConfig{Window: window, Phi: phi})
+		}},
+		{"windowed-perlevel", func() (Detector, error) {
+			return NewWindowedDetector(WindowedConfig{Window: window, Phi: phi, Engine: EnginePerLevel, Counters: 64})
+		}},
+		{"windowed-rhhh", func() (Detector, error) {
+			return NewWindowedDetector(WindowedConfig{Window: window, Phi: phi, Engine: EngineRHHH, Counters: 64, Seed: 9})
+		}},
+		{"sliding", func() (Detector, error) {
+			return NewSlidingDetector(SlidingConfig{Window: window, Phi: phi, Counters: 64})
+		}},
+		{"continuous", func() (Detector, error) {
+			return NewContinuousDetector(ContinuousConfig{Horizon: window, Phi: phi})
+		}},
+		{"sharded-windowed", func() (Detector, error) {
+			return NewShardedDetector(ShardedConfig{Shards: 3, Window: window, Phi: phi, Engine: EnginePerLevel, Counters: 64})
+		}},
+		{"sharded-sliding", func() (Detector, error) {
+			return NewShardedDetector(ShardedConfig{Mode: ModeSliding, Shards: 3, Window: window, Phi: phi, Counters: 64})
+		}},
+		{"sharded-continuous", func() (Detector, error) {
+			return NewShardedDetector(ShardedConfig{Mode: ModeContinuous, Shards: 3, Window: window, Phi: phi})
+		}},
+	}
+
+	run := func(mk func() (Detector, error), stream []Packet, at int64) Set {
+		det, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		det.ObserveBatch(stream)
+		set := det.Snapshot(at)
+		if c, ok := det.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return set
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := run(tc.mk, pkts, snapAt)
+			moved := run(tc.mk, shifted, snapAt+shift)
+			if !moved.Equal(base) {
+				t.Fatalf("sets differ under +%d ns shift:\n base  %v\n moved %v", shift, base, moved)
+			}
+			for p, it := range base {
+				if m := moved[p]; m.Count != it.Count || m.Conditioned != it.Conditioned {
+					t.Errorf("%v: base %+v != moved %+v", p, it, m)
+				}
+			}
+			if base.Len() == 0 {
+				t.Error("empty report proves nothing — stream or snapshot time is wrong")
+			}
+		})
+	}
+}
