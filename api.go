@@ -22,6 +22,12 @@
 //     windowed-vs-continuous comparison (Section 3) — as reusable
 //     functions returning structured results.
 //
+// Every detector additionally implements Accounting — the threshold
+// denominator and covered time span behind each Snapshot — which is the
+// surface the oracle-differential accuracy harness (internal/oracle,
+// cmd/hhheval) uses to pin detector reports against a brute-force exact
+// reference; see the README's Accuracy section for the bounds checked.
+//
 // All randomness is seed-driven; identical inputs reproduce identical
 // outputs byte for byte.
 package hiddenhhh

@@ -10,6 +10,17 @@
 // which is how CI or a developer can snapshot an arbitrary benchmark run:
 //
 //	go test -run '^$' -bench Detector -benchmem ./... | go run ./cmd/benchjson -stdin
+//
+// With -compare it additionally guards against performance regressions:
+// benchmarks matching -compare-pattern are checked against the same
+// entries in the baseline snapshot, and the process exits with status 2
+// when any ns/op regresses by more than -max-regression×. The guard is
+// deliberately loose (CI runners are noisy and short -benchtime runs
+// noisier still) — it catches order-of-magnitude accidents, not
+// percentage drift. Set BENCHJSON_SKIP_COMPARE=1 to skip the check while
+// still emitting the snapshot:
+//
+//	go run ./cmd/benchjson -benchtime 10000x -compare BENCH_3.json > bench-ci.json
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -58,6 +70,11 @@ func main() {
 	benchRE := flag.String("bench", "^BenchmarkDetector|^BenchmarkSlidingSharded|^BenchmarkContinuousSharded|^BenchmarkPerLevel|^BenchmarkSpaceSaving|^BenchmarkHeapSpaceSaving", "benchmark pattern to run (ignored with -stdin)")
 	benchtime := flag.String("benchtime", "2000000x", "benchtime to run with (ignored with -stdin)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	compare := flag.String("compare", "", "baseline BENCH_*.json; fail on ns/op regressions beyond -max-regression")
+	comparePattern := flag.String("compare-pattern",
+		"^BenchmarkDetectorSharded|^BenchmarkSlidingSharded|^BenchmarkContinuousSharded",
+		"benchmarks the -compare guard checks (regexp on names, GOMAXPROCS suffix stripped)")
+	maxRegression := flag.Float64("max-regression", 2.0, "ns/op ratio vs baseline that fails the -compare guard")
 	flag.Parse()
 
 	var out bytes.Buffer
@@ -94,6 +111,71 @@ func main() {
 	if err := enc.Encode(snap); err != nil {
 		fatal(err)
 	}
+	if *compare != "" {
+		if err := compareBaseline(&snap, *compare, *comparePattern, *maxRegression); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// compareBaseline checks the snapshot's guarded benchmarks against the
+// baseline file and returns an error describing every regression beyond
+// maxRatio. Benchmarks present on only one side are skipped (renames and
+// new benchmarks must not break the guard). BENCHJSON_SKIP_COMPARE=1
+// skips the whole check.
+func compareBaseline(snap *Snapshot, path, pattern string, maxRatio float64) error {
+	if os.Getenv("BENCHJSON_SKIP_COMPARE") == "1" {
+		fmt.Fprintln(os.Stderr, "benchjson: BENCHJSON_SKIP_COMPARE=1; skipping baseline comparison")
+		return nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -compare-pattern: %w", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseline[e.Name] = e.NsPerOp
+	}
+	var regressions []string
+	checked := 0
+	for _, e := range snap.Benchmarks {
+		if !re.MatchString(e.Name) {
+			continue
+		}
+		old, ok := baseline[e.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		checked++
+		if ratio := e.NsPerOp / old; ratio > maxRatio {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx)",
+				e.Name, e.NsPerOp, old, ratio, maxRatio))
+		}
+	}
+	if checked == 0 {
+		// A guard that matches nothing is a guard that is silently off —
+		// most likely a benchmark rename or a -bench/-compare-pattern
+		// drift. Fail loudly so CI surfaces it.
+		return fmt.Errorf("no guarded benchmarks matched both %q and the baseline %s; "+
+			"renamed benchmarks or a stale pattern have disabled the guard", pattern, path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d of %d guarded benchmarks regressed vs %s:\n  %s",
+			len(regressions), checked, path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d guarded benchmarks within %.1fx of %s\n",
+		checked, maxRatio, path)
+	return nil
 }
 
 // parseBench extracts Benchmark lines from `go test -bench -benchmem`

@@ -2,6 +2,7 @@ package hiddenhhh
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -34,6 +35,32 @@ type Detector interface {
 	Snapshot(now int64) Set
 	// SizeBytes reports the detector's state footprint.
 	SizeBytes() int
+}
+
+// Accounting exposes the reference frame behind a detector's Snapshot:
+// the total mass the report's threshold was computed against (window
+// bytes, covered sliding bytes, or decayed mass, truncated to int64) and
+// the time span the report aggregates. Every detector in this package —
+// windowed, sliding, continuous and their sharded variants — implements
+// it; the oracle-differential harness uses it to pin a detector's own
+// denominator and coverage against the exact reference.
+//
+// Both methods follow Snapshot's contract — call them from the ingest
+// goroutine, immediately after Snapshot(now) with the same now; the
+// results describe that snapshot's report. (The single-goroutine
+// detectors also advance window state themselves when called out of
+// order, but the sharded pipeline reads the last published merge, so
+// only the call-after-Snapshot pattern is portable across
+// implementations.)
+type Accounting interface {
+	// ReportMass returns the threshold denominator of Snapshot(now).
+	ReportMass(now int64) int64
+	// CoveredSpan returns the time span Snapshot(now) aggregates: the
+	// last closed window [lo, hi) for windowed detectors, the
+	// frame-aligned covered span [lo, now] for sliding ones, and
+	// (math.MinInt64, now] for the continuous detector, whose
+	// exponentially decayed aggregate has no sharp lower edge.
+	CoveredSpan(now int64) (lo, hi int64)
 }
 
 // Engine selects the per-window summary structure of a windowed detector.
@@ -91,6 +118,11 @@ type windowedDetector struct {
 	curEnd  int64
 	started bool
 	bytes   int64
+
+	// Last closed window, the reference frame of Snapshot's report (the
+	// Accounting surface the oracle-differential harness consumes).
+	lastStart, lastEnd int64
+	lastMass           int64
 
 	// exactly one of these is active, per cfg.Engine
 	exact     *sketch.Exact
@@ -186,6 +218,8 @@ func (d *windowedDetector) ObserveBatch(pkts []Packet) {
 }
 
 func (d *windowedDetector) closeWindow() {
+	d.lastStart, d.lastEnd = d.curEnd-d.width, d.curEnd
+	d.lastMass = d.bytes
 	if d.bytes == 0 {
 		// Empty window: the engines saw nothing since their last reset, so
 		// the conditioned query would walk empty summaries to produce an
@@ -229,11 +263,30 @@ func (d *windowedDetector) queryNow() Set {
 	}
 }
 
-func (d *windowedDetector) Snapshot(now int64) Set {
+// advanceTo closes every window ending at or before now, the shared
+// window-state advance of Snapshot and the Accounting methods.
+func (d *windowedDetector) advanceTo(now int64) {
 	for d.started && now >= d.curEnd {
 		d.closeWindow()
 	}
+}
+
+func (d *windowedDetector) Snapshot(now int64) Set {
+	d.advanceTo(now)
 	return d.last
+}
+
+// ReportMass implements Accounting: the byte volume of the last closed
+// window.
+func (d *windowedDetector) ReportMass(now int64) int64 {
+	d.advanceTo(now)
+	return d.lastMass
+}
+
+// CoveredSpan implements Accounting: the last closed window [lo, hi).
+func (d *windowedDetector) CoveredSpan(now int64) (lo, hi int64) {
+	d.advanceTo(now)
+	return d.lastStart, d.lastEnd
 }
 
 func (d *windowedDetector) SizeBytes() int {
@@ -325,16 +378,31 @@ type ShardedConfig struct {
 // and windowing counters.
 type PipelineStats = pipeline.Stats
 
+// ErrDetectorClosed reports an ingest call on a sharded detector whose
+// Close has already run.
+var ErrDetectorClosed = pipeline.ErrClosed
+
 // ShardedDetector is a Detector with the lifecycle and introspection
 // surface of the concurrent pipeline. Observe, ObserveBatch and Snapshot
 // follow the usual single-goroutine Detector contract; Stats and
-// SizeBytes may be called concurrently with ingest. Close releases the
-// worker goroutines; the detector must not be used afterwards.
+// SizeBytes may be called concurrently with ingest, and Snapshot and
+// Stats are additionally safe to race with Close. Close releases the
+// worker goroutines; afterwards the ingest surface degrades to defined
+// no-ops — Observe/ObserveBatch drop their packets (TryObserve and
+// TryObserveBatch report ErrDetectorClosed instead of dropping them
+// silently) and Snapshot returns the last published set.
 type ShardedDetector interface {
 	Detector
+	Accounting
+	// TryObserve and TryObserveBatch are Observe/ObserveBatch with the
+	// closed state surfaced: they return ErrDetectorClosed once Close has
+	// run.
+	TryObserve(p *Packet) error
+	TryObserveBatch(pkts []Packet) error
 	// Stats reports ingest and windowing counters.
 	Stats() PipelineStats
-	// Close stops the worker shards and waits for them to drain.
+	// Close stops the worker shards and waits for them to drain. It is
+	// idempotent and safe to call concurrently with Snapshot and Stats.
 	Close() error
 }
 
@@ -390,8 +458,9 @@ type SlidingConfig struct {
 }
 
 type slidingDetector struct {
-	cfg SlidingConfig
-	d   *swhh.SlidingHHH
+	cfg  SlidingConfig
+	scfg swhh.Config // effective (defaulted) summary config
+	d    *swhh.SlidingHHH
 }
 
 // NewSlidingDetector builds a streaming sliding-window HHH detector
@@ -403,15 +472,16 @@ func NewSlidingDetector(cfg SlidingConfig) (Detector, error) {
 	if cfg.Hierarchy == (Hierarchy{}) {
 		cfg.Hierarchy = NewHierarchy(Byte)
 	}
-	inner, err := swhh.NewSlidingHHH(cfg.Hierarchy, swhh.Config{
+	scfg := swhh.Config{
 		Window:   cfg.Window,
 		Frames:   cfg.Frames,
 		Counters: cfg.Counters,
-	})
+	}
+	inner, err := swhh.NewSlidingHHH(cfg.Hierarchy, scfg)
 	if err != nil {
 		return nil, err
 	}
-	return &slidingDetector{cfg: cfg, d: inner}, nil
+	return &slidingDetector{cfg: cfg, scfg: scfg, d: inner}, nil
 }
 
 func (d *slidingDetector) Observe(p *Packet) {
@@ -427,6 +497,15 @@ func (d *slidingDetector) Snapshot(now int64) Set {
 }
 
 func (d *slidingDetector) SizeBytes() int { return d.d.SizeBytes() }
+
+// ReportMass implements Accounting: the covered sliding-window total.
+func (d *slidingDetector) ReportMass(now int64) int64 { return d.d.WindowTotal(now) }
+
+// CoveredSpan implements Accounting: the frame-aligned span [lo, now]
+// the live frame ring covers at now.
+func (d *slidingDetector) CoveredSpan(now int64) (lo, hi int64) {
+	return d.scfg.CoveredSince(now), now
+}
 
 // ContinuousConfig configures NewContinuousDetector.
 type ContinuousConfig struct {
@@ -495,3 +574,13 @@ func (d *continuousDetector) ObserveBatch(pkts []Packet) {
 func (d *continuousDetector) Snapshot(now int64) Set { return d.d.Query(now) }
 
 func (d *continuousDetector) SizeBytes() int { return d.d.SizeBytes() }
+
+// ReportMass implements Accounting: the total decayed traffic mass at
+// now, truncated to int64 bytes.
+func (d *continuousDetector) ReportMass(now int64) int64 { return int64(d.d.TotalMass(now)) }
+
+// CoveredSpan implements Accounting. The decayed aggregate has no sharp
+// lower edge, so lo is math.MinInt64.
+func (d *continuousDetector) CoveredSpan(now int64) (lo, hi int64) {
+	return math.MinInt64, now
+}

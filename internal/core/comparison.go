@@ -103,6 +103,23 @@ type ComparisonOutcome struct {
 	Reports       []DetectorReport
 }
 
+// Score scores a detector's distinct reported prefixes against the
+// ground-truth set and its hidden subset — the scoring rule every
+// comparison table shares (the Section-3 evaluation here and the
+// oracle-differential accuracy report in cmd/hhheval). The performance
+// fields (NsPerPacket, StateBytes, Packets) are left for the caller.
+func Score(name string, reported, truth, hidden hhh.Set) DetectorReport {
+	inTruth := reported.Intersect(truth).Len()
+	inHidden := reported.Intersect(hidden).Len()
+	return DetectorReport{
+		Name:         name,
+		Reported:     reported.Len(),
+		Recall:       ratio(float64(inTruth), float64(truth.Len())),
+		HiddenRecall: ratio(float64(inHidden), float64(hidden.Len())),
+		Precision:    ratio(float64(inTruth), float64(reported.Len())),
+	}
+}
+
 // ContinuousComparison runs the Section-3 evaluation. Ground truth is the
 // union of exact HHH sets over sliding positions; each detector is then
 // driven over an identical replay of the trace and scored on the distinct
@@ -158,18 +175,11 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 	}
 
 	score := func(name string, reported hhh.Set, nsPerPkt float64, stateBytes int) DetectorReport {
-		inTruth := reported.Intersect(out.GroundTruth).Len()
-		inHidden := reported.Intersect(out.Hidden).Len()
-		return DetectorReport{
-			Name:         name,
-			Reported:     reported.Len(),
-			Recall:       ratio(float64(inTruth), float64(out.GroundTruth.Len())),
-			HiddenRecall: ratio(float64(inHidden), float64(out.Hidden.Len())),
-			Precision:    ratio(float64(inTruth), float64(reported.Len())),
-			NsPerPacket:  nsPerPkt,
-			StateBytes:   stateBytes,
-			Packets:      pkts,
-		}
+		r := Score(name, reported, out.GroundTruth, out.Hidden)
+		r.NsPerPacket = nsPerPkt
+		r.StateBytes = stateBytes
+		r.Packets = pkts
+		return r
 	}
 	nsPerPkt := func(d time.Duration) float64 {
 		if pkts == 0 {

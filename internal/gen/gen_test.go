@@ -331,3 +331,42 @@ func BenchmarkGenerate(b *testing.B) {
 		}
 	}
 }
+
+// TestScenarioSuite pins the accuracy-evaluation scenario presets: every
+// scenario validates, generates a non-empty time-ordered trace, and the
+// suite members are pairwise distinct traffic shapes (different seeds at
+// minimum, so no scenario is a clone of another).
+func TestScenarioSuite(t *testing.T) {
+	scenarios := Scenarios(2*time.Second, 1)
+	if len(scenarios) != 5 {
+		t.Fatalf("suite has %d scenarios, want 5", len(scenarios))
+	}
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, sc := range scenarios {
+		if sc.Name == "" || sc.Description == "" {
+			t.Fatalf("scenario %+v missing name/description", sc)
+		}
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if seeds[sc.Config.Seed] {
+			t.Errorf("scenario %q reuses seed %d", sc.Name, sc.Config.Seed)
+		}
+		seeds[sc.Config.Seed] = true
+		if err := sc.Config.Validate(); err != nil {
+			t.Fatalf("scenario %q: %v", sc.Name, err)
+		}
+		pkts, err := Packets(sc.Config)
+		if err != nil {
+			t.Fatalf("scenario %q: %v", sc.Name, err)
+		}
+		if len(pkts) == 0 {
+			t.Fatalf("scenario %q generated no packets", sc.Name)
+		}
+		if !trace.IsSorted(pkts) {
+			t.Fatalf("scenario %q trace not time-ordered", sc.Name)
+		}
+	}
+}

@@ -174,10 +174,17 @@ func (s Set) String() string {
 	return b.String()
 }
 
-// Threshold computes the byte threshold T = phi * totalBytes, rounding up
-// so that "exceeds phi of the traffic" is interpreted strictly: a prefix
-// qualifies only when its volume is at least this value. phi must be in
-// (0,1].
+// Threshold computes the byte threshold T = phi * totalBytes, truncated
+// toward zero and floored at 1 byte. Every detector and experiment in
+// the repository derives its threshold through this function, so the
+// rounding convention is uniform: a prefix qualifies when its volume is
+// >= T, which admits volumes at exactly phi·N and — when phi·N is
+// fractional — the bytes just below it (T = ⌊phi·N⌋). The floor at 1
+// keeps zero-volume prefixes out of every report, including at N = 0.
+// Note the product is evaluated in float64: a mathematically integral
+// phi·N can land just below its integer (e.g. 0.29 × 100 → 28.999…,
+// T = 28); the boundary table test pins the exact behaviour. phi must
+// be in (0,1].
 func Threshold(totalBytes int64, phi float64) int64 {
 	if phi <= 0 || phi > 1 {
 		panic(fmt.Sprintf("hhh: threshold fraction %v out of (0,1]", phi))

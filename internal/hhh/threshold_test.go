@@ -1,0 +1,91 @@
+package hhh
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestThresholdBoundaries pins Threshold's exact rounding behaviour at
+// φN boundary values: exact multiples, one byte either side, tiny and
+// zero totals, φ at the domain edges, and the float64 artifacts of the
+// product. The PR-3 rounding unification routed every detector through
+// this one function, so these cases are the single source of truth for
+// "does volume v qualify at fraction φ of N".
+func TestThresholdBoundaries(t *testing.T) {
+	cases := []struct {
+		total int64
+		phi   float64
+		want  int64
+	}{
+		// Exact multiples (float-representable): T = φN.
+		{1000, 0.05, 50},
+		{1 << 20, 0.5, 1 << 19},
+		{200, 0.25, 50},
+		// Exact multiple whose float64 product lands just below the
+		// integer: 0.29*100 = 28.999...6 truncates to 28. Documented
+		// artifact of evaluating the product in float64.
+		{100, 0.29, 28},
+		// ...and ones landing at or just above the integer stay exact.
+		{10, 0.3, 3},
+		{100, 0.07, 7}, // 7.0000...08 → 7
+		// Off by one byte around a multiple: truncation, not rounding.
+		{999, 0.05, 49},  // 49.95
+		{1001, 0.05, 50}, // 50.05
+		{999, 0.1, 99},   // 99.9
+		{1001, 0.1, 100}, // 100.1
+		// Tiny N: the 1-byte floor dominates.
+		{0, 0.05, 1},
+		{1, 0.05, 1},
+		{19, 0.05, 1}, // 0.95 → floor 0 → clamped to 1
+		{20, 0.05, 1},
+		{21, 0.05, 1}, // 1.05 → 1
+		{39, 0.05, 1},
+		{40, 0.05, 2},
+		// phi = 1: the whole stream.
+		{12345, 1, 12345},
+		{0, 1, 1},
+		// Huge N stays exact in float64 up to 2^53.
+		{1 << 50, 0.5, 1 << 49},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("N=%d/phi=%v", c.total, c.phi), func(t *testing.T) {
+			if got := Threshold(c.total, c.phi); got != c.want {
+				t.Fatalf("Threshold(%d, %v) = %d, want %d", c.total, c.phi, got, c.want)
+			}
+		})
+	}
+}
+
+// TestThresholdDomain pins the panic contract at the φ domain edges:
+// φ = 0 (no meaningful threshold), negative, and above 1 all panic —
+// misconfiguration fails loudly instead of silently reporting everything
+// or nothing.
+func TestThresholdDomain(t *testing.T) {
+	for _, phi := range []float64{0, -0.05, 1.0000001, 2} {
+		phi := phi
+		t.Run(fmt.Sprintf("phi=%v", phi), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Threshold(1000, %v) did not panic", phi)
+				}
+			}()
+			Threshold(1000, phi)
+		})
+	}
+}
+
+// TestThresholdQualification pins the consumer-side convention: a volume
+// qualifies iff volume >= Threshold(N, phi), evaluated at one-byte
+// granularity around the boundary.
+func TestThresholdQualification(t *testing.T) {
+	const total, phi = 1000, 0.05 // T = 50
+	T := Threshold(total, phi)
+	if T != 50 {
+		t.Fatalf("T = %d, want 50", T)
+	}
+	for v, want := range map[int64]bool{49: false, 50: true, 51: true} {
+		if got := v >= T; got != want {
+			t.Errorf("volume %d qualifies=%v, want %v", v, got, want)
+		}
+	}
+}

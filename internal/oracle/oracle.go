@@ -1,0 +1,279 @@
+// Package oracle provides a brute-force exact hierarchical-heavy-hitter
+// reference — full per-prefix counts at every hierarchy level, exact
+// conditioned volumes, arbitrary window / sliding-span / decayed replay —
+// and a differential harness (see diff.go) that measures any streaming
+// detector against it.
+//
+// Everything the repository's approximate engines estimate, the oracle
+// computes exactly from the retained trace: per-level subtree volumes,
+// the bottom-up conditioned HHH set, and — the piece that makes the
+// paper-family deterministic bounds falsifiable — the *conditioned volume
+// given a detector's own output*, i.e. a prefix's exact volume discounted
+// by the exact subtree volumes of its maximal descendants in the
+// detector's report. With that quantity the classical guarantees of
+// Space-Saving-based HHH (Mitzenmacher et al., arXiv:1102.5540; Ben Basat
+// et al., arXiv:1707.06778) become direct assertions:
+//
+//   - accuracy: every reported subtree estimate is within Nε of exact;
+//   - coverage: every prefix whose conditioned-given-output volume
+//     reaches (φ+ε')N appears in the report, where ε' widens by εN per
+//     maximal reported descendant (each descendant's claim may
+//     overestimate by up to εN, over-discounting its ancestors).
+//
+// The oracle is O(packets × levels) per query and keeps the whole trace
+// in memory: it is a test and evaluation harness, not a detector.
+package oracle
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/trace"
+)
+
+// mass is the numeric domain of an aggregate: exact byte counts for the
+// windowed and sliding models, decayed float masses for the continuous
+// one.
+type mass interface {
+	~int64 | ~float64
+}
+
+// Oracle retains a time-ordered trace and answers exact HHH queries over
+// arbitrary sub-spans and decay horizons of it.
+type Oracle struct {
+	h    ipv4.Hierarchy
+	pkts []trace.Packet
+}
+
+// New builds an empty oracle over hierarchy h.
+func New(h ipv4.Hierarchy) *Oracle {
+	if h == (ipv4.Hierarchy{}) {
+		h = ipv4.NewHierarchy(ipv4.Byte)
+	}
+	return &Oracle{h: h}
+}
+
+// FromTrace builds an oracle preloaded with pkts (not copied; the caller
+// must not mutate the slice while the oracle is in use).
+func FromTrace(h ipv4.Hierarchy, pkts []trace.Packet) *Oracle {
+	o := New(h)
+	o.pkts = pkts
+	return o
+}
+
+// Absorb appends a time-ordered run of packets.
+func (o *Oracle) Absorb(pkts []trace.Packet) {
+	o.pkts = append(o.pkts, pkts...)
+}
+
+// Hierarchy returns the configured hierarchy.
+func (o *Oracle) Hierarchy() ipv4.Hierarchy { return o.h }
+
+// Packets returns the number of retained packets.
+func (o *Oracle) Packets() int { return len(o.pkts) }
+
+// span returns the index range of packets with lo <= Ts < hi.
+func (o *Oracle) span(lo, hi int64) (i, j int) {
+	i = sort.Search(len(o.pkts), func(k int) bool { return o.pkts[k].Ts >= lo })
+	j = sort.Search(len(o.pkts), func(k int) bool { return o.pkts[k].Ts >= hi })
+	return i, j
+}
+
+// rollUp builds the per-level subtree aggregates above a leaf map: level 0
+// is the (already masked) leaf level, level l+1 sums each prefix's
+// children.
+func rollUp[V mass](h ipv4.Hierarchy, leaves map[ipv4.Addr]V) []map[ipv4.Addr]V {
+	levels := make([]map[ipv4.Addr]V, h.Levels())
+	levels[0] = leaves
+	for l := 1; l < h.Levels(); l++ {
+		m := ipv4.Mask(h.Bits(l))
+		up := make(map[ipv4.Addr]V, len(levels[l-1])/2+1)
+		for addr, c := range levels[l-1] {
+			up[ipv4.Addr(uint32(addr)&m)] += c
+		}
+		levels[l] = up
+	}
+	return levels
+}
+
+// LevelCounts returns the exact per-prefix subtree byte volumes at every
+// hierarchy level (index 0 = /32 leaves, last = root) over packets with
+// lo <= Ts < hi, together with the total byte volume of the span.
+func (o *Oracle) LevelCounts(lo, hi int64) ([]map[ipv4.Addr]int64, int64) {
+	i, j := o.span(lo, hi)
+	leaves := make(map[ipv4.Addr]int64, (j-i)/4+1)
+	var total int64
+	for ; i < j; i++ {
+		w := int64(o.pkts[i].Size)
+		leaves[o.pkts[i].Src] += w
+		total += w
+	}
+	return rollUp(o.h, leaves), total
+}
+
+// DecayedLevelCounts returns the exponentially decayed per-prefix masses
+// at time now — every packet with Ts <= now contributes
+// Size·exp(-(now-Ts)/tau), the law of tdbf.Exponential — and the total
+// decayed mass.
+func (o *Oracle) DecayedLevelCounts(now int64, tau time.Duration) ([]map[ipv4.Addr]float64, float64) {
+	_, j := o.span(math.MinInt64, now+1)
+	leaves := make(map[ipv4.Addr]float64, j/4+1)
+	var total float64
+	for i := 0; i < j; i++ {
+		w := float64(o.pkts[i].Size) * math.Exp(-float64(now-o.pkts[i].Ts)/float64(tau))
+		leaves[o.pkts[i].Src] += w
+		total += w
+	}
+	return rollUp(o.h, leaves), total
+}
+
+// conditionedSet runs the exact bottom-up conditioned pass over the level
+// aggregates: a prefix is an HHH when its subtree volume minus the volume
+// claimed by descendant HHHs reaches T, and an HHH claims its whole
+// subtree upward.
+func conditionedSet[V mass](h ipv4.Hierarchy, levels []map[ipv4.Addr]V, T V) hhh.Set {
+	out := hhh.Set{}
+	unclaimed := levels[0]
+	for l := 0; l < len(levels); l++ {
+		var next map[ipv4.Addr]V
+		var parentMask uint32
+		if l+1 < len(levels) {
+			next = make(map[ipv4.Addr]V, len(unclaimed)/2+1)
+			parentMask = ipv4.Mask(h.Bits(l + 1))
+		}
+		for addr, cond := range unclaimed {
+			if cond >= T {
+				out.Add(hhh.Item{
+					Prefix:      ipv4.Prefix{Addr: addr, Bits: h.Bits(l)},
+					Count:       int64(levels[l][addr]),
+					Conditioned: int64(cond),
+				})
+				continue
+			}
+			if next != nil {
+				next[ipv4.Addr(uint32(addr)&parentMask)] += cond
+			}
+		}
+		unclaimed = next
+	}
+	return out
+}
+
+// WindowSet returns the exact HHH set of the disjoint window [lo, hi) at
+// threshold fraction phi of the window's bytes, plus the window total.
+func (o *Oracle) WindowSet(lo, hi int64, phi float64) (hhh.Set, int64) {
+	levels, total := o.LevelCounts(lo, hi)
+	if total == 0 {
+		return hhh.NewSet(), 0
+	}
+	return conditionedSet(o.h, levels, hhh.Threshold(total, phi)), total
+}
+
+// SlidingSpan returns the inclusive start of the span a frame-ring
+// sliding summary (swhh) covers at query time now. It delegates to
+// swhh.Config.CoveredSince — the summary's own geometry, defaults
+// included — so the oracle's reference span can never drift from the
+// detector's actual coverage.
+func SlidingSpan(window time.Duration, frames int, now int64) int64 {
+	return swhh.Config{Window: window, Frames: frames}.CoveredSince(now)
+}
+
+// SlidingSet returns the exact HHH set over the span a frame-ring sliding
+// summary covers at time now — packets with SlidingSpan <= Ts <= now — at
+// threshold fraction phi, plus the covered total.
+func (o *Oracle) SlidingSet(window time.Duration, frames int, now int64, phi float64) (hhh.Set, int64) {
+	return o.WindowSet(SlidingSpan(window, frames, now), now+1, phi)
+}
+
+// DecayedSet returns the exact HHH set over exponentially decayed masses
+// at time now with horizon tau, at threshold fraction phi of the total
+// decayed mass, plus that total.
+func (o *Oracle) DecayedSet(now int64, tau time.Duration, phi float64) (hhh.Set, float64) {
+	levels, total := o.DecayedLevelCounts(now, tau)
+	if total == 0 {
+		return hhh.NewSet(), 0
+	}
+	return conditionedSet(o.h, levels, phi*total), total
+}
+
+// Miss is one coverage violation: a prefix the detector should have
+// reported under the checked bound but did not.
+type Miss struct {
+	Prefix ipv4.Prefix
+	// Cond is the prefix's exact conditioned-given-output volume: its
+	// exact subtree volume minus the exact subtree volumes of its maximal
+	// descendants in the detector's report.
+	Cond float64
+	// Need is the threshold Cond exceeded.
+	Need float64
+	// Maximal is the number of maximal reported descendants discounted
+	// from the prefix (each widens the permitted threshold by one sketch
+	// error term).
+	Maximal int
+}
+
+// uncovered walks the hierarchy bottom-up computing every prefix's
+// conditioned-given-output volume — exact subtree volume minus the exact
+// subtree volumes claimed by its maximal descendants in got — and reports
+// the prefixes absent from got whose conditioned volume reaches
+// need(maximal). need receives the number of maximal reported descendants
+// feeding the prefix's discount, so callers can widen the threshold by
+// one sketch error term per claim (a reported descendant's claim may
+// overestimate by up to εN, over-discounting its ancestors by the same).
+func uncovered[V mass](h ipv4.Hierarchy, levels []map[ipv4.Addr]V, got hhh.Set, need func(maximal int) V) []Miss {
+	var misses []Miss
+	claims := map[ipv4.Addr]V{}
+	nclaims := map[ipv4.Addr]int{}
+	for l := 0; l < len(levels); l++ {
+		bits := h.Bits(l)
+		last := l+1 >= len(levels)
+		var parentMask uint32
+		var nextClaims map[ipv4.Addr]V
+		var nextN map[ipv4.Addr]int
+		if !last {
+			parentMask = ipv4.Mask(h.Bits(l + 1))
+			nextClaims = make(map[ipv4.Addr]V, len(claims)/2+1)
+			nextN = make(map[ipv4.Addr]int, len(nclaims)/2+1)
+		}
+		for addr, cnt := range levels[l] {
+			d := claims[addr]
+			dc := nclaims[addr]
+			cond := cnt - d
+			p := ipv4.Prefix{Addr: addr, Bits: bits}
+			reported := got.Contains(p)
+			if !reported && cond >= need(dc) {
+				misses = append(misses, Miss{
+					Prefix: p, Cond: float64(cond), Need: float64(need(dc)), Maximal: dc,
+				})
+			}
+			if last {
+				continue
+			}
+			up, upc := d, dc
+			if reported {
+				up, upc = cnt, 1 // an HHH claims its whole exact subtree
+			}
+			if up > 0 || upc > 0 {
+				parent := ipv4.Addr(uint32(addr) & parentMask)
+				nextClaims[parent] += up
+				nextN[parent] += upc
+			}
+		}
+		claims, nclaims = nextClaims, nextN
+	}
+	return misses
+}
+
+// UncoveredCounts is uncovered over exact byte aggregates.
+func UncoveredCounts(h ipv4.Hierarchy, levels []map[ipv4.Addr]int64, got hhh.Set, need func(maximal int) int64) []Miss {
+	return uncovered(h, levels, got, need)
+}
+
+// UncoveredDecayed is uncovered over decayed float aggregates.
+func UncoveredDecayed(h ipv4.Hierarchy, levels []map[ipv4.Addr]float64, got hhh.Set, need func(maximal int) float64) []Miss {
+	return uncovered(h, levels, got, need)
+}

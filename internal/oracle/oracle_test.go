@@ -1,0 +1,185 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/trace"
+)
+
+func testTrace(seed int64, n, spanSec int) []trace.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]trace.Packet, n)
+	span := int64(spanSec) * int64(time.Second)
+	step := span / int64(n)
+	for i := range pkts {
+		pkts[i] = trace.Packet{
+			Ts:   int64(i) * step,
+			Src:  ipv4.AddrFrom4(10, byte(rng.Intn(4)), byte(rng.Intn(8)), byte(rng.Intn(32))),
+			Size: uint32(40 + rng.Intn(1460)),
+		}
+	}
+	return pkts
+}
+
+// TestWindowSetMatchesExact cross-checks the oracle's conditioned pass
+// against the independently implemented hhh.Exact over the same window.
+func TestWindowSetMatchesExact(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	pkts := testTrace(1, 20000, 10)
+	o := FromTrace(h, pkts)
+	for _, win := range [][2]int64{
+		{0, int64(2 * time.Second)},
+		{int64(3 * time.Second), int64(7 * time.Second)},
+		{0, math.MaxInt64},
+	} {
+		counts := map[ipv4.Addr]int64{}
+		var total int64
+		for i := range pkts {
+			if pkts[i].Ts >= win[0] && pkts[i].Ts < win[1] {
+				counts[pkts[i].Src] += int64(pkts[i].Size)
+				total += int64(pkts[i].Size)
+			}
+		}
+		for _, phi := range []float64{0.01, 0.05, 0.2} {
+			want := hhh.ExactFromCounts(counts, h, hhh.Threshold(total, phi))
+			got, gotTotal := o.WindowSet(win[0], win[1], phi)
+			if gotTotal != total {
+				t.Fatalf("window %v phi %v: total %d, want %d", win, phi, gotTotal, total)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("window %v phi %v: set %v, want %v", win, phi, got, want)
+			}
+			for p, it := range want {
+				g := got[p]
+				if g.Count != it.Count || g.Conditioned != it.Conditioned {
+					t.Fatalf("window %v phi %v %v: item %+v, want %+v", win, phi, p, g, it)
+				}
+			}
+		}
+	}
+}
+
+// TestDecayedCounts pins the decayed aggregate against a direct sum.
+func TestDecayedCounts(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	pkts := testTrace(2, 5000, 5)
+	o := FromTrace(h, pkts)
+	tau := 2 * time.Second
+	now := pkts[len(pkts)-1].Ts
+	var want float64
+	for i := range pkts {
+		want += float64(pkts[i].Size) * math.Exp(-float64(now-pkts[i].Ts)/float64(tau))
+	}
+	levels, total := o.DecayedLevelCounts(now, tau)
+	if math.Abs(total-want) > 1e-6*want {
+		t.Fatalf("decayed total %v, want %v", total, want)
+	}
+	// The root's subtree mass is the total.
+	var root float64
+	for _, v := range levels[len(levels)-1] {
+		root += v
+	}
+	if math.Abs(root-total) > 1e-6*total {
+		t.Fatalf("root mass %v, total %v", root, total)
+	}
+}
+
+// TestSlidingSpan pins the frame-ring coverage arithmetic, including the
+// 1 ns frame floor.
+func TestSlidingSpan(t *testing.T) {
+	sec := int64(time.Second)
+	cases := []struct {
+		window time.Duration
+		frames int
+		now    int64
+		want   int64
+	}{
+		{8 * time.Second, 8, 10 * sec, 2 * sec},    // aligned
+		{8 * time.Second, 8, 10*sec + 1, 2 * sec},  // inside frame 10
+		{8 * time.Second, 8, 11*sec - 1, 2 * sec},  // frame floor(10.999)=10
+		{8 * time.Second, 0, 10 * sec, 2 * sec},    // frames defaults to 8
+		{4 * time.Nanosecond, 8, 100, 100 - 8},     // frameNs floors at 1
+		{10 * time.Second, 5, 3 * sec, -(8 * sec)}, // frame-aligned, before trace start
+	}
+	for _, c := range cases {
+		if got := SlidingSpan(c.window, c.frames, c.now); got != c.want {
+			t.Errorf("SlidingSpan(%v, %d, %d) = %d, want %d", c.window, c.frames, c.now, got, c.want)
+		}
+	}
+}
+
+// TestUncovered pins the conditioned-given-output walk on a handcrafted
+// lattice: claims propagate from maximal reported descendants only, and
+// the widened threshold grows with the number of such claims.
+func TestUncovered(t *testing.T) {
+	h := ipv4.NewHierarchy(ipv4.Byte)
+	a1 := ipv4.MustParseAddr("10.1.1.1")
+	a2 := ipv4.MustParseAddr("10.1.1.2")
+	b1 := ipv4.MustParseAddr("10.2.0.1")
+	leaves := map[ipv4.Addr]int64{a1: 100, a2: 80, b1: 60}
+	levels := rollUp(h, leaves)
+
+	// Nothing reported, flat threshold 90: only a1 (/32, 100) and the
+	// aggregates above it clear 90 — the /24, /16 (180, via a1+a2), /8
+	// and root (240).
+	misses := UncoveredCounts(h, levels, hhh.NewSet(), func(int) int64 { return 90 })
+	wantMissing := map[string]bool{
+		"10.1.1.1/32": true, "10.1.1.0/24": true, "10.1.0.0/16": true,
+		"10.0.0.0/8": true, "0.0.0.0/0": true,
+	}
+	if len(misses) != len(wantMissing) {
+		t.Fatalf("misses = %v, want %d prefixes", misses, len(wantMissing))
+	}
+	for _, m := range misses {
+		if !wantMissing[m.Prefix.String()] {
+			t.Fatalf("unexpected miss %v", m.Prefix)
+		}
+	}
+
+	// Report the /24: it claims its whole subtree (180), so every
+	// ancestor's conditioned volume drops to 60 — no ancestor misses.
+	// The /32s under it are not conditioned by their parent's report
+	// (conditioning discounts descendants, not ancestors), so a1 still
+	// misses at the leaf level.
+	got := hhh.NewSet(hhh.Item{Prefix: ipv4.MustParsePrefix("10.1.1.0/24"), Count: 180, Conditioned: 180})
+	misses = UncoveredCounts(h, levels, got, func(int) int64 { return 90 })
+	if len(misses) != 1 || misses[0].Prefix.String() != "10.1.1.1/32" {
+		t.Fatalf("misses with /24 reported = %v, want only 10.1.1.1/32", misses)
+	}
+
+	// Widening by maximal-claim count: report both /32s. The /24's
+	// conditioned volume is 0; the /16 sees two maximal claims (both
+	// /32s pass through the unreported /24), so a threshold function of
+	// maximal=2 that returns > 60 suppresses the /16's miss while
+	// the root still misses if its (also maximal=2) need is <= 60.
+	got = hhh.NewSet(
+		hhh.Item{Prefix: ipv4.Host(a1), Count: 100, Conditioned: 100},
+		hhh.Item{Prefix: ipv4.Host(a2), Count: 80, Conditioned: 80},
+	)
+	misses = UncoveredCounts(h, levels, got, func(maximal int) int64 {
+		if maximal != 0 && maximal != 2 {
+			t.Fatalf("unexpected maximal-claim count %d", maximal)
+		}
+		return 50 + int64(maximal)*10 // 50 flat, 70 above two claims
+	})
+	// Remaining conditioned volumes: /24 under a1+a2 claims = 0; the b1
+	// leaf (60, no claims, need 50) misses; b1's ancestors conditioned 60
+	// with 0 claims... b1 chain: /24 60, /16 60, /8 and root sit above
+	// both branches: 240-180 = 60 with maximal=2 → need 70 → no miss.
+	wantMissing = map[string]bool{
+		"10.2.0.1/32": true, "10.2.0.0/24": true, "10.2.0.0/16": true,
+	}
+	if len(misses) != len(wantMissing) {
+		t.Fatalf("misses = %+v, want %v", misses, wantMissing)
+	}
+	for _, m := range misses {
+		if !wantMissing[m.Prefix.String()] {
+			t.Fatalf("unexpected miss %v (have %+v)", m.Prefix, misses)
+		}
+	}
+}

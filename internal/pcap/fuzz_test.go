@@ -1,0 +1,133 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/trace"
+)
+
+// validCaptureBytes serialises pkts through the production Writer.
+func validCaptureBytes(t testing.TB, pkts []trace.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	pw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		if err := pw.Write(&pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzPcapReader feeds arbitrary bytes to the pcap parser: it must
+// reject or decode, never panic, and never let a header-declared snaplen
+// or record caplen size an unbounded allocation.
+func FuzzPcapReader(f *testing.F) {
+	valid := validCaptureBytes(f, []trace.Packet{
+		{Ts: 1e9, Src: 0x0a000001, Dst: 0x0a000002, SrcPort: 1234, DstPort: 443, Proto: trace.ProtoTCP, Size: 1500},
+		{Ts: 2e9, Src: 0x0a000003, Dst: 0x0a000004, SrcPort: 53, DstPort: 53, Proto: trace.ProtoUDP, Size: 80},
+		{Ts: 3e9, Src: 0xc0a80001, Dst: 0xc0a80002, Proto: trace.ProtoICMP, Size: 64},
+	})
+	f.Add(valid)
+	f.Add(valid[:24])             // header only
+	f.Add(valid[:30])             // truncated record header
+	f.Add(valid[:len(valid)-7])   // truncated packet data
+	truncIP := bytes.Clone(valid) // caplen says more than the IPv4 header holds
+	truncIP[24+8] = 15            // shrink first record's caplen below ethernet+ip
+	f.Add(truncIP)
+	hugeSnap := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(hugeSnap[16:20], 0xffffffff) // hostile snaplen
+	f.Add(hugeSnap)
+	hugeCap := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(hugeCap[16:20], 0xfffffff0) // huge snaplen
+	binary.LittleEndian.PutUint32(hugeCap[24+8:24+12], 1<<30) // 1 GiB caplen
+	f.Add(hugeCap)
+	// Big-endian microsecond variant of the global header.
+	be := bytes.Clone(valid)
+	binary.BigEndian.PutUint32(be[0:4], magicUsecBE)
+	f.Add(be)
+	// Raw-IP link type.
+	raw := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(raw[20:24], LinkRaw)
+	f.Add(raw)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadCapture) {
+				t.Fatalf("NewReader error outside ErrBadCapture: %v", err)
+			}
+			return
+		}
+		var p trace.Packet
+		for {
+			err := pr.Next(&p)
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadCapture) {
+					t.Fatalf("Next error outside ErrBadCapture/EOF: %v", err)
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzPcapRoundTrip drives the writer/reader pair with arbitrary header
+// fields. The pcap encoding is lossy by design — timestamps clamp to
+// uint32 seconds, the wire length is floored at the synthesised header
+// size — so the fuzz asserts the documented round-trip contract on the
+// fields that must survive, over the domain the writer supports.
+func FuzzPcapRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint32(0), uint32(0), uint16(0), uint16(0), uint8(trace.ProtoTCP), uint32(0))
+	f.Add(int64(3e18), uint32(0xffffffff), uint32(1), uint16(65535), uint16(53), uint8(trace.ProtoUDP), uint32(70000))
+	f.Add(int64(12345), uint32(7), uint32(9), uint16(1), uint16(2), uint8(trace.ProtoICMP), uint32(1500))
+	f.Add(int64(5e9), uint32(8), uint32(10), uint16(3), uint16(4), uint8(99), uint32(40))
+	f.Fuzz(func(t *testing.T, ts int64, src, dst uint32, sport, dport uint16, proto uint8, size uint32) {
+		if ts < 0 || ts >= (1<<32)*int64(1e9) {
+			return // outside the uint32-seconds domain the format stores
+		}
+		in := trace.Packet{
+			Ts: ts, Src: ipv4.Addr(src), Dst: ipv4.Addr(dst),
+			SrcPort: sport, DstPort: dport, Proto: proto, Size: size,
+		}
+		data := validCaptureBytes(t, []trace.Packet{in})
+		pr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out trace.Packet
+		if err := pr.Next(&out); err != nil {
+			t.Fatalf("decoding synthesised capture: %v", err)
+		}
+		if out.Ts != in.Ts || out.Src != in.Src || out.Dst != in.Dst || out.Proto != in.Proto {
+			t.Fatalf("round trip: got %+v, want %+v", out, in)
+		}
+		// Ports survive only for protocols with synthesised L4 headers.
+		if proto == trace.ProtoTCP || proto == trace.ProtoUDP {
+			if out.SrcPort != in.SrcPort || out.DstPort != in.DstPort {
+				t.Fatalf("ports: got %d/%d, want %d/%d", out.SrcPort, out.DstPort, in.SrcPort, in.DstPort)
+			}
+		}
+		// Wire length is preserved unless below the synthesised headers.
+		if int(size) >= 14+20+20 && out.Size != in.Size {
+			t.Fatalf("size: got %d, want %d", out.Size, in.Size)
+		}
+		if err := pr.Next(&out); !errors.Is(err, io.EOF) {
+			t.Fatalf("expected EOF after 1 record, got %v", err)
+		}
+	})
+}

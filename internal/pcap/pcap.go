@@ -35,6 +35,12 @@ const (
 	magicNsecLE = 0x4d3cb2a1
 )
 
+// maxCapLen is the hard per-record captured-length ceiling, past any
+// snaplen the header declares: comfortably above the largest snaplen
+// real capture tools write (tcpdump's default is 262144) while keeping
+// the per-record allocation bounded on corrupt input.
+const maxCapLen = 1 << 19
+
 // ErrBadCapture reports a malformed pcap stream.
 var ErrBadCapture = errors.New("pcap: bad capture")
 
@@ -103,7 +109,12 @@ func (pr *Reader) Next(p *trace.Packet) error {
 		sub := pr.order.Uint32(rec[4:8])
 		caplen := pr.order.Uint32(rec[8:12])
 		wirelen := pr.order.Uint32(rec[12:16])
-		if caplen > pr.snaplen+65535 {
+		// Two bounds: a sanity check against the declared snaplen (in
+		// uint64 so a hostile snaplen near 2^32 cannot wrap the sum), and
+		// a hard ceiling independent of the header — caplen sizes an
+		// allocation, and a corrupt file must not turn one record header
+		// into a multi-gigabyte buffer.
+		if uint64(caplen) > uint64(pr.snaplen)+65535 || caplen > maxCapLen {
 			return fmt.Errorf("%w: caplen %d implausible", ErrBadCapture, caplen)
 		}
 		if cap(pr.buf) < int(caplen) {

@@ -41,7 +41,9 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -57,6 +59,12 @@ import (
 	"hiddenhhh/internal/tdbf"
 	"hiddenhhh/internal/trace"
 )
+
+// ErrClosed reports an ingest or query call on a detector whose Close
+// has already run. The Detector-shaped methods (Observe, ObserveBatch,
+// Snapshot) cannot return it, so they degrade to defined no-ops instead
+// — use TryObserve / TryObserveBatch where the error matters.
+var ErrClosed = errors.New("pipeline: detector closed")
 
 // Mode selects the window model the pipeline shards. Values mirror the
 // public hiddenhhh.Mode constants.
@@ -438,7 +446,13 @@ type Sharded struct {
 	staging       [][]trace.Packet
 	lastBarrier   *barrier
 	windowHasData bool
-	closed        bool
+
+	// Lifecycle: closed flips exactly once; lifeMu serialises Close
+	// against the barrier-broadcasting paths (Snapshot, and Close itself)
+	// so a Snapshot racing a Close either completes its merge before the
+	// rings shut or observes closed and returns the last published set.
+	closed atomic.Bool
+	lifeMu sync.Mutex
 
 	// Shared state.
 	mu         sync.Mutex
@@ -558,12 +572,24 @@ func (d *Sharded) shardOf(src ipv4.Addr) int {
 	return hashx.Bucket(hashx.Mix64(uint64(src)), len(d.shards))
 }
 
-// Observe implements the Detector ingest contract for one packet.
-func (d *Sharded) Observe(p *trace.Packet) {
-	d.checkOpen()
+// Observe implements the Detector ingest contract for one packet. After
+// Close it is a defined no-op (see TryObserve).
+func (d *Sharded) Observe(p *trace.Packet) { _ = d.TryObserve(p) }
+
+// TryObserve is Observe with the closed state surfaced: it returns
+// ErrClosed — and drops the packet — once Close has run, instead of
+// pushing onto a ring no worker drains. Like Observe it is part of the
+// single-goroutine ingest surface: the guarantee covers Close calls
+// that happened-before the ingest call (use-after-Close), not a Close
+// racing ingest from another goroutine — sequence ingest against Close
+// externally, exactly as for Observe.
+func (d *Sharded) TryObserve(p *trace.Packet) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	if d.cfg.Mode != ModeWindowed {
 		d.stage(p)
-		return
+		return nil
 	}
 	if !d.started {
 		d.started = true
@@ -573,18 +599,28 @@ func (d *Sharded) Observe(p *trace.Packet) {
 		d.closeWindow()
 	}
 	d.stage(p)
+	return nil
 }
 
 // ObserveBatch processes a run of packets in time order. In windowed mode
 // the run is split at window boundaries; the other modes have none, so
-// the whole run scatters straight across the shards.
-func (d *Sharded) ObserveBatch(pkts []trace.Packet) {
-	d.checkOpen()
+// the whole run scatters straight across the shards. After Close it is a
+// defined no-op (see TryObserveBatch).
+func (d *Sharded) ObserveBatch(pkts []trace.Packet) { _ = d.TryObserveBatch(pkts) }
+
+// TryObserveBatch is ObserveBatch with the closed state surfaced: it
+// returns ErrClosed — and drops the batch — once Close has run. See
+// TryObserve for the sequencing contract: this covers use-after-Close,
+// not ingest racing Close from another goroutine.
+func (d *Sharded) TryObserveBatch(pkts []trace.Packet) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	if d.cfg.Mode != ModeWindowed {
 		for i := range pkts {
 			d.stage(&pkts[i])
 		}
-		return
+		return nil
 	}
 	for len(pkts) > 0 {
 		p := &pkts[0]
@@ -601,6 +637,7 @@ func (d *Sharded) ObserveBatch(pkts []trace.Packet) {
 		}
 		pkts = pkts[n:]
 	}
+	return nil
 }
 
 // stage appends one packet to its shard's staging buffer, flushing the
@@ -697,26 +734,69 @@ func (d *Sharded) closeWindow() {
 // aligns its live summary to now, the last arriver merges them all
 // (without consuming them) and queries the merged summary — and returns
 // the freshly published set.
+// After Close, Snapshot returns the most recently published set without
+// broadcasting (a closed pipeline has no workers to run a merge).
+// Snapshot may race Close from another goroutine: the lifecycle mutex
+// guarantees an in-flight broadcast completes before the rings shut.
 func (d *Sharded) Snapshot(now int64) hhh.Set {
-	d.checkOpen()
-	if d.cfg.Mode == ModeWindowed {
-		for d.started && now >= d.curEnd {
-			d.closeWindow()
+	d.lifeMu.Lock()
+	var b *barrier
+	if !d.closed.Load() {
+		if d.cfg.Mode == ModeWindowed {
+			for d.started && now >= d.curEnd {
+				d.closeWindow()
+			}
+		} else {
+			d.broadcast(&barrier{
+				at:   now,
+				need: int32(len(d.shards)),
+				done: make(chan struct{}),
+			})
 		}
-	} else {
-		d.broadcast(&barrier{
-			at:   now,
-			need: int32(len(d.shards)),
-			done: make(chan struct{}),
-		})
+		b = d.lastBarrier
 	}
-	if b := d.lastBarrier; b != nil {
+	d.lifeMu.Unlock()
+	if b != nil {
 		<-b.done
 	}
 	d.mu.Lock()
 	set := d.last
 	d.mu.Unlock()
 	return set
+}
+
+// ReportMass implements the public Accounting surface: the total mass of
+// the most recently published merge. Call after Snapshot(now) with the
+// same timestamp (Snapshot publishes the merge ReportMass reads).
+func (d *Sharded) ReportMass(int64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastBytes
+}
+
+// CoveredSpan implements the public Accounting surface: the last closed
+// window [lo, hi) in windowed mode, the frame-aligned covered span
+// [lo, now] in sliding mode, and (math.MinInt64, now] in continuous
+// mode. Like ReportMass, call it after Snapshot(now).
+func (d *Sharded) CoveredSpan(now int64) (lo, hi int64) {
+	switch d.cfg.Mode {
+	case ModeSliding:
+		c := swhh.Config{Window: d.cfg.Window, Frames: d.cfg.Frames}
+		return c.CoveredSince(now), now
+	case ModeContinuous:
+		return math.MinInt64, now
+	default:
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.merges == 0 {
+			// No window has been published yet: report the empty span
+			// (0, 0), matching the single-threaded windowed detector's
+			// zero-valued lastStart/lastEnd, instead of fabricating the
+			// never-observed window [-Window, 0).
+			return 0, 0
+		}
+		return d.lastEnd - d.width, d.lastEnd
+	}
 }
 
 // SizeBytes reports the pipeline's summary footprint: every shard summary
@@ -776,26 +856,23 @@ func (d *Sharded) Stats() Stats {
 }
 
 // Close flushes staged batches, stops the workers and waits for them to
-// drain. The detector must not be used after Close; Close itself is
-// idempotent. In windowed mode, packets of the final, never-closed window
-// are absorbed into shard summaries but — exactly like the
-// single-threaded windowed detector — are only reported if a Snapshot
-// past the window boundary closed it first.
+// drain. Close is idempotent and safe to call concurrently with Snapshot
+// and Stats; after it returns, the ingest surface degrades to defined
+// no-ops (TryObserve/TryObserveBatch report ErrClosed, Snapshot returns
+// the last published set). In windowed mode, packets of the final,
+// never-closed window are absorbed into shard summaries but — exactly
+// like the single-threaded windowed detector — are only reported if a
+// Snapshot past the window boundary closed it first.
 func (d *Sharded) Close() error {
-	if d.closed {
+	d.lifeMu.Lock()
+	defer d.lifeMu.Unlock()
+	if d.closed.Swap(true) {
 		return nil
 	}
-	d.closed = true
 	d.flushStaging()
 	for _, s := range d.shards {
 		s.ring.close()
 	}
 	d.wg.Wait()
 	return nil
-}
-
-func (d *Sharded) checkOpen() {
-	if d.closed {
-		panic("pipeline: detector used after Close")
-	}
 }

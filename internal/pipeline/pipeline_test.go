@@ -322,19 +322,36 @@ func TestShardedConfigValidation(t *testing.T) {
 	}
 }
 
-// TestShardedUseAfterClosePanics pins the lifecycle contract.
-func TestShardedUseAfterClosePanics(t *testing.T) {
+// TestShardedUseAfterClose pins the lifecycle contract: ingest after
+// Close is a defined no-op, with the error surfaced through the Try
+// variants instead of a send-on-closed-ring panic.
+func TestShardedUseAfterClose(t *testing.T) {
 	d, err := New(Config{Window: time.Second, Phi: 0.05, Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on Observe after Close")
-		}
-	}()
-	d.Observe(&trace.Packet{Ts: 1, Size: 100})
+	d.ObserveBatch([]trace.Packet{{Ts: 1, Size: 100}, {Ts: 2, Size: 50}})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TryObserve(&trace.Packet{Ts: 3, Size: 100}); err != ErrClosed {
+		t.Fatalf("TryObserve after Close: got %v, want ErrClosed", err)
+	}
+	if err := d.TryObserveBatch([]trace.Packet{{Ts: 4, Size: 10}}); err != ErrClosed {
+		t.Fatalf("TryObserveBatch after Close: got %v, want ErrClosed", err)
+	}
+	// The Detector-shaped methods stay callable and silently drop.
+	d.Observe(&trace.Packet{Ts: 5, Size: 100})
+	d.ObserveBatch([]trace.Packet{{Ts: 6, Size: 100}})
+	if set := d.Snapshot(int64(10 * time.Second)); set == nil {
+		t.Fatal("Snapshot after Close returned nil set")
+	}
+	if got := d.Stats().Packets; got != 2 {
+		t.Fatalf("packets after post-close drops: got %d, want 2", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
 }
 
 // TestModeValidation pins the mode-specific constructor errors.

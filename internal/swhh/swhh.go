@@ -71,6 +71,21 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// CoveredSince returns the inclusive start of the span a summary built
+// from c covers at query time now: the ring holds the Frames most recent
+// full frames plus the one filling, so coverage reaches back to the start
+// of frame floor(now/frameNs)-Frames. The result can precede the first
+// observed packet (coverage is a property of the ring geometry, not of
+// the traffic).
+func (c Config) CoveredSince(now int64) int64 {
+	c.setDefaults()
+	frameNs := int64(c.Window) / int64(c.Frames)
+	if frameNs < 1 {
+		frameNs = 1
+	}
+	return (now/frameNs - int64(c.Frames)) * frameNs
+}
+
 // Sliding is a time-framed WCSS-style sliding-window heavy-hitter summary.
 // Not safe for concurrent use. Timestamps must be non-decreasing.
 type Sliding struct {

@@ -174,6 +174,13 @@ func WriteFile(path string, pkts []Packet) error {
 	return f.Close()
 }
 
+// maxCountHint caps the allocation hint taken from a file's declared
+// packet count: the header field is attacker-controlled input, and a
+// corrupt or hostile file declaring 2^60 records must not translate into
+// a 2^60-capacity allocation before a single record is read. Reads
+// beyond the hint just grow the slice normally.
+const maxCountHint = 1 << 20
+
 // ReadFile loads the whole trace at path into memory.
 func ReadFile(path string) ([]Packet, error) {
 	f, err := os.Open(path)
@@ -185,7 +192,11 @@ func ReadFile(path string) ([]Packet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Collect(tr, int(tr.DeclaredCount()))
+	hint := tr.DeclaredCount()
+	if hint > maxCountHint {
+		hint = maxCountHint
+	}
+	return Collect(tr, int(hint))
 }
 
 // OpenFile opens the trace at path for streaming. The caller owns closing

@@ -1,0 +1,84 @@
+package hiddenhhh
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedCloseRace hammers Snapshot and Stats from several goroutines
+// while Close runs concurrently, for every window model. Run under the
+// race detector (the CI race job does) this pins the lifecycle contract:
+// no data race, no send-on-closed-ring panic, no deadlock — a Snapshot
+// racing Close either completes its merge or returns the last published
+// set — and after Close the ingest surface degrades to defined no-ops
+// with TryObserve/TryObserveBatch reporting ErrDetectorClosed.
+func TestShardedCloseRace(t *testing.T) {
+	pkts := propStream(7, 20000, 3)
+	last := pkts[len(pkts)-1].Ts
+	for _, mode := range []Mode{ModeWindowed, ModeSliding, ModeContinuous} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for round := 0; round < 3; round++ {
+				det, err := NewShardedDetector(ShardedConfig{
+					Mode: mode, Shards: 4, Window: time.Second,
+					Phi: 0.05, Counters: 64, Cells: 1 << 10,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				det.ObserveBatch(pkts)
+
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				for g := 0; g < 4; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						for i := 0; i < 50; i++ {
+							set := det.Snapshot(last)
+							if set == nil {
+								panic("Snapshot returned nil set")
+							}
+							st := det.Stats()
+							if st.Shards != 4 {
+								panic(fmt.Sprintf("Stats.Shards = %d", st.Shards))
+							}
+						}
+					}()
+				}
+				closed := make(chan error, 1)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					closed <- det.Close()
+				}()
+				close(start)
+				wg.Wait()
+				if err := <-closed; err != nil {
+					t.Fatal(err)
+				}
+
+				// Post-close: defined errors, no panics, stable reports.
+				if err := det.TryObserve(&pkts[0]); !errors.Is(err, ErrDetectorClosed) {
+					t.Fatalf("TryObserve after Close: got %v, want ErrDetectorClosed", err)
+				}
+				if err := det.TryObserveBatch(pkts[:8]); !errors.Is(err, ErrDetectorClosed) {
+					t.Fatalf("TryObserveBatch after Close: got %v, want ErrDetectorClosed", err)
+				}
+				det.Observe(&pkts[0]) // Detector-shaped surface: silent drop
+				det.ObserveBatch(pkts[:8])
+				if set := det.Snapshot(last + int64(time.Minute)); set == nil {
+					t.Fatal("Snapshot after Close returned nil")
+				}
+				if err := det.Close(); err != nil {
+					t.Fatalf("second Close: %v", err)
+				}
+			}
+		})
+	}
+}
