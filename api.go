@@ -15,12 +15,21 @@
 //     model, at query time for the sliding and continuous ones (see
 //     NewShardedDetector and ShardedConfig.Mode).
 //   - Traffic: a seeded synthetic Tier-1 traffic generator (the stand-in
-//     for the paper's proprietary CAIDA traces), binary trace files, and
-//     pcap interchange.
+//     for the paper's proprietary CAIDA traces) with a dual-stack address
+//     universe, binary trace files, and pcap interchange.
 //   - Experiments: the paper's analyses — hidden-HHH quantification
 //     (Figure 2), window-size sensitivity (Figure 3), and the
 //     windowed-vs-continuous comparison (Section 3) — as reusable
 //     functions returning structured results.
+//
+// Every detector is parameterised by a Hierarchy descriptor rather than a
+// hard-coded prefix ladder: the paper's IPv4 byte ladder
+// (NewIPv4Hierarchy(Byte), the default everywhere), the five-level IPv6
+// hextet ladder (NewIPv6Hierarchy(Hextet)), or the 17-level IPv6 nibble
+// lattice (NewIPv6Hierarchy(Nibble)) — the tall-hierarchy regime RHHH's
+// constant-time updates were designed for. Detectors filter ingest by
+// their hierarchy's address family, so a dual-stack stream can be fed to
+// one detector per family without pre-splitting.
 //
 // Every detector additionally implements Accounting — the threshold
 // denominator and covered time span behind each Snapshot — which is the
@@ -33,10 +42,10 @@
 package hiddenhhh
 
 import (
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/core"
 	"hiddenhhh/internal/gen"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/pcap"
 	"hiddenhhh/internal/trace"
 )
@@ -44,14 +53,18 @@ import (
 // Core value types, aliased from the implementation packages so that
 // values flow freely between the public API and the rest of the module.
 type (
-	// Addr is an IPv4 address in host byte order.
-	Addr = ipv4.Addr
-	// Prefix is a canonical IPv4 CIDR prefix.
-	Prefix = ipv4.Prefix
-	// Hierarchy is a uniform prefix-generalisation lattice.
-	Hierarchy = ipv4.Hierarchy
+	// Addr is a 128-bit dual-stack address; IPv4 addresses are carried in
+	// the IPv4-mapped range and render as dotted quads.
+	Addr = addr.Addr
+	// Prefix is a canonical CIDR prefix over the unified address space.
+	Prefix = addr.Prefix
+	// Family identifies an address family (FamilyV4 or FamilyV6).
+	Family = addr.Family
+	// Hierarchy describes a uniform prefix-generalisation lattice over
+	// one address family: the descriptor every detector consumes.
+	Hierarchy = addr.Hierarchy
 	// Granularity is the per-level bit step of a Hierarchy.
-	Granularity = ipv4.Granularity
+	Granularity = addr.Granularity
 	// Packet is one observed packet record.
 	Packet = trace.Packet
 	// PacketSource yields packets in time order.
@@ -64,18 +77,46 @@ type (
 
 // Hierarchy granularities.
 const (
-	Bit    = ipv4.Bit
-	Nibble = ipv4.Nibble
-	Byte   = ipv4.Byte
+	// Bit steps one bit per level.
+	Bit = addr.Bit
+	// Nibble steps four bits per level (17 IPv6 levels to /64).
+	Nibble = addr.Nibble
+	// Byte steps eight bits per level, the paper's IPv4 convention.
+	Byte = addr.Byte
+	// Hextet steps sixteen bits per level (5 IPv6 levels to /64).
+	Hextet = addr.Hextet
 )
 
-// Address and prefix helpers, re-exported from the ipv4 package.
+// Address families.
+const (
+	// FamilyV4 is IPv4 (IPv4-mapped in the unified space).
+	FamilyV4 = addr.V4
+	// FamilyV6 is native IPv6.
+	FamilyV6 = addr.V6
+)
+
+// Address and prefix helpers, re-exported from the addr package. Both
+// parse functions accept either family's textual form.
 var (
-	ParseAddr       = ipv4.ParseAddr
-	MustParseAddr   = ipv4.MustParseAddr
-	ParsePrefix     = ipv4.ParsePrefix
-	MustParsePrefix = ipv4.MustParsePrefix
-	NewHierarchy    = ipv4.NewHierarchy
+	// ParseAddr parses a dotted-quad IPv4 or RFC 4291 IPv6 address.
+	ParseAddr = addr.ParseAddr
+	// MustParseAddr is ParseAddr that panics on error.
+	MustParseAddr = addr.MustParseAddr
+	// ParsePrefix parses CIDR notation in either family.
+	ParsePrefix = addr.ParsePrefix
+	// MustParsePrefix is ParsePrefix that panics on error.
+	MustParsePrefix = addr.MustParsePrefix
+	// NewIPv4Hierarchy builds the IPv4 /0../32 lattice at a granularity.
+	NewIPv4Hierarchy = addr.NewIPv4Hierarchy
+	// NewIPv6Hierarchy builds the IPv6 /0../64 lattice at a granularity.
+	NewIPv6Hierarchy = addr.NewIPv6Hierarchy
+	// NewIPv6HierarchyDepth builds an IPv6 lattice with a custom leaf
+	// depth (at most /64).
+	NewIPv6HierarchyDepth = addr.NewIPv6HierarchyDepth
+	// NewHierarchy is the paper's default: the IPv4 lattice. Kept as the
+	// short name because the byte ladder is what every experiment and
+	// example starts from.
+	NewHierarchy = addr.NewIPv4Hierarchy
 )
 
 // Threshold computes the absolute byte threshold for a fraction phi of
@@ -84,13 +125,16 @@ func Threshold(totalBytes int64, phi float64) int64 { return hhh.Threshold(total
 
 // ExactHHH computes the exact HHH set of a finished aggregate: counts maps
 // source addresses to byte volumes and T is the absolute threshold.
+// Addresses outside h's family are ignored, matching the detectors'
+// ingest filter.
 func ExactHHH(counts map[Addr]int64, h Hierarchy, T int64) Set {
 	return hhh.ExactFromCounts(counts, h, T)
 }
 
 // --- Traffic ---
 
-// TraceConfig parameterises the synthetic Tier-1 traffic generator.
+// TraceConfig parameterises the synthetic Tier-1 traffic generator,
+// including the dual-stack mix (TraceConfig.V6Fraction).
 type TraceConfig = gen.Config
 
 // DefaultTraceConfig returns the base synthetic scenario.
@@ -103,6 +147,13 @@ var Tier1Day = gen.Tier1Day
 // DDoSScenario returns a scenario with strong attack-like pulses.
 var DDoSScenario = gen.DDoSScenario
 
+// IPv6DDoSScenario returns the hit-and-run DDoS scenario with every
+// source drawn from the IPv6 side of the address universe.
+var IPv6DDoSScenario = gen.IPv6HitAndRunScenario
+
+// DualStackScenario returns a half-IPv4, half-IPv6 pulsed mix.
+var DualStackScenario = gen.DualStackScenario
+
 // GenerateTrace synthesises the whole trace into memory.
 func GenerateTrace(cfg TraceConfig) ([]Packet, error) { return gen.Packets(cfg) }
 
@@ -114,10 +165,16 @@ func SliceSource(pkts []Packet) PacketSource { return trace.NewSliceSource(pkts)
 
 // Trace file I/O (compact binary format) and pcap interchange.
 var (
+	// WriteTraceFile stores packets in the binary trace format (v2,
+	// dual-stack records).
 	WriteTraceFile = trace.WriteFile
-	ReadTraceFile  = trace.ReadFile
-	WritePcapFile  = pcap.WriteFile
-	ReadPcapFile   = pcap.ReadFile
+	// ReadTraceFile loads a binary trace file (either format version).
+	ReadTraceFile = trace.ReadFile
+	// WritePcapFile stores packets as a pcap capture with synthesised
+	// Ethernet+IPv4/IPv6 headers.
+	WritePcapFile = pcap.WriteFile
+	// ReadPcapFile loads every IP packet (either family) of a capture.
+	ReadPcapFile = pcap.ReadFile
 )
 
 // --- Experiments ---
@@ -144,12 +201,20 @@ type (
 
 // Experiment runners and renderers.
 var (
-	RunHiddenHHH         = core.HiddenHHH
-	RenderHiddenHHH      = core.RenderHiddenHHH
+	// RunHiddenHHH runs the Figure-2 hidden-HHH quantification.
+	RunHiddenHHH = core.HiddenHHH
+	// RenderHiddenHHH formats Figure-2 results as a table.
+	RenderHiddenHHH = core.RenderHiddenHHH
+	// RunWindowSensitivity runs the Figure-3 window-size sensitivity.
 	RunWindowSensitivity = core.WindowSensitivity
-	RenderSensitivity    = core.RenderSensitivity
-	RunComparison        = core.ContinuousComparison
-	RenderComparison     = core.RenderComparison
-	TraceProviderOf      = core.SliceProvider
-	TraceProviderFile    = core.FileProvider
+	// RenderSensitivity formats Figure-3 results as a table.
+	RenderSensitivity = core.RenderSensitivity
+	// RunComparison runs the Section-3 windowed-vs-continuous evaluation.
+	RunComparison = core.ContinuousComparison
+	// RenderComparison formats the Section-3 table.
+	RenderComparison = core.RenderComparison
+	// TraceProviderOf replays an in-memory trace on every call.
+	TraceProviderOf = core.SliceProvider
+	// TraceProviderFile replays a binary trace file on every call.
+	TraceProviderFile = core.FileProvider
 )

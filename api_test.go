@@ -1,6 +1,8 @@
 package hiddenhhh
 
 import (
+	"hiddenhhh/internal/addr"
+
 	"testing"
 	"time"
 )
@@ -144,7 +146,7 @@ func TestDetectorsAgreeOnStrongHeavyHitter(t *testing.T) {
 	var ts int64
 	for i := 0; i < 20000; i++ {
 		ts += int64(500 * time.Microsecond)
-		src := Addr(uint32(i*2654435761) | 1)
+		src := addr.From4Uint32(uint32(i*2654435761) | 1)
 		if i%2 == 0 {
 			src = heavy
 		}
@@ -256,10 +258,10 @@ func TestWindowedEmptyWindowsFastPath(t *testing.T) {
 	const gap = 10000
 	var pkts []Packet
 	for i := 0; i < 1000; i++ { // window 0
-		pkts = append(pkts, Packet{Ts: int64(i) * width / 1000, Src: Addr(10<<24 | uint32(i%16)), Size: 1000})
+		pkts = append(pkts, Packet{Ts: int64(i) * width / 1000, Src: addr.From4Uint32(10<<24 | uint32(i%16)), Size: 1000})
 	}
 	for i := 0; i < 1000; i++ { // window gap+1
-		pkts = append(pkts, Packet{Ts: (gap+1)*width + int64(i)*width/1000, Src: Addr(10<<24 | uint32(i%16)), Size: 1000})
+		pkts = append(pkts, Packet{Ts: (gap+1)*width + int64(i)*width/1000, Src: addr.From4Uint32(10<<24 | uint32(i%16)), Size: 1000})
 	}
 	var sets []Set
 	det, err := NewWindowedDetector(WindowedConfig{

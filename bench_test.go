@@ -284,6 +284,87 @@ func BenchmarkDetectorSharded4(b *testing.B) { benchSharded(b, 4) }
 // BenchmarkDetectorSharded8 measures 8-shard parallel ingest.
 func BenchmarkDetectorSharded8(b *testing.B) { benchSharded(b, 8) }
 
+// benchTrace6 lazily synthesises and caches the IPv6 benchmark trace:
+// one minute of the IPv6 hit-and-run DDoS scenario.
+var benchTrace6 = struct {
+	once sync.Once
+	pkts []Packet
+}{}
+
+func getBenchTrace6(b *testing.B) []Packet {
+	b.Helper()
+	benchTrace6.once.Do(func() {
+		pkts, err := GenerateTrace(IPv6DDoSScenario(time.Minute, 6))
+		if err != nil {
+			panic(err)
+		}
+		benchTrace6.pkts = pkts
+	})
+	return benchTrace6.pkts
+}
+
+// benchDetector6 streams the IPv6 trace through det in ingest batches.
+func benchDetector6(b *testing.B, det Detector) {
+	pkts := getBenchTrace6(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(&pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkDetectorIPv6PerLevel measures the per-level windowed detector
+// on the five-level IPv6 hextet ladder — the direct counterpart of
+// BenchmarkDetectorWindowedPerLevel on the new hierarchy.
+func BenchmarkDetectorIPv6PerLevel(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EnginePerLevel,
+		Hierarchy: NewIPv6Hierarchy(Hextet)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector6(b, det)
+}
+
+// BenchmarkDetectorIPv6RHHHNibble measures RHHH on the 17-level IPv6
+// nibble lattice: the tall-hierarchy regime where its O(1) sampled
+// update buys the most over PerLevel's per-level cost.
+func BenchmarkDetectorIPv6RHHHNibble(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EngineRHHH,
+		Hierarchy: NewIPv6Hierarchy(Nibble)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector6(b, det)
+}
+
+// BenchmarkDetectorIPv6PerLevelNibble is PerLevel on the same 17-level
+// lattice, the comparison row for the RHHH benchmark above.
+func BenchmarkDetectorIPv6PerLevelNibble(b *testing.B) {
+	det, err := NewWindowedDetector(WindowedConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EnginePerLevel,
+		Hierarchy: NewIPv6Hierarchy(Nibble)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector6(b, det)
+}
+
+// BenchmarkDetectorIPv6Sharded4 measures the 4-shard pipeline over the
+// IPv6 trace on the hextet ladder.
+func BenchmarkDetectorIPv6Sharded4(b *testing.B) {
+	det, err := NewShardedDetector(ShardedConfig{
+		Shards: 4, Window: 10 * time.Second, Phi: 0.05,
+		Engine: EnginePerLevel, Hierarchy: NewIPv6Hierarchy(Hextet)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector6(b, det)
+	b.StopTimer()
+	det.Close()
+}
+
 // benchSlidingSharded measures the sliding-mode pipeline's ingest
 // throughput: per-shard WCSS frame rings fed through the same
 // partition+ring spine, merged only at snapshot time (so ingest here is

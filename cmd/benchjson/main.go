@@ -72,7 +72,7 @@ func main() {
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
 	compare := flag.String("compare", "", "baseline BENCH_*.json; fail on ns/op regressions beyond -max-regression")
 	comparePattern := flag.String("compare-pattern",
-		"^BenchmarkDetectorSharded|^BenchmarkSlidingSharded|^BenchmarkContinuousSharded",
+		"^BenchmarkDetectorSharded|^BenchmarkSlidingSharded|^BenchmarkContinuousSharded|^BenchmarkDetectorIPv6",
 		"benchmarks the -compare guard checks (regexp on names, GOMAXPROCS suffix stripped)")
 	maxRegression := flag.Float64("max-regression", 2.0, "ns/op ratio vs baseline that fails the -compare guard")
 	flag.Parse()

@@ -11,9 +11,11 @@
 //	go run ./cmd/hhheval -strict             # exit 1 on bound violations
 //
 // The scenarios (internal/gen.Scenarios) cover Zipf steady state,
-// hit-and-run DDoS, flash crowd, port sweep and the diurnal Tier-1 mix;
-// everything is seeded, so two runs with the same flags produce the same
-// report.
+// hit-and-run DDoS, flash crowd, port sweep, the diurnal Tier-1 mix, an
+// IPv6-only hit-and-run DDoS on the five-level hextet ladder, and a
+// dual-stack mix on the 17-level IPv6 nibble lattice — each evaluated on
+// its scenario's own hierarchy. Everything is seeded, so two runs with
+// the same flags produce the same report.
 package main
 
 import (
@@ -53,6 +55,7 @@ type DetectorResult struct {
 type ScenarioReport struct {
 	Scenario    string           `json:"scenario"`
 	Description string           `json:"description"`
+	Hierarchy   string           `json:"hierarchy"`
 	Packets     int              `json:"packets"`
 	TruthHHHs   int              `json:"sliding_truth_distinct"`
 	HiddenHHHs  int              `json:"hidden_distinct"`
@@ -102,7 +105,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sr := ScenarioReport{Scenario: sc.Name, Description: sc.Description, Packets: len(pkts)}
+		sr := ScenarioReport{
+			Scenario: sc.Name, Description: sc.Description,
+			Hierarchy: sc.Hierarchy.String(), Packets: len(pkts),
+		}
+		hier := sc.Hierarchy
 
 		type cell struct {
 			name   string
@@ -113,7 +120,8 @@ func main() {
 		windowed := func(engine hiddenhhh.Engine) func() (oracle.Detector, error) {
 			return func() (oracle.Detector, error) {
 				return hiddenhhh.NewWindowedDetector(hiddenhhh.WindowedConfig{
-					Window: *window, Phi: *phi, Engine: engine, Counters: *counters, Seed: uint64(*seed),
+					Window: *window, Phi: *phi, Engine: engine, Counters: *counters,
+					Hierarchy: hier, Seed: uint64(*seed),
 				})
 			}
 		}
@@ -122,7 +130,7 @@ func main() {
 				return hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
 					Mode: mode, Shards: *shards, Window: *window, Phi: *phi,
 					Engine: hiddenhhh.EnginePerLevel, Counters: *counters,
-					Frames: *frames, Seed: uint64(*seed),
+					Frames: *frames, Hierarchy: hier, Seed: uint64(*seed),
 				})
 			}
 		}
@@ -134,11 +142,12 @@ func main() {
 			{"sliding-wcss", oracle.ModeSliding, oracle.Bounds{Epsilon: eps}, func() (oracle.Detector, error) {
 				return hiddenhhh.NewSlidingDetector(hiddenhhh.SlidingConfig{
 					Window: *window, Phi: *phi, Frames: *frames, Counters: *counters,
+					Hierarchy: hier,
 				})
 			}},
 			{"continuous-tdbf", oracle.ModeContinuous, oracle.Bounds{Slack: *tdbfSlack}, func() (oracle.Detector, error) {
 				return hiddenhhh.NewContinuousDetector(hiddenhhh.ContinuousConfig{
-					Horizon: *window, Phi: *phi, Seed: uint64(*seed),
+					Horizon: *window, Phi: *phi, Hierarchy: hier, Seed: uint64(*seed),
 				})
 			}},
 		}
@@ -175,6 +184,7 @@ func main() {
 				Window:        *window,
 				Frames:        *frames,
 				Phi:           *phi,
+				Hierarchy:     hier,
 				Bounds:        c.bounds,
 				SnapshotEvery: every,
 			})
@@ -238,7 +248,7 @@ func renderMarkdown(w *os.File, rep *Report) {
 	fmt.Fprintf(w, "window=%s phi=%v counters=%d seed=%d duration=%s\n\n",
 		rep.Window, rep.Phi, rep.Counters, rep.Seed, rep.Duration)
 	for _, sc := range rep.Scenarios {
-		fmt.Fprintf(w, "## %s\n\n%s\n\n", sc.Scenario, sc.Description)
+		fmt.Fprintf(w, "## %s\n\n%s (hierarchy %s)\n\n", sc.Scenario, sc.Description, sc.Hierarchy)
 		fmt.Fprintf(w, "%d packets; %d distinct sliding-truth HHHs, %d hidden (absent from every disjoint window)\n\n",
 			sc.Packets, sc.TruthHHHs, sc.HiddenHHHs)
 		t := metrics.NewTable("detector", "mode", "precision", "recall",

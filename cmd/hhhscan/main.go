@@ -6,6 +6,11 @@
 //	hhhscan -in day0.hhht -window 10s -phi 0.05
 //	hhhscan -in day0.pcap -engine rhhh -counters 256 -window 5s -phi 0.01
 //	hhhscan -in day0.hhht -engine continuous -window 10s -phi 0.05
+//	hhhscan -in dual.pcap -hierarchy ipv6-hextet -window 10s
+//
+// The -hierarchy flag selects the prefix lattice (and with it the address
+// family scanned; the other family's packets are ignored): ipv4-byte,
+// ipv4-nibble, ipv4-bit, ipv6-hextet, ipv6-nibble.
 package main
 
 import (
@@ -15,9 +20,9 @@ import (
 	"strings"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/continuous"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/pcap"
 	"hiddenhhh/internal/tdbf"
 	"hiddenhhh/internal/trace"
@@ -31,7 +36,7 @@ func main() {
 		phi      = flag.Float64("phi", 0.05, "HHH threshold fraction of window bytes")
 		engine   = flag.String("engine", "exact", "exact, perlevel, rhhh or continuous")
 		counters = flag.Int("counters", 512, "counters per level (sketch engines)")
-		granStr  = flag.String("granularity", "byte", "hierarchy granularity: bit, nibble, byte")
+		hierStr  = flag.String("hierarchy", "ipv4-byte", "prefix lattice: ipv4-byte, ipv4-nibble, ipv4-bit, ipv6-hextet, ipv6-nibble")
 		seed     = flag.Uint64("seed", 1, "seed for randomised engines")
 		verbose  = flag.Bool("v", false, "print every window even when empty")
 	)
@@ -49,7 +54,7 @@ func main() {
 	if len(pkts) == 0 {
 		fatal(fmt.Errorf("trace %s is empty", *in))
 	}
-	h, err := granularity(*granStr)
+	h, err := hierarchyOf(*hierStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,28 +75,30 @@ func main() {
 	switch *engine {
 	case "exact":
 		err = window.Tumble(trace.NewSliceSource(pkts),
-			window.Config{Width: *win, End: span},
+			window.Config{Width: *win, End: span, Key: window.BySource(h)},
 			func(r *window.Result) error {
 				set := hhh.Exact(r.Leaves, h, hhh.Threshold(r.Bytes, *phi))
 				printSet(r.Start, r.End, set)
 				return nil
 			})
 	case "perlevel", "rhhh":
-		var update func(ipv4.Addr, int64)
-		var query func(int64) hhh.Set
+		var update func(addr.Addr, int64)
+		var queryFrac func(float64) hhh.Set
 		var reset func()
 		if *engine == "perlevel" {
 			eng := hhh.NewPerLevel(h, *counters)
-			update, query, reset = eng.Update, eng.Query, eng.Reset
+			update, queryFrac, reset = eng.Update, eng.QueryFraction, eng.Reset
 		} else {
 			eng := hhh.NewRHHH(h, *counters, *seed)
-			update, query, reset = eng.Update, eng.Query, eng.Reset
+			update, queryFrac, reset = eng.Update, eng.QueryFraction, eng.Reset
 		}
 		err = window.TumblePackets(trace.NewSliceSource(pkts),
 			window.Config{Width: *win, End: span},
 			func(p *trace.Packet) { update(p.Src, int64(p.Size)) },
 			func(s window.Span) error {
-				set := query(hhh.Threshold(s.Bytes, *phi))
+				// The engine's own total counts only in-family bytes, the
+				// right threshold denominator on dual-stack traces.
+				set := queryFrac(*phi)
 				printSet(s.Start, s.End, set)
 				reset()
 				return nil
@@ -105,10 +112,10 @@ func main() {
 				Decay: tdbf.Exponential{Tau: *win},
 			},
 			Seed: *seed,
-			OnEnter: func(p ipv4.Prefix, at int64) {
+			OnEnter: func(p addr.Prefix, at int64) {
 				fmt.Printf("%v ENTER %v\n", time.Duration(at).Round(time.Millisecond), p)
 			},
-			OnExit: func(p ipv4.Prefix, at int64) {
+			OnExit: func(p addr.Prefix, at int64) {
 				fmt.Printf("%v EXIT  %v\n", time.Duration(at).Round(time.Millisecond), p)
 			},
 		})
@@ -135,16 +142,20 @@ func load(path string) ([]trace.Packet, error) {
 	return trace.ReadFile(path)
 }
 
-func granularity(s string) (ipv4.Hierarchy, error) {
+func hierarchyOf(s string) (addr.Hierarchy, error) {
 	switch s {
-	case "bit":
-		return ipv4.NewHierarchy(ipv4.Bit), nil
-	case "nibble":
-		return ipv4.NewHierarchy(ipv4.Nibble), nil
-	case "byte":
-		return ipv4.NewHierarchy(ipv4.Byte), nil
+	case "ipv4-bit", "bit":
+		return addr.NewIPv4Hierarchy(addr.Bit), nil
+	case "ipv4-nibble", "nibble":
+		return addr.NewIPv4Hierarchy(addr.Nibble), nil
+	case "ipv4-byte", "byte":
+		return addr.NewIPv4Hierarchy(addr.Byte), nil
+	case "ipv6-hextet":
+		return addr.NewIPv6Hierarchy(addr.Hextet), nil
+	case "ipv6-nibble":
+		return addr.NewIPv6Hierarchy(addr.Nibble), nil
 	default:
-		return ipv4.Hierarchy{}, fmt.Errorf("unknown granularity %q", s)
+		return addr.Hierarchy{}, fmt.Errorf("unknown hierarchy %q", s)
 	}
 }
 

@@ -20,9 +20,9 @@ import (
 	"strings"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/core"
 	"hiddenhhh/internal/gen"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/metrics"
 	"hiddenhhh/internal/pcap"
 	"hiddenhhh/internal/trace"
@@ -144,7 +144,7 @@ func main() {
 	}
 }
 
-func runStepAblation(provider core.Provider, span int64, h ipv4.Hierarchy) {
+func runStepAblation(provider core.Provider, span int64, h addr.Hierarchy) {
 	fmt.Println("E4a — hidden% vs sliding step (window 10s, phi 5%)")
 	t := metrics.NewTable("step", "sliding", "disjoint", "hidden", "hidden%")
 	for _, step := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond,
@@ -172,16 +172,16 @@ func load(path string) ([]trace.Packet, error) {
 	return trace.ReadFile(path)
 }
 
-func granularity(s string) (ipv4.Hierarchy, error) {
+func granularity(s string) (addr.Hierarchy, error) {
 	switch s {
 	case "bit":
-		return ipv4.NewHierarchy(ipv4.Bit), nil
+		return addr.NewIPv4Hierarchy(addr.Bit), nil
 	case "nibble":
-		return ipv4.NewHierarchy(ipv4.Nibble), nil
+		return addr.NewIPv4Hierarchy(addr.Nibble), nil
 	case "byte":
-		return ipv4.NewHierarchy(ipv4.Byte), nil
+		return addr.NewIPv4Hierarchy(addr.Byte), nil
 	default:
-		return ipv4.Hierarchy{}, fmt.Errorf("unknown granularity %q", s)
+		return addr.Hierarchy{}, fmt.Errorf("unknown granularity %q", s)
 	}
 }
 

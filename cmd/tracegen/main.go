@@ -7,6 +7,8 @@
 //	tracegen -out day0.hhht -duration 1m -preset day0
 //	tracegen -out attack.pcap -format pcap -preset ddos -seed 7
 //	tracegen -out custom.hhht -pps 20000 -flows 5000 -pulses 10
+//	tracegen -out v6ddos.pcap -preset ipv6-ddos        # IPv6-only attack mix
+//	tracegen -out dual.hhht -v6 0.5                    # dual-stack default mix
 package main
 
 import (
@@ -25,12 +27,13 @@ func main() {
 	var (
 		out      = flag.String("out", "", "output path (required)")
 		format   = flag.String("format", "auto", "output format: trace, pcap or auto (by extension)")
-		preset   = flag.String("preset", "default", "scenario: default, day0..day3, ddos")
+		preset   = flag.String("preset", "default", "scenario: default, day0..day3, ddos, ipv6-ddos, dual-stack")
 		duration = flag.Duration("duration", time.Minute, "trace duration")
 		seed     = flag.Int64("seed", 0, "override scenario seed (0 keeps preset seed)")
 		pps      = flag.Float64("pps", 0, "override mean packet rate")
 		flows    = flag.Int("flows", 0, "override concurrent flow count")
 		pulses   = flag.Float64("pulses", -1, "override pulses per minute (-1 keeps preset)")
+		v6       = flag.Float64("v6", -1, "override the IPv6 source fraction in [0,1] (-1 keeps preset)")
 		quiet    = flag.Bool("q", false, "suppress the stats summary")
 	)
 	flag.Parse()
@@ -55,6 +58,9 @@ func main() {
 	}
 	if *pulses >= 0 {
 		cfg.PulsesPerMinute = *pulses
+	}
+	if *v6 >= 0 {
+		cfg.V6Fraction = *v6
 	}
 
 	pkts, err := gen.Packets(cfg)
@@ -101,6 +107,10 @@ func presetConfig(name string, d time.Duration) (gen.Config, error) {
 		return gen.Tier1Day(int(name[3]-'0'), d), nil
 	case "ddos":
 		return gen.DDoSScenario(d, 42), nil
+	case "ipv6-ddos":
+		return gen.IPv6HitAndRunScenario(d, 42), nil
+	case "dual-stack":
+		return gen.DualStackScenario(d, 42), nil
 	default:
 		return gen.Config{}, fmt.Errorf("unknown preset %q", name)
 	}

@@ -6,9 +6,9 @@ import (
 	"sort"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/continuous"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/pipeline"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/swhh"
@@ -78,6 +78,7 @@ const (
 	EngineRHHH
 )
 
+// String names the engine ("exact", "perlevel", "rhhh").
 func (e Engine) String() string {
 	switch e {
 	case EngineExact:
@@ -101,7 +102,8 @@ type WindowedConfig struct {
 	Engine Engine
 	// Counters per level for sketch engines. Default 512.
 	Counters int
-	// Hierarchy defaults to byte granularity.
+	// Hierarchy is the prefix lattice to detect over. Defaults to the
+	// IPv4 byte ladder; packets outside its address family are ignored.
 	Hierarchy Hierarchy
 	// Seed drives EngineRHHH sampling.
 	Seed uint64
@@ -169,11 +171,14 @@ func (d *windowedDetector) Observe(p *Packet) {
 	for p.Ts >= d.curEnd {
 		d.closeWindow()
 	}
+	if !d.cfg.Hierarchy.Match(p.Src) {
+		return // other address family: advances windows, adds no mass
+	}
 	w := int64(p.Size)
 	d.bytes += w
 	switch {
 	case d.exact != nil:
-		d.exact.Update(uint64(p.Src), w)
+		d.exact.Update(d.cfg.Hierarchy.Key(p.Src, 0), w)
 		if d.exact.Len() > d.exactPeak {
 			d.exactPeak = d.exact.Len()
 		}
@@ -201,9 +206,12 @@ func (d *windowedDetector) ObserveBatch(pkts []Packet) {
 		switch {
 		case d.exact != nil:
 			for i := range chunk {
+				if !d.cfg.Hierarchy.Match(chunk[i].Src) {
+					continue
+				}
 				w := int64(chunk[i].Size)
 				d.bytes += w
-				d.exact.Update(uint64(chunk[i].Src), w)
+				d.exact.Update(d.cfg.Hierarchy.Key(chunk[i].Src, 0), w)
 			}
 			if d.exact.Len() > d.exactPeak {
 				d.exactPeak = d.exact.Len()
@@ -321,6 +329,7 @@ const (
 	ModeContinuous
 )
 
+// String names the mode ("windowed", "sliding", "continuous").
 func (m Mode) String() string { return pipeline.Mode(m).String() }
 
 // ShardedConfig configures NewShardedDetector.
@@ -357,7 +366,9 @@ type ShardedConfig struct {
 	ExitRatio float64
 	// Sampled makes ModeContinuous update one random level per packet.
 	Sampled bool
-	// Hierarchy defaults to byte granularity.
+	// Hierarchy is the prefix lattice every shard detects over. Defaults
+	// to the IPv4 byte ladder; packets outside its address family are
+	// ignored.
 	Hierarchy Hierarchy
 	// Seed drives EngineRHHH sampling (each shard derives its own
 	// deterministic stream from it) and ModeContinuous's filter hashes
@@ -453,7 +464,8 @@ type SlidingConfig struct {
 	// Counters is the per-frame, per-level Space-Saving capacity.
 	// Default 256.
 	Counters int
-	// Hierarchy defaults to byte granularity.
+	// Hierarchy is the prefix lattice to detect over. Defaults to the
+	// IPv4 byte ladder; packets outside its address family are ignored.
 	Hierarchy Hierarchy
 }
 
@@ -522,8 +534,10 @@ type ContinuousConfig struct {
 	ExitRatio float64
 	// Sampled updates one random level per packet (cheaper, noisier).
 	Sampled bool
-	Seed    uint64
-	// Hierarchy defaults to byte granularity.
+	// Seed drives Sampled's level draws and the filter hashes.
+	Seed uint64
+	// Hierarchy is the prefix lattice to detect over. Defaults to the
+	// IPv4 byte ladder; packets outside its address family are ignored.
 	Hierarchy Hierarchy
 	// OnEnter/OnExit observe detection transitions.
 	OnEnter func(p Prefix, at int64)
@@ -540,7 +554,7 @@ func NewContinuousDetector(cfg ContinuousConfig) (Detector, error) {
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("hiddenhhh: horizon must be positive")
 	}
-	if cfg.Hierarchy == (ipv4.Hierarchy{}) {
+	if cfg.Hierarchy == (addr.Hierarchy{}) {
 		cfg.Hierarchy = NewHierarchy(Byte)
 	}
 	inner, err := continuous.NewDetector(continuous.Config{

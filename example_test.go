@@ -79,14 +79,80 @@ func ExampleNewContinuousDetector() {
 	// true
 }
 
+// ExampleNewIPv6Hierarchy shows the hierarchy descriptor that replaced
+// the hard-coded IPv4 ladder: the same detectors run over any uniform
+// lattice, here IPv6's five-level hextet ladder, with /64 subnets as the
+// leaves.
+func ExampleNewIPv6Hierarchy() {
+	h := hiddenhhh.NewIPv6Hierarchy(hiddenhhh.Hextet)
+	fmt.Println(h, "levels:", h.Levels())
+	for _, p := range h.Ancestors(hiddenhhh.MustParseAddr("2001:db8:ab:cd::1"), nil) {
+		fmt.Println(" ", p)
+	}
+	// Output:
+	// ipv6/16 levels: 5
+	//   2001:db8:ab:cd::/64
+	//   2001:db8:ab::/48
+	//   2001:db8::/32
+	//   2001::/16
+	//   ::/0
+}
+
+// ExampleExactHHH_dualStack feeds one dual-stack aggregate to each
+// family's hierarchy: every detector and exact computation filters by
+// its hierarchy's address family, so the two views threshold against
+// their own family's bytes only.
+func ExampleExactHHH_dualStack() {
+	counts := map[hiddenhhh.Addr]int64{
+		hiddenhhh.MustParseAddr("10.1.2.1"):        60,
+		hiddenhhh.MustParseAddr("2001:db8:7:1::1"): 40,
+		hiddenhhh.MustParseAddr("2001:db8:7:2::1"): 40,
+	}
+	v4 := hiddenhhh.NewIPv4Hierarchy(hiddenhhh.Byte)
+	v6 := hiddenhhh.NewIPv6Hierarchy(hiddenhhh.Hextet)
+	// Thresholds are per family: 60 of 60 v4 bytes, 80 of 80 v6 bytes.
+	fmt.Println("v4:", hiddenhhh.ExactHHH(counts, v4, hiddenhhh.Threshold(60, 0.9)).Prefixes())
+	fmt.Println("v6:", hiddenhhh.ExactHHH(counts, v6, hiddenhhh.Threshold(80, 0.9)).Prefixes())
+	// Output:
+	// v4: [10.1.2.1/32]
+	// v6: [2001:db8:7::/48]
+}
+
+// ExampleAccounting reads the reference frame behind a detector's
+// snapshot: ReportMass is the threshold denominator and CoveredSpan the
+// aggregated time span — for a windowed detector, the last closed
+// window. The oracle-differential harness pins both against the exact
+// reference.
+func ExampleAccounting() {
+	det, err := hiddenhhh.NewWindowedDetector(hiddenhhh.WindowedConfig{
+		Window: time.Second,
+		Phi:    0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	src := hiddenhhh.MustParseAddr("192.0.2.1")
+	for i := 0; i < 1500; i++ {
+		det.Observe(&hiddenhhh.Packet{Ts: int64(i) * int64(time.Millisecond), Src: src, Size: 100})
+	}
+	now := int64(1500 * time.Millisecond)
+	_ = det.Snapshot(now) // the report CoveredSpan/ReportMass describe
+	acc := det.(hiddenhhh.Accounting)
+	lo, hi := acc.CoveredSpan(now)
+	fmt.Printf("span [%v, %v) mass %d B\n",
+		time.Duration(lo), time.Duration(hi), acc.ReportMass(now))
+	// Output:
+	// span [0s, 1s) mass 100000 B
+}
+
 // ExampleExactHHH2D localises a "who talks to whom" aggregate: many
 // sources inside one /24 flooding a single destination host.
 func ExampleExactHHH2D() {
 	var tuples []hiddenhhh.Tuple2D
 	victim := hiddenhhh.MustParseAddr("198.51.100.7")
-	for i := byte(1); i <= 9; i++ {
+	for i := 1; i <= 9; i++ {
 		tuples = append(tuples, hiddenhhh.Tuple2D{
-			Src:   hiddenhhh.MustParseAddr("10.1.2.0") + hiddenhhh.Addr(i),
+			Src:   hiddenhhh.MustParseAddr(fmt.Sprintf("10.1.2.%d", i)),
 			Dst:   victim,
 			Bytes: 100,
 		})

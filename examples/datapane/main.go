@@ -76,7 +76,10 @@ func main() {
 			flush(cur)
 			cur += int64(window)
 		}
-		key := uint64(p.Src)
+		// Flat (non-hierarchical) heavy-hitter key: fold the 128-bit
+		// address into the sketches' uint64 key space. The demo trace is
+		// IPv4, where the low half alone is already unique.
+		key := p.Src.Hi() ^ p.Src.Lo()
 		w := int64(p.Size)
 		hp.Update(key, w)
 		um.Update(key, w)

@@ -2,12 +2,17 @@ package hiddenhhh
 
 import (
 	"hiddenhhh/internal/hhh2d"
+	"hiddenhhh/internal/ipv4"
 )
 
 // Two-dimensional (source × destination) hierarchical heavy hitters: the
 // extension of the paper's 1-D analysis to "who talks to whom"
 // aggregates. See internal/hhh2d for semantics (mass-assignment
-// conditioning over the product lattice).
+// conditioning over the product lattice). The 2-D subsystem is IPv4-only
+// — its lattice keys pack two 32-bit prefixes into one sketch key —
+// which is why it keeps internal/ipv4's 32-bit primitives; lifting it
+// onto the generic addr.Hierarchy descriptor is the natural follow-up
+// once a 2-D workload needs IPv6.
 type (
 	// Node2D is a source-prefix × destination-prefix lattice element.
 	Node2D = hhh2d.Node
@@ -23,9 +28,10 @@ type (
 	Detector2D = hhh2d.PerNode
 )
 
-// NewHierarchy2D builds a product hierarchy at the given granularities.
+// NewHierarchy2D builds a product hierarchy at the given granularities
+// (per-dimension bit steps dividing 32; IPv4-only, see above).
 func NewHierarchy2D(src, dst Granularity) Hierarchy2D {
-	return hhh2d.NewHierarchy2(src, dst)
+	return hhh2d.NewHierarchy2(ipv4.Granularity(src), ipv4.Granularity(dst))
 }
 
 // ExactHHH2D computes the exact 2-D HHH set of the given observations at

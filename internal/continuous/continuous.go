@@ -24,17 +24,18 @@ import (
 	"fmt"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hashx"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/tdbf"
 	"hiddenhhh/internal/trace"
 )
 
 // Config configures a Detector.
 type Config struct {
-	// Hierarchy of source prefixes; required (use ipv4.NewHierarchy).
-	Hierarchy ipv4.Hierarchy
+	// Hierarchy of source prefixes; required (use addr.NewIPv4Hierarchy
+	// or addr.NewIPv6Hierarchy).
+	Hierarchy addr.Hierarchy
 	// Phi is the HHH threshold as a fraction of total decayed traffic
 	// mass, matching the windowed experiments' phi of window bytes.
 	// Required, in (0,1].
@@ -63,8 +64,8 @@ type Config struct {
 	Seed    uint64
 	// OnEnter/OnExit, when set, observe detection transitions with the
 	// packet timestamp that triggered them.
-	OnEnter func(p ipv4.Prefix, at int64)
-	OnExit  func(p ipv4.Prefix, at int64)
+	OnEnter func(p addr.Prefix, at int64)
+	OnExit  func(p addr.Prefix, at int64)
 }
 
 // Detector is a continuous HHH detector. Not safe for concurrent use.
@@ -73,8 +74,8 @@ type Detector struct {
 	levels  int
 	filters []*tdbf.Filter
 	total   *tdbf.MassTracker
-	active  map[ipv4.Prefix]int64 // prefix -> activation timestamp
-	anc     []ipv4.Prefix
+	active  map[addr.Prefix]int64 // prefix -> activation timestamp
+	anc     []addr.Prefix
 	rng     uint64
 	started bool  // first packet seen; warmEnd is anchored
 	warmEnd int64 // first packet timestamp + Warmup
@@ -102,7 +103,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 		cfg:    cfg,
 		levels: cfg.Hierarchy.Levels(),
 		total:  tdbf.NewMassTracker(cfg.Filter.Decay),
-		active: make(map[ipv4.Prefix]int64),
+		active: make(map[addr.Prefix]int64),
 		rng:    hashx.Mix64(cfg.Seed ^ 0x6a09e667f3bcc909),
 	}
 	d.filters = make([]*tdbf.Filter, d.levels)
@@ -111,7 +112,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 		fc.Seed = hashx.Mix64(cfg.Seed + uint64(l) + 1)
 		d.filters[l] = tdbf.New(fc)
 	}
-	d.anc = make([]ipv4.Prefix, 0, d.levels)
+	d.anc = make([]addr.Prefix, 0, d.levels)
 	return d, nil
 }
 
@@ -124,9 +125,9 @@ func (d *Detector) scale() float64 {
 }
 
 // estimate returns the scaled decayed-mass estimate of p at now.
-func (d *Detector) estimate(p ipv4.Prefix, now int64) float64 {
+func (d *Detector) estimate(p addr.Prefix, now int64) float64 {
 	l := d.cfg.Hierarchy.Level(p.Bits)
-	return d.filters[l].Estimate(uint64(p.Addr), now) * d.scale()
+	return d.filters[l].Estimate(d.cfg.Hierarchy.KeyOfPrefix(p), now) * d.scale()
 }
 
 // claimedUnder sums the estimates of maximal active strict descendants of
@@ -134,7 +135,7 @@ func (d *Detector) estimate(p ipv4.Prefix, now int64) float64 {
 // p's own estimate. The active set is small (bounded by ~1/phi·levels), so
 // the quadratic scan is cheap and only runs for prefixes that already
 // passed the raw-mass pre-check.
-func (d *Detector) claimedUnder(p ipv4.Prefix, now int64) float64 {
+func (d *Detector) claimedUnder(p addr.Prefix, now int64) float64 {
 	var claimed float64
 	for h := range d.active {
 		if h == p || !p.Covers(h) {
@@ -158,8 +159,13 @@ func (d *Detector) claimedUnder(p ipv4.Prefix, now int64) float64 {
 
 // Observe feeds one packet: src's generalisation chain is folded into the
 // filters at timestamp now (ns, non-decreasing), and the chain's prefixes
-// are checked for admission or exit.
-func (d *Detector) Observe(src ipv4.Addr, bytes int64, now int64) {
+// are checked for admission or exit. Packets outside the hierarchy's
+// address family are dropped without touching the mass tracker, so a
+// dual-stack stream thresholds against its own family's mass only.
+func (d *Detector) Observe(src addr.Addr, bytes int64, now int64) {
+	if !d.cfg.Hierarchy.Match(src) {
+		return
+	}
 	if !d.started {
 		d.started = true
 		d.warmEnd = now + int64(d.cfg.Warmup)
@@ -171,10 +177,10 @@ func (d *Detector) Observe(src ipv4.Addr, bytes int64, now int64) {
 	if d.cfg.Sampled {
 		d.rng += 0x9e3779b97f4a7c15
 		l := int((hashx.Mix64(d.rng) >> 32) * uint64(d.levels) >> 32)
-		d.filters[l].Add(uint64(d.anc[l].Addr), w, now)
+		d.filters[l].Add(d.cfg.Hierarchy.KeyOfPrefix(d.anc[l]), w, now)
 	} else {
 		for l, pre := range d.anc {
-			d.filters[l].Add(uint64(pre.Addr), w, now)
+			d.filters[l].Add(d.cfg.Hierarchy.KeyOfPrefix(pre), w, now)
 		}
 	}
 	if now < d.warmEnd {
@@ -214,7 +220,7 @@ func (d *Detector) ObserveBatch(pkts []trace.Packet) {
 	}
 }
 
-func (d *Detector) deactivate(p ipv4.Prefix, now int64) {
+func (d *Detector) deactivate(p addr.Prefix, now int64) {
 	delete(d.active, p)
 	if d.cfg.OnExit != nil {
 		d.cfg.OnExit(p, now)
@@ -233,7 +239,7 @@ func (d *Detector) Query(now int64) hhh.Set {
 
 	// Process most-specific first so claims propagate upward exactly as
 	// in the exact algorithm's bottom-up pass.
-	prefixes := make([]ipv4.Prefix, 0, len(d.active))
+	prefixes := make([]addr.Prefix, 0, len(d.active))
 	for p := range d.active {
 		prefixes = append(prefixes, p)
 	}
@@ -251,7 +257,7 @@ func (d *Detector) Query(now int64) hhh.Set {
 		cond    float64
 		claimed float64 // accumulated claims from descendants
 	}
-	verdicts := make(map[ipv4.Prefix]*verdict, len(prefixes))
+	verdicts := make(map[addr.Prefix]*verdict, len(prefixes))
 	for _, p := range prefixes {
 		verdicts[p] = &verdict{est: d.estimate(p, now)}
 	}
@@ -298,11 +304,11 @@ func (d *Detector) Query(now int64) hhh.Set {
 }
 
 // less orders prefixes most-specific-first, then by address.
-func less(a, b ipv4.Prefix) bool {
+func less(a, b addr.Prefix) bool {
 	if a.Bits != b.Bits {
 		return a.Bits > b.Bits
 	}
-	return a.Addr < b.Addr
+	return a.Addr.Less(b.Addr)
 }
 
 // Merge folds detector o into d; o is not modified. Both detectors must
@@ -368,7 +374,7 @@ func (d *Detector) Reset() {
 		f.Reset()
 	}
 	d.total.Reset()
-	d.active = make(map[ipv4.Prefix]int64)
+	d.active = make(map[addr.Prefix]int64)
 	d.started = false
 	d.warmEnd = 0
 	d.pkts = 0

@@ -6,13 +6,13 @@ import (
 	"testing"
 	"time"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/tdbf"
 )
 
 const sec = int64(time.Second)
 
-func byteH() ipv4.Hierarchy { return ipv4.NewHierarchy(ipv4.Byte) }
+func byteH() addr.Hierarchy { return addr.NewIPv4Hierarchy(addr.Byte) }
 
 func defaultCfg(phi float64, tau time.Duration) Config {
 	return Config{
@@ -47,7 +47,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 // drive sends a steady background plus an optional heavy host.
-func drive(d *Detector, seconds int, heavy ipv4.Addr, heavyShare float64, seed int64) int64 {
+func drive(d *Detector, seconds int, heavy addr.Addr, heavyShare float64, seed int64) int64 {
 	rng := rand.New(rand.NewSource(seed))
 	now := int64(0)
 	const pps = 1000
@@ -58,7 +58,7 @@ func drive(d *Detector, seconds int, heavy ipv4.Addr, heavyShare float64, seed i
 			d.Observe(heavy, 1000, now)
 		} else {
 			// Diffuse background across the whole space.
-			d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+			d.Observe(addr.From4Uint32(rng.Uint32()), 1000, now)
 		}
 	}
 	return now
@@ -69,13 +69,13 @@ func TestDetectsSteadyHeavyHitter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy := ipv4.MustParseAddr("10.1.2.3")
+	heavy := addr.MustParseAddr("10.1.2.3")
 	now := drive(d, 10, heavy, 0.4, 1) // 40% of bytes from one host
 	set := d.Query(now)
-	if !set.Contains(ipv4.Host(heavy)) {
+	if !set.Contains(addr.Host(heavy)) {
 		t.Fatalf("steady 40%% host not detected: %v", set)
 	}
-	it := set[ipv4.Host(heavy)]
+	it := set[addr.Host(heavy)]
 	// Steady state mass ~ 0.4 * totalRate * tau = 0.4 * 1e6 B/s * 1s.
 	want := 0.4 * 1000 * 1000.0
 	rel := math.Abs(float64(it.Count)-want) / want
@@ -90,10 +90,10 @@ func TestNoDetectionsOnDiffuseTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	now := drive(d, 5, 0, 0, 2)
+	now := drive(d, 5, addr.Addr{}, 0, 2)
 	set := d.Query(now)
 	for p := range set {
-		if p.Bits != 0 {
+		if p != addr.V4Root {
 			t.Fatalf("unexpected non-root detection %v in diffuse traffic", p)
 		}
 	}
@@ -104,18 +104,18 @@ func TestDetectionExpiresAfterFlowStops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy := ipv4.MustParseAddr("10.1.2.3")
+	heavy := addr.MustParseAddr("10.1.2.3")
 	now := drive(d, 10, heavy, 0.5, 3)
-	if !d.Query(now).Contains(ipv4.Host(heavy)) {
+	if !d.Query(now).Contains(addr.Host(heavy)) {
 		t.Fatal("precondition: heavy host detected")
 	}
 	// Flow stops; background continues for 10 tau.
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 10000; i++ {
 		now += sec / 1000
-		d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+		d.Observe(addr.From4Uint32(rng.Uint32()), 1000, now)
 	}
-	if d.Query(now).Contains(ipv4.Host(heavy)) {
+	if d.Query(now).Contains(addr.Host(heavy)) {
 		t.Fatal("stopped flow still reported after 10 tau")
 	}
 }
@@ -124,18 +124,18 @@ func TestBoundaryStraddlingBurstIsSeen(t *testing.T) {
 	// The paper's motivating case: a burst centred on what would be a
 	// disjoint-window boundary. The continuous detector must report it.
 	cfg := defaultCfg(0.05, 2*time.Second)
-	var entered []ipv4.Prefix
-	cfg.OnEnter = func(p ipv4.Prefix, at int64) { entered = append(entered, p) }
+	var entered []addr.Prefix
+	cfg.OnEnter = func(p addr.Prefix, at int64) { entered = append(entered, p) }
 	d, err := NewDetector(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	attacker := ipv4.MustParseAddr("203.0.113.66")
+	attacker := addr.MustParseAddr("203.0.113.66")
 	rng := rand.New(rand.NewSource(5))
 	now := int64(0)
 	for i := 0; i < 20000; i++ { // 20 s of 1000 pps background
 		now += sec / 1000
-		d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+		d.Observe(addr.From4Uint32(rng.Uint32()), 1000, now)
 		// Burst: 9.5 s - 10.5 s, attacker sends hard (10 extra pkts/ms).
 		if now > 9500*int64(time.Millisecond) && now < 10500*int64(time.Millisecond) {
 			for j := 0; j < 10; j++ {
@@ -145,7 +145,7 @@ func TestBoundaryStraddlingBurstIsSeen(t *testing.T) {
 	}
 	seen := false
 	for _, p := range entered {
-		if p.Contains(attacker) && p.Bits == 32 {
+		if p == addr.Host(attacker) {
 			seen = true
 		}
 	}
@@ -153,7 +153,7 @@ func TestBoundaryStraddlingBurstIsSeen(t *testing.T) {
 		t.Fatalf("boundary burst never entered the active set; events: %v", entered)
 	}
 	// And after the burst has decayed away it must not linger.
-	if d.Query(now).Contains(ipv4.Host(attacker)) {
+	if d.Query(now).Contains(addr.Host(attacker)) {
 		t.Error("burst still active 10 s after it ended")
 	}
 }
@@ -162,12 +162,12 @@ func TestWarmupSuppressesEarlyDetections(t *testing.T) {
 	cfg := defaultCfg(0.1, time.Second)
 	cfg.Warmup = 5 * time.Second
 	var enterTimes []int64
-	cfg.OnEnter = func(_ ipv4.Prefix, at int64) { enterTimes = append(enterTimes, at) }
+	cfg.OnEnter = func(_ addr.Prefix, at int64) { enterTimes = append(enterTimes, at) }
 	d, err := NewDetector(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	drive(d, 10, ipv4.MustParseAddr("10.0.0.1"), 0.5, 6)
+	drive(d, 10, addr.MustParseAddr("10.0.0.1"), 0.5, 6)
 	for _, at := range enterTimes {
 		if at < int64(5*time.Second) {
 			t.Fatalf("detection at %v during warmup", time.Duration(at))
@@ -186,13 +186,13 @@ func TestConditioningSuppressesParent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy := ipv4.MustParseAddr("10.1.2.3")
+	heavy := addr.MustParseAddr("10.1.2.3")
 	now := drive(d, 10, heavy, 0.4, 7)
 	set := d.Query(now)
-	if !set.Contains(ipv4.Host(heavy)) {
+	if !set.Contains(addr.Host(heavy)) {
 		t.Fatalf("host missing: %v", set)
 	}
-	if set.Contains(ipv4.MustParsePrefix("10.1.2.0/24")) {
+	if set.Contains(addr.MustParsePrefix("10.1.2.0/24")) {
 		t.Fatalf("parent /24 reported despite conditioning: %v", set)
 	}
 }
@@ -204,19 +204,19 @@ func TestHierarchicalAggregationDetectsSubnet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	subnet := ipv4.MustParseAddr("192.0.2.0")
+	subnet := addr.MustParseAddr("192.0.2.0")
 	rng := rand.New(rand.NewSource(8))
 	now := int64(0)
 	for i := 0; i < 20000; i++ {
 		now += sec / 2000
 		if i%2 == 0 {
-			d.Observe(subnet+ipv4.Addr(rng.Intn(256)), 1000, now) // 50% share spread over /24
+			d.Observe(addr.From4Uint32(subnet.V4()|uint32(rng.Intn(256))), 1000, now) // 50% share spread over /24
 		} else {
-			d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+			d.Observe(addr.From4Uint32(rng.Uint32()), 1000, now)
 		}
 	}
 	set := d.Query(now)
-	if !set.Contains(ipv4.MustParsePrefix("192.0.2.0/24")) {
+	if !set.Contains(addr.MustParsePrefix("192.0.2.0/24")) {
 		t.Fatalf("aggregated /24 not detected: %v", set)
 	}
 	for p := range set {
@@ -234,7 +234,7 @@ func TestSampledVariantDetects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy := ipv4.MustParseAddr("10.9.8.7")
+	heavy := addr.MustParseAddr("10.9.8.7")
 	now := drive(d, 15, heavy, 0.5, 9)
 	set := d.Query(now)
 	found := false
@@ -251,17 +251,17 @@ func TestSampledVariantDetects(t *testing.T) {
 func TestExitEventsFire(t *testing.T) {
 	cfg := defaultCfg(0.1, time.Second)
 	exits := 0
-	cfg.OnExit = func(ipv4.Prefix, int64) { exits++ }
+	cfg.OnExit = func(addr.Prefix, int64) { exits++ }
 	d, err := NewDetector(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy := ipv4.MustParseAddr("10.0.0.1")
+	heavy := addr.MustParseAddr("10.0.0.1")
 	now := drive(d, 5, heavy, 0.5, 10)
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 10000; i++ {
 		now += sec / 1000
-		d.Observe(ipv4.Addr(rng.Uint32()), 1000, now)
+		d.Observe(addr.From4Uint32(rng.Uint32()), 1000, now)
 	}
 	d.Query(now)
 	if exits == 0 {
@@ -274,7 +274,7 @@ func TestAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Observe(1, 100, 1)
+	d.Observe(addr.From4Uint32(1), 100, 1)
 	if d.Packets() != 1 {
 		t.Error("Packets")
 	}
@@ -310,7 +310,7 @@ func BenchmarkObserve(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		d.Observe(ipv4.Addr(uint32(i)*2654435761), 1000, int64(i)*1000)
+		d.Observe(addr.From4Uint32(uint32(i)*2654435761), 1000, int64(i)*1000)
 	}
 }
 
@@ -323,7 +323,7 @@ func BenchmarkObserveSampled(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		d.Observe(ipv4.Addr(uint32(i)*2654435761), 1000, int64(i)*1000)
+		d.Observe(addr.From4Uint32(uint32(i)*2654435761), 1000, int64(i)*1000)
 	}
 }
 
@@ -341,9 +341,9 @@ func TestMergeIdentity(t *testing.T) {
 	for i := 0; i < 30000; i++ {
 		now += int64(100 * time.Microsecond)
 		if i%3 == 0 {
-			src.Observe(ipv4.MustParseAddr("10.1.2.3"), 1000, now)
+			src.Observe(addr.MustParseAddr("10.1.2.3"), 1000, now)
 		} else {
-			src.Observe(ipv4.Addr(rng.Uint32()), 400, now)
+			src.Observe(addr.From4Uint32(rng.Uint32()), 400, now)
 		}
 	}
 	dst, err := NewDetector(cfg)
@@ -358,7 +358,7 @@ func TestMergeIdentity(t *testing.T) {
 	if !got.Equal(want) {
 		t.Fatalf("merged copy differs:\n got %v\nwant %v", got, want)
 	}
-	if !want.Contains(ipv4.MustParsePrefix("10.1.2.3/32")) {
+	if !want.Contains(addr.MustParsePrefix("10.1.2.3/32")) {
 		t.Fatalf("heavy host missing from %v", want)
 	}
 }
@@ -379,15 +379,15 @@ func TestMergePartitionedShards(t *testing.T) {
 	shards := []*Detector{mk(), mk()}
 	whole := mk()
 	rng := rand.New(rand.NewSource(12))
-	heavy := ipv4.MustParseAddr("10.1.2.3")
+	heavy := addr.MustParseAddr("10.1.2.3")
 	now := int64(0)
 	for i := 0; i < 30000; i++ {
 		now += int64(100 * time.Microsecond)
-		src, w := ipv4.Addr(rng.Uint32()), int64(400)
+		src, w := addr.From4Uint32(rng.Uint32()), int64(400)
 		if i%3 == 0 {
 			src, w = heavy, 1000
 		}
-		shards[uint32(src)&1].Observe(src, w, now)
+		shards[src.V4()&1].Observe(src, w, now)
 		whole.Observe(src, w, now)
 	}
 	merged := mk()
@@ -398,7 +398,7 @@ func TestMergePartitionedShards(t *testing.T) {
 		t.Errorf("merged mass %g != union %g", gotMass, wantMass)
 	}
 	set := merged.Query(now)
-	if !set.Contains(ipv4.MustParsePrefix("10.1.2.3/32")) {
+	if !set.Contains(addr.MustParsePrefix("10.1.2.3/32")) {
 		t.Fatalf("heavy host missing from merged report %v", set)
 	}
 	// Shard-local admission uses shard-local mass, so candidates are a
@@ -419,7 +419,7 @@ func TestMergeHierarchyMismatchPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := defaultCfg(0.1, time.Second)
-	cfg.Hierarchy = ipv4.NewHierarchy(ipv4.Nibble)
+	cfg.Hierarchy = addr.NewIPv4Hierarchy(addr.Nibble)
 	b, err := NewDetector(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -440,7 +440,7 @@ func TestWarmupAnchorsAtFirstPacket(t *testing.T) {
 	cfg := defaultCfg(0.1, time.Second)
 	cfg.Warmup = 5 * time.Second
 	var enterTimes []int64
-	cfg.OnEnter = func(_ ipv4.Prefix, at int64) { enterTimes = append(enterTimes, at) }
+	cfg.OnEnter = func(_ addr.Prefix, at int64) { enterTimes = append(enterTimes, at) }
 	d, err := NewDetector(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -448,7 +448,7 @@ func TestWarmupAnchorsAtFirstPacket(t *testing.T) {
 	now := epoch
 	for i := 0; i < 12000; i++ { // 12 s at 1000 pps, heavy throughout
 		now += int64(time.Millisecond)
-		d.Observe(ipv4.MustParseAddr("10.0.0.1"), 1000, now)
+		d.Observe(addr.MustParseAddr("10.0.0.1"), 1000, now)
 	}
 	if len(enterTimes) == 0 {
 		t.Fatal("no detections after warmup")

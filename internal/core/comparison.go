@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/continuous"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/metrics"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/tdbf"
@@ -33,8 +33,9 @@ type ComparisonConfig struct {
 	Phi float64
 	// Span is the analysed trace duration.
 	Span int64
-	// Hierarchy defaults to byte granularity.
-	Hierarchy ipv4.Hierarchy
+	// Hierarchy is the prefix lattice the analysis runs over. Defaults
+	// to the IPv4 byte ladder.
+	Hierarchy addr.Hierarchy
 	// Counters per level for the sketch engines (PerLevel, RHHH).
 	// Default 512.
 	Counters int
@@ -59,8 +60,8 @@ func (c *ComparisonConfig) setDefaults() {
 	if c.Phi == 0 {
 		c.Phi = 0.05
 	}
-	if c.Hierarchy == (ipv4.Hierarchy{}) {
-		c.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	if c.Hierarchy == (addr.Hierarchy{}) {
+		c.Hierarchy = addr.NewIPv4Hierarchy(addr.Byte)
 	}
 	if c.Counters == 0 {
 		c.Counters = 512
@@ -231,9 +232,12 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 		updateBatch: func(pkts []trace.Packet) int64 {
 			var bytes int64
 			for i := range pkts {
+				if !cfg.Hierarchy.Match(pkts[i].Src) {
+					continue
+				}
 				w := int64(pkts[i].Size)
 				bytes += w
-				leaves.Update(uint64(pkts[i].Src), w)
+				leaves.Update(cfg.Hierarchy.Key(pkts[i].Src, 0), w)
 			}
 			return bytes
 		},
@@ -290,7 +294,7 @@ func ContinuousComparison(provider Provider, cfg ComparisonConfig) (*ComparisonO
 			},
 			Sampled: sampled,
 			Seed:    cfg.Seed,
-			OnEnter: func(p ipv4.Prefix, at int64) {
+			OnEnter: func(p addr.Prefix, at int64) {
 				reported.Add(hhh.Item{Prefix: p})
 			},
 		})

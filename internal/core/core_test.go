@@ -5,8 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/gen"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/trace"
 )
 
@@ -27,7 +27,7 @@ func testTrace(t testing.TB, seconds int, seed int64) ([]trace.Packet, int64) {
 
 // plantBurst injects a heavy burst from one source centred on `at`,
 // sending `pps` packets/second of 1000 B for `dur`.
-func plantBurst(pkts []trace.Packet, src ipv4.Addr, at, dur time.Duration, pps int) []trace.Packet {
+func plantBurst(pkts []trace.Packet, src addr.Addr, at, dur time.Duration, pps int) []trace.Packet {
 	start := at - dur/2
 	n := int(dur.Seconds() * float64(pps))
 	burst := make([]trace.Packet, n)
@@ -35,7 +35,7 @@ func plantBurst(pkts []trace.Packet, src ipv4.Addr, at, dur time.Duration, pps i
 		burst[i] = trace.Packet{
 			Ts:    int64(start) + int64(dur)*int64(i)/int64(n),
 			Src:   src,
-			Dst:   ipv4.MustParseAddr("198.51.100.1"),
+			Dst:   addr.MustParseAddr("198.51.100.1"),
 			Proto: trace.ProtoUDP,
 			Size:  1000,
 		}
@@ -88,7 +88,7 @@ func TestHiddenHHHFindsPlantedBoundaryBurst(t *testing.T) {
 	// the whole burst. The burst source must therefore appear among the
 	// hidden HHHs.
 	pkts, span := testTrace(t, 30, 2)
-	attacker := ipv4.MustParseAddr("66.77.88.99")
+	attacker := addr.MustParseAddr("66.77.88.99")
 	pkts = plantBurst(pkts, attacker, 10*time.Second, 2*time.Second, 1100)
 
 	results, err := HiddenHHH(SliceProvider(pkts), HiddenHHHConfig{
@@ -186,7 +186,7 @@ func TestWindowSensitivityZeroEffectOnQuietTail(t *testing.T) {
 		for i := 0; i < 100; i++ {
 			pkts = append(pkts, trace.Packet{
 				Ts:   base + int64(i)*int64(time.Millisecond), // first 100 ms only
-				Src:  ipv4.Addr(0x0a000000 + uint32(i%7)),
+				Src:  addr.From4Uint32(0x0a000000 + uint32(i%7)),
 				Size: 1000,
 			})
 		}
@@ -233,7 +233,7 @@ func TestRenderSensitivity(t *testing.T) {
 
 func TestContinuousComparison(t *testing.T) {
 	pkts, span := testTrace(t, 40, 7)
-	attacker := ipv4.MustParseAddr("66.77.88.99")
+	attacker := addr.MustParseAddr("66.77.88.99")
 	pkts = plantBurst(pkts, attacker, 20*time.Second, 2*time.Second, 1500)
 
 	outcome, err := ContinuousComparison(SliceProvider(pkts), ComparisonConfig{

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/metrics"
 	"hiddenhhh/internal/window"
 )
@@ -25,16 +25,17 @@ type HiddenHHHConfig struct {
 	Phis []float64
 	// Span is the analysed trace duration (ns since epoch 0).
 	Span int64
-	// Hierarchy defaults to byte granularity.
-	Hierarchy ipv4.Hierarchy
+	// Hierarchy is the prefix lattice the analysis runs over. Defaults
+	// to the IPv4 byte ladder.
+	Hierarchy addr.Hierarchy
 	// Key and Weight default to source address and bytes.
 	Key    window.KeyFunc
 	Weight window.WeightFunc
 }
 
 func (c *HiddenHHHConfig) setDefaults() {
-	if c.Hierarchy == (ipv4.Hierarchy{}) {
-		c.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	if c.Hierarchy == (addr.Hierarchy{}) {
+		c.Hierarchy = addr.NewIPv4Hierarchy(addr.Byte)
 	}
 	if c.Step == 0 {
 		c.Step = time.Second
@@ -44,6 +45,9 @@ func (c *HiddenHHHConfig) setDefaults() {
 	}
 	if len(c.Phis) == 0 {
 		c.Phis = []float64{0.01, 0.05, 0.10}
+	}
+	if c.Key == nil {
+		c.Key = window.BySource(c.Hierarchy)
 	}
 }
 

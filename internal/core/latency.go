@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/continuous"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/metrics"
 	"hiddenhhh/internal/swhh"
 	"hiddenhhh/internal/tdbf"
@@ -40,8 +40,9 @@ type LatencyConfig struct {
 	BasePPS float64
 	// Seed drives burst placement.
 	Seed int64
-	// Hierarchy defaults to byte granularity.
-	Hierarchy ipv4.Hierarchy
+	// Hierarchy is the prefix lattice the analysis runs over. Defaults
+	// to the IPv4 byte ladder.
+	Hierarchy addr.Hierarchy
 }
 
 func (c *LatencyConfig) setDefaults() {
@@ -63,8 +64,8 @@ func (c *LatencyConfig) setDefaults() {
 	if c.BasePPS == 0 {
 		c.BasePPS = 5000
 	}
-	if c.Hierarchy == (ipv4.Hierarchy{}) {
-		c.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	if c.Hierarchy == (addr.Hierarchy{}) {
+		c.Hierarchy = addr.NewIPv4Hierarchy(addr.Byte)
 	}
 }
 
@@ -80,7 +81,9 @@ type LatencyReport struct {
 
 // Burst describes one planted attack burst.
 type Burst struct {
-	Src   ipv4.Addr
+	// Src is the burst's planted source address.
+	Src addr.Addr
+	// Start and End bound the burst in trace time (ns).
 	Start int64
 	End   int64
 }
@@ -116,7 +119,7 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 	var burstPkts []trace.Packet
 	pps := cfg.BasePPS * cfg.BurstShare
 	for i := range bursts {
-		src := ipv4.AddrFrom4(240, byte(i>>8), byte(i), 1) // reserved space: never collides with base
+		src := addr.From4(240, byte(i>>8), byte(i), 1) // reserved space: never collides with base
 		start := minStart + rng.Int63n(maxStart-minStart)
 		bursts[i] = Burst{Src: src, Start: start, End: start + int64(cfg.BurstDuration)}
 		n := int(cfg.BurstDuration.Seconds() * pps)
@@ -135,15 +138,16 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 	// firstDetection[src] per detector.
 	type tracker struct {
 		name  string
-		first map[ipv4.Addr]int64
+		first map[addr.Addr]int64
 	}
 	newTracker := func(name string) *tracker {
-		return &tracker{name: name, first: make(map[ipv4.Addr]int64, cfg.Bursts)}
+		return &tracker{name: name, first: make(map[addr.Addr]int64, cfg.Bursts)}
 	}
+	leafBits := cfg.Hierarchy.Bits(0)
 	record := func(t *tracker, set hhh.Set, at int64) {
 		for p := range set {
 			for i := range bursts {
-				if p.Contains(bursts[i].Src) && p.Bits == 32 {
+				if p.Contains(bursts[i].Src) && p.Bits == leafBits {
 					if _, ok := t.first[bursts[i].Src]; !ok {
 						t.first[bursts[i].Src] = at
 					}
@@ -155,7 +159,7 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 	// Disjoint windows: reports materialise at window close.
 	disj := newTracker("disjoint")
 	{
-		leaves := make(map[ipv4.Addr]int64, 4096)
+		leaves := make(map[uint64]int64, 4096)
 		var bytes int64
 		curEnd := int64(cfg.Window)
 		flush := func() {
@@ -174,7 +178,10 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 			for pkts[i].Ts >= curEnd {
 				flush()
 			}
-			leaves[pkts[i].Src] += int64(pkts[i].Size)
+			if !cfg.Hierarchy.Match(pkts[i].Src) {
+				continue
+			}
+			leaves[cfg.Hierarchy.Key(pkts[i].Src, 0)] += int64(pkts[i].Size)
 			bytes += int64(pkts[i].Size)
 		}
 		flush()
@@ -220,7 +227,7 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 			Filter: tdbf.Config{
 				Decay: tdbf.Exponential{Tau: cfg.Window},
 			},
-			OnEnter: func(p ipv4.Prefix, at int64) {
+			OnEnter: func(p addr.Prefix, at int64) {
 				record(cont, hhh.NewSet(hhh.Item{Prefix: p}), at)
 			},
 		})
@@ -247,20 +254,23 @@ func DetectionLatency(provider Provider, cfg LatencyConfig) ([]LatencyReport, []
 	return reports, bursts, nil
 }
 
-// sketchFromMap adapts a plain map into the Exact counter the HHH
-// routines consume.
-func sketchFromMap(m map[ipv4.Addr]int64) *exactAdapter {
+// sketchFromMap adapts a plain leaf-key map into the LeafCounter surface
+// the HHH routines consume.
+func sketchFromMap(m map[uint64]int64) *exactAdapter {
 	return &exactAdapter{m: m}
 }
 
 // exactAdapter satisfies the minimal surface hhh.Exact needs (ForEach and
 // Len) without copying the window map.
-type exactAdapter struct{ m map[ipv4.Addr]int64 }
+type exactAdapter struct{ m map[uint64]int64 }
 
+// Len implements hhh.LeafCounter.
 func (a *exactAdapter) Len() int { return len(a.m) }
+
+// ForEach implements hhh.LeafCounter.
 func (a *exactAdapter) ForEach(fn func(key uint64, count int64)) {
 	for k, v := range a.m {
-		fn(uint64(k), v)
+		fn(k, v)
 	}
 }
 

@@ -28,7 +28,7 @@ func TestDetectionLatency(t *testing.T) {
 		if b.Start < 0 || b.End > span {
 			t.Fatalf("burst outside span: %+v", b)
 		}
-		if b.Src.Octets()[0] != 240 {
+		if b.Src.As4()[0] != 240 {
 			t.Fatalf("burst source %v not in reserved space", b.Src)
 		}
 	}

@@ -6,8 +6,8 @@ import (
 	"io"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/metrics"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
@@ -32,8 +32,9 @@ type SensitivityConfig struct {
 	Phi float64
 	// Span is the analysed trace duration (the paper uses 20 minutes).
 	Span int64
-	// Hierarchy defaults to byte granularity.
-	Hierarchy ipv4.Hierarchy
+	// Hierarchy is the prefix lattice the analysis runs over. Defaults
+	// to the IPv4 byte ladder.
+	Hierarchy addr.Hierarchy
 	Key       window.KeyFunc
 	Weight    window.WeightFunc
 }
@@ -50,11 +51,11 @@ func (c *SensitivityConfig) setDefaults() {
 	if c.Phi == 0 {
 		c.Phi = 0.05
 	}
-	if c.Hierarchy == (ipv4.Hierarchy{}) {
-		c.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	if c.Hierarchy == (addr.Hierarchy{}) {
+		c.Hierarchy = addr.NewIPv4Hierarchy(addr.Byte)
 	}
 	if c.Key == nil {
-		c.Key = window.BySource
+		c.Key = window.BySource(c.Hierarchy)
 	}
 	if c.Weight == nil {
 		c.Weight = window.ByBytes
@@ -90,7 +91,7 @@ type tiling struct {
 	sets   []hhh.Set
 }
 
-func (t *tiling) flushThrough(targetIdx int, h ipv4.Hierarchy, phi float64) {
+func (t *tiling) flushThrough(targetIdx int, h addr.Hierarchy, phi float64) {
 	for t.idx < targetIdx && t.idx < t.max {
 		t.sets = append(t.sets, hhh.Exact(t.leaves, h, hhh.Threshold(t.bytes, phi)))
 		t.leaves.Reset()
@@ -145,7 +146,10 @@ func WindowSensitivity(provider Provider, cfg SensitivityConfig) ([]SensitivityR
 		if p.Ts < 0 || p.Ts >= cfg.Span {
 			continue
 		}
-		key := uint64(cfg.Key(&p))
+		key, ok := cfg.Key(&p)
+		if !ok {
+			continue
+		}
 		w := cfg.Weight(&p)
 		for _, t := range tilings {
 			idx := int(p.Ts / t.width)

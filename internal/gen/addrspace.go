@@ -4,20 +4,26 @@ import (
 	"math"
 	"math/rand"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
-// addrSpace is the hierarchical address universe sources are drawn from:
-// a fixed set of organisations (/8), subnets (/16) and networks (/24)
-// whose popularity is Zipf-distributed over seeded random permutations, so
-// a handful of subtrees concentrate most traffic — the structure that
-// makes interior prefixes (not just hosts) become HHHs.
+// addrSpace is the hierarchical address universe sources are drawn from.
+// It spans both families: a fixed set of organisations, subnets and
+// networks whose popularity is Zipf-distributed over seeded random
+// permutations, so a handful of subtrees concentrate most traffic — the
+// structure that makes interior prefixes (not just hosts) become HHHs.
+//
+// The IPv4 side nests organisations /8 → subnets /16 → networks /24 →
+// hosts /32; the IPv6 side mirrors it one hextet per tier inside global
+// unicast space, organisations /16 → /32 → /48 → subnets /64 (the leaf
+// granularity of the IPv6 hierarchies; interface identifiers below /64
+// are random and carry no routing structure). Config.V6Fraction sets the
+// share of flows drawn from the IPv6 side.
 type addrSpace struct {
-	orgs    []byte    // second .. the /8 octet values, popularity-ranked
-	orgCum  []float64 // cumulative Zipf weights
-	subCum  []float64 // shared cumulative weights for subnet ranks
-	netCum  []float64
-	servers []ipv4.Addr
+	orgs   []byte    // the /8 octet values, popularity-ranked
+	orgCum []float64 // cumulative Zipf weights
+	subCum []float64 // shared cumulative weights for subnet ranks
+	netCum []float64
 
 	// subnetPerm[o] permutes subnet indices inside org o so that the
 	// popular rank lands on different octets per org; likewise netPerm
@@ -25,11 +31,23 @@ type addrSpace struct {
 	subnetPerm [][]byte
 	netPerm    map[uint16][]byte
 
+	// IPv6 mirror: per-tier hextet values share the v4 permutations'
+	// structure but draw their own seeded randomness, so the two families
+	// are not statistical clones of each other.
+	orgs6       []uint16 // /16 top hextets, popularity-ranked
+	subnetPerm6 [][]uint16
+	netPerm6    map[uint16][]uint16
+
+	servers  []addr.Addr // v4 destination pool
+	servers6 []addr.Addr // v6 destination pool
+
 	cfg *Config
 	// pulse sources get hosts drawn from the same structured space so
 	// bursts hit real subtrees.
 }
 
+// cumZipf returns the normalised cumulative Zipf(skew) weights of ranks
+// 1..n.
 func cumZipf(n int, skew float64) []float64 {
 	cum := make([]float64, n)
 	var tot float64
@@ -43,6 +61,7 @@ func cumZipf(n int, skew float64) []float64 {
 	return cum
 }
 
+// pickCum draws the rank whose cumulative weight first reaches r.
 func pickCum(cum []float64, r float64) int {
 	// Binary search over the cumulative weights.
 	lo, hi := 0, len(cum)-1
@@ -58,7 +77,11 @@ func pickCum(cum []float64, r float64) int {
 }
 
 func newAddrSpace(cfg *Config, rng *rand.Rand) *addrSpace {
-	s := &addrSpace{cfg: cfg, netPerm: map[uint16][]byte{}}
+	s := &addrSpace{
+		cfg:      cfg,
+		netPerm:  map[uint16][]byte{},
+		netPerm6: map[uint16][]uint16{},
+	}
 	// Distinct public-ish /8 octets.
 	perm := rng.Perm(190)
 	s.orgs = make([]byte, cfg.Orgs)
@@ -76,9 +99,32 @@ func newAddrSpace(cfg *Config, rng *rand.Rand) *addrSpace {
 			s.subnetPerm[o][i] = byte(p[i])
 		}
 	}
-	s.servers = make([]ipv4.Addr, cfg.Servers)
+	// IPv6 organisations: distinct top hextets inside 2000::/3 global
+	// unicast space (0x2000 | 10..199, mirroring the v4 octet draw).
+	perm6 := rng.Perm(190)
+	s.orgs6 = make([]uint16, cfg.Orgs)
+	for i := range s.orgs6 {
+		s.orgs6[i] = 0x2000 | uint16(10+perm6[i])
+	}
+	s.subnetPerm6 = make([][]uint16, cfg.Orgs)
+	for o := range s.subnetPerm6 {
+		p := rng.Perm(256)
+		s.subnetPerm6[o] = make([]uint16, cfg.SubnetsPerOrg)
+		for i := range s.subnetPerm6[o] {
+			// Spread subnet hextets over the full 16-bit space so v6
+			// prefixes do not all share low-byte structure.
+			s.subnetPerm6[o][i] = uint16(p[i])<<8 | uint16(p[(i+7)%256])
+		}
+	}
+	s.servers = make([]addr.Addr, cfg.Servers)
 	for i := range s.servers {
-		s.servers[i] = ipv4.AddrFrom4(byte(200+rng.Intn(20)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		s.servers[i] = addr.From4(byte(200+rng.Intn(20)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+	}
+	s.servers6 = make([]addr.Addr, cfg.Servers)
+	for i := range s.servers6 {
+		hi := uint64(0x2600|rng.Intn(32))<<48 | uint64(rng.Intn(1<<16))<<32 |
+			uint64(rng.Intn(1<<16))<<16 | uint64(rng.Intn(1<<16))
+		s.servers6[i] = addr.FromParts(hi, uint64(1+rng.Intn(1<<16)))
 	}
 	return s
 }
@@ -98,14 +144,41 @@ func (s *addrSpace) netOctets(rng *rand.Rand, org, sub int) []byte {
 	return p
 }
 
+// netHextets is the IPv6 analogue of netOctets: lazily permuted /48
+// hextets within (org, subnet).
+func (s *addrSpace) netHextets(rng *rand.Rand, org, sub int) []uint16 {
+	key := uint16(org)<<8 | uint16(sub)
+	if p, ok := s.netPerm6[key]; ok {
+		return p
+	}
+	perm := rng.Perm(256)
+	p := make([]uint16, s.cfg.NetsPerSubnet)
+	for i := range p {
+		p[i] = uint16(perm[i])<<8 | uint16(perm[(i+3)%256])
+	}
+	s.netPerm6[key] = p
+	return p
+}
+
+// v6 reports whether the next sampled source should come from the IPv6
+// side of the universe.
+func (s *addrSpace) v6(rng *rand.Rand) bool {
+	return s.cfg.V6Fraction > 0 && rng.Float64() < s.cfg.V6Fraction
+}
+
 // sampleSource draws a host address by Zipf descent through the
-// hierarchy.
-func (s *addrSpace) sampleSource(rng *rand.Rand) ipv4.Addr {
+// hierarchy of the drawn family.
+func (s *addrSpace) sampleSource(rng *rand.Rand) addr.Addr {
 	org := pickCum(s.orgCum, rng.Float64())
 	sub := pickCum(s.subCum, rng.Float64())
 	net := pickCum(s.netCum, rng.Float64())
+	if s.v6(rng) {
+		// Leaf /64 hextet in the regular host range; random interface id.
+		host := uint16(1 + rng.Intn(s.cfg.HostsPerNet))
+		return s.v6Addr(rng, org, sub, net, host)
+	}
 	host := 1 + rng.Intn(s.cfg.HostsPerNet)
-	return ipv4.AddrFrom4(
+	return addr.From4(
 		s.orgs[org],
 		s.subnetPerm[org][sub],
 		s.netOctets(rng, org, sub)[net],
@@ -115,16 +188,21 @@ func (s *addrSpace) sampleSource(rng *rand.Rand) ipv4.Addr {
 
 // samplePulseSource draws the source for a pulse: a fresh host inside a
 // popular subtree (so the burst lights up interior prefixes too).
-func (s *addrSpace) samplePulseSource(rng *rand.Rand) ipv4.Addr {
+func (s *addrSpace) samplePulseSource(rng *rand.Rand) addr.Addr {
 	org := pickCum(s.orgCum, rng.Float64())
 	sub := pickCum(s.subCum, rng.Float64())
 	net := pickCum(s.netCum, rng.Float64())
+	if s.v6(rng) {
+		// Subnets above the regular range: fresh /64s that only pulses use.
+		host := uint16(s.cfg.HostsPerNet + 1 + rng.Intn(1<<14))
+		return s.v6Addr(rng, org, sub, net, host)
+	}
 	// Hosts above the regular range: new /32s that only pulses use.
 	host := s.cfg.HostsPerNet + 1 + rng.Intn(255-s.cfg.HostsPerNet)
 	if host > 254 {
 		host = 254
 	}
-	return ipv4.AddrFrom4(
+	return addr.From4(
 		s.orgs[org],
 		s.subnetPerm[org][sub],
 		s.netOctets(rng, org, sub)[net],
@@ -132,7 +210,21 @@ func (s *addrSpace) samplePulseSource(rng *rand.Rand) ipv4.Addr {
 	)
 }
 
-// sampleServer draws a destination.
-func (s *addrSpace) sampleServer(rng *rand.Rand) ipv4.Addr {
+// v6Addr assembles the IPv6 address of (org, sub, net, leaf hextet) with
+// a random interface identifier.
+func (s *addrSpace) v6Addr(rng *rand.Rand, org, sub, net int, host uint16) addr.Addr {
+	hi := uint64(s.orgs6[org])<<48 |
+		uint64(s.subnetPerm6[org][sub])<<32 |
+		uint64(s.netHextets(rng, org, sub)[net])<<16 |
+		uint64(host)
+	return addr.FromParts(hi, rng.Uint64())
+}
+
+// sampleServer draws a destination of the given family, so synthesised
+// conversations stay family-consistent like real dual-stack traffic.
+func (s *addrSpace) sampleServer(rng *rand.Rand, v6 bool) addr.Addr {
+	if v6 {
+		return s.servers6[rng.Intn(len(s.servers6))]
+	}
 	return s.servers[rng.Intn(len(s.servers))]
 }

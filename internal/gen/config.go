@@ -3,8 +3,10 @@
 //
 // The generator is flow-based and event-driven. A population of
 // long-lived sources with Zipf-distributed rates is drawn from a
-// hierarchically structured address space (organisations /8 → subnets /16
-// → networks /24 → hosts), each source modulated by an on/off burst
+// hierarchically structured dual-stack address space — IPv4
+// organisations /8 → subnets /16 → networks /24 → hosts, mirrored on the
+// IPv6 side one hextet per tier down to /64 subnets (Config.V6Fraction
+// sets the family mix) — each source modulated by an on/off burst
 // process and subject to lifetime churn. On top of that base load,
 // short-lived high-rate pulses — flash events and attack-like bursts —
 // fire at Poisson times with uniformly random phase relative to any
@@ -81,8 +83,14 @@ type Config struct {
 	HostsPerNet   int
 	AddrSkew      float64
 
-	// Servers is the size of the destination pool.
+	// Servers is the size of the destination pool (per family).
 	Servers int
+
+	// V6Fraction is the share of sources (long-lived flows and pulses
+	// alike) drawn from the IPv6 side of the address universe: 0 keeps
+	// the trace IPv4-only, 1 makes it IPv6-only, anything between yields
+	// a dual-stack mix with family-consistent destinations.
+	V6Fraction float64
 }
 
 // DefaultConfig returns the base scenario used throughout the tests and
@@ -187,6 +195,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("%w: servers %d", ErrConfig, c.Servers)
 	case c.AddrSkew < 0:
 		return fmt.Errorf("%w: addr skew %v", ErrConfig, c.AddrSkew)
+	case c.V6Fraction < 0 || c.V6Fraction > 1:
+		return fmt.Errorf("%w: v6 fraction %v out of [0,1]", ErrConfig, c.V6Fraction)
 	}
 	return nil
 }

@@ -6,7 +6,7 @@ import (
 	"math"
 	"math/rand"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/trace"
 )
 
@@ -56,7 +56,7 @@ func Packets(cfg Config) ([]trace.Packet, error) {
 // flow is one scheduled traffic source (long-lived or pulse).
 type flow struct {
 	next       int64 // next event time (ns); heap key
-	src        ipv4.Addr
+	src        addr.Addr
 	baseRate   float64 // long-run average pps (rank share of the aggregate)
 	onRate     float64 // pps while on (baseRate corrected for duty cycle)
 	onMean     float64 // mean on-period (ns); 0 means always on
@@ -243,7 +243,7 @@ func (g *Generator) Emitted() int64 { return g.emitted }
 func (g *Generator) fillPacket(p *trace.Packet, f *flow, t int64) {
 	p.Ts = t
 	p.Src = f.src
-	p.Dst = g.space.sampleServer(g.rng)
+	p.Dst = g.space.sampleServer(g.rng, !f.src.Is4())
 	p.Size = g.sampleSize(f.pulse)
 	switch r := g.rng.Float64(); {
 	case f.pulse || r < 0.10:
@@ -256,6 +256,9 @@ func (g *Generator) fillPacket(p *trace.Packet, f *flow, t int64) {
 		p.DstPort = uint16([]int{80, 443, 443, 443, 22, 25}[g.rng.Intn(6)])
 	default:
 		p.Proto = trace.ProtoICMP
+		if !f.src.Is4() {
+			p.Proto = trace.ProtoICMPv6
+		}
 		p.SrcPort, p.DstPort = 0, 0
 	}
 }

@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/trace"
 )
 
@@ -130,7 +130,7 @@ func TestSourceRateSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bySrc := map[ipv4.Addr]int{}
+	bySrc := map[addr.Addr]int{}
 	for i := range pkts {
 		bySrc[pkts[i].Src]++
 	}
@@ -164,7 +164,7 @@ func TestHierarchicalConcentration(t *testing.T) {
 	}
 	byOrg := map[byte]int{}
 	for i := range pkts {
-		byOrg[pkts[i].Src.Octets()[0]]++
+		byOrg[pkts[i].Src.As4()[0]]++
 	}
 	max := 0
 	for _, c := range byOrg {
@@ -188,9 +188,9 @@ func TestPulsesCreateTransientSources(t *testing.T) {
 	}
 	// Pulse sources use host octets above HostsPerNet.
 	pulsePkts := 0
-	pulseSrcs := map[ipv4.Addr]bool{}
+	pulseSrcs := map[addr.Addr]bool{}
 	for i := range pkts {
-		if int(pkts[i].Src.Octets()[3]) > cfg.HostsPerNet {
+		if int(pkts[i].Src.As4()[3]) > cfg.HostsPerNet {
 			pulsePkts++
 			pulseSrcs[pkts[i].Src] = true
 		}
@@ -211,7 +211,7 @@ func TestNoPulsesWhenDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range pkts {
-		if int(pkts[i].Src.Octets()[3]) > cfg.HostsPerNet {
+		if int(pkts[i].Src.As4()[3]) > cfg.HostsPerNet {
 			t.Fatalf("pulse-range source %v present with pulses disabled", pkts[i].Src)
 		}
 	}
@@ -291,8 +291,8 @@ func TestChurnReplacesSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	firstHalf := map[ipv4.Addr]bool{}
-	secondHalf := map[ipv4.Addr]bool{}
+	firstHalf := map[addr.Addr]bool{}
+	secondHalf := map[addr.Addr]bool{}
 	mid := int64(5 * time.Second)
 	for i := range pkts {
 		if pkts[i].Ts < mid {
@@ -338,8 +338,8 @@ func BenchmarkGenerate(b *testing.B) {
 // minimum, so no scenario is a clone of another).
 func TestScenarioSuite(t *testing.T) {
 	scenarios := Scenarios(2*time.Second, 1)
-	if len(scenarios) != 5 {
-		t.Fatalf("suite has %d scenarios, want 5", len(scenarios))
+	if len(scenarios) != 7 {
+		t.Fatalf("suite has %d scenarios, want 7", len(scenarios))
 	}
 	names := map[string]bool{}
 	seeds := map[int64]bool{}
@@ -368,5 +368,72 @@ func TestScenarioSuite(t *testing.T) {
 		if !trace.IsSorted(pkts) {
 			t.Fatalf("scenario %q trace not time-ordered", sc.Name)
 		}
+		if sc.Hierarchy == (addr.Hierarchy{}) {
+			t.Fatalf("scenario %q missing hierarchy", sc.Name)
+		}
+		// Family mix must match the configured fraction's extremes.
+		v4, v6 := 0, 0
+		for i := range pkts {
+			if pkts[i].Src.Is4() {
+				v4++
+			} else {
+				v6++
+			}
+		}
+		switch sc.Config.V6Fraction {
+		case 0:
+			if v6 != 0 {
+				t.Fatalf("scenario %q: %d v6 packets in a v4-only config", sc.Name, v6)
+			}
+		case 1:
+			if v4 != 0 {
+				t.Fatalf("scenario %q: %d v4 packets in a v6-only config", sc.Name, v4)
+			}
+		default:
+			if v4 == 0 || v6 == 0 {
+				t.Fatalf("scenario %q: family mix v4=%d v6=%d not mixed", sc.Name, v4, v6)
+			}
+		}
+	}
+}
+
+// TestDualStackStructure pins the IPv6 side of the address universe:
+// destinations stay family-consistent with sources, v6 sources sit in
+// global-unicast space, and aggregating by top hextet concentrates
+// traffic just like the v4 /8 tiers.
+func TestDualStackStructure(t *testing.T) {
+	cfg := smallCfg(13)
+	cfg.V6Fraction = 0.5
+	pkts, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOrg6 := map[uint16]int{}
+	v6pkts := 0
+	for i := range pkts {
+		if pkts[i].Src.Is4() != pkts[i].Dst.Is4() {
+			t.Fatalf("packet %d mixes families: %v -> %v", i, pkts[i].Src, pkts[i].Dst)
+		}
+		if pkts[i].Src.Is4() {
+			continue
+		}
+		v6pkts++
+		top := uint16(pkts[i].Src.Hi() >> 48)
+		if top>>13 != 0b001 {
+			t.Fatalf("v6 source %v outside global unicast 2000::/3", pkts[i].Src)
+		}
+		byOrg6[top]++
+	}
+	if v6pkts < len(pkts)/10 || v6pkts > len(pkts)*9/10 {
+		t.Fatalf("v6 share %d/%d implausible for fraction 0.5", v6pkts, len(pkts))
+	}
+	max := 0
+	for _, c := range byOrg6 {
+		if c > max {
+			max = c
+		}
+	}
+	if uniform := v6pkts / cfg.Orgs; max < 3*uniform {
+		t.Errorf("top v6 /16 carries %d packets vs uniform %d: no concentration", max, uniform)
 	}
 }

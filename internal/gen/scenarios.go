@@ -1,55 +1,92 @@
 package gen
 
-import "time"
+import (
+	"time"
 
-// Scenario couples a named traffic shape with its generator Config: the
-// accuracy-evaluation suite (internal/oracle, cmd/hhheval) runs every
-// detector over each of these and scores it against the exact oracle.
-// The shapes cover the regimes the paper's analyses stress: stationary
-// heavy-tailed load, boundary-straddling attack pulses (the hidden-HHH
-// generator), sustained flash surges, scan-like floods of minimum-size
-// packets, and the burst-modulated Tier-1 mix standing in for the CAIDA
-// trace days.
+	"hiddenhhh/internal/addr"
+)
+
+// Scenario couples a named traffic shape with its generator Config and
+// the prefix hierarchy it should be evaluated on: the accuracy-evaluation
+// suite (internal/oracle, cmd/hhheval) runs every detector over each of
+// these and scores it against the exact oracle. The shapes cover the
+// regimes the paper's analyses stress: stationary heavy-tailed load,
+// boundary-straddling attack pulses (the hidden-HHH generator), sustained
+// flash surges, scan-like floods of minimum-size packets, the
+// burst-modulated Tier-1 mix standing in for the CAIDA trace days, and
+// the IPv6 and dual-stack mixes that exercise the taller lattices.
 type Scenario struct {
-	Name        string
+	// Name is the stable scenario identifier used in reports.
+	Name string
+	// Description is the one-line regime summary shown in reports.
 	Description string
-	Config      Config
+	// Config parameterises the generator.
+	Config Config
+	// Hierarchy is the prefix lattice detectors and oracle use for this
+	// scenario (the IPv4 byte ladder for the v4 scenarios, an IPv6
+	// lattice for the v6 and dual-stack ones).
+	Hierarchy addr.Hierarchy
 }
 
-// Scenarios returns the five-scenario accuracy suite at the given trace
-// duration and base seed. Each scenario derives its own deterministic
-// seed from base, so the suite is reproducible end to end.
+// Scenarios returns the seven-scenario accuracy suite at the given trace
+// duration and base seed: the five IPv4 regimes plus an IPv6-only
+// hit-and-run DDoS (five-level hextet ladder) and a dual-stack mix
+// evaluated on the 17-level nibble lattice. Each scenario derives its
+// own deterministic seed from base, so the suite is reproducible end to
+// end.
 func Scenarios(duration time.Duration, base int64) []Scenario {
+	v4 := addr.NewIPv4Hierarchy(addr.Byte)
 	return []Scenario{
 		{
 			Name: "zipf-steady",
 			Description: "stationary Zipf-rate population: no churn, no bursts, " +
 				"no pulses — the regime where windowed and sliding reports agree",
-			Config: ZipfSteadyScenario(duration, base+1),
+			Config:    ZipfSteadyScenario(duration, base+1),
+			Hierarchy: v4,
 		},
 		{
 			Name: "hit-and-run-ddos",
 			Description: "frequent short high-rate pulses with uniform phase: " +
 				"boundary-straddling attacks, the paper's hidden-HHH generator",
-			Config: HitAndRunScenario(duration, base+2),
+			Config:    HitAndRunScenario(duration, base+2),
+			Hierarchy: v4,
 		},
 		{
 			Name: "flash-crowd",
 			Description: "sustained multi-second surges over a concentrated " +
 				"address space: interior-prefix HHHs that build and persist",
-			Config: FlashCrowdScenario(duration, base+3),
+			Config:    FlashCrowdScenario(duration, base+3),
+			Hierarchy: v4,
 		},
 		{
 			Name: "port-sweep",
 			Description: "scan-like floods: a quiet base mix with overlapping " +
 				"minimum-size-packet pulses, high packet rate at low byte share",
-			Config: PortSweepScenario(duration, base+4),
+			Config:    PortSweepScenario(duration, base+4),
+			Hierarchy: v4,
 		},
 		{
 			Name: "diurnal-tier1",
 			Description: "the burst-modulated Tier-1 day mix standing in for " +
 				"the paper's CAIDA captures (microbursts, churn, pulses)",
-			Config: diurnalScenario(duration, base),
+			Config:    diurnalScenario(duration, base),
+			Hierarchy: v4,
+		},
+		{
+			Name: "ipv6-hit-and-run-ddos",
+			Description: "the hidden-HHH generator moved to IPv6: " +
+				"boundary-straddling pulses over /64-leaf subtrees on the " +
+				"five-level hextet ladder",
+			Config:    IPv6HitAndRunScenario(duration, base+6),
+			Hierarchy: addr.NewIPv6Hierarchy(addr.Hextet),
+		},
+		{
+			Name: "dual-stack-mix",
+			Description: "half IPv4, half IPv6 sources with pulses, evaluated " +
+				"on the 17-level IPv6 nibble lattice: the family filter plus " +
+				"tall-hierarchy stress case",
+			Config:    DualStackScenario(duration, base+7),
+			Hierarchy: addr.NewIPv6Hierarchy(addr.Nibble),
 		},
 	}
 }
@@ -128,5 +165,27 @@ func PortSweepScenario(duration time.Duration, seed int64) Config {
 	c.PulseDurationMin = 500 * time.Millisecond
 	c.PulseDurationMax = 4 * time.Second
 	c.PulseShareMin, c.PulseShareMax = 0.3, 0.8
+	return c
+}
+
+// IPv6HitAndRunScenario is HitAndRunScenario with every source drawn
+// from the IPv6 side of the universe: the same boundary-straddling
+// attack pulses, now lighting up /64-leaf subtrees — the workload the
+// IPv6 hierarchies exist for.
+func IPv6HitAndRunScenario(duration time.Duration, seed int64) Config {
+	c := HitAndRunScenario(duration, seed)
+	c.V6Fraction = 1
+	return c
+}
+
+// DualStackScenario is a half-and-half family mix over the default
+// pulsed Tier-1 shape: detectors on either family's hierarchy must
+// threshold against their own family's bytes only, which is what the
+// ingest-side family filter provides.
+func DualStackScenario(duration time.Duration, seed int64) Config {
+	c := DefaultConfig()
+	c.Duration = duration
+	c.Seed = seed
+	c.V6Fraction = 0.5
 	return c
 }

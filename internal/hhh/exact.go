@@ -1,17 +1,18 @@
 package hhh
 
 import (
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/sketch"
 )
 
 // LeafCounter is the read-only aggregate surface the exact computations
-// consume: per-address byte volumes. *sketch.Exact implements it; so can
+// consume: per-leaf byte volumes. *sketch.Exact implements it; so can
 // any map-backed adapter.
 type LeafCounter interface {
 	// Len returns the number of distinct keys.
 	Len() int
-	// ForEach visits every (key, count) pair; keys are uint64(ipv4.Addr).
+	// ForEach visits every (key, count) pair; keys are the hierarchy's
+	// level-0 keys (addr.Hierarchy.Key at level 0).
 	ForEach(fn func(key uint64, count int64))
 }
 
@@ -19,31 +20,33 @@ type LeafCounter interface {
 // the reference implementation: the offline analyses (Fig 2, Fig 3) are
 // defined in terms of it, and the streaming engines are tested against it.
 //
-// leaves maps each /32 source address (as uint64(ipv4.Addr)) to its byte
-// volume. T is the absolute byte threshold (see Threshold).
+// leaves maps each leaf prefix — a source address generalised to h's
+// level 0, packed with h.Key — to its byte volume. T is the absolute
+// byte threshold (see Threshold).
 //
 // The algorithm aggregates volumes level by level and performs the
 // classical bottom-up conditioned pass: every prefix's unclaimed volume is
 // either emitted (>= T, the prefix is an HHH and claims its subtree) or
 // passed to its parent. Complexity is O(distinct leaves × levels).
-func Exact(leaves LeafCounter, h ipv4.Hierarchy, T int64) Set {
+func Exact(leaves LeafCounter, h addr.Hierarchy, T int64) Set {
 	if T < 1 {
 		T = 1
 	}
 	levels := h.Levels()
 
 	// Pass 1: total subtree volume per prefix, per level.
-	totals := make([]map[ipv4.Addr]int64, levels)
-	lvl0 := make(map[ipv4.Addr]int64, leaves.Len())
+	totals := make([]map[uint64]int64, levels)
+	lvl0 := make(map[uint64]int64, leaves.Len())
+	m0 := h.KeyMask(0)
 	leaves.ForEach(func(key uint64, c int64) {
-		lvl0[ipv4.Addr(key)] += c
+		lvl0[key&m0] += c
 	})
 	totals[0] = lvl0
 	for l := 1; l < levels; l++ {
-		bits := h.Bits(l)
-		up := make(map[ipv4.Addr]int64, len(totals[l-1])/2+1)
-		for addr, c := range totals[l-1] {
-			up[ipv4.Addr(uint32(addr)&ipv4.Mask(bits))] += c
+		m := h.KeyMask(l)
+		up := make(map[uint64]int64, len(totals[l-1])/2+1)
+		for key, c := range totals[l-1] {
+			up[key&m] += c
 		}
 		totals[l] = up
 	}
@@ -52,22 +55,19 @@ func Exact(leaves LeafCounter, h ipv4.Hierarchy, T int64) Set {
 	out := Set{}
 	unclaimed := totals[0] // level 0 conditioned == total
 	for l := 0; l < levels; l++ {
-		var next map[ipv4.Addr]int64
+		var next map[uint64]int64
+		var parentMask uint64
 		if l+1 < levels {
-			next = make(map[ipv4.Addr]int64, len(unclaimed)/2+1)
+			next = make(map[uint64]int64, len(unclaimed)/2+1)
+			parentMask = h.KeyMask(l + 1)
 		}
-		parentBits := uint8(0)
-		if l+1 < levels {
-			parentBits = h.Bits(l + 1)
-		}
-		for addr, cond := range unclaimed {
+		for key, cond := range unclaimed {
 			if cond >= T {
-				p := ipv4.Prefix{Addr: addr, Bits: h.Bits(l)}
-				out.Add(Item{Prefix: p, Count: totals[l][addr], Conditioned: cond})
+				out.Add(Item{Prefix: h.PrefixOfKey(key, l), Count: totals[l][key], Conditioned: cond})
 				continue // claimed: contributes nothing upward
 			}
 			if next != nil {
-				next[ipv4.Addr(uint32(addr)&ipv4.Mask(parentBits))] += cond
+				next[key&parentMask] += cond
 			}
 		}
 		unclaimed = next
@@ -75,26 +75,32 @@ func Exact(leaves LeafCounter, h ipv4.Hierarchy, T int64) Set {
 	return out
 }
 
-// ExactFromCounts is a convenience wrapper over a plain map.
-func ExactFromCounts(counts map[ipv4.Addr]int64, h ipv4.Hierarchy, T int64) Set {
+// ExactFromCounts is a convenience wrapper over a plain per-address map.
+// Addresses outside h's family are ignored, matching the streaming
+// engines' ingest filter.
+func ExactFromCounts(counts map[addr.Addr]int64, h addr.Hierarchy, T int64) Set {
 	e := sketch.NewExact(len(counts))
 	for a, c := range counts {
-		e.Update(uint64(a), c)
+		if h.Match(a) {
+			e.Update(h.Key(a, 0), c)
+		}
 	}
 	return Exact(e, h, T)
 }
 
-// HeavyHitters computes the plain (non-hierarchical) heavy hitter set: the
-// /32 addresses whose volume reaches T. It is the "HH" half of the paper's
-// HH/HHH distinction and the ground truth for the data-plane baselines.
-func HeavyHitters(leaves LeafCounter, T int64) Set {
+// HeavyHitters computes the plain (non-hierarchical) heavy hitter set:
+// the leaf prefixes of h whose volume reaches T. It is the "HH" half of
+// the paper's HH/HHH distinction and the ground truth for the data-plane
+// baselines.
+func HeavyHitters(leaves LeafCounter, h addr.Hierarchy, T int64) Set {
 	if T < 1 {
 		T = 1
 	}
 	out := Set{}
+	m0 := h.KeyMask(0)
 	leaves.ForEach(func(key uint64, c int64) {
 		if c >= T {
-			out.Add(Item{Prefix: ipv4.Host(ipv4.Addr(key)), Count: c, Conditioned: c})
+			out.Add(Item{Prefix: h.PrefixOfKey(key&m0, 0), Count: c, Conditioned: c})
 		}
 	})
 	return out

@@ -1,20 +1,26 @@
 // Package hhh implements one-dimensional hierarchical heavy hitter (HHH)
-// detection over IPv4 source prefixes, the setting of the paper's
-// experiments.
+// detection over source prefixes of a configurable hierarchy — IPv4 or
+// IPv6, any uniform granularity (see internal/addr.Hierarchy). The IPv4
+// byte ladder is the setting of the paper's experiments; the IPv6
+// lattices are the tall-hierarchy stress case RHHH targets.
 //
 // Definitions follow the discounted semantics of Cormode et al.: given a
-// byte threshold T, a /32 leaf is an HHH when its volume reaches T; an
+// byte threshold T, a leaf prefix is an HHH when its volume reaches T; an
 // interior prefix is an HHH when its *conditioned* volume — total volume of
 // its subtree minus the volume already claimed by descendant HHHs — reaches
 // T. The package provides:
 //
-//   - Exact offline computation from a per-address byte counter (the ground
+//   - Exact offline computation from a per-leaf byte counter (the ground
 //     truth used by the hidden-HHH and window-sensitivity analyses).
 //   - A streaming per-level Space-Saving engine (the approach programmable
 //     data-plane HHH systems use).
 //   - RHHH, the randomised-level variant of Ben Basat et al.
 //   - HHH set algebra (union, difference, Jaccard similarity), the basis of
 //     the paper's metrics.
+//
+// Every engine filters ingest by its hierarchy's address family (see
+// addr.Hierarchy.Match), so a dual-stack packet stream can be fed to a
+// detector per family without pre-splitting.
 package hhh
 
 import (
@@ -22,12 +28,13 @@ import (
 	"sort"
 	"strings"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
 // Item is one reported hierarchical heavy hitter.
 type Item struct {
-	Prefix ipv4.Prefix
+	// Prefix is the reported lattice prefix.
+	Prefix addr.Prefix
 	// Count is the (estimated) total byte volume of the prefix's subtree.
 	Count int64
 	// Conditioned is the (estimated) volume not claimed by descendant
@@ -42,7 +49,7 @@ func (it Item) String() string {
 
 // Set is a collection of HHHs keyed by prefix. The zero value is an empty
 // set; mutate through Add.
-type Set map[ipv4.Prefix]Item
+type Set map[addr.Prefix]Item
 
 // NewSet builds a set from items.
 func NewSet(items ...Item) Set {
@@ -57,7 +64,7 @@ func NewSet(items ...Item) Set {
 func (s Set) Add(it Item) { s[it.Prefix] = it }
 
 // Contains reports membership of the prefix.
-func (s Set) Contains(p ipv4.Prefix) bool {
+func (s Set) Contains(p addr.Prefix) bool {
 	_, ok := s[p]
 	return ok
 }
@@ -66,8 +73,8 @@ func (s Set) Contains(p ipv4.Prefix) bool {
 func (s Set) Len() int { return len(s) }
 
 // Prefixes returns the member prefixes sorted by (Bits, Addr).
-func (s Set) Prefixes() []ipv4.Prefix {
-	out := make([]ipv4.Prefix, 0, len(s))
+func (s Set) Prefixes() []addr.Prefix {
+	out := make([]addr.Prefix, 0, len(s))
 	for p := range s {
 		out = append(out, p)
 	}

@@ -5,11 +5,13 @@ import (
 	"testing"
 	"testing/quick"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/sketch"
 )
 
-func pfx(s string) ipv4.Prefix { return ipv4.MustParsePrefix(s) }
+func pfx(s string) addr.Prefix { return addr.MustParsePrefix(s) }
+
+func v4ByteHierarchy() addr.Hierarchy { return addr.NewIPv4Hierarchy(addr.Byte) }
 
 func TestSetBasics(t *testing.T) {
 	s := NewSet(
@@ -89,7 +91,7 @@ func TestJaccardSymmetryProperty(t *testing.T) {
 	mk := func(bits []uint8) Set {
 		s := NewSet()
 		for _, b := range bits {
-			s.Add(Item{Prefix: ipv4.PrefixFrom(ipv4.Addr(uint32(b)<<24), 8)})
+			s.Add(Item{Prefix: addr.PrefixFrom(addr.From4Uint32(uint32(b)<<24), 96+8)})
 		}
 		return s
 	}
@@ -122,35 +124,35 @@ func TestThreshold(t *testing.T) {
 // definition: processing levels bottom-up, a prefix's conditioned count is
 // the sum of leaf volumes underneath it that are not covered by any
 // already-marked (more specific) HHH.
-func bruteHHH(counts map[ipv4.Addr]int64, h ipv4.Hierarchy, T int64) Set {
+func bruteHHH(counts map[addr.Addr]int64, h addr.Hierarchy, T int64) Set {
 	type leaf struct {
-		addr ipv4.Addr
-		c    int64
+		a addr.Addr
+		c int64
 	}
 	var leaves []leaf
 	for a, c := range counts {
-		if c > 0 {
+		if c > 0 && h.Match(a) {
 			leaves = append(leaves, leaf{a, c})
 		}
 	}
 	out := Set{}
-	var marked []ipv4.Prefix
+	var marked []addr.Prefix
 	for l := 0; l < h.Levels(); l++ {
-		prefixes := map[ipv4.Prefix]bool{}
+		prefixes := map[addr.Prefix]bool{}
 		for _, lf := range leaves {
-			prefixes[h.At(lf.addr, l)] = true
+			prefixes[h.At(lf.a, l)] = true
 		}
-		var newly []ipv4.Prefix
+		var newly []addr.Prefix
 		for p := range prefixes {
 			var cond, total int64
 			for _, lf := range leaves {
-				if !p.Contains(lf.addr) {
+				if !p.Contains(lf.a) {
 					continue
 				}
 				total += lf.c
 				covered := false
 				for _, m := range marked {
-					if m.Contains(lf.addr) {
+					if m.Contains(lf.a) {
 						covered = true
 						break
 					}
@@ -169,32 +171,59 @@ func bruteHHH(counts map[ipv4.Addr]int64, h ipv4.Hierarchy, T int64) Set {
 	return out
 }
 
-func randomCounts(rng *rand.Rand, n int) map[ipv4.Addr]int64 {
-	counts := map[ipv4.Addr]int64{}
+// randomCounts draws IPv4 leaf volumes with octets confined to {0,1} so
+// prefixes collide across all levels.
+func randomCounts(rng *rand.Rand, n int) map[addr.Addr]int64 {
+	counts := map[addr.Addr]int64{}
 	for i := 0; i < n; i++ {
-		// Confine octets to {0,1} so prefixes collide across all levels.
-		a := ipv4.AddrFrom4(byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(2)))
+		a := addr.From4(byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(2)))
 		counts[a] += int64(1 + rng.Intn(100))
+	}
+	return counts
+}
+
+// randomCounts6 draws IPv6 leaf volumes with each 16-bit group confined
+// to {0,1}, the v6 analogue of randomCounts.
+func randomCounts6(rng *rand.Rand, n int) map[addr.Addr]int64 {
+	counts := map[addr.Addr]int64{}
+	for i := 0; i < n; i++ {
+		var hi uint64
+		for g := 0; g < 4; g++ {
+			hi = hi<<16 | uint64(rng.Intn(2))
+		}
+		// Keep clear of the mapped range: hi != 0 unless all groups are 0,
+		// so force the top group to 1 occasionally stays fine — the all-zero
+		// hi with lo=1 is still IPv6 ("::1"), never IPv4-mapped.
+		counts[addr.FromParts(hi, uint64(rng.Intn(2)))] += int64(1 + rng.Intn(100))
 	}
 	return counts
 }
 
 func TestExactMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	for _, g := range []ipv4.Granularity{ipv4.Byte, ipv4.Nibble} {
-		h := ipv4.NewHierarchy(g)
+	cases := []struct {
+		h  addr.Hierarchy
+		mk func(*rand.Rand, int) map[addr.Addr]int64
+	}{
+		{addr.NewIPv4Hierarchy(addr.Byte), randomCounts},
+		{addr.NewIPv4Hierarchy(addr.Nibble), randomCounts},
+		{addr.NewIPv6Hierarchy(addr.Hextet), randomCounts6},
+		{addr.NewIPv6Hierarchy(addr.Nibble), randomCounts6},
+	}
+	for _, c := range cases {
+		h := c.h
 		for trial := 0; trial < 60; trial++ {
-			counts := randomCounts(rng, 1+rng.Intn(30))
+			counts := c.mk(rng, 1+rng.Intn(30))
 			var total int64
-			for _, c := range counts {
-				total += c
+			for _, cnt := range counts {
+				total += cnt
 			}
 			T := Threshold(total, []float64{0.01, 0.05, 0.10, 0.30}[rng.Intn(4)])
 			got := ExactFromCounts(counts, h, T)
 			want := bruteHHH(counts, h, T)
 			if !got.Equal(want) {
-				t.Fatalf("granularity %v trial %d T=%d:\n got  %v\n want %v\n counts %v",
-					g, trial, T, got, want, counts)
+				t.Fatalf("%v trial %d T=%d:\n got  %v\n want %v\n counts %v",
+					h, trial, T, got, want, counts)
 			}
 			// Conditioned values must agree too.
 			for p, it := range got {
@@ -210,7 +239,7 @@ func TestExactMatchesBruteForce(t *testing.T) {
 }
 
 func TestExactInvariants(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 40; trial++ {
 		counts := randomCounts(rng, 1+rng.Intn(50))
@@ -231,7 +260,7 @@ func TestExactInvariants(t *testing.T) {
 			if !h.OnLattice(p) {
 				t.Fatalf("item %v off lattice", p)
 			}
-			if p.Bits == 32 && it.Count != it.Conditioned {
+			if p.Bits == h.Bits(0) && it.Count != it.Conditioned {
 				t.Fatalf("leaf %v count != conditioned", p)
 			}
 			condSum += it.Conditioned
@@ -247,11 +276,11 @@ func TestExactSimpleScenario(t *testing.T) {
 	// No single host qualifies; the /24 aggregates 90 >= 50 and becomes
 	// the HHH. Its ancestors see 0 unclaimed (all claimed by the /24),
 	// except nothing else flows, so no more HHHs.
-	h := ipv4.NewHierarchy(ipv4.Byte)
-	counts := map[ipv4.Addr]int64{
-		ipv4.MustParseAddr("10.1.2.1"): 30,
-		ipv4.MustParseAddr("10.1.2.2"): 30,
-		ipv4.MustParseAddr("10.1.2.3"): 30,
+	h := v4ByteHierarchy()
+	counts := map[addr.Addr]int64{
+		addr.MustParseAddr("10.1.2.1"): 30,
+		addr.MustParseAddr("10.1.2.2"): 30,
+		addr.MustParseAddr("10.1.2.3"): 30,
 	}
 	set := ExactFromCounts(counts, h, 50)
 	if set.Len() != 1 || !set.Contains(pfx("10.1.2.0/24")) {
@@ -263,15 +292,33 @@ func TestExactSimpleScenario(t *testing.T) {
 	}
 }
 
+func TestExactSimpleScenarioIPv6(t *testing.T) {
+	// The v6 mirror of the simple scenario: three /64 subnets inside
+	// 2001:db8:7::/48, threshold 50, on the hextet ladder.
+	h := addr.NewIPv6Hierarchy(addr.Hextet)
+	counts := map[addr.Addr]int64{
+		addr.MustParseAddr("2001:db8:7:1::1"): 30,
+		addr.MustParseAddr("2001:db8:7:2::1"): 30,
+		addr.MustParseAddr("2001:db8:7:3::1"): 30,
+	}
+	set := ExactFromCounts(counts, h, 50)
+	if set.Len() != 1 || !set.Contains(pfx("2001:db8:7::/48")) {
+		t.Fatalf("got %v, want exactly {2001:db8:7::/48}", set)
+	}
+	if it := set[pfx("2001:db8:7::/48")]; it.Count != 90 || it.Conditioned != 90 {
+		t.Errorf("item = %+v", it)
+	}
+}
+
 func TestExactDiscounting(t *testing.T) {
 	// One heavy host (100) plus siblings (30+30) under the same /24,
 	// threshold 50: host is an HHH; the /24's conditioned volume is only
 	// 60, which also qualifies; the /16 then sees 0 unclaimed.
-	h := ipv4.NewHierarchy(ipv4.Byte)
-	counts := map[ipv4.Addr]int64{
-		ipv4.MustParseAddr("10.1.2.1"): 100,
-		ipv4.MustParseAddr("10.1.2.2"): 30,
-		ipv4.MustParseAddr("10.1.2.3"): 30,
+	h := v4ByteHierarchy()
+	counts := map[addr.Addr]int64{
+		addr.MustParseAddr("10.1.2.1"): 100,
+		addr.MustParseAddr("10.1.2.2"): 30,
+		addr.MustParseAddr("10.1.2.3"): 30,
 	}
 	set := ExactFromCounts(counts, h, 50)
 	want := NewSet(
@@ -290,30 +337,53 @@ func TestExactRootHHH(t *testing.T) {
 	// Diffuse traffic: 100 hosts in distinct /8s, 10 bytes each, T=500.
 	// Nothing below the root qualifies; the root's conditioned volume is
 	// the full 1000 and it is the sole HHH.
-	h := ipv4.NewHierarchy(ipv4.Byte)
-	counts := map[ipv4.Addr]int64{}
+	h := v4ByteHierarchy()
+	counts := map[addr.Addr]int64{}
 	for i := 0; i < 100; i++ {
-		counts[ipv4.AddrFrom4(byte(i+1), 0, 0, 1)] = 10
+		counts[addr.From4(byte(i+1), 0, 0, 1)] = 10
 	}
 	set := ExactFromCounts(counts, h, 500)
-	if set.Len() != 1 || !set.Contains(ipv4.Root) {
-		t.Fatalf("got %v, want exactly the root", set)
+	if set.Len() != 1 || !set.Contains(addr.V4Root) {
+		t.Fatalf("got %v, want exactly the v4 root", set)
+	}
+}
+
+func TestExactFamilyFilter(t *testing.T) {
+	// A dual-stack aggregate fed to each family's hierarchy: each exact
+	// set must account only its own family's bytes.
+	counts := map[addr.Addr]int64{
+		addr.MustParseAddr("10.1.2.1"):      100,
+		addr.MustParseAddr("2001:db8::1"):   100,
+		addr.MustParseAddr("2001:db8:1::1"): 20,
+	}
+	v4 := ExactFromCounts(counts, v4ByteHierarchy(), 60)
+	if !v4.Contains(pfx("10.1.2.1/32")) || v4.Len() != 1 {
+		t.Fatalf("v4 view = %v", v4)
+	}
+	v6 := ExactFromCounts(counts, addr.NewIPv6Hierarchy(addr.Hextet), 60)
+	for p := range v6 {
+		if p.Is4() {
+			t.Fatalf("v6 view contains v4 prefix %v", p)
+		}
+	}
+	if !v6.Contains(pfx("2001:db8::/64")) {
+		t.Fatalf("v6 view = %v", v6)
 	}
 }
 
 func TestExactEmpty(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
-	set := Exact(sketch.NewExact(0), h, 100)
+	set := Exact(sketch.NewExact(0), v4ByteHierarchy(), 100)
 	if set.Len() != 0 {
 		t.Errorf("empty input should give empty set, got %v", set)
 	}
 }
 
 func TestHeavyHitters(t *testing.T) {
+	h := v4ByteHierarchy()
 	e := sketch.NewExact(0)
-	e.Update(uint64(ipv4.MustParseAddr("1.2.3.4")), 100)
-	e.Update(uint64(ipv4.MustParseAddr("5.6.7.8")), 10)
-	set := HeavyHitters(e, 50)
+	e.Update(h.Key(addr.MustParseAddr("1.2.3.4"), 0), 100)
+	e.Update(h.Key(addr.MustParseAddr("5.6.7.8"), 0), 10)
+	set := HeavyHitters(e, h, 50)
 	if set.Len() != 1 || !set.Contains(pfx("1.2.3.4/32")) {
 		t.Fatalf("got %v", set)
 	}
@@ -322,7 +392,7 @@ func TestHeavyHitters(t *testing.T) {
 func TestPerLevelExactWhenUnsaturated(t *testing.T) {
 	// With capacity >= distinct keys per level, Space-Saving is exact, so
 	// the engine must reproduce the exact HHH set bit-for-bit.
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 25; trial++ {
 		counts := randomCounts(rng, 1+rng.Intn(40))
@@ -331,7 +401,7 @@ func TestPerLevelExactWhenUnsaturated(t *testing.T) {
 		var total int64
 		for a, c := range counts {
 			eng.Update(a, c)
-			exact.Update(uint64(a), c)
+			exact.Update(h.Key(a, 0), c)
 			total += c
 		}
 		if eng.Total() != total {
@@ -348,28 +418,70 @@ func TestPerLevelExactWhenUnsaturated(t *testing.T) {
 	}
 }
 
+func TestPerLevelExactWhenUnsaturatedIPv6(t *testing.T) {
+	// The v6 mirror of the unsaturated equivalence, on the tall nibble
+	// lattice.
+	h := addr.NewIPv6Hierarchy(addr.Nibble)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		counts := randomCounts6(rng, 1+rng.Intn(40))
+		eng := NewPerLevel(h, 1024)
+		exact := sketch.NewExact(len(counts))
+		var total int64
+		for a, c := range counts {
+			eng.Update(a, c)
+			exact.Update(h.Key(a, 0), c)
+			total += c
+		}
+		for _, phi := range []float64{0.01, 0.05, 0.2} {
+			T := Threshold(total, phi)
+			got := eng.Query(T)
+			want := Exact(exact, h, T)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d phi=%v:\n got  %v\n want %v", trial, phi, got, want)
+			}
+		}
+		_ = total
+	}
+}
+
+func TestEnginesFilterOtherFamily(t *testing.T) {
+	// Feeding v6 packets to a v4 engine (and vice versa) must neither
+	// count bytes nor produce reports.
+	v4eng := NewPerLevel(v4ByteHierarchy(), 64)
+	v4eng.Update(addr.MustParseAddr("2001:db8::1"), 1000)
+	if v4eng.Total() != 0 || v4eng.Query(1).Len() != 0 {
+		t.Error("v4 PerLevel accounted a v6 packet")
+	}
+	v6eng := NewRHHH(addr.NewIPv6Hierarchy(addr.Hextet), 64, 1)
+	v6eng.Update(addr.MustParseAddr("10.0.0.1"), 1000)
+	if v6eng.Total() != 0 || v6eng.Updates() != 0 {
+		t.Error("v6 RHHH accounted a v4 packet")
+	}
+}
+
 func TestPerLevelNeverMissesLargeHHH(t *testing.T) {
 	// Even under heavy eviction pressure, a prefix carrying ~30% of
 	// traffic must be reported at phi=0.1 (Space-Saving never
 	// underestimates, so its subtree estimate stays above threshold).
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	eng := NewPerLevel(h, 16)
 	rng := rand.New(rand.NewSource(13))
-	heavy := ipv4.MustParseAddr("10.1.2.3")
+	heavy := addr.MustParseAddr("10.1.2.3")
 	var total int64
 	for i := 0; i < 50000; i++ {
 		if i%3 == 0 {
 			eng.Update(heavy, 1000)
 			total += 1000
 		} else {
-			eng.Update(ipv4.Addr(rng.Uint32()), 700)
+			eng.Update(addr.From4Uint32(rng.Uint32()), 700)
 			total += 700
 		}
 	}
 	set := eng.QueryFraction(0.1)
 	found := false
 	for p := range set {
-		if p.Contains(heavy) && p.Bits > 0 {
+		if p.Contains(heavy) && p.Bits > 96 {
 			found = true
 		}
 	}
@@ -379,9 +491,9 @@ func TestPerLevelNeverMissesLargeHHH(t *testing.T) {
 }
 
 func TestPerLevelResetAndSize(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	eng := NewPerLevel(h, 8)
-	eng.Update(ipv4.MustParseAddr("1.2.3.4"), 100)
+	eng.Update(addr.MustParseAddr("1.2.3.4"), 100)
 	eng.Reset()
 	if eng.Total() != 0 || eng.Query(1).Len() != 0 {
 		t.Error("Reset incomplete")
@@ -396,18 +508,18 @@ func TestPerLevelResetAndSize(t *testing.T) {
 }
 
 func TestRHHHFindsHeavyPrefixes(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	eng := NewRHHH(h, 64, 99)
 	rng := rand.New(rand.NewSource(17))
 	// 40% of bytes from one /24, rest spread over the space.
-	subnet := ipv4.MustParseAddr("192.168.7.0")
+	const subnet = uint32(0xc0a80700) // 192.168.7.0
 	var total int64
 	for i := 0; i < 300000; i++ {
-		var a ipv4.Addr
+		var a addr.Addr
 		if rng.Intn(10) < 4 {
-			a = subnet + ipv4.Addr(rng.Intn(256))
+			a = addr.From4Uint32(subnet | uint32(rng.Intn(256)))
 		} else {
-			a = ipv4.Addr(rng.Uint32())
+			a = addr.From4Uint32(rng.Uint32())
 		}
 		eng.Update(a, 1000)
 		total += 1000
@@ -418,7 +530,7 @@ func TestRHHHFindsHeavyPrefixes(t *testing.T) {
 	set := eng.QueryFraction(0.1)
 	found := false
 	for p := range set {
-		if p.Bits >= 24 && p.Contains(subnet) {
+		if p.FamilyBits() >= 24 && p.Contains(addr.From4Uint32(subnet)) {
 			found = true
 		}
 	}
@@ -427,10 +539,39 @@ func TestRHHHFindsHeavyPrefixes(t *testing.T) {
 	}
 }
 
+func TestRHHHFindsHeavyPrefixesIPv6(t *testing.T) {
+	// The IPv6 mirror on the 17-level nibble lattice — the tall-hierarchy
+	// regime RHHH's constant-time update is designed for: 40% of bytes
+	// from one /48, the rest spread across the global-unicast space.
+	h := addr.NewIPv6Hierarchy(addr.Nibble)
+	eng := NewRHHH(h, 64, 99)
+	rng := rand.New(rand.NewSource(18))
+	subnet := addr.MustParsePrefix("2001:db8:7::/48")
+	for i := 0; i < 300000; i++ {
+		var a addr.Addr
+		if rng.Intn(10) < 4 {
+			a = addr.FromParts(subnet.Addr.Hi()|uint64(rng.Intn(1<<16)), rng.Uint64())
+		} else {
+			a = addr.FromParts(0x2000_0000_0000_0000|rng.Uint64()>>3, rng.Uint64())
+		}
+		eng.Update(a, 1000)
+	}
+	set := eng.QueryFraction(0.1)
+	found := false
+	for p := range set {
+		if p.Bits >= 48 && p.Covers(subnet) || subnet.Covers(p) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RHHH missed the 40%% /48: %v", set)
+	}
+}
+
 func TestRHHHEstimateAccuracy(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	eng := NewRHHH(h, 256, 5)
-	heavy := ipv4.MustParseAddr("10.0.0.1")
+	heavy := addr.MustParseAddr("10.0.0.1")
 	var heavyBytes int64
 	rng := rand.New(rand.NewSource(19))
 	for i := 0; i < 500000; i++ {
@@ -438,7 +579,7 @@ func TestRHHHEstimateAccuracy(t *testing.T) {
 			eng.Update(heavy, 500)
 			heavyBytes += 500
 		} else {
-			eng.Update(ipv4.Addr(rng.Uint32()), 500)
+			eng.Update(addr.From4Uint32(rng.Uint32()), 500)
 		}
 	}
 	set := eng.Query(Threshold(eng.Total(), 0.2))
@@ -453,12 +594,12 @@ func TestRHHHEstimateAccuracy(t *testing.T) {
 }
 
 func TestRHHHDeterministicUnderSeed(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	run := func(seed uint64) Set {
 		eng := NewRHHH(h, 32, seed)
 		rng := rand.New(rand.NewSource(23))
 		for i := 0; i < 20000; i++ {
-			eng.Update(ipv4.Addr(rng.Uint32()>>8), 100)
+			eng.Update(addr.From4Uint32(rng.Uint32()>>8), 100)
 		}
 		return eng.QueryFraction(0.05)
 	}
@@ -468,14 +609,14 @@ func TestRHHHDeterministicUnderSeed(t *testing.T) {
 }
 
 func TestRHHHResetKeepsWorking(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	eng := NewRHHH(h, 32, 1)
-	eng.Update(ipv4.MustParseAddr("1.1.1.1"), 100)
+	eng.Update(addr.MustParseAddr("1.1.1.1"), 100)
 	eng.Reset()
 	if eng.Total() != 0 || eng.Updates() != 0 {
 		t.Error("Reset bookkeeping")
 	}
-	eng.Update(ipv4.MustParseAddr("1.1.1.1"), 100)
+	eng.Update(addr.MustParseAddr("1.1.1.1"), 100)
 	if eng.Total() != 100 {
 		t.Error("post-Reset update")
 	}
@@ -488,11 +629,11 @@ func TestRHHHResetKeepsWorking(t *testing.T) {
 }
 
 func BenchmarkExactHHH(b *testing.B) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := v4ByteHierarchy()
 	rng := rand.New(rand.NewSource(3))
 	e := sketch.NewExact(100000)
 	for i := 0; i < 100000; i++ {
-		e.Update(uint64(rng.Uint32()&0x0fffffff), int64(40+rng.Intn(1460)))
+		e.Update(h.Key(addr.From4Uint32(rng.Uint32()&0x0fffffff), 0), int64(40+rng.Intn(1460)))
 	}
 	T := Threshold(e.Total(), 0.01)
 	b.ReportAllocs()
@@ -506,19 +647,33 @@ func BenchmarkExactHHH(b *testing.B) {
 }
 
 func BenchmarkPerLevelUpdate(b *testing.B) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
-	eng := NewPerLevel(h, 512)
+	eng := NewPerLevel(v4ByteHierarchy(), 512)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		eng.Update(ipv4.Addr(uint32(i)*2654435761), 1000)
+		eng.Update(addr.From4Uint32(uint32(i)*2654435761), 1000)
+	}
+}
+
+func BenchmarkPerLevelUpdateIPv6Nibble(b *testing.B) {
+	eng := NewPerLevel(addr.NewIPv6Hierarchy(addr.Nibble), 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Update(addr.FromParts(uint64(i)*0x9e3779b97f4a7c15, uint64(i)), 1000)
 	}
 }
 
 func BenchmarkRHHHUpdate(b *testing.B) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
-	eng := NewRHHH(h, 512, 7)
+	eng := NewRHHH(v4ByteHierarchy(), 512, 7)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		eng.Update(ipv4.Addr(uint32(i)*2654435761), 1000)
+		eng.Update(addr.From4Uint32(uint32(i)*2654435761), 1000)
+	}
+}
+
+func BenchmarkRHHHUpdateIPv6Nibble(b *testing.B) {
+	eng := NewRHHH(addr.NewIPv6Hierarchy(addr.Nibble), 512, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Update(addr.FromParts(uint64(i)*0x9e3779b97f4a7c15, uint64(i)), 1000)
 	}
 }

@@ -4,24 +4,24 @@ import (
 	"math/rand"
 	"testing"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
 // mergePackets synthesises a skewed source/weight stream for merge tests.
 func mergePackets(seed int64, n int) []struct {
-	src ipv4.Addr
+	src addr.Addr
 	w   int64
 } {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]struct {
-		src ipv4.Addr
+		src addr.Addr
 		w   int64
 	}, n)
 	for i := range out {
 		org := uint32(rng.Intn(8))
 		net := uint32(float64(200) * rng.Float64() * rng.Float64())
 		host := uint32(rng.Intn(50))
-		out[i].src = ipv4.Addr(10<<24 | org<<16 | net<<8 | host)
+		out[i].src = addr.From4Uint32(10<<24 | org<<16 | net<<8 | host)
 		out[i].w = int64(40 + rng.Intn(1460))
 	}
 	return out
@@ -33,7 +33,7 @@ func mergePackets(seed int64, n int) []struct {
 // clears the threshold with margin, and disagreements sit within it.
 func TestPerLevelMergePartition(t *testing.T) {
 	const k = 128
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	pkts := mergePackets(1, 60000)
 	for _, K := range []int{1, 2, 4, 8} {
 		single := NewPerLevel(h, k)
@@ -43,7 +43,7 @@ func TestPerLevelMergePartition(t *testing.T) {
 		}
 		for _, p := range pkts {
 			single.Update(p.src, p.w)
-			shards[uint32(p.src)%uint32(K)].Update(p.src, p.w)
+			shards[p.src.V4()%uint32(K)].Update(p.src, p.w)
 		}
 		merged := NewPerLevel(h, k)
 		for _, sh := range shards {
@@ -82,7 +82,7 @@ func TestPerLevelMergePartition(t *testing.T) {
 // one preserves its queryable state exactly (the K=1 sharding case).
 func TestRHHHMergeIdentity(t *testing.T) {
 	const k = 96
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	a := NewRHHH(h, k, 42)
 	ref := NewRHHH(h, k, 42)
 	for _, p := range mergePackets(7, 80000) {
@@ -108,7 +108,7 @@ func TestMergeHierarchyMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic on hierarchy mismatch")
 		}
 	}()
-	a := NewPerLevel(ipv4.NewHierarchy(ipv4.Byte), 8)
-	b := NewPerLevel(ipv4.NewHierarchy(ipv4.Nibble), 8)
+	a := NewPerLevel(addr.NewIPv4Hierarchy(addr.Byte), 8)
+	b := NewPerLevel(addr.NewIPv4Hierarchy(addr.Nibble), 8)
 	a.Merge(b)
 }

@@ -1,7 +1,7 @@
 package hhh
 
 import (
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
@@ -15,59 +15,81 @@ import (
 // underestimating subtree volumes, with overestimation bounded by N/k.
 // Conditioned volumes are derived at query time by discounting the
 // (estimated) subtree volume of every descendant HHH, mirroring the exact
-// bottom-up pass.
+// bottom-up pass. Packets outside the hierarchy's address family are
+// ignored (see addr.Hierarchy.Match), so the engine can sit directly on a
+// dual-stack stream.
 type PerLevel struct {
-	h     ipv4.Hierarchy
+	h     addr.Hierarchy
 	sks   []*sketch.SpaceSaving
-	masks []uint32 // per-level network masks, hoisted out of the hot path
+	masks []uint64 // per-level key masks, hoisted out of the hot path
+	high  bool     // which address half keys come from, ditto
 	qs    *QueryScratch
 	total int64
 }
 
 // NewPerLevel builds an engine with k Space-Saving counters per level.
-func NewPerLevel(h ipv4.Hierarchy, k int) *PerLevel {
+func NewPerLevel(h addr.Hierarchy, k int) *PerLevel {
 	levels := h.Levels()
 	p := &PerLevel{
 		h:     h,
 		sks:   make([]*sketch.SpaceSaving, levels),
-		masks: make([]uint32, levels),
+		masks: make([]uint64, levels),
+		high:  h.KeyFromHigh(),
 		qs:    NewQueryScratch(),
 	}
 	for l := range p.sks {
 		p.sks[l] = sketch.NewSpaceSaving(k)
-		p.masks[l] = ipv4.Mask(h.Bits(l))
+		p.masks[l] = h.KeyMask(l)
 	}
 	return p
 }
 
 // Hierarchy returns the configured hierarchy.
-func (p *PerLevel) Hierarchy() ipv4.Hierarchy { return p.h }
+func (p *PerLevel) Hierarchy() addr.Hierarchy { return p.h }
 
-// Update feeds one packet's source address and byte size.
-func (p *PerLevel) Update(src ipv4.Addr, bytes int64) {
+// Update feeds one packet's source address and byte size. Packets of the
+// other address family are dropped without counting toward Total.
+func (p *PerLevel) Update(src addr.Addr, bytes int64) {
+	if !p.h.Match(src) {
+		return
+	}
 	p.total += bytes
+	half := src.Lo()
+	if p.high {
+		half = src.Hi()
+	}
 	for l, m := range p.masks {
-		p.sks[l].Update(uint64(uint32(src)&m), bytes)
+		p.sks[l].Update(half&m, bytes)
 	}
 }
 
 // UpdateBatch feeds a run of packets (source address keyed, byte
-// weighted) and returns the total byte weight added. The batch is applied
-// level-major: each level's summary absorbs the whole run while its
-// working set is hot, which is where the batch ingest path gains over
-// per-packet calls. The final state is identical to calling Update per
-// packet — per-level summaries are independent, and each still sees the
-// packets in stream order.
+// weighted) and returns the total byte weight added — packets outside
+// the hierarchy's family are skipped and do not count. The batch is
+// applied level-major: each level's summary absorbs the whole run while
+// its working set is hot, which is where the batch ingest path gains
+// over per-packet calls. The final state is identical to calling Update
+// per packet — per-level summaries are independent, and each still sees
+// the packets in stream order.
 func (p *PerLevel) UpdateBatch(pkts []trace.Packet) int64 {
 	var bytes int64
 	for i := range pkts {
-		bytes += int64(pkts[i].Size)
+		if p.h.Match(pkts[i].Src) {
+			bytes += int64(pkts[i].Size)
+		}
 	}
 	p.total += bytes
 	for l, m := range p.masks {
 		sk := p.sks[l]
 		for i := range pkts {
-			sk.Update(uint64(uint32(pkts[i].Src)&m), int64(pkts[i].Size))
+			if !p.h.Match(pkts[i].Src) {
+				continue
+			}
+			half := pkts[i].Src.Lo()
+			if p.high {
+				half = pkts[i].Src.Hi()
+			}
+			sk.Update(half&m, int64(pkts[i].Size))
 		}
 	}
 	return bytes

@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
 // BenchmarkPerLevelEngineQuery measures the conditioned bottom-up query
@@ -12,13 +12,13 @@ import (
 // window close, and where per-query map and Tracked-slice churn was
 // replaced by reusable scratch tables.
 func BenchmarkPerLevelEngineQuery(b *testing.B) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	eng := NewPerLevel(h, 512)
 	rng := rand.New(rand.NewSource(1))
 	z := rand.NewZipf(rng, 1.2, 1, 1<<16)
 	for i := 0; i < 300000; i++ {
-		addr := ipv4.Addr(uint32(z.Uint64()) * 2654435761)
-		eng.Update(addr, int64(40+rng.Intn(1460)))
+		a := addr.From4Uint32(uint32(z.Uint64()) * 2654435761)
+		eng.Update(a, int64(40+rng.Intn(1460)))
 	}
 	T := Threshold(eng.Total(), 0.05)
 	b.ReportAllocs()
@@ -33,15 +33,15 @@ func BenchmarkPerLevelEngineQuery(b *testing.B) {
 // BenchmarkPerLevelEngineUpdate measures the per-packet engine update
 // (all hierarchy levels) against a detector-sized summary.
 func BenchmarkPerLevelEngineUpdate(b *testing.B) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	eng := NewPerLevel(h, 512)
 	rng := rand.New(rand.NewSource(2))
 	z := rand.NewZipf(rng, 1.2, 1, 1<<16)
 	const n = 1 << 16
-	addrs := make([]ipv4.Addr, n)
+	addrs := make([]addr.Addr, n)
 	sizes := make([]int64, n)
 	for i := range addrs {
-		addrs[i] = ipv4.Addr(uint32(z.Uint64()) * 2654435761)
+		addrs[i] = addr.From4Uint32(uint32(z.Uint64()) * 2654435761)
 		sizes[i] = int64(40 + rng.Intn(1460))
 	}
 	b.ReportAllocs()

@@ -1,8 +1,8 @@
 package hhh
 
 import (
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hashx"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
@@ -15,14 +15,21 @@ import (
 // each level's counts by the number of levels to recover unbiased subtree
 // estimates.
 //
+// The constant-time update is exactly what makes tall hierarchies —
+// IPv6's 17-level nibble lattice, versus IPv4's 5-level byte ladder —
+// affordable: PerLevel's per-packet cost grows with the level count
+// while RHHH's does not, which is the trade RHHH was designed for.
+//
 // The trade-off is variance: estimates converge as the per-level sample
 // grows, so RHHH needs a minimum stream length before its output
 // stabilises — one of the behaviours the continuous-comparison experiment
-// surfaces on short windows.
+// surfaces on short windows. Packets outside the hierarchy's address
+// family are ignored (see addr.Hierarchy.Match).
 type RHHH struct {
-	h       ipv4.Hierarchy
+	h       addr.Hierarchy
 	sks     []*sketch.SpaceSaving
-	masks   []uint32 // per-level network masks, hoisted out of the hot path
+	masks   []uint64 // per-level key masks, hoisted out of the hot path
+	high    bool     // which address half keys come from, ditto
 	levels  uint64
 	rng     uint64 // splitmix64 state; deterministic under seed
 	total   int64
@@ -32,53 +39,72 @@ type RHHH struct {
 
 // NewRHHH builds an engine with k counters per level and a deterministic
 // sampling seed.
-func NewRHHH(h ipv4.Hierarchy, k int, seed uint64) *RHHH {
+func NewRHHH(h addr.Hierarchy, k int, seed uint64) *RHHH {
 	levels := h.Levels()
 	r := &RHHH{
 		h:      h,
 		sks:    make([]*sketch.SpaceSaving, levels),
-		masks:  make([]uint32, levels),
+		masks:  make([]uint64, levels),
+		high:   h.KeyFromHigh(),
 		levels: uint64(levels),
 		rng:    hashx.Mix64(seed ^ 0x5851f42d4c957f2d),
 		qs:     NewQueryScratch(),
 	}
 	for l := range r.sks {
 		r.sks[l] = sketch.NewSpaceSaving(k)
-		r.masks[l] = ipv4.Mask(h.Bits(l))
+		r.masks[l] = h.KeyMask(l)
 	}
 	return r
 }
 
 // Hierarchy returns the configured hierarchy.
-func (r *RHHH) Hierarchy() ipv4.Hierarchy { return r.h }
+func (r *RHHH) Hierarchy() addr.Hierarchy { return r.h }
 
-// Update feeds one packet, sampling a single level to update.
-func (r *RHHH) Update(src ipv4.Addr, bytes int64) {
+// Update feeds one packet, sampling a single level to update. Packets of
+// the other address family are dropped without advancing the sampler.
+func (r *RHHH) Update(src addr.Addr, bytes int64) {
+	if !r.h.Match(src) {
+		return
+	}
 	r.total += bytes
 	r.updates++
 	// splitmix64 step, then unbiased-enough high-multiply range reduction.
 	r.rng += 0x9e3779b97f4a7c15
 	l := int((hashx.Mix64(r.rng) >> 32) * r.levels >> 32)
-	r.sks[l].Update(uint64(uint32(src)&r.masks[l]), bytes)
+	half := src.Lo()
+	if r.high {
+		half = src.Hi()
+	}
+	r.sks[l].Update(half&r.masks[l], bytes)
 }
 
 // UpdateBatch feeds a run of packets and returns the total byte weight
-// added. Levels are drawn per packet in the same deterministic sequence
-// as repeated Update calls, so the final state is identical; the batch
-// form amortises the per-packet call overhead of the ingest spine.
+// added (family-filtered, like Update). Levels are drawn per matching
+// packet in the same deterministic sequence as repeated Update calls, so
+// the final state is identical; the batch form amortises the per-packet
+// call overhead of the ingest spine.
 func (r *RHHH) UpdateBatch(pkts []trace.Packet) int64 {
 	var bytes int64
+	var n int64
 	rng := r.rng
 	for i := range pkts {
+		if !r.h.Match(pkts[i].Src) {
+			continue
+		}
 		w := int64(pkts[i].Size)
 		bytes += w
+		n++
 		rng += 0x9e3779b97f4a7c15
 		l := int((hashx.Mix64(rng) >> 32) * r.levels >> 32)
-		r.sks[l].Update(uint64(uint32(pkts[i].Src)&r.masks[l]), w)
+		half := pkts[i].Src.Lo()
+		if r.high {
+			half = pkts[i].Src.Hi()
+		}
+		r.sks[l].Update(half&r.masks[l], w)
 	}
 	r.rng = rng
 	r.total += bytes
-	r.updates += int64(len(pkts))
+	r.updates += n
 	return bytes
 }
 

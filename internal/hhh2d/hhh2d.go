@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 )
@@ -232,16 +233,22 @@ func ExactFromPackets(tuples []Tuple, h Hierarchy2, phi float64) Set {
 	counts := make(map[Key]int64, len(tuples))
 	var total int64
 	for _, t := range tuples {
-		counts[Key{t.Src, t.Dst}] += t.Bytes
+		if !t.Src.Is4() || !t.Dst.Is4() {
+			continue // the 2-D lattice is IPv4-only
+		}
+		counts[Key{ipv4.Addr(t.Src.V4()), ipv4.Addr(t.Dst.V4())}] += t.Bytes
 		total += t.Bytes
 	}
 	return Exact(counts, h, hhh.Threshold(total, phi))
 }
 
-// Tuple is one traffic observation for the 2-D analyses.
+// Tuple is one traffic observation for the 2-D analyses. Addresses are
+// the dual-stack keys of internal/addr; the 2-D lattice itself is
+// IPv4-only (its sketch keys pack two 32-bit prefixes into one uint64),
+// so non-IPv4 observations are skipped by every consumer.
 type Tuple struct {
-	Src   ipv4.Addr
-	Dst   ipv4.Addr
+	Src   addr.Addr
+	Dst   addr.Addr
 	Bytes int64
 }
 

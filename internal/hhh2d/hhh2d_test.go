@@ -4,10 +4,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/ipv4"
 )
 
-func addr(s string) ipv4.Addr { return ipv4.MustParseAddr(s) }
+func ip4(s string) ipv4.Addr { return ipv4.MustParseAddr(s) }
 
 func node(src, dst string) Node {
 	return Node{Src: ipv4.MustParsePrefix(src), Dst: ipv4.MustParsePrefix(dst)}
@@ -17,13 +18,13 @@ func byteH2() Hierarchy2 { return NewHierarchy2(ipv4.Byte, ipv4.Byte) }
 
 func TestNodeCovers(t *testing.T) {
 	n := node("10.0.0.0/8", "192.168.1.0/24")
-	if !n.Covers(Key{addr("10.1.2.3"), addr("192.168.1.7")}) {
+	if !n.Covers(Key{ip4("10.1.2.3"), ip4("192.168.1.7")}) {
 		t.Error("should cover")
 	}
-	if n.Covers(Key{addr("11.1.2.3"), addr("192.168.1.7")}) {
+	if n.Covers(Key{ip4("11.1.2.3"), ip4("192.168.1.7")}) {
 		t.Error("src outside")
 	}
-	if n.Covers(Key{addr("10.1.2.3"), addr("192.168.2.7")}) {
+	if n.Covers(Key{ip4("10.1.2.3"), ip4("192.168.2.7")}) {
 		t.Error("dst outside")
 	}
 	if !n.CoversNode(node("10.1.0.0/16", "192.168.1.4/32")) {
@@ -45,7 +46,7 @@ func TestHierarchy2Shape(t *testing.T) {
 	if h.NodeCount() != 25 {
 		t.Errorf("NodeCount = %d, want 25", h.NodeCount())
 	}
-	k := Key{addr("10.1.2.3"), addr("192.168.1.7")}
+	k := Key{ip4("10.1.2.3"), ip4("192.168.1.7")}
 	n := h.At(k, 1, 2)
 	if n != node("10.1.2.0/24", "192.168.0.0/16") {
 		t.Errorf("At(1,2) = %v", n)
@@ -55,8 +56,8 @@ func TestHierarchy2Shape(t *testing.T) {
 func TestExactSingleHeavyPair(t *testing.T) {
 	h := byteH2()
 	counts := map[Key]int64{
-		{addr("10.0.0.1"), addr("20.0.0.1")}: 100,
-		{addr("30.0.0.1"), addr("40.0.0.1")}: 5,
+		{ip4("10.0.0.1"), ip4("20.0.0.1")}: 100,
+		{ip4("30.0.0.1"), ip4("40.0.0.1")}: 5,
 	}
 	set := Exact(counts, h, 50)
 	want := node("10.0.0.1/32", "20.0.0.1/32")
@@ -75,9 +76,9 @@ func TestExactAggregationAcrossDimensions(t *testing.T) {
 	// 20.2.0.0/16: only (10.1.1.0/24 -> 20.2.0.0/16) and its relatives
 	// aggregate to 90; threshold 80.
 	counts := map[Key]int64{
-		{addr("10.1.1.1"), addr("20.2.1.1")}: 30,
-		{addr("10.1.1.2"), addr("20.2.2.1")}: 30,
-		{addr("10.1.1.3"), addr("20.2.3.1")}: 30,
+		{ip4("10.1.1.1"), ip4("20.2.1.1")}: 30,
+		{ip4("10.1.1.2"), ip4("20.2.2.1")}: 30,
+		{ip4("10.1.1.3"), ip4("20.2.3.1")}: 30,
 	}
 	set := Exact(counts, h, 80)
 	if set.Len() == 0 {
@@ -105,9 +106,9 @@ func TestExactDiamondClaimsOnce(t *testing.T) {
 	// After the leaf is marked, neither aggregate may claim its volume
 	// again, and conditioned sums must stay <= total.
 	counts := map[Key]int64{
-		{addr("10.1.1.1"), addr("20.2.1.1")}: 100, // the heavy leaf
-		{addr("10.1.2.1"), addr("20.9.1.1")}: 30,  // under src /16, other dst /8
-		{addr("10.9.1.1"), addr("20.2.2.1")}: 30,  // other src /8, under dst /16
+		{ip4("10.1.1.1"), ip4("20.2.1.1")}: 100, // the heavy leaf
+		{ip4("10.1.2.1"), ip4("20.9.1.1")}: 30,  // under src /16, other dst /8
+		{ip4("10.9.1.1"), ip4("20.2.2.1")}: 30,  // other src /8, under dst /16
 	}
 	var total int64
 	for _, c := range counts {
@@ -125,7 +126,7 @@ func TestExactDiamondClaimsOnce(t *testing.T) {
 	// The two side flows are only 30 each: the diamond aggregates must
 	// NOT qualify on claimed-leaf volume alone.
 	for _, n := range set.Nodes() {
-		if n != leafNode && n.Covers(Key{addr("10.1.1.1"), addr("20.2.1.1")}) {
+		if n != leafNode && n.Covers(Key{ip4("10.1.1.1"), ip4("20.2.1.1")}) {
 			it := set[n]
 			if it.Conditioned >= 100 {
 				t.Errorf("%v re-claimed the marked leaf: %+v", n, it)
@@ -139,9 +140,9 @@ func TestExactMatchesOneDimensionalSemantics(t *testing.T) {
 	// sources: conditioned counts must match the 1-D pass-up intuition.
 	h := byteH2()
 	counts := map[Key]int64{
-		{addr("10.1.2.1"), addr("99.0.0.1")}: 100,
-		{addr("10.1.2.2"), addr("99.0.0.1")}: 30,
-		{addr("10.1.2.3"), addr("99.0.0.1")}: 30,
+		{ip4("10.1.2.1"), ip4("99.0.0.1")}: 100,
+		{ip4("10.1.2.2"), ip4("99.0.0.1")}: 30,
+		{ip4("10.1.2.3"), ip4("99.0.0.1")}: 30,
 	}
 	set := Exact(counts, h, 50)
 	// 1-D expectation: host .1 (100) and /24 conditioned 60, then the
@@ -216,13 +217,13 @@ func TestPerNodeMatchesExactWhenUnsaturated(t *testing.T) {
 		eng := NewPerNode(h, 512)
 		counts := map[Key]int64{}
 		var total int64
-		dst := addr("99.0.0.1")
+		dst := ip4("99.0.0.1")
 		for i := 0; i < 1+rng.Intn(20); i++ {
 			src := ipv4.AddrFrom4(byte(rng.Intn(2)), byte(rng.Intn(2)), 0, byte(rng.Intn(2)))
 			c := int64(1 + rng.Intn(100))
 			counts[Key{src, dst}] += c
 			total += c
-			eng.Update(src, dst, c)
+			eng.Update(addr.From4Uint32(uint32(src)), addr.From4Uint32(uint32(dst)), c)
 		}
 		T := total/8 + 1
 		want := Exact(counts, h, T)
@@ -242,12 +243,12 @@ func TestPerNodeFindsHeavyPairUnderPressure(t *testing.T) {
 	h := byteH2()
 	eng := NewPerNode(h, 64)
 	rng := rand.New(rand.NewSource(13))
-	heavySrc, heavyDst := addr("10.1.2.3"), addr("198.51.100.7")
+	heavySrc, heavyDst := ip4("10.1.2.3"), ip4("198.51.100.7")
 	for i := 0; i < 50000; i++ {
 		if i%3 == 0 {
-			eng.Update(heavySrc, heavyDst, 1000)
+			eng.Update(addr.From4Uint32(uint32(heavySrc)), addr.From4Uint32(uint32(heavyDst)), 1000)
 		} else {
-			eng.Update(ipv4.Addr(rng.Uint32()), ipv4.Addr(rng.Uint32()), 700)
+			eng.Update(addr.From4Uint32(rng.Uint32()), addr.From4Uint32(rng.Uint32()), 700)
 		}
 	}
 	set := eng.QueryFraction(0.2)
@@ -290,9 +291,9 @@ func TestValidateCatchesBadSets(t *testing.T) {
 
 func TestExactFromPackets(t *testing.T) {
 	tuples := []Tuple{
-		{addr("10.0.0.1"), addr("20.0.0.1"), 600},
-		{addr("10.0.0.2"), addr("20.0.0.2"), 200},
-		{addr("10.0.0.3"), addr("20.0.0.3"), 200},
+		{addr.MustParseAddr("10.0.0.1"), addr.MustParseAddr("20.0.0.1"), 600},
+		{addr.MustParseAddr("10.0.0.2"), addr.MustParseAddr("20.0.0.2"), 200},
+		{addr.MustParseAddr("10.0.0.3"), addr.MustParseAddr("20.0.0.3"), 200},
 	}
 	set := ExactFromPackets(tuples, byteH2(), 0.5)
 	if !set.Contains(node("10.0.0.1/32", "20.0.0.1/32")) {
@@ -304,7 +305,7 @@ func BenchmarkPerNodeUpdate(b *testing.B) {
 	eng := NewPerNode(byteH2(), 256)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		eng.Update(ipv4.Addr(uint32(i)*2654435761), ipv4.Addr(uint32(i)*40503), 1000)
+		eng.Update(addr.From4Uint32(uint32(i)*2654435761), addr.From4Uint32(uint32(i)*40503), 1000)
 	}
 }
 
@@ -331,7 +332,7 @@ func BenchmarkExact2D(b *testing.B) {
 // the same contract as the public Threshold facade.
 func TestFractionThresholdContract(t *testing.T) {
 	h := NewHierarchy2(ipv4.Byte, ipv4.Byte)
-	tuples := []Tuple{{Src: 1, Dst: 2, Bytes: 10}}
+	tuples := []Tuple{{Src: addr.From4Uint32(1), Dst: addr.From4Uint32(2), Bytes: 10}}
 	if set := ExactFromPackets(tuples, h, 0.001); set.Len() == 0 {
 		t.Error("tiny phi must floor the threshold at 1, not 0")
 	}

@@ -3,6 +3,7 @@ package hhh2d
 import (
 	"sort"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
 	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
@@ -43,14 +44,19 @@ func nodeKey(n Node) uint64 {
 	return uint64(n.Src.Addr)<<32 | uint64(n.Dst.Addr)
 }
 
-// Update feeds one packet's (src, dst, bytes).
-func (e *PerNode) Update(src, dst ipv4.Addr, bytes int64) {
+// Update feeds one packet's (src, dst, bytes). Pairs that are not both
+// IPv4 are skipped without counting — the 2-D lattice is IPv4-only.
+func (e *PerNode) Update(src, dst addr.Addr, bytes int64) {
+	if !src.Is4() || !dst.Is4() {
+		return
+	}
+	s4, d4 := ipv4.Addr(src.V4()), ipv4.Addr(dst.V4())
 	e.tot += bytes
 	di := e.h.Dst.Levels()
 	for i := 0; i < e.h.Src.Levels(); i++ {
-		sp := e.h.Src.At(src, i)
+		sp := e.h.Src.At(s4, i)
 		for j := 0; j < di; j++ {
-			n := Node{Src: sp, Dst: e.h.Dst.At(dst, j)}
+			n := Node{Src: sp, Dst: e.h.Dst.At(d4, j)}
 			e.sks[i*di+j].Update(nodeKey(n), bytes)
 		}
 	}

@@ -1,5 +1,13 @@
-// Package ipv4 provides compact IPv4 address and prefix primitives used
-// throughout the hierarchical-heavy-hitter pipeline.
+// Package ipv4 provides compact 32-bit IPv4 address and prefix
+// primitives for the two-dimensional (source × destination) HHH
+// subsystem, whose lattice keys pack two 32-bit prefixes into a single
+// uint64 sketch key.
+//
+// The rest of the pipeline — trace records, the 1-D engines, the
+// generators, the oracle — moved to the dual-stack 128-bit primitives of
+// internal/addr; this package stays because the 2-D packing genuinely
+// needs 32-bit per-dimension addresses. Lifting internal/hhh2d onto the
+// generic hierarchy descriptor would retire it.
 //
 // Addresses are represented as host-order uint32 values so they can be used
 // directly as map keys and sketch inputs without allocation. Prefixes pair
@@ -223,6 +231,7 @@ const (
 	Byte   Granularity = 8 // 5 levels: /0,/8,/16,/24,/32
 )
 
+// String names the conventional granularity ("bit", "nibble", "byte").
 func (g Granularity) String() string {
 	switch g {
 	case Bit:

@@ -8,14 +8,14 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 )
 
 func set(prefixes ...string) hhh.Set {
 	s := hhh.NewSet()
 	for _, p := range prefixes {
-		s.Add(hhh.Item{Prefix: ipv4.MustParsePrefix(p), Count: 100})
+		s.Add(hhh.Item{Prefix: addr.MustParsePrefix(p), Count: 100})
 	}
 	return s
 }
@@ -67,13 +67,13 @@ func TestConfusionAdd(t *testing.T) {
 
 func TestEstimateErrors(t *testing.T) {
 	truth := hhh.NewSet(
-		hhh.Item{Prefix: ipv4.MustParsePrefix("1.0.0.0/8"), Count: 100},
-		hhh.Item{Prefix: ipv4.MustParsePrefix("2.0.0.0/8"), Count: 200},
+		hhh.Item{Prefix: addr.MustParsePrefix("1.0.0.0/8"), Count: 100},
+		hhh.Item{Prefix: addr.MustParsePrefix("2.0.0.0/8"), Count: 200},
 	)
 	det := hhh.NewSet(
-		hhh.Item{Prefix: ipv4.MustParsePrefix("1.0.0.0/8"), Count: 110}, // +10%
-		hhh.Item{Prefix: ipv4.MustParsePrefix("2.0.0.0/8"), Count: 180}, // -10%
-		hhh.Item{Prefix: ipv4.MustParsePrefix("9.0.0.0/8"), Count: 999}, // FP: ignored
+		hhh.Item{Prefix: addr.MustParsePrefix("1.0.0.0/8"), Count: 110}, // +10%
+		hhh.Item{Prefix: addr.MustParsePrefix("2.0.0.0/8"), Count: 180}, // -10%
+		hhh.Item{Prefix: addr.MustParsePrefix("9.0.0.0/8"), Count: 999}, // FP: ignored
 	)
 	are, aae := EstimateErrors(truth, det)
 	if math.Abs(are-0.1) > 1e-12 {

@@ -5,8 +5,8 @@ import (
 	"math"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/trace"
 )
 
@@ -30,6 +30,8 @@ const (
 	ModeContinuous
 )
 
+// String names the reference model ("windowed", "sliding",
+// "continuous").
 func (m Mode) String() string {
 	switch m {
 	case ModeWindowed:
@@ -108,8 +110,10 @@ type Config struct {
 	Frames int
 	// Phi is the threshold fraction. Required.
 	Phi float64
-	// Hierarchy defaults to byte granularity.
-	Hierarchy ipv4.Hierarchy
+	// Hierarchy is the prefix lattice of the detector under test; the
+	// oracle computes its reference over the same one. Defaults to the
+	// IPv4 byte ladder.
+	Hierarchy addr.Hierarchy
 	// Bounds are the error-bound parameters asserted per snapshot.
 	Bounds Bounds
 	// SnapshotEvery is the query cadence. Default Window.
@@ -125,7 +129,7 @@ type Config struct {
 type Violation struct {
 	At     int64       `json:"at_ns"`
 	Kind   string      `json:"kind"` // count-over | count-under | false-negative | mass-mismatch | span-mismatch
-	Prefix ipv4.Prefix `json:"-"`
+	Prefix addr.Prefix `json:"-"`
 	Detail string      `json:"detail"`
 }
 
@@ -200,8 +204,8 @@ func Run(name string, det Detector, pkts []trace.Packet, cfg Config) (*Report, e
 	if cfg.Phi <= 0 || cfg.Phi > 1 {
 		return nil, fmt.Errorf("oracle: phi %v out of (0,1]", cfg.Phi)
 	}
-	if cfg.Hierarchy == (ipv4.Hierarchy{}) {
-		cfg.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	if cfg.Hierarchy == (addr.Hierarchy{}) {
+		cfg.Hierarchy = addr.NewIPv4Hierarchy(addr.Byte)
 	}
 	if cfg.Frames <= 0 {
 		cfg.Frames = 8
@@ -309,7 +313,7 @@ func evaluate(o *Oracle, got hhh.Set, at, firstTs int64, cfg Config) SnapshotRes
 // scoreAggregate fills a snapshot result from one exact reference
 // aggregate: the truth set at threshold T, and — on warm snapshots with
 // traffic — the accuracy and coverage bound checks.
-func scoreAggregate[V mass](sr *SnapshotResult, h ipv4.Hierarchy, levels []map[ipv4.Addr]V, total, T V, b Bounds) {
+func scoreAggregate[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint64]V, total, T V, b Bounds) {
 	sr.Mass = float64(total)
 	if total == 0 {
 		sr.TruthSet = hhh.NewSet()
@@ -317,7 +321,7 @@ func scoreAggregate[V mass](sr *SnapshotResult, h ipv4.Hierarchy, levels []map[i
 	}
 	sr.TruthSet = conditionedSet(h, levels, T)
 	if sr.Warm {
-		checkCounts(sr, levels, b)
+		checkCounts(sr, h, levels, b)
 		checkCoverage(sr, h, levels, sr.GotSet, float64(T), b)
 	}
 }
@@ -345,14 +349,14 @@ func scoreSets(sr *SnapshotResult) {
 
 // checkCounts asserts the accuracy bound: every reported item's subtree
 // count is within the allowance of the exact per-level count.
-func checkCounts[V mass](sr *SnapshotResult, levels []map[ipv4.Addr]V, b Bounds) {
+func checkCounts[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint64]V, b Bounds) {
 	allow := b.allowance(sr.Mass) + 1 // +1: integer truncation of reported counts
 	for p, it := range sr.GotSet {
-		l := levelOf(len(levels), p)
-		if l < 0 {
+		if !h.OnLattice(p) {
 			continue // off-lattice prefix: not comparable
 		}
-		exact := float64(levels[l][p.Addr])
+		l := h.Level(p.Bits)
+		exact := float64(levels[l][h.KeyOfPrefix(p)])
 		err := float64(it.Count) - exact
 		switch {
 		case err > allow:
@@ -379,21 +383,11 @@ func checkCounts[V mass](sr *SnapshotResult, levels []map[ipv4.Addr]V, b Bounds)
 	}
 }
 
-// levelOf maps a prefix to its level index in a levels slice (0 = /32),
-// or -1 when the prefix is off the uniform lattice.
-func levelOf(levels int, p ipv4.Prefix) int {
-	step := 32 / (levels - 1)
-	if int(p.Bits)%step != 0 {
-		return -1
-	}
-	return (32 - int(p.Bits)) / step
-}
-
 // checkCoverage asserts the no-false-negative bound: every prefix whose
 // exact conditioned-given-output volume reaches the threshold widened by
 // one allowance per maximal reported descendant (plus one for itself)
 // must be in the report.
-func checkCoverage[V mass](sr *SnapshotResult, h ipv4.Hierarchy, levels []map[ipv4.Addr]V, got hhh.Set, T float64, b Bounds) {
+func checkCoverage[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint64]V, got hhh.Set, T float64, b Bounds) {
 	allow := b.allowance(sr.Mass)
 	misses := uncovered(h, levels, got, func(maximal int) V {
 		// +2: rounding guard on top of the analytic bound — one byte for

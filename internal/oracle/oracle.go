@@ -29,8 +29,8 @@ import (
 	"sort"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/swhh"
 	"hiddenhhh/internal/trace"
 )
@@ -43,23 +43,25 @@ type mass interface {
 }
 
 // Oracle retains a time-ordered trace and answers exact HHH queries over
-// arbitrary sub-spans and decay horizons of it.
+// arbitrary sub-spans and decay horizons of it. Packets outside the
+// hierarchy's address family are excluded from every aggregate, matching
+// the detectors' ingest-side family filter.
 type Oracle struct {
-	h    ipv4.Hierarchy
+	h    addr.Hierarchy
 	pkts []trace.Packet
 }
 
 // New builds an empty oracle over hierarchy h.
-func New(h ipv4.Hierarchy) *Oracle {
-	if h == (ipv4.Hierarchy{}) {
-		h = ipv4.NewHierarchy(ipv4.Byte)
+func New(h addr.Hierarchy) *Oracle {
+	if h == (addr.Hierarchy{}) {
+		h = addr.NewIPv4Hierarchy(addr.Byte)
 	}
 	return &Oracle{h: h}
 }
 
 // FromTrace builds an oracle preloaded with pkts (not copied; the caller
 // must not mutate the slice while the oracle is in use).
-func FromTrace(h ipv4.Hierarchy, pkts []trace.Packet) *Oracle {
+func FromTrace(h addr.Hierarchy, pkts []trace.Packet) *Oracle {
 	o := New(h)
 	o.pkts = pkts
 	return o
@@ -71,7 +73,7 @@ func (o *Oracle) Absorb(pkts []trace.Packet) {
 }
 
 // Hierarchy returns the configured hierarchy.
-func (o *Oracle) Hierarchy() ipv4.Hierarchy { return o.h }
+func (o *Oracle) Hierarchy() addr.Hierarchy { return o.h }
 
 // Packets returns the number of retained packets.
 func (o *Oracle) Packets() int { return len(o.pkts) }
@@ -83,17 +85,18 @@ func (o *Oracle) span(lo, hi int64) (i, j int) {
 	return i, j
 }
 
-// rollUp builds the per-level subtree aggregates above a leaf map: level 0
-// is the (already masked) leaf level, level l+1 sums each prefix's
-// children.
-func rollUp[V mass](h ipv4.Hierarchy, leaves map[ipv4.Addr]V) []map[ipv4.Addr]V {
-	levels := make([]map[ipv4.Addr]V, h.Levels())
+// rollUp builds the per-level subtree aggregates above a leaf map: level
+// 0 is the (already masked) leaf-key level, level l+1 sums each prefix's
+// children. Maps are keyed by the hierarchy's per-level uint64 keys (see
+// addr.Hierarchy.Key).
+func rollUp[V mass](h addr.Hierarchy, leaves map[uint64]V) []map[uint64]V {
+	levels := make([]map[uint64]V, h.Levels())
 	levels[0] = leaves
 	for l := 1; l < h.Levels(); l++ {
-		m := ipv4.Mask(h.Bits(l))
-		up := make(map[ipv4.Addr]V, len(levels[l-1])/2+1)
-		for addr, c := range levels[l-1] {
-			up[ipv4.Addr(uint32(addr)&m)] += c
+		m := h.KeyMask(l)
+		up := make(map[uint64]V, len(levels[l-1])/2+1)
+		for key, c := range levels[l-1] {
+			up[key&m] += c
 		}
 		levels[l] = up
 	}
@@ -101,15 +104,18 @@ func rollUp[V mass](h ipv4.Hierarchy, leaves map[ipv4.Addr]V) []map[ipv4.Addr]V 
 }
 
 // LevelCounts returns the exact per-prefix subtree byte volumes at every
-// hierarchy level (index 0 = /32 leaves, last = root) over packets with
-// lo <= Ts < hi, together with the total byte volume of the span.
-func (o *Oracle) LevelCounts(lo, hi int64) ([]map[ipv4.Addr]int64, int64) {
+// hierarchy level (index 0 = leaves, last = root) over in-family packets
+// with lo <= Ts < hi, together with the total byte volume of the span.
+func (o *Oracle) LevelCounts(lo, hi int64) ([]map[uint64]int64, int64) {
 	i, j := o.span(lo, hi)
-	leaves := make(map[ipv4.Addr]int64, (j-i)/4+1)
+	leaves := make(map[uint64]int64, (j-i)/4+1)
 	var total int64
 	for ; i < j; i++ {
+		if !o.h.Match(o.pkts[i].Src) {
+			continue
+		}
 		w := int64(o.pkts[i].Size)
-		leaves[o.pkts[i].Src] += w
+		leaves[o.h.Key(o.pkts[i].Src, 0)] += w
 		total += w
 	}
 	return rollUp(o.h, leaves), total
@@ -119,13 +125,16 @@ func (o *Oracle) LevelCounts(lo, hi int64) ([]map[ipv4.Addr]int64, int64) {
 // at time now — every packet with Ts <= now contributes
 // Size·exp(-(now-Ts)/tau), the law of tdbf.Exponential — and the total
 // decayed mass.
-func (o *Oracle) DecayedLevelCounts(now int64, tau time.Duration) ([]map[ipv4.Addr]float64, float64) {
+func (o *Oracle) DecayedLevelCounts(now int64, tau time.Duration) ([]map[uint64]float64, float64) {
 	_, j := o.span(math.MinInt64, now+1)
-	leaves := make(map[ipv4.Addr]float64, j/4+1)
+	leaves := make(map[uint64]float64, j/4+1)
 	var total float64
 	for i := 0; i < j; i++ {
+		if !o.h.Match(o.pkts[i].Src) {
+			continue
+		}
 		w := float64(o.pkts[i].Size) * math.Exp(-float64(now-o.pkts[i].Ts)/float64(tau))
-		leaves[o.pkts[i].Src] += w
+		leaves[o.h.Key(o.pkts[i].Src, 0)] += w
 		total += w
 	}
 	return rollUp(o.h, leaves), total
@@ -135,27 +144,27 @@ func (o *Oracle) DecayedLevelCounts(now int64, tau time.Duration) ([]map[ipv4.Ad
 // aggregates: a prefix is an HHH when its subtree volume minus the volume
 // claimed by descendant HHHs reaches T, and an HHH claims its whole
 // subtree upward.
-func conditionedSet[V mass](h ipv4.Hierarchy, levels []map[ipv4.Addr]V, T V) hhh.Set {
+func conditionedSet[V mass](h addr.Hierarchy, levels []map[uint64]V, T V) hhh.Set {
 	out := hhh.Set{}
 	unclaimed := levels[0]
 	for l := 0; l < len(levels); l++ {
-		var next map[ipv4.Addr]V
-		var parentMask uint32
+		var next map[uint64]V
+		var parentMask uint64
 		if l+1 < len(levels) {
-			next = make(map[ipv4.Addr]V, len(unclaimed)/2+1)
-			parentMask = ipv4.Mask(h.Bits(l + 1))
+			next = make(map[uint64]V, len(unclaimed)/2+1)
+			parentMask = h.KeyMask(l + 1)
 		}
-		for addr, cond := range unclaimed {
+		for key, cond := range unclaimed {
 			if cond >= T {
 				out.Add(hhh.Item{
-					Prefix:      ipv4.Prefix{Addr: addr, Bits: h.Bits(l)},
-					Count:       int64(levels[l][addr]),
+					Prefix:      h.PrefixOfKey(key, l),
+					Count:       int64(levels[l][key]),
 					Conditioned: int64(cond),
 				})
 				continue
 			}
 			if next != nil {
-				next[ipv4.Addr(uint32(addr)&parentMask)] += cond
+				next[key&parentMask] += cond
 			}
 		}
 		unclaimed = next
@@ -203,7 +212,8 @@ func (o *Oracle) DecayedSet(now int64, tau time.Duration, phi float64) (hhh.Set,
 // Miss is one coverage violation: a prefix the detector should have
 // reported under the checked bound but did not.
 type Miss struct {
-	Prefix ipv4.Prefix
+	// Prefix is the uncovered lattice prefix.
+	Prefix addr.Prefix
 	// Cond is the prefix's exact conditioned-given-output volume: its
 	// exact subtree volume minus the exact subtree volumes of its maximal
 	// descendants in the detector's report.
@@ -224,26 +234,25 @@ type Miss struct {
 // feeding the prefix's discount, so callers can widen the threshold by
 // one sketch error term per claim (a reported descendant's claim may
 // overestimate by up to εN, over-discounting its ancestors by the same).
-func uncovered[V mass](h ipv4.Hierarchy, levels []map[ipv4.Addr]V, got hhh.Set, need func(maximal int) V) []Miss {
+func uncovered[V mass](h addr.Hierarchy, levels []map[uint64]V, got hhh.Set, need func(maximal int) V) []Miss {
 	var misses []Miss
-	claims := map[ipv4.Addr]V{}
-	nclaims := map[ipv4.Addr]int{}
+	claims := map[uint64]V{}
+	nclaims := map[uint64]int{}
 	for l := 0; l < len(levels); l++ {
-		bits := h.Bits(l)
 		last := l+1 >= len(levels)
-		var parentMask uint32
-		var nextClaims map[ipv4.Addr]V
-		var nextN map[ipv4.Addr]int
+		var parentMask uint64
+		var nextClaims map[uint64]V
+		var nextN map[uint64]int
 		if !last {
-			parentMask = ipv4.Mask(h.Bits(l + 1))
-			nextClaims = make(map[ipv4.Addr]V, len(claims)/2+1)
-			nextN = make(map[ipv4.Addr]int, len(nclaims)/2+1)
+			parentMask = h.KeyMask(l + 1)
+			nextClaims = make(map[uint64]V, len(claims)/2+1)
+			nextN = make(map[uint64]int, len(nclaims)/2+1)
 		}
-		for addr, cnt := range levels[l] {
-			d := claims[addr]
-			dc := nclaims[addr]
+		for key, cnt := range levels[l] {
+			d := claims[key]
+			dc := nclaims[key]
 			cond := cnt - d
-			p := ipv4.Prefix{Addr: addr, Bits: bits}
+			p := h.PrefixOfKey(key, l)
 			reported := got.Contains(p)
 			if !reported && cond >= need(dc) {
 				misses = append(misses, Miss{
@@ -258,7 +267,7 @@ func uncovered[V mass](h ipv4.Hierarchy, levels []map[ipv4.Addr]V, got hhh.Set, 
 				up, upc = cnt, 1 // an HHH claims its whole exact subtree
 			}
 			if up > 0 || upc > 0 {
-				parent := ipv4.Addr(uint32(addr) & parentMask)
+				parent := key & parentMask
 				nextClaims[parent] += up
 				nextN[parent] += upc
 			}
@@ -269,11 +278,11 @@ func uncovered[V mass](h ipv4.Hierarchy, levels []map[ipv4.Addr]V, got hhh.Set, 
 }
 
 // UncoveredCounts is uncovered over exact byte aggregates.
-func UncoveredCounts(h ipv4.Hierarchy, levels []map[ipv4.Addr]int64, got hhh.Set, need func(maximal int) int64) []Miss {
+func UncoveredCounts(h addr.Hierarchy, levels []map[uint64]int64, got hhh.Set, need func(maximal int) int64) []Miss {
 	return uncovered(h, levels, got, need)
 }
 
 // UncoveredDecayed is uncovered over decayed float aggregates.
-func UncoveredDecayed(h ipv4.Hierarchy, levels []map[ipv4.Addr]float64, got hhh.Set, need func(maximal int) float64) []Miss {
+func UncoveredDecayed(h addr.Hierarchy, levels []map[uint64]float64, got hhh.Set, need func(maximal int) float64) []Miss {
 	return uncovered(h, levels, got, need)
 }

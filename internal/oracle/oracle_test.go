@@ -6,8 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/trace"
 )
 
@@ -19,7 +19,7 @@ func testTrace(seed int64, n, spanSec int) []trace.Packet {
 	for i := range pkts {
 		pkts[i] = trace.Packet{
 			Ts:   int64(i) * step,
-			Src:  ipv4.AddrFrom4(10, byte(rng.Intn(4)), byte(rng.Intn(8)), byte(rng.Intn(32))),
+			Src:  addr.From4(10, byte(rng.Intn(4)), byte(rng.Intn(8)), byte(rng.Intn(32))),
 			Size: uint32(40 + rng.Intn(1460)),
 		}
 	}
@@ -29,7 +29,7 @@ func testTrace(seed int64, n, spanSec int) []trace.Packet {
 // TestWindowSetMatchesExact cross-checks the oracle's conditioned pass
 // against the independently implemented hhh.Exact over the same window.
 func TestWindowSetMatchesExact(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	pkts := testTrace(1, 20000, 10)
 	o := FromTrace(h, pkts)
 	for _, win := range [][2]int64{
@@ -37,7 +37,7 @@ func TestWindowSetMatchesExact(t *testing.T) {
 		{int64(3 * time.Second), int64(7 * time.Second)},
 		{0, math.MaxInt64},
 	} {
-		counts := map[ipv4.Addr]int64{}
+		counts := map[addr.Addr]int64{}
 		var total int64
 		for i := range pkts {
 			if pkts[i].Ts >= win[0] && pkts[i].Ts < win[1] {
@@ -66,7 +66,7 @@ func TestWindowSetMatchesExact(t *testing.T) {
 
 // TestDecayedCounts pins the decayed aggregate against a direct sum.
 func TestDecayedCounts(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	pkts := testTrace(2, 5000, 5)
 	o := FromTrace(h, pkts)
 	tau := 2 * time.Second
@@ -117,11 +117,11 @@ func TestSlidingSpan(t *testing.T) {
 // lattice: claims propagate from maximal reported descendants only, and
 // the widened threshold grows with the number of such claims.
 func TestUncovered(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
-	a1 := ipv4.MustParseAddr("10.1.1.1")
-	a2 := ipv4.MustParseAddr("10.1.1.2")
-	b1 := ipv4.MustParseAddr("10.2.0.1")
-	leaves := map[ipv4.Addr]int64{a1: 100, a2: 80, b1: 60}
+	h := addr.NewIPv4Hierarchy(addr.Byte)
+	a1 := addr.MustParseAddr("10.1.1.1")
+	a2 := addr.MustParseAddr("10.1.1.2")
+	b1 := addr.MustParseAddr("10.2.0.1")
+	leaves := map[uint64]int64{h.Key(a1, 0): 100, h.Key(a2, 0): 80, h.Key(b1, 0): 60}
 	levels := rollUp(h, leaves)
 
 	// Nothing reported, flat threshold 90: only a1 (/32, 100) and the
@@ -146,7 +146,7 @@ func TestUncovered(t *testing.T) {
 	// The /32s under it are not conditioned by their parent's report
 	// (conditioning discounts descendants, not ancestors), so a1 still
 	// misses at the leaf level.
-	got := hhh.NewSet(hhh.Item{Prefix: ipv4.MustParsePrefix("10.1.1.0/24"), Count: 180, Conditioned: 180})
+	got := hhh.NewSet(hhh.Item{Prefix: addr.MustParsePrefix("10.1.1.0/24"), Count: 180, Conditioned: 180})
 	misses = UncoveredCounts(h, levels, got, func(int) int64 { return 90 })
 	if len(misses) != 1 || misses[0].Prefix.String() != "10.1.1.1/32" {
 		t.Fatalf("misses with /24 reported = %v, want only 10.1.1.1/32", misses)
@@ -158,8 +158,8 @@ func TestUncovered(t *testing.T) {
 	// maximal=2 that returns > 60 suppresses the /16's miss while
 	// the root still misses if its (also maximal=2) need is <= 60.
 	got = hhh.NewSet(
-		hhh.Item{Prefix: ipv4.Host(a1), Count: 100, Conditioned: 100},
-		hhh.Item{Prefix: ipv4.Host(a2), Count: 80, Conditioned: 80},
+		hhh.Item{Prefix: addr.Host(a1), Count: 100, Conditioned: 100},
+		hhh.Item{Prefix: addr.Host(a2), Count: 80, Conditioned: 80},
 	)
 	misses = UncoveredCounts(h, levels, got, func(maximal int) int64 {
 		if maximal != 0 && maximal != 2 {

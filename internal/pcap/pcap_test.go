@@ -9,31 +9,59 @@ import (
 	"path/filepath"
 	"testing"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/trace"
 )
 
+// mkPackets synthesises a deterministic dual-stack packet mix (roughly
+// half IPv4 frames, half IPv6) with family-appropriate protocols.
 func mkPackets(n int, seed int64) []trace.Packet {
 	rng := rand.New(rand.NewSource(seed))
 	pkts := make([]trace.Packet, n)
 	ts := int64(0)
 	for i := range pkts {
 		ts += rng.Int63n(1e7)
+		v6 := rng.Intn(2) == 1
 		proto := []uint8{trace.ProtoTCP, trace.ProtoUDP, trace.ProtoICMP}[rng.Intn(3)]
+		src, dst := addr.From4Uint32(rng.Uint32()), addr.From4Uint32(rng.Uint32())
+		minSize := 60
+		if v6 {
+			src = addr.FromParts(0x2001_0db8_0000_0000|rng.Uint64()&0xffff_ffff, rng.Uint64())
+			dst = addr.FromParts(0x2400_cb00_0000_0000|rng.Uint64()&0xffff_ffff, rng.Uint64())
+			if proto == trace.ProtoICMP {
+				proto = trace.ProtoICMPv6
+			}
+			// The synthesised v6 frame headers reach 74 bytes (TCP); sizes
+			// below that are floored on write and would not round-trip.
+			minSize = 74
+		}
 		pkts[i] = trace.Packet{
 			Ts:      ts,
-			Src:     ipv4.Addr(rng.Uint32()),
-			Dst:     ipv4.Addr(rng.Uint32()),
+			Src:     src,
+			Dst:     dst,
 			SrcPort: uint16(rng.Intn(65536)),
 			DstPort: uint16(rng.Intn(65536)),
 			Proto:   proto,
-			Size:    uint32(60 + rng.Intn(1400)),
+			Size:    uint32(minSize + rng.Intn(1400)),
 		}
-		if proto == trace.ProtoICMP {
+		if proto == trace.ProtoICMP || proto == trace.ProtoICMPv6 {
 			pkts[i].SrcPort, pkts[i].DstPort = 0, 0
 		}
 	}
 	return pkts
+}
+
+// mkPackets4 is mkPackets restricted to IPv4, for the v4-specific frame
+// layout tests.
+func mkPackets4(n int, seed int64) []trace.Packet {
+	pkts := mkPackets(2*n+16, seed)
+	out := pkts[:0]
+	for i := range pkts {
+		if pkts[i].Src.Is4() && len(out) < n {
+			out = append(out, pkts[i])
+		}
+	}
+	return out[:n]
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -97,7 +125,7 @@ func TestRoundTripFile(t *testing.T) {
 func TestChecksumValid(t *testing.T) {
 	// The checksum must make the 16-bit ones-complement sum of the
 	// header equal 0xffff.
-	pkts := mkPackets(1, 3)
+	pkts := mkPackets4(1, 3)
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	w.Write(&pkts[0])
@@ -116,7 +144,7 @@ func TestChecksumValid(t *testing.T) {
 	}
 }
 
-func TestSkipsNonIPv4(t *testing.T) {
+func TestSkipsNonIP(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	pkts := mkPackets(2, 4)
@@ -189,7 +217,7 @@ func TestRawLinkType(t *testing.T) {
 	if err := r.Next(&p); err != nil {
 		t.Fatal(err)
 	}
-	if p.Src != 0x0a000001 || p.Dst != 0x0a000002 || p.SrcPort != 1234 || p.DstPort != 53 {
+	if p.Src != addr.From4Uint32(0x0a000001) || p.Dst != addr.From4Uint32(0x0a000002) || p.SrcPort != 1234 || p.DstPort != 53 {
 		t.Errorf("decoded %+v", p)
 	}
 	if p.Ts != 1e9+500 || p.Size != 100 {
@@ -220,7 +248,7 @@ func TestBadCaptures(t *testing.T) {
 	// Truncated packet data.
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
-	pkts := mkPackets(1, 5)
+	pkts := mkPackets4(1, 5)
 	w.Write(&pkts[0])
 	w.Close()
 	trunc := buf.Bytes()[:len(buf.Bytes())-10]
@@ -292,5 +320,34 @@ func BenchmarkRead(b *testing.B) {
 				break
 			}
 		}
+	}
+}
+
+func TestMixedFamilyRoundTrip(t *testing.T) {
+	// A v4 source talking to a v6 destination (and vice versa) cannot be
+	// expressed in an IPv4 frame, but an IPv6 frame carries IPv4-mapped
+	// addresses losslessly — both directions must round-trip exactly.
+	pkts := []trace.Packet{
+		{Ts: 1, Src: addr.From4(10, 0, 0, 1), Dst: addr.MustParseAddr("2001:db8::7"), SrcPort: 1, DstPort: 2, Proto: trace.ProtoTCP, Size: 200},
+		{Ts: 2, Src: addr.MustParseAddr("2001:db8::7"), Dst: addr.From4(10, 0, 0, 1), SrcPort: 3, DstPort: 4, Proto: trace.ProtoUDP, Size: 200},
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := range pkts {
+		if err := w.Write(&pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Collect(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pkts[0] || got[1] != pkts[1] {
+		t.Fatalf("mixed-family round trip:\n got %+v\nwant %+v", got, pkts)
 	}
 }

@@ -50,10 +50,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/continuous"
 	"hiddenhhh/internal/hashx"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/swhh"
 	"hiddenhhh/internal/tdbf"
@@ -83,6 +83,7 @@ const (
 	ModeContinuous
 )
 
+// String names the mode ("windowed", "sliding", "continuous").
 func (m Mode) String() string {
 	switch m {
 	case ModeWindowed:
@@ -107,6 +108,7 @@ const (
 	KindRHHH
 )
 
+// String names the engine kind ("exact", "perlevel", "rhhh").
 func (k Kind) String() string {
 	switch k {
 	case KindExact:
@@ -174,8 +176,10 @@ type Config struct {
 	ExitRatio float64
 	// Sampled updates one random level per packet (ModeContinuous only).
 	Sampled bool
-	// Hierarchy defaults to byte granularity.
-	Hierarchy ipv4.Hierarchy
+	// Hierarchy is the prefix lattice every shard detects over
+	// (family, step, depth — see internal/addr). Defaults to the IPv4
+	// byte ladder.
+	Hierarchy addr.Hierarchy
 	// Seed drives KindRHHH sampling — shard i derives its own stream
 	// from it (shard 0 uses Seed itself, so a 1-shard pipeline reproduces
 	// the single-detector sequence exactly) — and the continuous mode's
@@ -218,8 +222,8 @@ func (c *Config) setDefaults() error {
 	if c.Counters <= 0 {
 		c.Counters = 512
 	}
-	if c.Hierarchy == (ipv4.Hierarchy{}) {
-		c.Hierarchy = ipv4.NewHierarchy(ipv4.Byte)
+	if c.Hierarchy == (addr.Hierarchy{}) {
+		c.Hierarchy = addr.NewIPv4Hierarchy(addr.Byte)
 	}
 	if c.Batch <= 0 {
 		c.Batch = 256
@@ -293,7 +297,7 @@ func newSummary(cfg *Config, shard int) (Summary, error) {
 // engine dispatch. It carries no time state: Advance is a no-op and Query
 // ignores now, thresholding against the accumulated window volume.
 type windowedSummary struct {
-	h   ipv4.Hierarchy
+	h   addr.Hierarchy
 	phi float64
 	pl  *hhh.PerLevel
 	rh  *hhh.RHHH
@@ -308,7 +312,9 @@ func (e *windowedSummary) UpdateBatch(pkts []trace.Packet) {
 		e.rh.UpdateBatch(pkts)
 	default:
 		for i := range pkts {
-			e.ex.Update(uint64(pkts[i].Src), int64(pkts[i].Size))
+			if e.h.Match(pkts[i].Src) {
+				e.ex.Update(e.h.Key(pkts[i].Src, 0), int64(pkts[i].Size))
+			}
 		}
 	}
 }
@@ -567,9 +573,11 @@ func (d *Sharded) completeBarrier(b *barrier) {
 	close(b.done)
 }
 
-// shardOf hash-partitions a source address onto a shard.
-func (d *Sharded) shardOf(src ipv4.Addr) int {
-	return hashx.Bucket(hashx.Mix64(uint64(src)), len(d.shards))
+// shardOf hash-partitions a source address onto a shard. Both 64-bit
+// halves feed the mix so IPv6 sources differing only below /64 — and
+// IPv4-mapped sources, which vary only in the low half — spread evenly.
+func (d *Sharded) shardOf(src addr.Addr) int {
+	return hashx.Bucket(hashx.Mix64(src.Hi()^hashx.Mix64(src.Lo())), len(d.shards))
 }
 
 // Observe implements the Detector ingest contract for one packet. After

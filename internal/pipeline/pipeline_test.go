@@ -5,11 +5,15 @@ import (
 	"testing"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
+
+// cfgHierarchy is the hierarchy the expectations are computed over: the
+// IPv4 byte ladder, the pipeline Config default.
+func cfgHierarchy() addr.Hierarchy { return addr.NewIPv4Hierarchy(addr.Byte) }
 
 // testStream builds a time-ordered skewed packet stream spanning roughly
 // spanSec seconds.
@@ -23,7 +27,7 @@ func testStream(seed int64, n int, spanSec int) []trace.Packet {
 		host := uint32(rng.Intn(40))
 		out[i] = trace.Packet{
 			Ts:   int64(i) * step,
-			Src:  ipv4.Addr(10<<24 | org<<16 | net<<8 | host),
+			Src:  addr.From4Uint32(10<<24 | org<<16 | net<<8 | host),
 			Size: uint32(40 + rng.Intn(1460)),
 		}
 	}
@@ -39,7 +43,7 @@ func TestShardedExactMatchesOffline(t *testing.T) {
 	const phi = 0.03
 	window := 2 * time.Second
 	pkts := testStream(1, 60000, 11)
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 
 	// Offline reference: aggregate each disjoint window, exact HHH.
 	width := int64(window)
@@ -51,7 +55,7 @@ func TestShardedExactMatchesOffline(t *testing.T) {
 			ex = sketch.NewExact(256)
 			byWindow[w] = ex
 		}
-		ex.Update(uint64(pkts[i].Src), int64(pkts[i].Size))
+		ex.Update(cfgHierarchy().Key(pkts[i].Src, 0), int64(pkts[i].Size))
 	}
 
 	for _, shards := range []int{1, 3, 4} {
@@ -208,11 +212,11 @@ func TestShardedIdleGap(t *testing.T) {
 	var pkts []trace.Packet
 	for i := 0; i < 2000; i++ { // burst A: windows 0..1
 		pkts = append(pkts, trace.Packet{
-			Ts: int64(i) * 2 * width / 2000, Src: ipv4.Addr(10<<24 | uint32(i%64)), Size: 1000})
+			Ts: int64(i) * 2 * width / 2000, Src: addr.From4Uint32(10<<24 | uint32(i%64)), Size: 1000})
 	}
 	for i := 0; i < 2000; i++ { // burst B after the gap
 		pkts = append(pkts, trace.Packet{
-			Ts: (2+gap)*width + int64(i)*width/2000, Src: ipv4.Addr(10<<24 | uint32(i%64)), Size: 1000})
+			Ts: (2+gap)*width + int64(i)*width/2000, Src: addr.From4Uint32(10<<24 | uint32(i%64)), Size: 1000})
 	}
 	var spans [][2]int64
 	var emptySets, dataSets int

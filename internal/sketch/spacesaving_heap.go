@@ -160,6 +160,8 @@ func (s *HeapSpaceSaving) GuaranteedKeys(threshold int64) []KV {
 // heap.Interface methods; Len above doubles as the heap length. Not for
 // external use.
 
+// Less implements heap.Interface: the eviction order (count, then
+// least-recently-grown).
 func (s *HeapSpaceSaving) Less(i, j int) bool {
 	a, b := &s.entries[i], &s.entries[j]
 	if a.count != b.count {
@@ -168,6 +170,7 @@ func (s *HeapSpaceSaving) Less(i, j int) bool {
 	return a.stamp < b.stamp
 }
 
+// Swap implements heap.Interface, keeping the key index in sync.
 func (s *HeapSpaceSaving) Swap(i, j int) {
 	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
 	s.index[s.entries[i].key] = i

@@ -10,7 +10,8 @@
 // of history. Where the original defines frames over a count-based window
 // of N items, this implementation defines them over time — the window
 // model the poster's experiments use — keeping the identical summary
-// mechanics; the deviation is documented here and in DESIGN.md.
+// mechanics; this doc comment is the authoritative note on the
+// deviation.
 //
 // A per-level wrapper (SlidingHHH) lifts the flat detector to hierarchical
 // heavy hitters, giving a streaming counterpart to the exact sliding-window
@@ -37,8 +38,8 @@ import (
 	"fmt"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
@@ -276,9 +277,10 @@ func (s *Sliding) Reset() {
 // streaming sliding-window hierarchical heavy hitters with the usual
 // conditioned-query semantics.
 type SlidingHHH struct {
-	h      ipv4.Hierarchy
+	h      addr.Hierarchy
 	levels []*Sliding
-	masks  []uint32 // per-level network masks, hoisted out of the hot path
+	masks  []uint64 // per-level key masks, hoisted out of the hot path
+	high   bool     // which address half keys come from, ditto
 	// Reusable query scratch: per-level candidate dedup plus the shared
 	// conditioned pass's discount tables, cleared in place per query.
 	seen map[uint64]struct{}
@@ -286,11 +288,12 @@ type SlidingHHH struct {
 }
 
 // NewSlidingHHH builds a per-level sliding HHH detector.
-func NewSlidingHHH(h ipv4.Hierarchy, cfg Config) (*SlidingHHH, error) {
+func NewSlidingHHH(h addr.Hierarchy, cfg Config) (*SlidingHHH, error) {
 	d := &SlidingHHH{
 		h:      h,
 		levels: make([]*Sliding, h.Levels()),
-		masks:  make([]uint32, h.Levels()),
+		masks:  make([]uint64, h.Levels()),
+		high:   h.KeyFromHigh(),
 		seen:   make(map[uint64]struct{}, 64),
 		qs:     hhh.NewQueryScratch(),
 	}
@@ -300,19 +303,29 @@ func NewSlidingHHH(h ipv4.Hierarchy, cfg Config) (*SlidingHHH, error) {
 			return nil, err
 		}
 		d.levels[l] = s
-		d.masks[l] = ipv4.Mask(h.Bits(l))
+		d.masks[l] = h.KeyMask(l)
 	}
 	return d, nil
 }
 
-// Update feeds one packet's source and byte size at time now.
-func (d *SlidingHHH) Update(src ipv4.Addr, bytes int64, now int64) {
+// Update feeds one packet's source and byte size at time now. Packets
+// outside the hierarchy's address family are dropped (see
+// addr.Hierarchy.Match), so the detector can sit on a dual-stack stream.
+func (d *SlidingHHH) Update(src addr.Addr, bytes int64, now int64) {
+	if !d.h.Match(src) {
+		return
+	}
+	half := src.Lo()
+	if d.high {
+		half = src.Hi()
+	}
 	for l, m := range d.masks {
-		d.levels[l].Update(uint64(uint32(src)&m), bytes, now)
+		d.levels[l].Update(half&m, bytes, now)
 	}
 }
 
-// UpdateBatch feeds a run of time-ordered packets. Packets are chunked by
+// UpdateBatch feeds a run of time-ordered packets, skipping packets
+// outside the hierarchy's address family. Packets are chunked by
 // frame so each chunk advances the frame ring once per level and then
 // applies its updates level-major into the current frame — the same final
 // state as per-packet Update calls, at a fraction of the call overhead.
@@ -327,7 +340,9 @@ func (d *SlidingHHH) UpdateBatch(pkts []trace.Packet) {
 		chunk := pkts[i:j]
 		var bytes int64
 		for c := range chunk {
-			bytes += int64(chunk[c].Size)
+			if d.h.Match(chunk[c].Src) {
+				bytes += int64(chunk[c].Size)
+			}
 		}
 		for l, lv := range d.levels {
 			lv.advance(chunk[0].Ts)
@@ -335,7 +350,14 @@ func (d *SlidingHHH) UpdateBatch(pkts []trace.Packet) {
 			f := lv.frames[slot]
 			m := d.masks[l]
 			for c := range chunk {
-				f.Update(uint64(uint32(chunk[c].Src)&m), int64(chunk[c].Size))
+				if !d.h.Match(chunk[c].Src) {
+					continue
+				}
+				half := chunk[c].Src.Lo()
+				if d.high {
+					half = chunk[c].Src.Hi()
+				}
+				f.Update(half&m, int64(chunk[c].Size))
 			}
 			lv.totals[slot] += bytes
 		}
@@ -354,7 +376,7 @@ func (d *SlidingHHH) Query(phi float64, now int64) hhh.Set {
 	total := d.levels[0].WindowTotal(now)
 	threshold := hhh.Threshold(total, phi)
 	return hhh.ConditionedLevels(d.h, threshold, d.qs,
-		func(l int, emit func(addr ipv4.Addr, est int64)) {
+		func(l int, emit func(key uint64, est int64)) {
 			lv := d.levels[l]
 			clear(d.seen)
 			// Candidates: every key any frame tracks at this level, each
@@ -365,7 +387,7 @@ func (d *SlidingHHH) Query(phi float64, now int64) hhh.Set {
 						return
 					}
 					d.seen[key] = struct{}{}
-					emit(ipv4.Addr(key), lv.estimate(key))
+					emit(key, lv.estimate(key))
 				})
 			}
 		})

@@ -5,8 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
@@ -51,14 +51,14 @@ func TestEpochTimestampFirstPacket(t *testing.T) {
 	}
 	// And the hierarchical wrapper must survive the same first packet
 	// through both ingest paths.
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	d, err := NewSlidingHHH(h, Config{Window: time.Second, Frames: 8, Counters: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
 	start = time.Now()
-	d.Update(ipv4.MustParseAddr("10.1.2.3"), 100, epoch)
-	d.UpdateBatch([]trace.Packet{{Ts: epoch + 1, Src: ipv4.MustParseAddr("10.1.2.4"), Size: 50}})
+	d.Update(addr.MustParseAddr("10.1.2.3"), 100, epoch)
+	d.UpdateBatch([]trace.Packet{{Ts: epoch + 1, Src: addr.MustParseAddr("10.1.2.4"), Size: 50}})
 	if el := time.Since(start); el > time.Second {
 		t.Fatalf("SlidingHHH epoch ingest took %v", el)
 	}
@@ -221,18 +221,18 @@ func TestResetAndSize(t *testing.T) {
 func TestSlidingHHHDetectsBoundaryBurst(t *testing.T) {
 	// The motivating scenario: a burst across what would be a disjoint
 	// window boundary is visible to the sliding detector at all times.
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	d, err := NewSlidingHHH(h, Config{Window: 2 * time.Second, Frames: 8, Counters: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2))
-	attacker := ipv4.MustParseAddr("203.0.113.7")
+	attacker := addr.MustParseAddr("203.0.113.7")
 	now := int64(0)
 	var atBoundary hhh.Set
 	for i := 0; i < 40000; i++ { // 20 s at 2000 pps
 		now += sec / 2000
-		d.Update(ipv4.Addr(rng.Uint32()), 500, now)
+		d.Update(addr.From4Uint32(rng.Uint32()), 500, now)
 		if now > 9500*int64(time.Millisecond) && now < 10500*int64(time.Millisecond) {
 			d.Update(attacker, 1000, now)
 		}
@@ -242,11 +242,11 @@ func TestSlidingHHHDetectsBoundaryBurst(t *testing.T) {
 			atBoundary = d.Query(0.05, now)
 		}
 	}
-	if !atBoundary.Contains(ipv4.Host(attacker)) {
+	if !atBoundary.Contains(addr.Host(attacker)) {
 		t.Fatalf("sliding HHH missed mid-burst attacker: %v", atBoundary)
 	}
 	// Long after the burst, the attacker must have expired.
-	if final := d.Query(0.05, now); final.Contains(ipv4.Host(attacker)) {
+	if final := d.Query(0.05, now); final.Contains(addr.Host(attacker)) {
 		t.Fatalf("attacker still reported 10 s after burst: %v", final)
 	}
 	if d.SizeBytes() <= 0 {
@@ -257,12 +257,12 @@ func TestSlidingHHHDetectsBoundaryBurst(t *testing.T) {
 func TestSlidingHHHConditioning(t *testing.T) {
 	// One host dominating its /24: the host should be reported, the /24
 	// conditioned away.
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	d, err := NewSlidingHHH(h, Config{Window: time.Second, Frames: 4, Counters: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy := ipv4.MustParseAddr("10.1.2.3")
+	heavy := addr.MustParseAddr("10.1.2.3")
 	rng := rand.New(rand.NewSource(3))
 	now := int64(0)
 	for i := 0; i < 10000; i++ {
@@ -270,14 +270,14 @@ func TestSlidingHHHConditioning(t *testing.T) {
 		if i%3 == 0 {
 			d.Update(heavy, 1000, now)
 		} else {
-			d.Update(ipv4.Addr(rng.Uint32()), 500, now)
+			d.Update(addr.From4Uint32(rng.Uint32()), 500, now)
 		}
 	}
 	set := d.Query(0.1, now)
-	if !set.Contains(ipv4.Host(heavy)) {
+	if !set.Contains(addr.Host(heavy)) {
 		t.Fatalf("heavy host missing: %v", set)
 	}
-	if set.Contains(ipv4.MustParsePrefix("10.1.2.0/24")) {
+	if set.Contains(addr.MustParsePrefix("10.1.2.0/24")) {
 		t.Fatalf("/24 not conditioned away: %v", set)
 	}
 }
@@ -374,7 +374,7 @@ func TestSlidingMergeConfigMismatch(t *testing.T) {
 // querying reproduces the original's HHH set exactly (the K=1 sharded
 // case).
 func TestSlidingHHHMergeIdentity(t *testing.T) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	cfg := Config{Window: time.Second, Frames: 4, Counters: 128}
 	src, err := NewSlidingHHH(h, cfg)
 	if err != nil {
@@ -385,9 +385,9 @@ func TestSlidingHHHMergeIdentity(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		now += int64(50 * time.Microsecond)
 		if i%3 == 0 {
-			src.Update(ipv4.MustParseAddr("10.1.2.3"), 900, now)
+			src.Update(addr.MustParseAddr("10.1.2.3"), 900, now)
 		} else {
-			src.Update(ipv4.Addr(rng.Uint32()), 400, now)
+			src.Update(addr.From4Uint32(rng.Uint32()), 400, now)
 		}
 	}
 	src.Advance(now)
@@ -419,13 +419,13 @@ func BenchmarkSlidingUpdate(b *testing.B) {
 }
 
 func BenchmarkSlidingHHHUpdate(b *testing.B) {
-	h := ipv4.NewHierarchy(ipv4.Byte)
+	h := addr.NewIPv4Hierarchy(addr.Byte)
 	d, err := NewSlidingHHH(h, Config{Window: time.Second, Frames: 8, Counters: 512})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		d.Update(ipv4.Addr(uint32(i)*2654435761), 1000, int64(i)*1000)
+		d.Update(addr.From4Uint32(uint32(i)*2654435761), 1000, int64(i)*1000)
 	}
 }

@@ -69,6 +69,7 @@ func (e Exponential) Apply(v float64, dt time.Duration) float64 {
 // Horizon implements Decay.
 func (e Exponential) Horizon() time.Duration { return e.Tau }
 
+// String renders the decay law with its horizon.
 func (e Exponential) String() string { return fmt.Sprintf("exp(tau=%v)", e.Tau) }
 
 // LeakyLinear drains mass at a constant Rate (units per second), clamping
@@ -94,6 +95,7 @@ func (l LeakyLinear) Apply(v float64, dt time.Duration) float64 {
 // configure thresholds in absolute mass, so Horizon reports zero.
 func (l LeakyLinear) Horizon() time.Duration { return 0 }
 
+// String renders the decay law with its rate.
 func (l LeakyLinear) String() string { return fmt.Sprintf("leaky(rate=%g/s)", l.Rate) }
 
 type cell struct {

@@ -8,35 +8,42 @@ import (
 	"io"
 	"os"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
 // Binary trace format.
 //
-// A trace file is a 16-byte header followed by fixed-width little-endian
-// records:
+// A trace file is a 16-byte header followed by fixed-width records:
 //
-//	header:  magic "HHHT" | u16 version | u16 reserved | u64 packet count
-//	                                                     (0 if unknown)
-//	record:  i64 ts | u32 src | u32 dst | u16 sport | u16 dport |
-//	         u8 proto | u8 pad | u32 size            (26 bytes)
+//	header:     magic "HHHT" | u16 version | u16 reserved | u64 packet
+//	            count (0 if unknown)
+//	v2 record:  i64 ts | 16B src | 16B dst | u16 sport | u16 dport |
+//	            u8 proto | u8 pad | u32 size             (50 bytes)
+//	v1 record:  i64 ts | u32 src | u32 dst | u16 sport | u16 dport |
+//	            u8 proto | u8 pad | u32 size             (26 bytes)
 //
-// The fixed layout keeps readers allocation-free and makes record N
-// seekable at offset 16 + 26*N.
+// Scalar fields are little-endian; the version-2 addresses are the
+// 16-byte big-endian (network order) form of internal/addr, so records
+// are greppable against tcpdump-style output. Version 1 is the legacy
+// IPv4-only layout; readers accept it (addresses surface IPv4-mapped)
+// and writers always produce version 2. The fixed layout keeps readers
+// allocation-free and makes record N seekable at offset 16 + recordSize*N.
 
 const (
-	formatMagic   = "HHHT"
-	formatVersion = 1
-	headerSize    = 16
-	recordSize    = 26
+	formatMagic     = "HHHT"
+	formatVersion   = 2
+	formatVersionV1 = 1
+	headerSize      = 16
+	recordSize      = 50
+	recordSizeV1    = 26
 )
 
 // ErrBadFormat reports a malformed trace file.
 var ErrBadFormat = errors.New("trace: bad file format")
 
-// Writer streams packets into the binary trace format. Close flushes
-// buffers and backpatches the packet count when the underlying stream is
-// seekable.
+// Writer streams packets into the binary trace format (always the current
+// version 2). Close flushes buffers and backpatches the packet count when
+// the underlying stream is seekable.
 type Writer struct {
 	w     *bufio.Writer
 	raw   io.Writer
@@ -61,13 +68,14 @@ func NewWriter(w io.Writer) (*Writer, error) {
 func (tw *Writer) Write(p *Packet) error {
 	b := tw.buf[:]
 	binary.LittleEndian.PutUint64(b[0:8], uint64(p.Ts))
-	binary.LittleEndian.PutUint32(b[8:12], uint32(p.Src))
-	binary.LittleEndian.PutUint32(b[12:16], uint32(p.Dst))
-	binary.LittleEndian.PutUint16(b[16:18], p.SrcPort)
-	binary.LittleEndian.PutUint16(b[18:20], p.DstPort)
-	b[20] = p.Proto
-	b[21] = 0
-	binary.LittleEndian.PutUint32(b[22:26], p.Size)
+	src, dst := p.Src.As16(), p.Dst.As16()
+	copy(b[8:24], src[:])
+	copy(b[24:40], dst[:])
+	binary.LittleEndian.PutUint16(b[40:42], p.SrcPort)
+	binary.LittleEndian.PutUint16(b[42:44], p.DstPort)
+	b[44] = p.Proto
+	b[45] = 0
+	binary.LittleEndian.PutUint32(b[46:50], p.Size)
 	if _, err := tw.w.Write(b); err != nil {
 		return fmt.Errorf("trace: writing record: %w", err)
 	}
@@ -100,13 +108,14 @@ func (tw *Writer) Close() error {
 	return nil
 }
 
-// Reader streams packets from the binary trace format. It implements
-// Source.
+// Reader streams packets from the binary trace format, either version. It
+// implements Source.
 type Reader struct {
-	r     *bufio.Reader
-	count uint64 // declared in header; 0 means unknown
-	read  uint64
-	buf   [recordSize]byte
+	r       *bufio.Reader
+	version uint16
+	count   uint64 // declared in header; 0 means unknown
+	read    uint64
+	buf     [recordSize]byte
 }
 
 // NewReader validates the header of r and returns a Reader.
@@ -119,12 +128,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(hdr[:4]) != formatMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	tr.version = binary.LittleEndian.Uint16(hdr[4:6])
+	if tr.version != formatVersion && tr.version != formatVersionV1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, tr.version)
 	}
 	tr.count = binary.LittleEndian.Uint64(hdr[8:16])
 	return tr, nil
 }
+
+// Version returns the format version declared by the file header (1 or 2).
+func (tr *Reader) Version() uint16 { return tr.version }
 
 // DeclaredCount returns the packet count recorded in the header, or 0 when
 // the producer could not backpatch it (non-seekable output).
@@ -132,7 +145,10 @@ func (tr *Reader) DeclaredCount() uint64 { return tr.count }
 
 // Next implements Source.
 func (tr *Reader) Next(p *Packet) error {
-	b := tr.buf[:]
+	if tr.version == formatVersionV1 {
+		return tr.nextV1(p)
+	}
+	b := tr.buf[:recordSize]
 	if _, err := io.ReadFull(tr.r, b); err != nil {
 		if errors.Is(err, io.EOF) {
 			return io.EOF
@@ -140,8 +156,29 @@ func (tr *Reader) Next(p *Packet) error {
 		return fmt.Errorf("%w: truncated record %d: %v", ErrBadFormat, tr.read, err)
 	}
 	p.Ts = int64(binary.LittleEndian.Uint64(b[0:8]))
-	p.Src = ipv4.Addr(binary.LittleEndian.Uint32(b[8:12]))
-	p.Dst = ipv4.Addr(binary.LittleEndian.Uint32(b[12:16]))
+	p.Src = addr.From16([16]byte(b[8:24]))
+	p.Dst = addr.From16([16]byte(b[24:40]))
+	p.SrcPort = binary.LittleEndian.Uint16(b[40:42])
+	p.DstPort = binary.LittleEndian.Uint16(b[42:44])
+	p.Proto = b[44]
+	p.Size = binary.LittleEndian.Uint32(b[46:50])
+	tr.read++
+	return nil
+}
+
+// nextV1 decodes one legacy 26-byte IPv4 record; addresses surface in
+// their IPv4-mapped form.
+func (tr *Reader) nextV1(p *Packet) error {
+	b := tr.buf[:recordSizeV1]
+	if _, err := io.ReadFull(tr.r, b); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: truncated record %d: %v", ErrBadFormat, tr.read, err)
+	}
+	p.Ts = int64(binary.LittleEndian.Uint64(b[0:8]))
+	p.Src = addr.From4Uint32(binary.LittleEndian.Uint32(b[8:12]))
+	p.Dst = addr.From4Uint32(binary.LittleEndian.Uint32(b[12:16]))
 	p.SrcPort = binary.LittleEndian.Uint16(b[16:18])
 	p.DstPort = binary.LittleEndian.Uint16(b[18:20])
 	p.Proto = b[20]

@@ -8,7 +8,7 @@ import (
 	"os"
 	"testing"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
 // validTraceBytes serialises pkts through the production Writer.
@@ -33,14 +33,18 @@ func validTraceBytes(t testing.TB, pkts []Packet) []byte {
 // FuzzTraceReader feeds arbitrary bytes to the binary trace parser: it
 // must either reject the stream or decode records, never panic, and
 // never allocate proportionally to an attacker-declared header count.
+// The corpus seeds both record layouts — current v2 (dual-stack 50-byte
+// records) and legacy v1 (IPv4 26-byte records) — plus the usual header
+// corruptions.
 func FuzzTraceReader(f *testing.F) {
-	// Seed corpus: a valid 3-packet trace, an empty valid trace, a
-	// truncated header, a bad magic, an unsupported version, a huge
-	// declared count over a single record, and a truncated record.
+	// Seed corpus: a valid dual-stack 3-packet trace, an empty valid
+	// trace, a truncated header, a bad magic, an unsupported version, a
+	// huge declared count over a single record, a truncated record, and
+	// a legacy v1 stream.
 	valid := validTraceBytes(f, []Packet{
-		{Ts: 1, Src: 0x0a000001, Dst: 0x0a000002, SrcPort: 80, DstPort: 443, Proto: ProtoTCP, Size: 1500},
-		{Ts: 2, Src: 0x0a000003, Size: 40},
-		{Ts: 3, Src: 0xffffffff, Dst: 0xffffffff, Proto: ProtoICMP, Size: 0},
+		{Ts: 1, Src: addr.From4(10, 0, 0, 1), Dst: addr.From4(10, 0, 0, 2), SrcPort: 80, DstPort: 443, Proto: ProtoTCP, Size: 1500},
+		{Ts: 2, Src: addr.MustParseAddr("2001:db8::1"), Dst: addr.MustParseAddr("2400:cb00::2"), SrcPort: 1234, DstPort: 53, Proto: ProtoUDP, Size: 80},
+		{Ts: 3, Src: addr.From4(255, 255, 255, 255), Dst: addr.MustParseAddr("ff02::1"), Proto: ProtoICMP, Size: 0},
 	})
 	f.Add(valid)
 	f.Add(validTraceBytes(f, nil))
@@ -55,6 +59,14 @@ func FuzzTraceReader(f *testing.F) {
 	binary.LittleEndian.PutUint64(hugeCount[8:16], 1<<60)
 	f.Add(hugeCount)
 	f.Add(valid[:len(valid)-5])
+	f.Add(v1TraceBytes([]Packet{
+		{Ts: 7, Src: addr.From4(198, 51, 100, 7), Dst: addr.From4(10, 9, 8, 7), SrcPort: 443, DstPort: 50000, Proto: ProtoTCP, Size: 64},
+	}))
+	// A v1 header over v2-sized records: the reader must treat the tail
+	// as v1 records or reject, never crash.
+	mixed := bytes.Clone(valid)
+	binary.LittleEndian.PutUint16(mixed[4:6], 1)
+	f.Add(mixed)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := NewReader(bytes.NewReader(data))
@@ -81,14 +93,15 @@ func FuzzTraceReader(f *testing.F) {
 }
 
 // FuzzTraceRoundTrip drives the writer/reader pair with arbitrary field
-// values: every packet must survive the 26-byte record encoding exactly.
+// values across the full 128-bit address space: every packet must
+// survive the 50-byte record encoding exactly.
 func FuzzTraceRoundTrip(f *testing.F) {
-	f.Add(int64(0), uint32(0), uint32(0), uint16(0), uint16(0), uint8(0), uint32(0))
-	f.Add(int64(1e18), uint32(0xffffffff), uint32(1), uint16(65535), uint16(53), uint8(ProtoUDP), uint32(0xffffffff))
-	f.Add(int64(-5), uint32(7), uint32(9), uint16(1), uint16(2), uint8(255), uint32(40))
-	f.Fuzz(func(t *testing.T, ts int64, src, dst uint32, sport, dport uint16, proto uint8, size uint32) {
+	f.Add(int64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint16(0), uint16(0), uint8(0), uint32(0))
+	f.Add(int64(1e18), uint64(0), uint64(0xffff_ffffffff), uint64(0), uint64(0xffff_00000001), uint16(65535), uint16(53), uint8(ProtoUDP), uint32(0xffffffff))
+	f.Add(int64(-5), uint64(0x2001_0db8_0000_0000), uint64(1), uint64(0x2400_cb00_0000_0000), uint64(2), uint16(1), uint16(2), uint8(255), uint32(40))
+	f.Fuzz(func(t *testing.T, ts int64, srcHi, srcLo, dstHi, dstLo uint64, sport, dport uint16, proto uint8, size uint32) {
 		in := Packet{
-			Ts: ts, Src: ipv4.Addr(src), Dst: ipv4.Addr(dst),
+			Ts: ts, Src: addr.FromParts(srcHi, srcLo), Dst: addr.FromParts(dstHi, dstLo),
 			SrcPort: sport, DstPort: dport, Proto: proto, Size: size,
 		}
 		data := validTraceBytes(t, []Packet{in})
@@ -118,7 +131,7 @@ func FuzzTraceRoundTrip(f *testing.F) {
 // header declares 2^60 records but carries one must load that record
 // without attempting a header-sized allocation.
 func TestReadFileHugeDeclaredCount(t *testing.T) {
-	data := validTraceBytes(t, []Packet{{Ts: 42, Src: 1, Size: 99}})
+	data := validTraceBytes(t, []Packet{{Ts: 42, Src: addr.From4Uint32(1), Size: 99}})
 	binary.LittleEndian.PutUint64(data[8:16], 1<<60)
 	path := t.TempDir() + "/huge.trace"
 	if err := os.WriteFile(path, data, 0o644); err != nil {

@@ -4,21 +4,31 @@ import (
 	"fmt"
 	"time"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
 // Stats summarises a trace: the sanity numbers printed by cmd/tracegen and
 // checked by the experiment preflight.
 type Stats struct {
-	Packets      int
-	Bytes        int64
-	FirstTs      int64
-	LastTs       int64
-	DistinctSrc  int
-	DistinctDst  int
+	// Packets is the record count; Bytes the summed wire lengths.
+	Packets int
+	Bytes   int64
+	// FirstTs and LastTs are the first and last record timestamps (ns).
+	FirstTs int64
+	LastTs  int64
+	// DistinctSrc and DistinctDst count distinct addresses seen on each
+	// side, both families combined.
+	DistinctSrc int
+	DistinctDst int
+	// V4Packets and V6Packets split the record count by source address
+	// family — the dual-stack sanity number.
+	V4Packets int
+	V6Packets int
+	// ProtoPackets counts records per IP protocol number.
 	ProtoPackets map[uint8]int
-	MinSize      uint32
-	MaxSize      uint32
+	// MinSize and MaxSize bound the observed wire lengths.
+	MinSize uint32
+	MaxSize uint32
 }
 
 // Duration is the time span covered by the trace.
@@ -50,8 +60,9 @@ func (s Stats) BitRate() float64 {
 // String renders a one-paragraph human-readable summary.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"packets=%d bytes=%d duration=%v pps=%.0f bps=%.3g srcs=%d dsts=%d sizes=[%d,%d]",
-		s.Packets, s.Bytes, s.Duration().Round(time.Millisecond),
+		"packets=%d (v4=%d v6=%d) bytes=%d duration=%v pps=%.0f bps=%.3g srcs=%d dsts=%d sizes=[%d,%d]",
+		s.Packets, s.V4Packets, s.V6Packets, s.Bytes,
+		s.Duration().Round(time.Millisecond),
 		s.PacketRate(), s.BitRate(), s.DistinctSrc, s.DistinctDst,
 		s.MinSize, s.MaxSize)
 }
@@ -59,8 +70,8 @@ func (s Stats) String() string {
 // ComputeStats makes a full pass over src and accumulates Stats.
 func ComputeStats(src Source) (Stats, error) {
 	s := Stats{ProtoPackets: map[uint8]int{}, MinSize: ^uint32(0)}
-	srcs := map[ipv4.Addr]struct{}{}
-	dsts := map[ipv4.Addr]struct{}{}
+	srcs := map[addr.Addr]struct{}{}
+	dsts := map[addr.Addr]struct{}{}
 	first := true
 	err := ForEach(src, func(p *Packet) error {
 		if first {
@@ -69,6 +80,11 @@ func ComputeStats(src Source) (Stats, error) {
 		}
 		s.LastTs = p.Ts
 		s.Packets++
+		if p.Src.Is4() {
+			s.V4Packets++
+		} else {
+			s.V6Packets++
+		}
 		s.Bytes += int64(p.Size)
 		s.ProtoPackets[p.Proto]++
 		srcs[p.Src] = struct{}{}

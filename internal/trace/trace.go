@@ -5,24 +5,28 @@
 // A trace is a time-ordered sequence of Packet records. The experiments in
 // the paper consume one-hour Tier-1 ISP captures; this package's format
 // stores the handful of header fields those experiments need (timestamps,
-// addresses, ports, protocol, wire length) at 26 bytes per packet instead
-// of retaining full payloads.
+// addresses, ports, protocol, wire length) at 50 bytes per packet instead
+// of retaining full payloads. Addresses are the dual-stack 128-bit keys of
+// internal/addr, so one record layout carries IPv4 (IPv4-mapped) and IPv6
+// traffic alike; the reader also accepts the legacy IPv4-only version-1
+// files earlier revisions wrote.
 package trace
 
 import (
 	"time"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
 // Packet is a single observed packet. Timestamps are nanoseconds since an
 // arbitrary trace epoch; only differences matter to the algorithms. Size is
 // the wire length in bytes, the quantity all byte-threshold experiments
-// aggregate.
+// aggregate. Src and Dst are 128-bit dual-stack addresses (IPv4 is carried
+// IPv4-mapped; see internal/addr).
 type Packet struct {
 	Ts      int64 // nanoseconds since trace epoch
-	Src     ipv4.Addr
-	Dst     ipv4.Addr
+	Src     addr.Addr
+	Dst     addr.Addr
 	SrcPort uint16
 	DstPort uint16
 	Proto   uint8
@@ -31,9 +35,15 @@ type Packet struct {
 
 // Common IANA protocol numbers for synthesised traffic.
 const (
+	// ProtoICMP is IPv4 ICMP (protocol 1).
 	ProtoICMP = 1
-	ProtoTCP  = 6
-	ProtoUDP  = 17
+	// ProtoTCP is TCP (protocol 6).
+	ProtoTCP = 6
+	// ProtoUDP is UDP (protocol 17).
+	ProtoUDP = 17
+	// ProtoICMPv6 is ICMPv6 (protocol 58), the v6 counterpart of
+	// ProtoICMP.
+	ProtoICMPv6 = 58
 )
 
 // Time converts a packet timestamp to a duration since the trace epoch.
@@ -50,5 +60,6 @@ type Source interface {
 
 // Sink consumes packets, e.g. a file writer or an in-memory collector.
 type Sink interface {
+	// Write stores or forwards one packet record.
 	Write(p *Packet) error
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
@@ -10,19 +11,27 @@ import (
 	"testing"
 	"testing/quick"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 )
 
+// mkPackets synthesises a deterministic dual-stack packet mix: roughly
+// half IPv4-mapped sources, half native IPv6 ones, so every format and
+// source test exercises both families.
 func mkPackets(n int, seed int64) []Packet {
 	rng := rand.New(rand.NewSource(seed))
 	pkts := make([]Packet, n)
 	ts := int64(0)
 	for i := range pkts {
 		ts += rng.Int63n(1e6)
+		src, dst := addr.From4Uint32(rng.Uint32()), addr.From4Uint32(rng.Uint32())
+		if rng.Intn(2) == 1 {
+			src = addr.FromParts(0x2001_0db8_0000_0000|rng.Uint64()&0xffff_ffff, rng.Uint64())
+			dst = addr.FromParts(0x2400_cb00_0000_0000|rng.Uint64()&0xffff_ffff, rng.Uint64())
+		}
 		pkts[i] = Packet{
 			Ts:      ts,
-			Src:     ipv4.Addr(rng.Uint32()),
-			Dst:     ipv4.Addr(rng.Uint32()),
+			Src:     src,
+			Dst:     dst,
 			SrcPort: uint16(rng.Intn(65536)),
 			DstPort: uint16(rng.Intn(65536)),
 			Proto:   uint8([]int{ProtoTCP, ProtoUDP, ProtoICMP}[rng.Intn(3)]),
@@ -227,8 +236,8 @@ func TestFormatRoundTripFile(t *testing.T) {
 }
 
 func TestFormatQuickRoundTrip(t *testing.T) {
-	f := func(ts int64, src, dst uint32, sp, dp uint16, proto uint8, size uint32) bool {
-		in := Packet{Ts: ts, Src: ipv4.Addr(src), Dst: ipv4.Addr(dst),
+	f := func(ts int64, srcHi, srcLo, dstHi, dstLo uint64, sp, dp uint16, proto uint8, size uint32) bool {
+		in := Packet{Ts: ts, Src: addr.FromParts(srcHi, srcLo), Dst: addr.FromParts(dstHi, dstLo),
 			SrcPort: sp, DstPort: dp, Proto: proto, Size: size}
 		var buf bytes.Buffer
 		w, err := NewWriter(&buf)
@@ -284,11 +293,58 @@ func TestFormatErrors(t *testing.T) {
 	}
 }
 
+// v1TraceBytes hand-assembles a legacy version-1 (IPv4-only, 26-byte
+// record) trace stream.
+func v1TraceBytes(pkts []Packet) []byte {
+	buf := make([]byte, headerSize, headerSize+recordSizeV1*len(pkts))
+	copy(buf[:4], formatMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], formatVersionV1)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(pkts)))
+	for i := range pkts {
+		var rec [recordSizeV1]byte
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(pkts[i].Ts))
+		binary.LittleEndian.PutUint32(rec[8:12], pkts[i].Src.V4())
+		binary.LittleEndian.PutUint32(rec[12:16], pkts[i].Dst.V4())
+		binary.LittleEndian.PutUint16(rec[16:18], pkts[i].SrcPort)
+		binary.LittleEndian.PutUint16(rec[18:20], pkts[i].DstPort)
+		rec[20] = pkts[i].Proto
+		binary.LittleEndian.PutUint32(rec[22:26], pkts[i].Size)
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+func TestFormatReadsLegacyV1(t *testing.T) {
+	want := []Packet{
+		{Ts: 5, Src: addr.From4(10, 1, 2, 3), Dst: addr.From4(192, 0, 2, 9), SrcPort: 80, DstPort: 443, Proto: ProtoTCP, Size: 1500},
+		{Ts: 9, Src: addr.From4(203, 0, 113, 1), Dst: addr.From4(10, 0, 0, 1), Proto: ProtoUDP, Size: 40},
+	}
+	r, err := NewReader(bytes.NewReader(v1TraceBytes(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 1 || r.DeclaredCount() != 2 {
+		t.Fatalf("version=%d count=%d", r.Version(), r.DeclaredCount())
+	}
+	got, err := Collect(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	for _, p := range got {
+		if !p.Src.Is4() || !p.Dst.Is4() {
+			t.Fatal("v1 addresses must surface IPv4-mapped")
+		}
+	}
+}
+
 func TestStats(t *testing.T) {
 	pkts := []Packet{
-		{Ts: 0, Src: 1, Dst: 10, Proto: ProtoTCP, Size: 100},
-		{Ts: 1e9, Src: 1, Dst: 11, Proto: ProtoUDP, Size: 200},
-		{Ts: 2e9, Src: 2, Dst: 10, Proto: ProtoTCP, Size: 300},
+		{Ts: 0, Src: addr.From4Uint32(1), Dst: addr.From4Uint32(10), Proto: ProtoTCP, Size: 100},
+		{Ts: 1e9, Src: addr.From4Uint32(1), Dst: addr.From4Uint32(11), Proto: ProtoUDP, Size: 200},
+		{Ts: 2e9, Src: addr.MustParseAddr("2001:db8::1"), Dst: addr.From4Uint32(10), Proto: ProtoTCP, Size: 300},
 	}
 	s, err := ComputeStats(NewSliceSource(pkts))
 	if err != nil {
@@ -315,6 +371,9 @@ func TestStats(t *testing.T) {
 	if s.MinSize != 100 || s.MaxSize != 300 {
 		t.Errorf("sizes [%d,%d]", s.MinSize, s.MaxSize)
 	}
+	if s.V4Packets != 2 || s.V6Packets != 1 {
+		t.Errorf("family split v4=%d v6=%d, want 2/1", s.V4Packets, s.V6Packets)
+	}
 	if s.String() == "" {
 		t.Error("String should be non-empty")
 	}
@@ -331,7 +390,7 @@ func TestStatsEmpty(t *testing.T) {
 }
 
 func BenchmarkWriterThroughput(b *testing.B) {
-	p := Packet{Ts: 1, Src: 2, Dst: 3, Size: 1500}
+	p := Packet{Ts: 1, Src: addr.From4Uint32(2), Dst: addr.From4Uint32(3), Size: 1500}
 	w, _ := NewWriter(io.Discard)
 	b.SetBytes(recordSize)
 	b.ReportAllocs()

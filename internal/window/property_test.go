@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/trace"
 )
 
@@ -26,7 +26,7 @@ func TestSlideRandomConfigsMatchBruteForce(t *testing.T) {
 		for i := range pkts {
 			pkts[i] = trace.Packet{
 				Ts:   rng.Int63n(span + int64(width)), // some beyond span
-				Src:  ipv4.Addr(rng.Uint32() & 0x3f),
+				Src:  addr.From4Uint32(rng.Uint32() & 0x3f),
 				Size: uint32(1 + rng.Intn(1500)),
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
@@ -68,7 +69,7 @@ type TrimConfig struct {
 // baseline by subtracting its tail band.
 func TrimmedTumble(src trace.Source, cfg TrimConfig, fn func(*TrimResult) error) error {
 	if cfg.Key == nil {
-		cfg.Key = BySource
+		cfg.Key = BySource(addr.NewIPv4Hierarchy(addr.Byte))
 	}
 	if cfg.Weight == nil {
 		cfg.Weight = ByBytes
@@ -151,7 +152,10 @@ func TrimmedTumble(src trace.Source, cfg TrimConfig, fn func(*TrimResult) error)
 				return err
 			}
 		}
-		key := uint64(cfg.Key(&p))
+		key, ok := cfg.Key(&p)
+		if !ok {
+			continue
+		}
 		w := cfg.Weight(&p)
 		res.Leaves.Update(key, w)
 		res.Packets++

@@ -18,7 +18,7 @@ import (
 	"io"
 	"time"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
@@ -26,20 +26,28 @@ import (
 // ErrConfig reports an invalid window configuration.
 var ErrConfig = errors.New("window: invalid configuration")
 
-// KeyFunc extracts the aggregation key from a packet. The paper's
-// experiments aggregate by source address.
-type KeyFunc func(*trace.Packet) ipv4.Addr
+// KeyFunc extracts a packet's aggregation key — a hierarchy leaf key
+// (see addr.Hierarchy.Key at level 0) — and reports ok=false for packets
+// the analysis should skip entirely, e.g. the other address family of a
+// dual-stack trace. The paper's experiments aggregate by source address.
+type KeyFunc func(*trace.Packet) (key uint64, ok bool)
 
 // WeightFunc extracts the weight of a packet. The paper's thresholds are
 // byte volumes.
 type WeightFunc func(*trace.Packet) int64
 
-// BySource is the default KeyFunc: the packet's source address.
-func BySource(p *trace.Packet) ipv4.Addr { return p.Src }
+// BySource keys by the source address generalised to h's leaf level,
+// skipping packets outside h's address family. It is the default KeyFunc
+// (at the IPv4 byte ladder).
+func BySource(h addr.Hierarchy) KeyFunc {
+	return func(p *trace.Packet) (uint64, bool) { return h.Key(p.Src, 0), h.Match(p.Src) }
+}
 
 // ByDest keys by destination address (the natural key for DDoS-victim
-// detection).
-func ByDest(p *trace.Packet) ipv4.Addr { return p.Dst }
+// detection), with the same family filter as BySource.
+func ByDest(h addr.Hierarchy) KeyFunc {
+	return func(p *trace.Packet) (uint64, bool) { return h.Key(p.Dst, 0), h.Match(p.Dst) }
+}
 
 // ByBytes is the default WeightFunc: the packet's wire length.
 func ByBytes(p *trace.Packet) int64 { return int64(p.Size) }
@@ -47,7 +55,7 @@ func ByBytes(p *trace.Packet) int64 { return int64(p.Size) }
 // ByPackets weights every packet equally, for packet-count thresholds.
 func ByPackets(*trace.Packet) int64 { return 1 }
 
-// Result is one evaluated window. Leaves maps uint64(key address) to
+// Result is one evaluated window. Leaves maps the KeyFunc's leaf keys to
 // accumulated weight. The Result (including Leaves) is only valid during
 // the callback that delivers it; callers must not retain it.
 type Result struct {
@@ -85,7 +93,7 @@ type Config struct {
 
 func (c *Config) setDefaults() {
 	if c.Key == nil {
-		c.Key = BySource
+		c.Key = BySource(addr.NewIPv4Hierarchy(addr.Byte))
 	}
 	if c.Weight == nil {
 		c.Weight = ByBytes
@@ -240,7 +248,11 @@ func Slide(src trace.Source, cfg Config, fn func(*Result) error) error {
 			}
 		}
 		// Packets are time-sorted, so b == cur here.
-		ring[b%nbuckets].Update(uint64(cfg.Key(&p)), cfg.Weight(&p))
+		k, ok := cfg.Key(&p)
+		if !ok {
+			continue
+		}
+		ring[b%nbuckets].Update(k, cfg.Weight(&p))
 		ringPk[b%nbuckets]++
 	}
 	// Flush: finish every bucket in the span and emit remaining positions.

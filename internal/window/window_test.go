@@ -6,10 +6,14 @@ import (
 	"testing"
 	"time"
 
-	"hiddenhhh/internal/ipv4"
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
+
+// testHierarchy is the leaf-key hierarchy the recount helpers use: the
+// IPv4 byte ladder, matching the window engines' default KeyFunc.
+func testHierarchy() addr.Hierarchy { return addr.NewIPv4Hierarchy(addr.Byte) }
 
 // mkTrace builds a random time-sorted trace of n packets across dur.
 func mkTrace(n int, dur time.Duration, seed int64) []trace.Packet {
@@ -18,7 +22,7 @@ func mkTrace(n int, dur time.Duration, seed int64) []trace.Packet {
 	for i := range pkts {
 		pkts[i] = trace.Packet{
 			Ts:   rng.Int63n(int64(dur)),
-			Src:  ipv4.Addr(rng.Uint32() & 0xff), // small key space: collisions
+			Src:  addr.From4Uint32(rng.Uint32() & 0xff), // small key space: collisions
 			Size: uint32(40 + rng.Intn(1460)),
 		}
 	}
@@ -34,7 +38,7 @@ func recount(pkts []trace.Packet, start, end int64) (*sketch.Exact, int, int64) 
 	for i := range pkts {
 		p := &pkts[i]
 		if p.Ts >= start && p.Ts < end {
-			e.Update(uint64(p.Src), int64(p.Size))
+			e.Update(testHierarchy().Key(p.Src, 0), int64(p.Size))
 			packets++
 			bytes += int64(p.Size)
 		}
@@ -148,7 +152,7 @@ func TestSlideMatchesBruteForce(t *testing.T) {
 func TestSlideEmitsEmptyWindows(t *testing.T) {
 	// One packet at the very start, silence afterwards: every position
 	// must still be delivered.
-	pkts := []trace.Packet{{Ts: 0, Src: 1, Size: 100}}
+	pkts := []trace.Packet{{Ts: 0, Src: addr.From4Uint32(1), Size: 100}}
 	cfg := Config{Width: time.Second, Step: time.Second, End: int64(5 * time.Second)}
 	var got []int
 	err := Tumble(trace.NewSliceSource(pkts), cfg, func(r *Result) error {
@@ -222,9 +226,9 @@ func TestSlideCallbackError(t *testing.T) {
 
 func TestSlideIgnoresOutOfSpanPackets(t *testing.T) {
 	pkts := []trace.Packet{
-		{Ts: -5, Src: 1, Size: 100}, // before origin
-		{Ts: 0, Src: 2, Size: 10},   // in span
-		{Ts: int64(time.Second) + 1, Src: 3, Size: 7} /* past end */}
+		{Ts: -5, Src: addr.From4Uint32(1), Size: 100}, // before origin
+		{Ts: 0, Src: addr.From4Uint32(2), Size: 10},   // in span
+		{Ts: int64(time.Second) + 1, Src: addr.From4Uint32(3), Size: 7} /* past end */}
 	cfg := Config{Width: time.Second, Step: time.Second, End: int64(time.Second)}
 	var total int64
 	err := Tumble(trace.NewSliceSource(pkts), cfg, func(r *Result) error {
@@ -240,9 +244,21 @@ func TestSlideIgnoresOutOfSpanPackets(t *testing.T) {
 }
 
 func TestKeyAndWeightFuncs(t *testing.T) {
-	p := trace.Packet{Src: 1, Dst: 2, Size: 99}
-	if BySource(&p) != 1 || ByDest(&p) != 2 {
-		t.Error("key funcs")
+	h := testHierarchy()
+	p := trace.Packet{Src: addr.From4Uint32(1), Dst: addr.From4Uint32(2), Size: 99}
+	if k, ok := BySource(h)(&p); !ok || k != h.Key(p.Src, 0) {
+		t.Error("BySource key")
+	}
+	if k, ok := ByDest(h)(&p); !ok || k != h.Key(p.Dst, 0) {
+		t.Error("ByDest key")
+	}
+	// The other family is filtered, not keyed.
+	v6 := trace.Packet{Src: addr.MustParseAddr("2001:db8::1"), Dst: addr.MustParseAddr("2001:db8::2")}
+	if _, ok := BySource(h)(&v6); ok {
+		t.Error("BySource must skip the other family")
+	}
+	if _, ok := ByDest(h)(&v6); ok {
+		t.Error("ByDest must skip the other family")
 	}
 	if ByBytes(&p) != 99 || ByPackets(&p) != 1 {
 		t.Error("weight funcs")

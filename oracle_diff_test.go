@@ -149,6 +149,85 @@ func TestOracleDifferentialSliding(t *testing.T) {
 	}
 }
 
+// TestOracleDifferentialIPv6 adds the dual-stack rows of the matrix: the
+// IPv6 hit-and-run scenario on the five-level hextet ladder and the
+// half-and-half dual-stack mix on the 17-level nibble lattice (where the
+// detectors must additionally filter out the IPv4 half). Exact cells are
+// byte-identical to the oracle; PerLevel cells carry the usual Nε bound.
+func TestOracleDifferentialIPv6(t *testing.T) {
+	mkTrace := func(cfg gen.Config) []Packet {
+		cfg.MeanPacketRate = 2000
+		pkts, err := gen.Packets(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkts
+	}
+	cases := []struct {
+		name string
+		h    Hierarchy
+		pkts []Packet
+	}{
+		{"ipv6-hextet", NewIPv6Hierarchy(Hextet), mkTrace(gen.IPv6HitAndRunScenario(15*time.Second, 43))},
+		{"dual-stack-nibble", NewIPv6Hierarchy(Nibble), mkTrace(gen.DualStackScenario(15*time.Second, 44))},
+	}
+	for _, c := range cases {
+		for _, engine := range []Engine{EngineExact, EnginePerLevel} {
+			bounds := oracle.Bounds{}
+			if engine == EnginePerLevel {
+				bounds = oracle.Bounds{Epsilon: diffEps}
+			}
+			for _, shards := range []int{0, 1, 4} {
+				name := fmt.Sprintf("%s/windowed/%v/K=%d", c.name, engine, shards)
+				t.Run(name, func(t *testing.T) {
+					var det Detector
+					var err error
+					if shards == 0 {
+						det, err = NewWindowedDetector(WindowedConfig{
+							Window: diffWindow, Phi: diffPhi, Engine: engine,
+							Counters: diffCounters, Hierarchy: c.h, Seed: 9,
+						})
+					} else {
+						det, err = NewShardedDetector(ShardedConfig{
+							Mode: ModeWindowed, Shards: shards, Window: diffWindow,
+							Phi: diffPhi, Engine: engine, Counters: diffCounters,
+							Hierarchy: c.h, Seed: 9,
+						})
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					diffCell(t, name, det, c.pkts, oracle.Config{
+						Mode:      oracle.ModeWindowed,
+						Window:    diffWindow,
+						Phi:       diffPhi,
+						Hierarchy: c.h,
+						Bounds:    bounds,
+					}, engine == EngineExact)
+				})
+			}
+		}
+		t.Run(c.name+"/sliding", func(t *testing.T) {
+			det, err := NewSlidingDetector(SlidingConfig{
+				Window: diffWindow, Phi: diffPhi, Frames: 8,
+				Counters: diffCounters, Hierarchy: c.h,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffCell(t, c.name+"/sliding", det, c.pkts, oracle.Config{
+				Mode:          oracle.ModeSliding,
+				Window:        diffWindow,
+				Frames:        8,
+				Phi:           diffPhi,
+				Hierarchy:     c.h,
+				Bounds:        oracle.Bounds{Epsilon: diffEps},
+				SnapshotEvery: diffWindow / 2,
+			}, false)
+		})
+	}
+}
+
 func TestOracleDifferentialContinuous(t *testing.T) {
 	pkts := diffTrace(t)
 	for _, shards := range shardCounts {

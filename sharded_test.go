@@ -1,6 +1,8 @@
 package hiddenhhh
 
 import (
+	"hiddenhhh/internal/addr"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -20,7 +22,7 @@ func propStream(seed int64, n int, spanSec int) []Packet {
 		host := uint32(rng.Intn(60))
 		out[i] = Packet{
 			Ts:   int64(i) * step,
-			Src:  Addr(10<<24 | org<<16 | net<<8 | host),
+			Src:  addr.From4Uint32(10<<24 | org<<16 | net<<8 | host),
 			Size: uint32(40 + rng.Intn(1460)),
 		}
 	}
@@ -44,7 +46,7 @@ func nearThresholdStream(seed int64, n int, spanSec int) []Packet {
 		} else {
 			src = 172<<24 | uint32(rng.Intn(1<<16))
 		}
-		out[i] = Packet{Ts: int64(i) * step, Src: Addr(src), Size: uint32(40 + rng.Intn(1460))}
+		out[i] = Packet{Ts: int64(i) * step, Src: addr.From4Uint32(src), Size: uint32(40 + rng.Intn(1460))}
 	}
 	return out
 }
