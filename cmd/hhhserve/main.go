@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -150,6 +151,10 @@ type statsResponse struct {
 	Laps        int64   `json:"laps"`
 	TraceTimeNs int64   `json:"trace_time_ns"`
 	IngestPPS   float64 `json:"ingest_pps"`
+	// Degradation carries the per-shard shed breakdown and fault state
+	// behind the embedded DroppedPackets/DegradedWindows/ShardLag
+	// counters.
+	Degradation hiddenhhh.DegradationReport `json:"degradation"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -160,6 +165,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSec:     up,
 		Laps:          s.laps.Load(),
 		TraceTimeNs:   s.lastTs.Load(),
+		Degradation:   s.det.Degradation(),
 	}
 	if up > 0 {
 		resp.IngestPPS = float64(st.Packets) / up
@@ -167,10 +173,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleHealthz reports liveness plus the degradation state an operator
+// alerts on: "degraded" means the detector is up but has declared
+// unobserved mass (shed batches, degraded windows, or a quarantined
+// shard), so reports cover less than the full stream.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.det.Stats()
+	deg := s.det.Degradation()
+	status := "ok"
+	if deg.DroppedPackets > 0 || deg.DegradedMerges > 0 || len(deg.Quarantined) > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, map[string]any{
-		"status":     "ok",
-		"uptime_sec": time.Since(s.started).Seconds(),
+		"status":             status,
+		"uptime_sec":         time.Since(s.started).Seconds(),
+		"dropped_packets":    deg.DroppedPackets,
+		"dropped_bytes":      deg.DroppedBytes,
+		"degraded_windows":   deg.DegradedMerges,
+		"quarantined_shards": len(deg.Quarantined),
+		"shard_lag":          st.ShardLag,
 	})
 }
 
@@ -180,6 +201,21 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// withRecovery is the outermost handler layer: a panicking handler
+// answers 500 and the server keeps serving, instead of the panic tearing
+// down the connection (and, for handler goroutine panics, the process).
+func withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("hhhserve: panic serving %s: %v", r.URL.Path, rec)
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -234,6 +270,17 @@ func parseMode(name string) (hiddenhhh.Mode, error) {
 	}
 }
 
+func parseOverload(name string) (hiddenhhh.OverloadPolicy, error) {
+	switch name {
+	case "block":
+		return hiddenhhh.OverloadBlock, nil
+	case "shed":
+		return hiddenhhh.OverloadShed, nil
+	default:
+		return 0, fmt.Errorf("unknown overload policy %q (want block, shed)", name)
+	}
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -250,6 +297,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		pps       = flag.Float64("pps", 0, "ingest pacing in packets/sec (0 = full speed)")
 		laps      = flag.Int("laps", 0, "trace replay count (0 = loop forever)")
+
+		overloadStr    = flag.String("overload", "block", "ring-full policy: block (lossless) or shed (bounded wait, drop and account)")
+		shedWait       = flag.Duration("shed-wait", 0, "max ring wait before shedding a batch (-overload shed; 0 = 1ms default)")
+		barrierTimeout = flag.Duration("barrier-timeout", 0, "window-merge deadline; stalled shards degrade the window instead of wedging it (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -258,6 +309,10 @@ func main() {
 		log.Fatal("hhhserve: ", err)
 	}
 	engine, err := parseEngine(*engineStr)
+	if err != nil {
+		log.Fatal("hhhserve: ", err)
+	}
+	overload, err := parseOverload(*overloadStr)
 	if err != nil {
 		log.Fatal("hhhserve: ", err)
 	}
@@ -284,13 +339,16 @@ func main() {
 	span := pkts[len(pkts)-1].Ts + 1
 
 	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
-		Mode:     mode,
-		Shards:   *shards,
-		Window:   *window,
-		Phi:      *phi,
-		Engine:   engine,
-		Counters: *counters,
-		Frames:   *frames,
+		Mode:           mode,
+		Shards:         *shards,
+		Window:         *window,
+		Phi:            *phi,
+		Engine:         engine,
+		Counters:       *counters,
+		Frames:         *frames,
+		Overload:       overload,
+		ShedWait:       *shedWait,
+		BarrierTimeout: *barrierTimeout,
 	})
 	if err != nil {
 		log.Fatal("hhhserve: ", err)
@@ -304,7 +362,14 @@ func main() {
 		srv.run(pkts, span, *laps, *pps, stop)
 	}()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: withRecovery(srv.mux()),
+		// Slow-client ceilings so a wedged peer cannot pin a handler (and
+		// the detector lock behind it) indefinitely.
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
 	go func() {
 		st := det.Stats()
 		log.Printf("hhhserve: listening on %s (%d packets/lap, %d shards, mode %s, engine %s)",
@@ -320,7 +385,13 @@ func main() {
 	log.Print("hhhserve: shutting down")
 	close(stop)
 	<-ingestDone
-	httpSrv.Close()
+	// Drain in-flight queries before tearing down the detector they read;
+	// Shutdown (unlike Close) lets a running /hhh snapshot finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Print("hhhserve: http shutdown: ", err)
+	}
 	if err := det.Close(); err != nil {
 		log.Fatal("hhhserve: ", err)
 	}

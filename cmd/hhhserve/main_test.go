@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -86,7 +87,8 @@ func TestServeStats(t *testing.T) {
 	}
 }
 
-// TestServeHealthz checks the liveness endpoint.
+// TestServeHealthz checks the liveness endpoint: a clean run answers
+// "ok" and carries the degradation fields an operator alerts on.
 func TestServeHealthz(t *testing.T) {
 	srv, done := startTestServer(t)
 	defer done()
@@ -101,6 +103,71 @@ func TestServeHealthz(t *testing.T) {
 	}
 	if resp["status"] != "ok" {
 		t.Fatalf("/healthz status field %v", resp["status"])
+	}
+	for _, key := range []string{"dropped_packets", "dropped_bytes", "degraded_windows", "quarantined_shards", "shard_lag"} {
+		if _, present := resp[key]; !present {
+			t.Errorf("/healthz missing %q: %v", key, resp)
+		}
+	}
+	if dp, _ := resp["dropped_packets"].(float64); dp != 0 {
+		t.Errorf("clean run reports %v dropped packets", dp)
+	}
+}
+
+// TestServeStatsDegradation checks /stats exposes the degradation
+// report, with zero shed mass on a lossless (blocking) run.
+func TestServeStatsDegradation(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var resp statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("/stats invalid JSON: %v", err)
+	}
+	deg := resp.Degradation
+	if deg.DroppedPackets != 0 || deg.DroppedBytes != 0 || deg.DegradedMerges != 0 {
+		t.Fatalf("blocking run declared degradation: %+v", deg)
+	}
+	if len(deg.ShardDroppedPackets) != 3 {
+		t.Fatalf("per-shard drop breakdown has %d entries, want 3", len(deg.ShardDroppedPackets))
+	}
+}
+
+// TestRecoveryMiddleware checks a panicking handler answers 500 and the
+// wrapped mux stays serviceable.
+func TestRecoveryMiddleware(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	mux := srv.mux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	h := withRecovery(mux)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz after a recovered panic: %d", rec.Code)
+	}
+}
+
+// TestOverloadFlag pins the -overload parser.
+func TestOverloadFlag(t *testing.T) {
+	for name, want := range map[string]hiddenhhh.OverloadPolicy{
+		"block": hiddenhhh.OverloadBlock, "shed": hiddenhhh.OverloadShed,
+	} {
+		got, err := parseOverload(name)
+		if err != nil || got != want {
+			t.Errorf("overload %q: got %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseOverload("nope"); err == nil {
+		t.Error("unknown overload policy accepted")
 	}
 }
 

@@ -381,9 +381,50 @@ type ShardedConfig struct {
 	RingDepth int
 	// OnWindow, when set, receives every completed window's merged HHH
 	// set (ModeWindowed only). It runs on a worker goroutine (in window
-	// order) and must not call back into the detector.
+	// order) and must not call back into the detector or block.
 	OnWindow func(start, end int64, set Set)
+	// Overload selects the ingest behaviour when a shard's ring stays
+	// full: OverloadBlock (default) parks ingest until the ring drains —
+	// lossless; OverloadShed bounds the wait at ShedWait and then drops
+	// that shard's slice of the batch, every dropped packet and byte
+	// accounted exactly (Stats, Degradation).
+	Overload OverloadPolicy
+	// ShedWait bounds the full-ring wait under OverloadShed. Default 1ms.
+	ShedWait time.Duration
+	// BarrierTimeout, when positive, bounds every merge barrier: a window
+	// close or Snapshot that cannot gather every shard within the
+	// deadline publishes a degraded merge from the shards that arrived
+	// (stragglers rejoin at the next barrier, their unmerged window
+	// slices shed and accounted), and Close abandons workers that fail to
+	// drain, returning ErrDetectorStalled. Zero (default) keeps the
+	// lossless unbounded waits.
+	BarrierTimeout time.Duration
 }
+
+// OverloadPolicy selects what sharded ingest does when a shard's ring
+// stays full; see ShardedConfig.Overload.
+type OverloadPolicy = pipeline.Overload
+
+// Supported overload policies.
+const (
+	// OverloadBlock parks ingest until the ring drains: lossless, the
+	// default.
+	OverloadBlock = pipeline.OverloadBlock
+	// OverloadShed drops a shard's slice of the batch after a bounded
+	// full-ring wait, with exact per-shard drop accounting.
+	OverloadShed = pipeline.OverloadShed
+)
+
+// DegradationReport declares everything a sharded detector observed but
+// excluded from its reports — shed mass per shard, merges published
+// without every shard, quarantined shards — so operators and the
+// differential harness can judge reports relative to declared observed
+// mass rather than trusting silently narrowed coverage.
+type DegradationReport = pipeline.Degradation
+
+// ErrDetectorStalled reports a Close that gave up waiting for stuck
+// shard workers (only possible with ShardedConfig.BarrierTimeout set).
+var ErrDetectorStalled = pipeline.ErrStalled
 
 // PipelineStats is a point-in-time view of a sharded detector's ingest
 // and windowing counters.
@@ -410,10 +451,23 @@ type ShardedDetector interface {
 	// run.
 	TryObserve(p *Packet) error
 	TryObserveBatch(pkts []Packet) error
-	// Stats reports ingest and windowing counters.
+	// Stats reports ingest and windowing counters, including dropped
+	// mass, per-shard barrier lag, and degraded-window state.
 	Stats() PipelineStats
-	// Close stops the worker shards and waits for them to drain. It is
-	// idempotent and safe to call concurrently with Snapshot and Stats.
+	// Degradation reports the cumulative degradation state: shed mass
+	// per shard, degraded merges, quarantined shards, recovered panics.
+	// Safe to call concurrently with ingest.
+	Degradation() DegradationReport
+	// DroppedMass reports cumulative shed packets and bytes across all
+	// shards. Safe to call concurrently with ingest.
+	DroppedMass() (packets, bytes int64)
+	// DegradedMerges reports how many merges were published without
+	// every shard. Safe to call concurrently with ingest.
+	DegradedMerges() int64
+	// Close stops the worker shards and waits for them to drain (a wait
+	// bounded by BarrierTimeout when one is configured — stuck workers
+	// are abandoned and ErrDetectorStalled returned). It is idempotent
+	// and safe to call concurrently with Snapshot and Stats.
 	Close() error
 }
 
@@ -445,6 +499,10 @@ func NewShardedDetector(cfg ShardedConfig) (ShardedDetector, error) {
 		Batch:     cfg.Batch,
 		RingDepth: cfg.RingDepth,
 		OnWindow:  cfg.OnWindow,
+
+		Overload:       cfg.Overload,
+		ShedWait:       cfg.ShedWait,
+		BarrierTimeout: cfg.BarrierTimeout,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hiddenhhh: %w", err)

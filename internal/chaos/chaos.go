@@ -1,0 +1,142 @@
+// Package chaos provides a deterministic fault-injection plan for the
+// sharded pipeline's degradation tests. A Plan implements the
+// pipeline.Breaker surface: the shard workers call its hooks before
+// absorbing a batch and before registering at a barrier, and the plan
+// decides — per shard — whether to delay, block, or panic there.
+//
+// Faults are armed from the test goroutine and fire on the worker
+// goroutines, so every mutation is mutex-guarded. The zero fault set is
+// a no-op: a Plan with nothing armed adds two map lookups per batch and
+// changes no behaviour, which is what lets the chaos matrix assert the
+// no-fault cells stay byte-identical to a run without the plan.
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Plan is a mutable per-shard fault schedule implementing
+// pipeline.Breaker. Arm faults with DelayBatches, BlockShard,
+// PanicNextBatch, or PanicNextBarrier; disarm everything with Clear.
+// All methods are safe for concurrent use.
+type Plan struct {
+	mu      sync.Mutex
+	delay   map[int]time.Duration // sleep applied at each hook
+	gate    map[int]*gate         // park the worker until released
+	panicB  map[int]int           // pending batch-hook panics
+	panicBr map[int]int           // pending barrier-hook panics
+}
+
+// gate parks a worker until release is called (or Clear releases it).
+type gate struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func (g *gate) release() { g.once.Do(func() { close(g.ch) }) }
+
+// New returns an empty plan: no faults armed, hooks are no-ops.
+func New() *Plan {
+	return &Plan{
+		delay:   make(map[int]time.Duration),
+		gate:    make(map[int]*gate),
+		panicB:  make(map[int]int),
+		panicBr: make(map[int]int),
+	}
+}
+
+// DelayBatches makes every subsequent hook on shard sleep d, simulating
+// a slow shard. d <= 0 removes the delay.
+func (p *Plan) DelayBatches(shard int, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d <= 0 {
+		delete(p.delay, shard)
+		return
+	}
+	p.delay[shard] = d
+}
+
+// BlockShard parks shard's worker at its next hook until the returned
+// release function is called (idempotent; Clear also releases it). While
+// parked the shard absorbs nothing and answers no barriers — the stuck-
+// shard and forced-ring-full fault in one: ingest backs up behind the
+// parked worker until the ring fills.
+func (p *Plan) BlockShard(shard int) (release func()) {
+	g := &gate{ch: make(chan struct{})}
+	p.mu.Lock()
+	if old := p.gate[shard]; old != nil {
+		old.release()
+	}
+	p.gate[shard] = g
+	p.mu.Unlock()
+	return g.release
+}
+
+// PanicNextBatch arms one panic on shard's next batch hook, simulating
+// an engine crash mid-update.
+func (p *Plan) PanicNextBatch(shard int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.panicB[shard]++
+}
+
+// PanicNextBarrier arms one panic on shard's next barrier hook,
+// simulating a crash at a merge point.
+func (p *Plan) PanicNextBarrier(shard int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.panicBr[shard]++
+}
+
+// Clear disarms every fault and releases every blocked shard. The maps
+// are emptied in place, never reassigned: fire evaluates its map
+// argument before taking the lock, so the fields must stay immutable
+// after New.
+func (p *Plan) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, g := range p.gate {
+		g.release()
+	}
+	clear(p.delay)
+	clear(p.gate)
+	clear(p.panicB)
+	clear(p.panicBr)
+}
+
+// BeforeBatch implements pipeline.Breaker: it applies shard's armed
+// delay, gate, and at most one pending batch panic.
+func (p *Plan) BeforeBatch(shard int) {
+	p.fire(shard, p.panicB, "chaos: injected batch panic")
+}
+
+// BeforeBarrier implements pipeline.Breaker: it applies shard's armed
+// delay, gate, and at most one pending barrier panic.
+func (p *Plan) BeforeBarrier(shard int) {
+	p.fire(shard, p.panicBr, "chaos: injected barrier panic")
+}
+
+// fire runs one hook: read the armed faults under the lock, then apply
+// them outside it so a parked worker never holds the plan mutex.
+func (p *Plan) fire(shard int, panics map[int]int, msg string) {
+	p.mu.Lock()
+	d := p.delay[shard]
+	g := p.gate[shard]
+	throw := false
+	if panics[shard] > 0 {
+		panics[shard]--
+		throw = true
+	}
+	p.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if g != nil {
+		<-g.ch
+	}
+	if throw {
+		panic(msg)
+	}
+}

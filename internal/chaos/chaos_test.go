@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyPlanIsNoOp(t *testing.T) {
+	p := New()
+	done := make(chan struct{})
+	go func() {
+		p.BeforeBatch(0)
+		p.BeforeBarrier(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("empty plan blocked a hook")
+	}
+}
+
+func TestPanicArmsFireOnce(t *testing.T) {
+	p := New()
+	p.PanicNextBatch(3)
+	mustPanic(t, func() { p.BeforeBatch(3) })
+	p.BeforeBatch(3) // disarmed after one shot
+	p.BeforeBatch(0) // other shards unaffected
+
+	p.PanicNextBarrier(1)
+	p.BeforeBatch(1) // batch hook does not consume a barrier panic
+	mustPanic(t, func() { p.BeforeBarrier(1) })
+	p.BeforeBarrier(1)
+}
+
+func TestBlockShardParksUntilReleased(t *testing.T) {
+	p := New()
+	release := p.BlockShard(2)
+	entered := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(entered)
+		p.BeforeBatch(2)
+		close(done)
+	}()
+	<-entered
+	select {
+	case <-done:
+		t.Fatal("blocked shard hook returned before release")
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	release() // idempotent
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not unblock the hook")
+	}
+	p.BeforeBatch(2) // gate stays open for later hooks
+}
+
+func TestClearReleasesAndDisarms(t *testing.T) {
+	p := New()
+	p.BlockShard(0)
+	p.PanicNextBatch(0)
+	p.DelayBatches(0, time.Hour)
+	p.Clear()
+	done := make(chan struct{})
+	go func() {
+		p.BeforeBatch(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Clear left a fault armed")
+	}
+}
+
+func TestDelayBatchesSleeps(t *testing.T) {
+	p := New()
+	p.DelayBatches(1, 30*time.Millisecond)
+	start := time.Now()
+	p.BeforeBatch(1)
+	if got := time.Since(start); got < 25*time.Millisecond {
+		t.Fatalf("delayed hook returned in %v, want >= 30ms", got)
+	}
+	p.DelayBatches(1, 0)
+	start = time.Now()
+	p.BeforeBatch(1)
+	if got := time.Since(start); got > 10*time.Millisecond {
+		t.Fatalf("cleared delay still slept %v", got)
+	}
+}
+
+func TestConcurrentArmAndFire(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(s int) {
+			defer wg.Done()
+			p.DelayBatches(s, time.Microsecond)
+			p.PanicNextBarrier(s)
+			p.Clear()
+		}(i)
+		go func(s int) {
+			defer wg.Done()
+			defer func() { recover() }() // injected panics are expected
+			for j := 0; j < 50; j++ {
+				p.BeforeBatch(s)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected an injected panic")
+		}
+	}()
+	f()
+}

@@ -64,6 +64,23 @@ type Accounting interface {
 	CoveredSpan(now int64) (lo, hi int64)
 }
 
+// Degraded is the optional degradation surface a detector under test may
+// implement (ShardedDetector does): cumulative counters declaring the
+// traffic it observed but excluded from reports — shed batches, a
+// quarantined shard's substream, merges published without every shard.
+// When present, the harness verifies the paper-family bounds *relative
+// to declared observed mass*: each snapshot's missing mass (the exact
+// aggregate minus the detector's ReportMass) widens the under-count and
+// false-negative allowances, while the over-count side stays untouched —
+// dropping traffic can never justify reporting more than was seen.
+type Degraded interface {
+	// DroppedMass returns cumulative shed packets and bytes.
+	DroppedMass() (packets, bytes int64)
+	// DegradedMerges returns how many merges were published without
+	// every shard.
+	DegradedMerges() int64
+}
+
 // Bounds parameterises the deterministic error-bound checks, following
 // the paper-family guarantees: Space-Saving engines overestimate subtree
 // volumes by at most Nε per level and miss no prefix whose conditioned
@@ -153,6 +170,18 @@ type SnapshotResult struct {
 	// Warm reports whether bound checks ran (false inside Warmup).
 	Warm       bool        `json:"warm"`
 	Violations []Violation `json:"violations,omitempty"`
+
+	// DroppedPackets/DroppedBytes echo the detector's cumulative declared
+	// shed mass at this snapshot, and DegradedMerges its partial-quorum
+	// merge count (all zero for detectors without a Degraded surface).
+	DroppedPackets int64 `json:"dropped_packets,omitempty"`
+	DroppedBytes   int64 `json:"dropped_bytes,omitempty"`
+	DegradedMerges int64 `json:"degraded_merges,omitempty"`
+	// MissingMass is the exact aggregate mass the detector declared
+	// unobserved at this snapshot (oracle mass minus ReportMass, floored
+	// at zero; only set while the detector reports degradation). It
+	// widens the under-count and false-negative allowances.
+	MissingMass float64 `json:"missing_mass,omitempty"`
 
 	// TruthSet and GotSet carry the full sets for callers that aggregate
 	// across snapshots; they are omitted from JSON reports.
@@ -254,9 +283,22 @@ func Run(name string, det Detector, pkts []trace.Packet, cfg Config) (*Report, e
 		fed = j
 		got := det.Snapshot(at)
 
-		sr := evaluate(o, got, at, firstTs, cfg)
-		if acc, ok := det.(Accounting); ok {
-			checkAccounting(acc, &sr, at, cfg)
+		// Capture the detector's declared-coverage surfaces at the same
+		// instant as the snapshot: they decide whether (and by how much)
+		// the under-side bound checks are widened.
+		obs := degradeObs{declared: -1}
+		acc, hasAcc := det.(Accounting)
+		if hasAcc {
+			obs.declared = float64(acc.ReportMass(at))
+		}
+		if dg, ok := det.(Degraded); ok {
+			obs.packets, obs.bytes = dg.DroppedMass()
+			obs.merges = dg.DegradedMerges()
+		}
+
+		sr := evaluate(o, got, at, firstTs, cfg, obs)
+		if hasAcc {
+			checkAccounting(&sr, at, cfg, obs, acc)
 		}
 		rep.TruthUnion.UnionInPlace(sr.TruthSet)
 		rep.GotUnion.UnionInPlace(got)
@@ -277,11 +319,29 @@ func Run(name string, det Detector, pkts []trace.Packet, cfg Config) (*Report, e
 	return rep, nil
 }
 
+// degradeObs captures the detector's declared-coverage surfaces at one
+// snapshot instant: its ReportMass (declared; -1 without an Accounting
+// surface) and its cumulative Degraded counters.
+type degradeObs struct {
+	declared               float64
+	packets, bytes, merges int64
+}
+
+// degraded reports whether the detector has declared any shed mass or
+// partial-quorum merges so far.
+func (ob degradeObs) degraded() bool {
+	return ob.packets > 0 || ob.bytes > 0 || ob.merges > 0
+}
+
 // evaluate computes the exact reference for one snapshot and scores the
 // report against it. Each mode arm only derives the reference aggregate
-// (span, per-level counts, total, threshold); the scoring tail is shared.
-func evaluate(o *Oracle, got hhh.Set, at, firstTs int64, cfg Config) SnapshotResult {
-	sr := SnapshotResult{At: at, GotSet: got, Warm: at >= firstTs+int64(cfg.Warmup)}
+// (span, per-level counts, total, threshold); the scoring tail is
+// shared.
+func evaluate(o *Oracle, got hhh.Set, at, firstTs int64, cfg Config, obs degradeObs) SnapshotResult {
+	sr := SnapshotResult{
+		At: at, GotSet: got, Warm: at >= firstTs+int64(cfg.Warmup),
+		DroppedPackets: obs.packets, DroppedBytes: obs.bytes, DegradedMerges: obs.merges,
+	}
 	switch cfg.Mode {
 	case ModeWindowed:
 		w := int64(cfg.Window)
@@ -296,15 +356,15 @@ func evaluate(o *Oracle, got hhh.Set, at, firstTs int64, cfg Config) SnapshotRes
 		end := at / w * w
 		sr.SpanLo, sr.SpanHi = end-w, end
 		levels, total := o.LevelCounts(sr.SpanLo, sr.SpanHi)
-		scoreAggregate(&sr, o.h, levels, total, hhh.Threshold(total, cfg.Phi), cfg.Bounds)
+		scoreAggregate(&sr, o.h, levels, total, hhh.Threshold(total, cfg.Phi), cfg.Bounds, obs)
 	case ModeSliding:
 		sr.SpanLo, sr.SpanHi = SlidingSpan(cfg.Window, cfg.Frames, at), at+1
 		levels, total := o.LevelCounts(sr.SpanLo, sr.SpanHi)
-		scoreAggregate(&sr, o.h, levels, total, hhh.Threshold(total, cfg.Phi), cfg.Bounds)
+		scoreAggregate(&sr, o.h, levels, total, hhh.Threshold(total, cfg.Phi), cfg.Bounds, obs)
 	case ModeContinuous:
 		sr.SpanLo, sr.SpanHi = math.MinInt64, at
 		levels, total := o.DecayedLevelCounts(at, cfg.Window)
-		scoreAggregate(&sr, o.h, levels, total, cfg.Phi*total, cfg.Bounds)
+		scoreAggregate(&sr, o.h, levels, total, cfg.Phi*total, cfg.Bounds, obs)
 	}
 	scoreSets(&sr)
 	return sr
@@ -312,9 +372,24 @@ func evaluate(o *Oracle, got hhh.Set, at, firstTs int64, cfg Config) SnapshotRes
 
 // scoreAggregate fills a snapshot result from one exact reference
 // aggregate: the truth set at threshold T, and — on warm snapshots with
-// traffic — the accuracy and coverage bound checks.
-func scoreAggregate[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint64]V, total, T V, b Bounds) {
+// traffic — the accuracy and coverage bound checks. When the detector
+// has declared degradation, the gap between the oracle's aggregate and
+// the detector's declared mass becomes sr.MissingMass, widening only the
+// under-side checks: the reported set is held to the bounds over the
+// mass the detector claims to have observed, and any mass beyond the
+// claim is treated as a declared loss, never as license to over-report.
+func scoreAggregate[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint64]V, total, T V, b Bounds, obs degradeObs) {
 	sr.Mass = float64(total)
+	if obs.degraded() {
+		if obs.declared >= 0 {
+			sr.MissingMass = math.Max(0, sr.Mass-obs.declared)
+		} else {
+			// No Accounting surface: fall back to cumulative dropped
+			// bytes (an over-estimate of this snapshot's missing mass,
+			// still sound — it only loosens the under-side).
+			sr.MissingMass = float64(obs.bytes)
+		}
+	}
 	if total == 0 {
 		sr.TruthSet = hhh.NewSet()
 		return
@@ -348,9 +423,16 @@ func scoreSets(sr *SnapshotResult) {
 }
 
 // checkCounts asserts the accuracy bound: every reported item's subtree
-// count is within the allowance of the exact per-level count.
+// count is within the allowance of the exact per-level count. Declared
+// missing mass widens only the under side: a dropped packet can depress
+// a reported count by at most its own mass, and can never inflate one.
 func checkCounts[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint64]V, b Bounds) {
 	allow := b.allowance(sr.Mass) + 1 // +1: integer truncation of reported counts
+	underAllow := 1.0                 // Space-Saving never underestimates (integer truncation aside)
+	if b.AllowUnder {
+		underAllow = allow
+	}
+	underAllow += sr.MissingMass
 	for p, it := range sr.GotSet {
 		if !h.OnLattice(p) {
 			continue // off-lattice prefix: not comparable
@@ -366,12 +448,12 @@ func checkCounts[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint
 				Detail: fmt.Sprintf("%v: est %d exact %.0f over by %.0f > allowance %.0f",
 					p, it.Count, exact, err, allow),
 			})
-		case err < -allow || (!b.AllowUnder && err < -1):
+		case err < -underAllow:
 			sr.MaxUnder = math.Max(sr.MaxUnder, -err/math.Max(sr.Mass, 1))
 			sr.Violations = append(sr.Violations, Violation{
 				At: sr.At, Kind: "count-under", Prefix: p,
-				Detail: fmt.Sprintf("%v: est %d exact %.0f under by %.0f (allowance %.0f, allowUnder=%v)",
-					p, it.Count, exact, -err, allow, b.AllowUnder),
+				Detail: fmt.Sprintf("%v: est %d exact %.0f under by %.0f (allowance %.0f, missing %.0f, allowUnder=%v)",
+					p, it.Count, exact, -err, underAllow, sr.MissingMass, b.AllowUnder),
 			})
 		default:
 			if err > 0 {
@@ -386,7 +468,9 @@ func checkCounts[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint
 // checkCoverage asserts the no-false-negative bound: every prefix whose
 // exact conditioned-given-output volume reaches the threshold widened by
 // one allowance per maximal reported descendant (plus one for itself)
-// must be in the report.
+// must be in the report. Declared missing mass widens the requirement
+// once more: a prefix is only owed coverage if it clears the threshold
+// even after every dropped byte is charged against its volume.
 func checkCoverage[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[uint64]V, got hhh.Set, T float64, b Bounds) {
 	allow := b.allowance(sr.Mass)
 	misses := uncovered(h, levels, got, func(maximal int) V {
@@ -396,7 +480,7 @@ func checkCoverage[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[ui
 		// expression back to integer masses. The exact engines are
 		// additionally pinned by full set equality in the matrix test,
 		// so the guard cannot hide a real exact-engine miss.
-		return V(T + float64(maximal+1)*allow + 2)
+		return V(T + float64(maximal+1)*allow + 2 + sr.MissingMass)
 	})
 	for _, m := range misses {
 		sr.Violations = append(sr.Violations, Violation{
@@ -408,22 +492,28 @@ func checkCoverage[V mass](sr *SnapshotResult, h addr.Hierarchy, levels []map[ui
 }
 
 // checkAccounting cross-checks the detector's own mass and span against
-// the oracle's reference. Exact-count modes must agree exactly; the
-// continuous mode's decayed mass is computed in a different association
-// order, so it gets a small relative tolerance.
-func checkAccounting(acc Accounting, sr *SnapshotResult, at int64, cfg Config) {
+// the oracle's reference. With no degradation declared, exact-count
+// modes must agree exactly (the continuous mode's decayed mass is
+// computed in a different association order, so it gets a small relative
+// tolerance) — this keeps the default lossless configurations pinned
+// strictly. Once the detector declares shed mass or partial merges, the
+// lower side is released (that gap *is* the declared loss, already
+// charged to MissingMass) but the upper side stays: a detector may never
+// claim more observed mass than the trace contains.
+func checkAccounting(sr *SnapshotResult, at int64, cfg Config, obs degradeObs, acc Accounting) {
 	if !sr.Warm {
 		return
 	}
-	mass := float64(acc.ReportMass(at))
+	mass := obs.declared
 	var tol float64
 	if cfg.Mode == ModeContinuous {
 		tol = 1e-6*sr.Mass + 1
 	}
-	if math.Abs(mass-sr.Mass) > tol {
+	diff := mass - sr.Mass
+	if diff > tol || (!obs.degraded() && diff < -tol) {
 		sr.Violations = append(sr.Violations, Violation{
 			At: at, Kind: "mass-mismatch",
-			Detail: fmt.Sprintf("detector mass %.0f, oracle %.0f", mass, sr.Mass),
+			Detail: fmt.Sprintf("detector mass %.0f, oracle %.0f (degraded=%v)", mass, sr.Mass, obs.degraded()),
 		})
 	}
 	lo, hi := acc.CoveredSpan(at)

@@ -192,11 +192,33 @@ type Config struct {
 	// RingDepth is the per-shard ring capacity in batches (rounded up to
 	// a power of two). Default 64.
 	RingDepth int
+	// Overload selects the ingest behaviour when a shard's ring stays
+	// full: OverloadBlock (default) parks the ingest goroutine until the
+	// ring drains, OverloadShed bounds the wait at ShedWait and then
+	// drops that shard's slice of the batch, accounting it in Stats and
+	// Degradation.
+	Overload Overload
+	// ShedWait is OverloadShed's bounded wait for ring space before a
+	// batch is dropped. Default 1ms (OverloadShed only).
+	ShedWait time.Duration
+	// BarrierTimeout bounds every barrier wait. 0 (the default) keeps
+	// the lossless pre-degradation behaviour: barriers wait for every
+	// shard, and a stuck shard wedges merges process-wide. When
+	// positive, a barrier that has not seen every shard within the
+	// deadline completes with the shards that arrived — the window is
+	// published degraded, the straggler's unmerged slice is shed and
+	// accounted when it rejoins, and Snapshot and Close return within
+	// the deadline instead of hanging.
+	BarrierTimeout time.Duration
+	// Chaos, when set, receives fault-injection callbacks from the shard
+	// workers (see internal/chaos). Test-only; nil in production.
+	Chaos Breaker
 	// OnWindow, when set, receives every completed window's merged HHH
 	// set, in window order (ModeWindowed only). For windows with traffic
 	// it runs on a worker goroutine while the other shards wait at the
 	// barrier; for empty windows it runs on the ingest goroutine. It must
-	// not call back into the detector.
+	// not call back into the detector and must not block: a stalled
+	// callback stalls the merge it is published from.
 	OnWindow func(start, end int64, set hhh.Set)
 }
 
@@ -231,7 +253,26 @@ func (c *Config) setDefaults() error {
 	if c.RingDepth <= 0 {
 		c.RingDepth = 64
 	}
+	if c.Overload < OverloadBlock || c.Overload > OverloadShed {
+		return fmt.Errorf("pipeline: unknown overload policy %v", c.Overload)
+	}
+	if c.Overload == OverloadShed && c.ShedWait <= 0 {
+		c.ShedWait = time.Millisecond
+	}
 	return nil
+}
+
+// tokenWait is the bounded wait for pushing a barrier token into a full
+// ring: the barrier deadline when one is configured, the shed wait when
+// shedding, and 0 (block forever, the lossless default) otherwise.
+func (c *Config) tokenWait() time.Duration {
+	if c.BarrierTimeout > 0 {
+		return c.BarrierTimeout
+	}
+	if c.Overload == OverloadShed {
+		return c.ShedWait
+	}
+	return 0
 }
 
 // label is the engine string Stats reports.
@@ -415,24 +456,39 @@ func (e *continuousSummary) Query(now int64) (hhh.Set, int64) {
 	return e.d.Query(now), int64(e.d.TotalMass(now))
 }
 
-// barrier synchronises one merge point across all shards: a window close
-// (reset true) or a snapshot-time query (reset false).
-type barrier struct {
-	start, end int64 // window span (ModeWindowed) — end doubles as query time
-	at         int64 // query/alignment timestamp
-	reset      bool  // shards reset after the merged set is published
-	need       int32
-	arrived    atomic.Int32
-	done       chan struct{}
-}
-
-// shard is one worker: a ring, a summary, and a batch-buffer freelist.
+// shard is one worker: a ring, a summary, and a batch-buffer freelist,
+// plus the per-shard degradation state (see degrade.go).
 type shard struct {
+	idx     int
 	ring    *spscRing
 	eng     Summary
 	free    chan []trace.Packet
 	packets atomic.Int64
 	size    atomic.Int64 // last published summary footprint
+
+	// Degradation accounting: mass this shard's substream lost to
+	// overload shedding, quarantine, or missed merges. Written on the
+	// ingest goroutine (ring-full sheds) and the worker (everything
+	// else); read by Stats/Degradation.
+	droppedPackets atomic.Int64
+	droppedBytes   atomic.Int64
+	// absorbed* track mass folded into eng since its last reset —
+	// worker-owned plain fields, read only on the worker itself when a
+	// quarantine or late barrier rejoin sheds the unmerged summary.
+	absorbedPackets int64
+	absorbedBytes   int64
+	// lastBarrier is the sequence number of the last barrier this shard
+	// passed; Stats derives per-shard lag from it.
+	lastBarrier atomic.Int64
+	// resync is set by the coordinator when a reset-barrier token could
+	// not be pushed into this shard's saturated ring: the worker sheds
+	// (and accounts) batches until the next token it does receive, so a
+	// missed window close cannot leak one window's mass into the next.
+	resync atomic.Bool
+	// quarantined is set when this shard's engine panicked: the worker
+	// keeps draining its ring and answering barriers with a fresh empty
+	// summary, shedding and accounting its substream.
+	quarantined atomic.Bool
 }
 
 // Sharded is the concurrent HHH detector over any of the three window
@@ -460,16 +516,33 @@ type Sharded struct {
 	closed atomic.Bool
 	lifeMu sync.Mutex
 
+	// mergeMu serialises barrier completions. Without degradation the
+	// barrier protocol alone orders merges (no shard passes barrier N
+	// before its merge finishes, so no shard can trigger barrier N+1's
+	// merge); with deadlines a straggler rejoining barrier N can race a
+	// timed-out completion of barrier N+1, and the mutex keeps the
+	// shared merge accumulator single-writer and publications ordered.
+	mergeMu sync.Mutex
+
+	// barrierSeq numbers broadcast barriers; per-shard lag in Stats is
+	// barrierSeq minus the shard's lastBarrier.
+	barrierSeq atomic.Int64
+
 	// Shared state.
-	mu         sync.Mutex
-	last       hhh.Set
-	merges     int64
-	lastEnd    int64
-	lastBytes  int64
-	packets    atomic.Int64
-	bytes      atomic.Int64
-	mergedSize atomic.Int64
-	wg         sync.WaitGroup
+	mu             sync.Mutex
+	last           hhh.Set
+	merges         int64
+	lastEnd        int64
+	lastBytes      int64
+	lastDegraded   bool  // last merge completed without every shard
+	lastShards     int   // shards that contributed to the last merge
+	degradedMerges int64 // merges published without every shard
+	panicked       int64 // engine panics recovered (see quarantine)
+	lastPanic      string
+	packets        atomic.Int64
+	bytes          atomic.Int64
+	mergedSize     atomic.Int64
+	wg             sync.WaitGroup
 }
 
 // New builds and starts a sharded pipeline. The caller must Close it to
@@ -497,6 +570,7 @@ func New(cfg Config) (*Sharded, error) {
 			return nil, err
 		}
 		s := &shard{
+			idx:  i,
 			ring: newRing(cfg.RingDepth),
 			eng:  eng,
 			free: make(chan []trace.Packet, cfg.RingDepth+2),
@@ -510,7 +584,10 @@ func New(cfg Config) (*Sharded, error) {
 	return d, nil
 }
 
-// worker drains one shard's ring until the ring is closed.
+// worker drains one shard's ring until the ring is closed. Batches are
+// absorbed through the panic-isolating absorb path; a shard that has
+// been quarantined (engine panic) or flagged for resync (missed reset
+// token) sheds its batches with exact accounting instead.
 func (d *Sharded) worker(s *shard) {
 	defer d.wg.Done()
 	for {
@@ -522,55 +599,44 @@ func (d *Sharded) worker(s *shard) {
 			d.arrive(m.bar, s)
 			continue
 		}
-		s.eng.UpdateBatch(m.pkts)
-		s.packets.Add(int64(len(m.pkts)))
-		s.size.Store(int64(s.eng.SizeBytes()))
-		select {
-		case s.free <- m.pkts[:0]:
-		default: // freelist full; let the GC take it
+		if s.quarantined.Load() || s.resync.Load() {
+			d.shedBatch(s, m.pkts)
+			continue
 		}
+		d.absorb(s, m.pkts)
 	}
 }
 
-// arrive is the shard side of a barrier. Each shard first advances its
-// own summary to the barrier timestamp — aligning sliding frame rings so
-// the merge is frame-for-frame — then the last arriver performs the merge
-// and query. Everyone proceeds (and, for window closes, resets) only
-// after the merged set is published, since the merge reads every shard's
-// summary.
-func (d *Sharded) arrive(b *barrier, s *shard) {
-	s.eng.Advance(b.at)
-	if b.arrived.Add(1) == b.need {
-		d.completeBarrier(b)
+// absorb folds one batch into the shard's summary, isolating engine
+// panics: a panic quarantines the shard (substream shed and accounted)
+// instead of killing the worker and deadlocking its barrier peers.
+func (d *Sharded) absorb(s *shard, pkts []trace.Packet) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.quarantine(s, r, pkts)
+		}
+	}()
+	if d.cfg.Chaos != nil {
+		d.cfg.Chaos.BeforeBatch(s.idx)
 	}
-	<-b.done
-	if b.reset {
-		s.eng.Reset()
-		s.size.Store(int64(s.eng.SizeBytes()))
+	s.eng.UpdateBatch(pkts)
+	var bytes int64
+	for i := range pkts {
+		bytes += int64(pkts[i].Size)
 	}
+	s.absorbedPackets += int64(len(pkts))
+	s.absorbedBytes += bytes
+	s.packets.Add(int64(len(pkts)))
+	s.size.Store(int64(s.eng.SizeBytes()))
+	d.recycle(s, pkts)
 }
 
-// completeBarrier merges all shard summaries, queries the merged summary
-// at the barrier timestamp, and publishes the result. Runs on the last
-// arriving worker while its peers are parked at the barrier, so it has
-// exclusive access to every summary.
-func (d *Sharded) completeBarrier(b *barrier) {
-	d.merged.Reset()
-	for _, s := range d.shards {
-		d.merged.Merge(s.eng)
+// recycle returns a drained batch buffer to the shard's freelist.
+func (d *Sharded) recycle(s *shard, pkts []trace.Packet) {
+	select {
+	case s.free <- pkts[:0]:
+	default: // freelist full; let the GC take it
 	}
-	set, total := d.merged.Query(b.at)
-	d.mergedSize.Store(int64(d.merged.SizeBytes()))
-	d.mu.Lock()
-	d.last = set
-	d.merges++
-	d.lastEnd = b.at
-	d.lastBytes = total
-	d.mu.Unlock()
-	if d.cfg.OnWindow != nil {
-		d.cfg.OnWindow(b.start, b.end, set)
-	}
-	close(b.done)
 }
 
 // shardOf hash-partitions a source address onto a shard. Both 64-bit
@@ -665,11 +731,36 @@ func (d *Sharded) stage(p *trace.Packet) {
 
 // pushBatch hands a staged buffer to the shard's ring and replaces the
 // staging slot from the freelist (allocating only when the freelist runs
-// dry, i.e. when the ring is persistently deep).
+// dry, i.e. when the ring is persistently deep). A bounded-wait push
+// that finds the ring still full drops the batch — only that shard's
+// slice of the stream — and accounts every dropped packet and byte to
+// the shard's shed counters. The wait is ShedWait under OverloadShed;
+// under OverloadBlock it is unbounded (lossless) unless BarrierTimeout
+// opted the pipeline into bounded-loss degradation, in which case the
+// deadline bounds ingest pushes too — otherwise a saturated ring of a
+// stuck shard would still hang Snapshot and Close in their staging
+// flushes.
 func (d *Sharded) pushBatch(si int, buf []trace.Packet) {
-	d.shards[si].ring.push(message{pkts: buf})
+	s := d.shards[si]
+	var wait time.Duration
+	if d.cfg.Overload == OverloadShed {
+		wait = d.cfg.ShedWait
+	} else {
+		wait = d.cfg.BarrierTimeout
+	}
+	if wait <= 0 {
+		s.ring.push(message{pkts: buf})
+	} else if !s.ring.pushWait(message{pkts: buf}, wait) {
+		var bytes int64
+		for i := range buf {
+			bytes += int64(buf[i].Size)
+		}
+		accountDropped(s, int64(len(buf)), bytes)
+		d.staging[si] = buf[:0] // dropped in place: reuse the buffer
+		return
+	}
 	select {
-	case nb := <-d.shards[si].free:
+	case nb := <-s.free:
 		d.staging[si] = nb
 	default:
 		d.staging[si] = make([]trace.Packet, 0, d.cfg.Batch)
@@ -686,10 +777,26 @@ func (d *Sharded) flushStaging() {
 }
 
 // broadcast flushes staged batches and pushes b into every shard's ring.
+// When a ring is so saturated that even the token cannot be placed
+// within the bounded wait (tokenWait > 0), the shard is skipped: the
+// barrier's quorum shrinks so its peers are not held hostage, and for
+// reset barriers the shard is flagged for resync so the missed window
+// close cannot leak one window's mass into the next.
 func (d *Sharded) broadcast(b *barrier) {
 	d.flushStaging()
+	b.seq = d.barrierSeq.Add(1)
+	wait := d.cfg.tokenWait()
 	for _, s := range d.shards {
-		s.ring.push(message{bar: b})
+		if wait <= 0 {
+			s.ring.push(message{bar: b})
+			continue
+		}
+		if !s.ring.pushWait(message{bar: b}, wait) {
+			if b.reset {
+				s.resync.Store(true)
+			}
+			d.skipShard(b)
+		}
 	}
 	d.lastBarrier = b
 }
@@ -710,7 +817,7 @@ func (d *Sharded) closeWindow() {
 	d.curEnd += d.width
 	if !d.windowHasData {
 		if b := d.lastBarrier; b != nil {
-			<-b.done
+			d.waitBarrier(b)
 		}
 		set := hhh.NewSet()
 		d.mu.Lock()
@@ -718,6 +825,8 @@ func (d *Sharded) closeWindow() {
 		d.merges++
 		d.lastEnd = end
 		d.lastBytes = 0
+		d.lastDegraded = false
+		d.lastShards = len(d.shards)
 		d.mu.Unlock()
 		if d.cfg.OnWindow != nil {
 			d.cfg.OnWindow(start, end, set)
@@ -725,14 +834,7 @@ func (d *Sharded) closeWindow() {
 		return
 	}
 	d.windowHasData = false
-	d.broadcast(&barrier{
-		start: start,
-		end:   end,
-		at:    end,
-		reset: true,
-		need:  int32(len(d.shards)),
-		done:  make(chan struct{}),
-	})
+	d.broadcast(newBarrier(d, start, end, end, true))
 }
 
 // Snapshot implements Detector. In windowed mode it closes every window
@@ -742,6 +844,10 @@ func (d *Sharded) closeWindow() {
 // aligns its live summary to now, the last arriver merges them all
 // (without consuming them) and queries the merged summary — and returns
 // the freshly published set.
+// With BarrierTimeout configured, Snapshot returns within the deadline
+// even when shards are stuck: the barrier completes with the shards that
+// arrived and the set is published degraded (see Stats.LastWindowShards
+// and Degradation).
 // After Close, Snapshot returns the most recently published set without
 // broadcasting (a closed pipeline has no workers to run a merge).
 // Snapshot may race Close from another goroutine: the lifecycle mutex
@@ -755,17 +861,13 @@ func (d *Sharded) Snapshot(now int64) hhh.Set {
 				d.closeWindow()
 			}
 		} else {
-			d.broadcast(&barrier{
-				at:   now,
-				need: int32(len(d.shards)),
-				done: make(chan struct{}),
-			})
+			d.broadcast(newBarrier(d, 0, 0, now, false))
 		}
 		b = d.lastBarrier
 	}
 	d.lifeMu.Unlock()
 	if b != nil {
-		<-b.done
+		d.waitBarrier(b)
 	}
 	d.mu.Lock()
 	set := d.last
@@ -836,6 +938,31 @@ type Stats struct {
 	ShardPackets    []int64 `json:"shard_packets"`
 	QueueDepth      []int   `json:"queue_depth"`
 	SizeBytes       int     `json:"size_bytes"`
+
+	// Degradation counters: see the Degradation report for the same
+	// numbers with per-shard breakdowns and the recorded panic.
+
+	// DroppedPackets and DroppedBytes total the mass shed across all
+	// shards — ring-full drops, quarantined substreams, and unmerged
+	// straggler slices — i.e. traffic the pipeline observed but excluded
+	// from every published report.
+	DroppedPackets int64 `json:"dropped_packets"`
+	DroppedBytes   int64 `json:"dropped_bytes"`
+	// DegradedWindows counts merges published without every shard
+	// (stall-tolerant barriers only; 0 unless BarrierTimeout is set).
+	DegradedWindows int64 `json:"degraded_windows"`
+	// LastWindowDegraded marks the most recent merge as missing shards;
+	// LastWindowShards is how many contributed.
+	LastWindowDegraded bool `json:"last_window_degraded"`
+	LastWindowShards   int  `json:"last_window_shards"`
+	// ShardLag is, per shard, how many broadcast barriers the shard has
+	// not yet passed (0 = fully caught up; growing = stalled).
+	ShardLag []int64 `json:"shard_lag"`
+	// Quarantined lists shards whose engine panicked and whose
+	// substream is being shed.
+	Quarantined []int `json:"quarantined_shards,omitempty"`
+	// Panics counts recovered engine panics.
+	Panics int64 `json:"panics"`
 }
 
 // Stats reports ingest and merge counters. Safe to call concurrently
@@ -851,14 +978,26 @@ func (d *Sharded) Stats() Stats {
 		QueueDepth:   make([]int, len(d.shards)),
 		SizeBytes:    d.SizeBytes(),
 	}
+	st.ShardLag = make([]int64, len(d.shards))
+	seq := d.barrierSeq.Load()
 	for i, s := range d.shards {
 		st.ShardPackets[i] = s.packets.Load()
 		st.QueueDepth[i] = s.ring.depth()
+		st.DroppedPackets += s.droppedPackets.Load()
+		st.DroppedBytes += s.droppedBytes.Load()
+		st.ShardLag[i] = seq - s.lastBarrier.Load()
+		if s.quarantined.Load() {
+			st.Quarantined = append(st.Quarantined, i)
+		}
 	}
 	d.mu.Lock()
 	st.Windows = d.merges
 	st.LastWindowEnd = d.lastEnd
 	st.LastWindowBytes = d.lastBytes
+	st.DegradedWindows = d.degradedMerges
+	st.LastWindowDegraded = d.lastDegraded
+	st.LastWindowShards = d.lastShards
+	st.Panics = d.panicked
 	d.mu.Unlock()
 	return st
 }
@@ -871,6 +1010,13 @@ func (d *Sharded) Stats() Stats {
 // never-closed window are absorbed into shard summaries but — exactly
 // like the single-threaded windowed detector — are only reported if a
 // Snapshot past the window boundary closed it first.
+//
+// With BarrierTimeout configured the drain wait is bounded too: if a
+// worker is still stuck after the close deadline (ten barrier timeouts,
+// at least one second — generous for a healthy backlog, finite for a
+// wedged shard), Close abandons it and returns ErrStalled. The
+// abandoned worker touches only its own shard state if it ever revives,
+// so the detector's read surface stays safe.
 func (d *Sharded) Close() error {
 	d.lifeMu.Lock()
 	defer d.lifeMu.Unlock()
@@ -881,6 +1027,25 @@ func (d *Sharded) Close() error {
 	for _, s := range d.shards {
 		s.ring.close()
 	}
-	d.wg.Wait()
-	return nil
+	if d.cfg.BarrierTimeout <= 0 {
+		d.wg.Wait()
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(drained)
+	}()
+	deadline := 10 * d.cfg.BarrierTimeout
+	if deadline < time.Second {
+		deadline = time.Second
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-drained:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("%w after %v", ErrStalled, deadline)
+	}
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"sync/atomic"
+	"time"
 
 	"hiddenhhh/internal/trace"
 )
@@ -61,17 +62,54 @@ func newRing(capacity int) *spscRing {
 // must not be called after close.
 func (r *spscRing) push(m message) {
 	for {
-		t := r.tail.Load()
-		if t-r.head.Load() < uint64(len(r.buf)) {
-			r.buf[t&r.mask] = m
-			r.tail.Store(t + 1)
-			select {
-			case r.notEmpty <- struct{}{}:
-			default:
-			}
+		if r.tryPush(m) {
 			return
 		}
 		<-r.notFull
+	}
+}
+
+// tryPush enqueues m if the ring has space, reporting whether it did.
+// Producer-side only.
+func (r *spscRing) tryPush(m message) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = m
+	r.tail.Store(t + 1)
+	select {
+	case r.notEmpty <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pushWait is push with the full-ring wait bounded at wait: it parks on
+// the notFull channel like push, but gives up once the deadline passes
+// without space appearing, reporting whether m was enqueued. The caller
+// owns the overload policy — dropping and accounting m is its job.
+// Producer-side only.
+func (r *spscRing) pushWait(m message, wait time.Duration) bool {
+	if r.tryPush(m) {
+		return true
+	}
+	if wait <= 0 {
+		return false
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.notFull:
+			if r.tryPush(m) {
+				return true
+			}
+		case <-timer.C:
+			// One last try: the consumer may have drained between the
+			// final park and the deadline firing.
+			return r.tryPush(m)
+		}
 	}
 }
 
