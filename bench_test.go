@@ -259,9 +259,10 @@ func BenchmarkDetectorContinuousSampled(b *testing.B) {
 // is one packet; speedup over BenchmarkDetectorSharded1 is the parallel
 // scaling factor (bounded by the machine's core count — a single-core
 // runner shows ~1x regardless of shards).
-func benchSharded(b *testing.B, shards int) {
+func benchSharded(b *testing.B, shards int, reg *MetricsRegistry) {
 	det, err := NewShardedDetector(ShardedConfig{
-		Shards: shards, Window: 10 * time.Second, Phi: 0.05, Engine: EnginePerLevel})
+		Shards: shards, Window: 10 * time.Second, Phi: 0.05, Engine: EnginePerLevel,
+		Metrics: reg})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -273,16 +274,28 @@ func benchSharded(b *testing.B, shards int) {
 // BenchmarkDetectorSharded1 is the 1-shard pipeline baseline (pipeline
 // overhead over BenchmarkDetectorWindowedPerLevel is the partition+ring
 // cost).
-func BenchmarkDetectorSharded1(b *testing.B) { benchSharded(b, 1) }
+func BenchmarkDetectorSharded1(b *testing.B) { benchSharded(b, 1, nil) }
 
 // BenchmarkDetectorSharded2 measures 2-shard parallel ingest.
-func BenchmarkDetectorSharded2(b *testing.B) { benchSharded(b, 2) }
+func BenchmarkDetectorSharded2(b *testing.B) { benchSharded(b, 2, nil) }
 
 // BenchmarkDetectorSharded4 measures 4-shard parallel ingest.
-func BenchmarkDetectorSharded4(b *testing.B) { benchSharded(b, 4) }
+func BenchmarkDetectorSharded4(b *testing.B) { benchSharded(b, 4, nil) }
 
 // BenchmarkDetectorSharded8 measures 8-shard parallel ingest.
-func BenchmarkDetectorSharded8(b *testing.B) { benchSharded(b, 8) }
+func BenchmarkDetectorSharded8(b *testing.B) { benchSharded(b, 8, nil) }
+
+// The *Telemetry variants run the identical workload with a live
+// MetricsRegistry attached (ShardedConfig.Metrics): the function-backed
+// counters cost nothing on the ingest path, so the delta against the
+// uninstrumented twin is the hand-off/high-water bookkeeping alone.
+// cmd/benchjson's overhead guard holds each pair within 5%.
+
+// BenchmarkDetectorSharded1Telemetry is the instrumented 1-shard twin.
+func BenchmarkDetectorSharded1Telemetry(b *testing.B) { benchSharded(b, 1, NewMetricsRegistry()) }
+
+// BenchmarkDetectorSharded4Telemetry is the instrumented 4-shard twin.
+func BenchmarkDetectorSharded4Telemetry(b *testing.B) { benchSharded(b, 4, NewMetricsRegistry()) }
 
 // benchTrace6 lazily synthesises and caches the IPv6 benchmark trace:
 // one minute of the IPv6 hit-and-run DDoS scenario.

@@ -21,6 +21,21 @@
 // still emitting the snapshot:
 //
 //	go run ./cmd/benchjson -benchtime 10000x -compare BENCH_3.json > bench-ci.json
+//
+// Independently of -compare, the snapshot is checked for instrumentation
+// overhead: every benchmark named <Base><suffix> for -overhead-suffix
+// (default "Telemetry") is paired with its uninstrumented twin <Base>
+// from the same run, and the process exits with status 2 when the
+// instrumented ns/op exceeds the twin by more than -max-overhead×
+// (default 1.05 — the repository's "telemetry costs under 5%" budget).
+// Pairs are compared within one snapshot, so machine speed cancels out;
+// repeated measurements from a `-count N` run collapse to the per-name
+// minimum, so CI drives this guard with min-of-N pairing:
+//
+//	go test -run '^$' -bench 'Sharded(1|4)(Telemetry)?$' -benchtime 500000x -count 5 . |
+//	  go run ./cmd/benchjson -stdin > /dev/null
+//
+// BENCHJSON_SKIP_COMPARE=1 skips this guard too.
 package main
 
 import (
@@ -34,6 +49,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -75,6 +91,10 @@ func main() {
 		"^BenchmarkDetectorSharded|^BenchmarkSlidingSharded|^BenchmarkContinuousSharded|^BenchmarkDetectorIPv6",
 		"benchmarks the -compare guard checks (regexp on names, GOMAXPROCS suffix stripped)")
 	maxRegression := flag.Float64("max-regression", 2.0, "ns/op ratio vs baseline that fails the -compare guard")
+	overheadSuffix := flag.String("overhead-suffix", "Telemetry",
+		"benchmark name suffix marking instrumented twins; empty disables the overhead guard")
+	maxOverhead := flag.Float64("max-overhead", 1.05,
+		"ns/op ratio of an instrumented twin over its base benchmark that fails the overhead guard")
 	flag.Parse()
 
 	var out bytes.Buffer
@@ -117,6 +137,61 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *overheadSuffix != "" {
+		if err := checkOverhead(&snap, *overheadSuffix, *maxOverhead); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// checkOverhead pairs every <Base><suffix> benchmark in the snapshot
+// with its <Base> twin from the same run and fails when the instrumented
+// ns/op exceeds maxRatio× the twin's. Repeated measurements of the same
+// benchmark (a `-count N` run) collapse to the per-name minimum — the
+// standard noise-floor estimator — so a min-of-N pairing holds a tight
+// budget even on runners where any single back-to-back pair can be
+// skewed 10%+ by transient load. A suffix benchmark whose twin is
+// missing fails loudly (a rename would otherwise disable the guard);
+// a snapshot containing no suffix benchmarks passes silently, so -stdin
+// runs over unrelated benchmark subsets stay usable.
+func checkOverhead(snap *Snapshot, suffix string, maxRatio float64) error {
+	if os.Getenv("BENCHJSON_SKIP_COMPARE") == "1" {
+		return nil
+	}
+	best := make(map[string]float64, len(snap.Benchmarks))
+	for _, e := range snap.Benchmarks {
+		if v, ok := best[e.Name]; !ok || e.NsPerOp < v {
+			best[e.Name] = e.NsPerOp
+		}
+	}
+	var over []string
+	checked := 0
+	for instr, ns := range best {
+		name, ok := strings.CutSuffix(instr, suffix)
+		if !ok || name == instr || name == "" {
+			continue
+		}
+		twin, ok := best[name]
+		if !ok || twin <= 0 {
+			return fmt.Errorf("overhead guard: %s has no %s twin in this run", instr, name)
+		}
+		checked++
+		if ratio := ns / twin; ratio > maxRatio {
+			over = append(over, fmt.Sprintf("%s: %.1f ns/op vs %s %.1f (%.3fx > %.2fx)",
+				instr, ns, name, twin, ratio, maxRatio))
+		}
+	}
+	if len(over) > 0 {
+		sort.Strings(over)
+		return fmt.Errorf("%d instrumented benchmarks exceed the %.0f%% overhead budget:\n  %s",
+			len(over), (maxRatio-1)*100, strings.Join(over, "\n  "))
+	}
+	if checked > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d instrumented twins within %.0f%% of baseline\n",
+			checked, (maxRatio-1)*100)
+	}
+	return nil
 }
 
 // compareBaseline checks the snapshot's guarded benchmarks against the

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"hiddenhhh"
@@ -49,6 +51,13 @@ type DetectorResult struct {
 	Reported     int     `json:"reported_distinct"`
 	UnionRecall  float64 `json:"union_recall"`
 	HiddenRecall float64 `json:"hidden_recall"`
+	// Ingest performance: wall-clock for one full-trace replay through a
+	// fresh instance of this cell's detector and the implied rate. The
+	// packet total behind the rate is scraped back from the
+	// hhh_detector_* families on a per-cell MetricsRegistry — the same
+	// families hhhserve exports on /metrics.
+	IngestWallMs float64 `json:"ingest_wall_ms"`
+	IngestMpps   float64 `json:"ingest_mpps"`
 }
 
 // ScenarioReport is the per-scenario section of the full report.
@@ -165,6 +174,7 @@ func main() {
 		// report. Both fall out of the differential runs below.
 		var slidingTruth, windowedTruth hhh.Set
 		var results []*oracle.Report
+		var ingest []ingestResult
 		for _, c := range cells {
 			det, err := c.mk()
 			if err != nil {
@@ -195,6 +205,11 @@ func main() {
 				fatal(err)
 			}
 			results = append(results, r)
+			ing, err := measureIngest(c.mk, c.name, r.Mode, pkts)
+			if err != nil {
+				fatal(err)
+			}
+			ingest = append(ingest, ing)
 			switch {
 			case c.name == "windowed-exact":
 				windowedTruth = r.TruthUnion
@@ -206,7 +221,7 @@ func main() {
 		hidden := slidingTruth.Diff(windowedTruth)
 		sr.TruthHHHs = slidingTruth.Len()
 		sr.HiddenHHHs = hidden.Len()
-		for _, r := range results {
+		for i, r := range results {
 			sc := core.Score(r.Detector, r.GotUnion, slidingTruth, hidden)
 			sr.Detectors = append(sr.Detectors, DetectorResult{
 				Name:         r.Detector,
@@ -219,6 +234,8 @@ func main() {
 				Reported:     r.GotUnion.Len(),
 				UnionRecall:  sc.Recall,
 				HiddenRecall: sc.HiddenRecall,
+				IngestWallMs: ingest[i].wallMs,
+				IngestMpps:   ingest[i].mpps,
 			})
 			rep.TotalViolations += r.Violations
 		}
@@ -243,6 +260,75 @@ func main() {
 	}
 }
 
+// ingestResult is one cell's ingest performance measurement.
+type ingestResult struct {
+	wallMs float64
+	mpps   float64
+}
+
+// evalBatch is the batch size measureIngest replays with — the
+// production batch-ingest spine, matching the throughput benchmarks.
+const evalBatch = 512
+
+// measureIngest replays the whole trace through a fresh instance of a
+// cell's detector, wrapped with InstrumentDetector on its own
+// MetricsRegistry, and derives the row's wall-clock and rate. The packet
+// total behind the rate is not a local counter: it is scraped back out
+// of the registry's hhh_detector_packets_total family — the exact series
+// hhhserve exports — so the report and a dashboard watching the same
+// detector can never disagree. The final Snapshot is inside the timed
+// region: for the sharded cells it forces the merge barrier, charging
+// the rate for draining the rings, not just filling them.
+func measureIngest(mk func() (oracle.Detector, error), name, mode string, pkts []hiddenhhh.Packet) (ingestResult, error) {
+	det, err := mk()
+	if err != nil {
+		return ingestResult{}, err
+	}
+	hd, ok := det.(hiddenhhh.Detector)
+	if !ok {
+		return ingestResult{}, fmt.Errorf("cell %s: detector lacks the public ingest surface", name)
+	}
+	reg := hiddenhhh.NewMetricsRegistry()
+	ins := hiddenhhh.InstrumentDetector(hd, reg, name, mode)
+	start := time.Now()
+	for off := 0; off < len(pkts); off += evalBatch {
+		end := off + evalBatch
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		ins.ObserveBatch(pkts[off:end])
+	}
+	ins.Snapshot(pkts[len(pkts)-1].Ts + 1)
+	wall := time.Since(start)
+	if cl, ok := det.(interface{ Close() error }); ok {
+		cl.Close()
+	}
+	var sb strings.Builder
+	if err := hiddenhhh.WriteMetrics(&sb, reg); err != nil {
+		return ingestResult{}, err
+	}
+	sample := fmt.Sprintf("hhh_detector_packets_total{engine=%q,mode=%q}", name, mode)
+	count, err := scrapeValue(sb.String(), sample)
+	if err != nil {
+		return ingestResult{}, fmt.Errorf("cell %s: %w", name, err)
+	}
+	return ingestResult{
+		wallMs: float64(wall) / 1e6,
+		mpps:   count / wall.Seconds() / 1e6,
+	}, nil
+}
+
+// scrapeValue extracts one sample's value from a Prometheus text
+// exposition; sample is the exact name{labels} prefix of its line.
+func scrapeValue(text, sample string) (float64, error) {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			return strconv.ParseFloat(strings.TrimSpace(line[len(sample)+1:]), 64)
+		}
+	}
+	return 0, fmt.Errorf("sample %q not in exposition", sample)
+}
+
 func renderMarkdown(w *os.File, rep *Report) {
 	fmt.Fprintf(w, "# hhheval accuracy report\n\n")
 	fmt.Fprintf(w, "window=%s phi=%v counters=%d seed=%d duration=%s\n\n",
@@ -252,13 +338,15 @@ func renderMarkdown(w *os.File, rep *Report) {
 		fmt.Fprintf(w, "%d packets; %d distinct sliding-truth HHHs, %d hidden (absent from every disjoint window)\n\n",
 			sc.Packets, sc.TruthHHHs, sc.HiddenHHHs)
 		t := metrics.NewTable("detector", "mode", "precision", "recall",
-			"err+%", "err-%", "viol", "distinct", "union-recall", "hidden-recall")
+			"err+%", "err-%", "viol", "distinct", "union-recall", "hidden-recall",
+			"wall-ms", "Mpps")
 		for _, d := range sc.Detectors {
 			t.AddRow(d.Name, d.Mode,
 				fmt.Sprintf("%.3f", d.Precision), fmt.Sprintf("%.3f", d.Recall),
 				fmt.Sprintf("%.2f", 100*d.WorstOver), fmt.Sprintf("%.2f", 100*d.WorstUnder),
 				d.Violations, d.Reported,
-				fmt.Sprintf("%.3f", d.UnionRecall), fmt.Sprintf("%.3f", d.HiddenRecall))
+				fmt.Sprintf("%.3f", d.UnionRecall), fmt.Sprintf("%.3f", d.HiddenRecall),
+				fmt.Sprintf("%.1f", d.IngestWallMs), fmt.Sprintf("%.2f", d.IngestMpps))
 		}
 		fmt.Fprintf(w, "%s\n", t.String())
 	}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"hiddenhhh"
+	"hiddenhhh/internal/telemetry"
 )
 
 // server owns the sharded detector. The Detector ingest contract is
@@ -52,10 +54,58 @@ type server struct {
 	lastTs  atomic.Int64 // highest ingested timestamp (trace time, ns)
 	laps    atomic.Int64
 	started time.Time
+
+	// Telemetry: the registry /metrics scrapes (the detector registers
+	// its pipeline families on it via ShardedConfig.Metrics), the attack
+	// onset/offset watcher behind /events, and the per-route HTTP metric
+	// families.
+	reg     *hiddenhhh.MetricsRegistry
+	watcher *hiddenhhh.AttackWatcher
+	httpReq *telemetry.CounterVec
+	httpLat *telemetry.HistogramVec
+	// nextSample is the next trace timestamp at which the ingest loop
+	// snapshots the detector and feeds the watcher (once per window; run
+	// goroutine only).
+	nextSample int64
+	// pprof exposes net/http/pprof on the server mux when set (the
+	// -pprof flag): hot-path profiling on demand, closed by default.
+	pprof bool
 }
 
-func newServer(det hiddenhhh.ShardedDetector, window time.Duration, phi float64) *server {
-	return &server{det: det, window: window, phi: phi, started: time.Now()}
+// newServer builds the query server around det. reg must be the registry
+// det's pipeline metrics are registered on (ShardedConfig.Metrics) so
+// /metrics serves ingest, shard and degradation families alongside the
+// server's own; wcfg parameterises the attack watcher behind /events
+// (zero value = documented defaults). When wcfg.OnEvent is unset every
+// event is also emitted as a structured log line.
+func newServer(det hiddenhhh.ShardedDetector, window time.Duration, phi float64,
+	reg *hiddenhhh.MetricsRegistry, wcfg hiddenhhh.AttackWatcherConfig) *server {
+	if wcfg.OnEvent == nil {
+		wcfg.OnEvent = func(e hiddenhhh.AttackEvent) { log.Printf("hhhserve: %s", e) }
+	}
+	s := &server{
+		det:     det,
+		window:  window,
+		phi:     phi,
+		started: time.Now(),
+		reg:     reg,
+		watcher: hiddenhhh.NewAttackWatcher(wcfg),
+	}
+	s.watcher.Register(reg)
+	reg.GaugeFunc("hhh_server_uptime_seconds",
+		"Wall-clock seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("hhh_server_trace_time_seconds",
+		"Highest ingested trace timestamp, in seconds of trace time.",
+		func() float64 { return float64(s.lastTs.Load()) / float64(time.Second) })
+	reg.CounterFunc("hhh_server_trace_laps_total",
+		"Completed replay laps over the ingest trace.",
+		s.laps.Load)
+	s.httpReq = reg.CounterVec("hhh_http_requests_total",
+		"HTTP requests served, by route.", "route")
+	s.httpLat = reg.HistogramVec("hhh_http_request_seconds",
+		"HTTP request handling latency, by route.", telemetry.LatencyBuckets, "route")
+	return s
 }
 
 // ingestBatch feeds one time-ordered run into the detector.
@@ -89,12 +139,31 @@ func (s *server) run(pkts []hiddenhhh.Packet, span int64, laps int, pps float64,
 				shifted[j].Ts += off
 			}
 			s.ingestBatch(shifted[:n])
+			s.sampleEvents()
 			if interval > 0 {
 				time.Sleep(interval)
 			}
 		}
 		s.laps.Store(int64(lap + 1))
 	}
+}
+
+// sampleEvents feeds the attack watcher once per window of trace time:
+// when ingest has crossed the next sample boundary, it snapshots the
+// detector at the current trace timestamp and hands the HHH set (plus
+// the window-mass denominator) to the onset/offset watcher. Runs on the
+// ingest goroutine; the snapshot serialises on mu exactly like a query.
+func (s *server) sampleEvents() {
+	now := s.lastTs.Load()
+	if now < s.nextSample {
+		return
+	}
+	s.nextSample = (now/int64(s.window) + 1) * int64(s.window)
+	s.mu.Lock()
+	set := s.det.Snapshot(now)
+	windowBytes := s.det.Stats().LastWindowBytes
+	s.mu.Unlock()
+	s.watcher.ObserveWindow(now, set, windowBytes)
 }
 
 // hhhItem is one reported heavy hitter, JSON-shaped for /hhh.
@@ -147,10 +216,11 @@ func (s *server) handleHHH(w http.ResponseWriter, r *http.Request) {
 
 type statsResponse struct {
 	hiddenhhh.PipelineStats
-	UptimeSec   float64 `json:"uptime_sec"`
-	Laps        int64   `json:"laps"`
-	TraceTimeNs int64   `json:"trace_time_ns"`
-	IngestPPS   float64 `json:"ingest_pps"`
+	StartedAt   time.Time `json:"started_at"`
+	UptimeSec   float64   `json:"uptime_sec"`
+	Laps        int64     `json:"laps"`
+	TraceTimeNs int64     `json:"trace_time_ns"`
+	IngestPPS   float64   `json:"ingest_pps"`
 	// Degradation carries the per-shard shed breakdown and fault state
 	// behind the embedded DroppedPackets/DegradedWindows/ShardLag
 	// counters.
@@ -158,10 +228,16 @@ type statsResponse struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One Stats() snapshot per request: every top-level field below is
+	// derived from st, so the response is a single consistent view even
+	// while ingest keeps counting. (The per-shard Degradation breakdown is
+	// necessarily a second read; its totals may trail st by the packets
+	// ingested in between.)
 	st := s.det.Stats()
 	up := time.Since(s.started).Seconds()
 	resp := statsResponse{
 		PipelineStats: st,
+		StartedAt:     s.started,
 		UptimeSec:     up,
 		Laps:          s.laps.Load(),
 		TraceTimeNs:   s.lastTs.Load(),
@@ -176,30 +252,91 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports liveness plus the degradation state an operator
 // alerts on: "degraded" means the detector is up but has declared
 // unobserved mass (shed batches, degraded windows, or a quarantined
-// shard), so reports cover less than the full stream.
+// shard), so reports cover less than the full stream. The whole response
+// — status decision included — derives from one Stats() snapshot, so the
+// fields can never contradict the verdict.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.det.Stats()
-	deg := s.det.Degradation()
 	status := "ok"
-	if deg.DroppedPackets > 0 || deg.DegradedMerges > 0 || len(deg.Quarantined) > 0 {
+	if st.DroppedPackets > 0 || st.DegradedWindows > 0 || len(st.Quarantined) > 0 {
 		status = "degraded"
 	}
 	writeJSON(w, map[string]any{
 		"status":             status,
+		"started_at":         s.started,
 		"uptime_sec":         time.Since(s.started).Seconds(),
-		"dropped_packets":    deg.DroppedPackets,
-		"dropped_bytes":      deg.DroppedBytes,
-		"degraded_windows":   deg.DegradedMerges,
-		"quarantined_shards": len(deg.Quarantined),
+		"dropped_packets":    st.DroppedPackets,
+		"dropped_bytes":      st.DroppedBytes,
+		"degraded_windows":   st.DegradedWindows,
+		"quarantined_shards": len(st.Quarantined),
 		"shard_lag":          st.ShardLag,
 	})
 }
 
+// eventsResponse is the /events payload: the watcher's retained ring,
+// oldest first.
+type eventsResponse struct {
+	Active int                     `json:"active_attacks"`
+	Onsets int64                   `json:"onsets_total"`
+	Offs   int64                   `json:"offsets_total"`
+	Count  int                     `json:"count"`
+	Events []hiddenhhh.AttackEvent `json:"events"`
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	evs := s.watcher.Events()
+	if evs == nil {
+		evs = []hiddenhhh.AttackEvent{} // "events": [] rather than null
+	}
+	onsets, offs := s.watcher.Counts()
+	writeJSON(w, eventsResponse{
+		Active: s.watcher.Active(),
+		Onsets: onsets,
+		Offs:   offs,
+		Count:  len(evs),
+		Events: evs,
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := hiddenhhh.WriteMetrics(w, s.reg); err != nil {
+		log.Printf("hhhserve: /metrics write: %v", err)
+	}
+}
+
+// instrument wraps one route with its request counter and latency
+// histogram (handles cached at registration; the handler path adds one
+// atomic increment and one histogram observation).
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.httpReq.With(route)
+	lat := s.httpLat.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.Observe(time.Since(t0).Seconds())
+	}
+}
+
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/hhh", s.handleHHH)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/hhh", s.instrument("/hhh", s.handleHHH))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/events", s.instrument("/events", s.handleEvents))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.pprof {
+		// The stock pprof handlers register on DefaultServeMux at import;
+		// this server uses its own mux, so the profiles stay unreachable
+		// unless -pprof opted in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -301,6 +438,11 @@ func main() {
 		overloadStr    = flag.String("overload", "block", "ring-full policy: block (lossless) or shed (bounded wait, drop and account)")
 		shedWait       = flag.Duration("shed-wait", 0, "max ring wait before shedding a batch (-overload shed; 0 = 1ms default)")
 		barrierTimeout = flag.Duration("barrier-timeout", 0, "window-merge deadline; stalled shards degrade the window instead of wedging it (0 = wait forever)")
+
+		pprofFlag   = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+		attackThr   = flag.Float64("attack-threshold", 0, "onset watcher: min conditioned share of window mass (0 = default 0.25)")
+		attackHold  = flag.Int("attack-holdoff", 0, "onset watcher: windows below threshold before an offset fires (0 = default 2)")
+		attackBytes = flag.Int64("attack-min-bytes", 0, "onset watcher: min conditioned bytes before a prefix can alarm")
 	)
 	flag.Parse()
 
@@ -338,6 +480,7 @@ func main() {
 	}
 	span := pkts[len(pkts)-1].Ts + 1
 
+	reg := hiddenhhh.NewMetricsRegistry()
 	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
 		Mode:           mode,
 		Shards:         *shards,
@@ -349,12 +492,18 @@ func main() {
 		Overload:       overload,
 		ShedWait:       *shedWait,
 		BarrierTimeout: *barrierTimeout,
+		Metrics:        reg,
 	})
 	if err != nil {
 		log.Fatal("hhhserve: ", err)
 	}
 
-	srv := newServer(det, *window, *phi)
+	srv := newServer(det, *window, *phi, reg, hiddenhhh.AttackWatcherConfig{
+		Threshold: *attackThr,
+		HoldOff:   *attackHold,
+		MinBytes:  *attackBytes,
+	})
+	srv.pprof = *pprofFlag
 	stop := make(chan struct{})
 	ingestDone := make(chan struct{})
 	go func() {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -23,16 +25,20 @@ func startTestServer(t *testing.T) (*server, func()) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := hiddenhhh.NewMetricsRegistry()
 	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
-		Shards: 3,
-		Window: 5 * time.Second,
-		Phi:    0.05,
-		Engine: hiddenhhh.EnginePerLevel,
+		Shards:  3,
+		Window:  5 * time.Second,
+		Phi:     0.05,
+		Engine:  hiddenhhh.EnginePerLevel,
+		Metrics: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(det, 5*time.Second, 0.05)
+	srv := newServer(det, 5*time.Second, 0.05, reg, hiddenhhh.AttackWatcherConfig{
+		OnEvent: func(hiddenhhh.AttackEvent) {}, // keep test logs quiet
+	})
 	srv.run(pkts, pkts[len(pkts)-1].Ts+1, 1, 0, make(chan struct{}))
 	return srv, func() { det.Close() }
 }
@@ -209,6 +215,166 @@ func TestModeFlag(t *testing.T) {
 	}
 }
 
+// metricValue extracts one sample's value from a Prometheus text
+// exposition; sample is the exact name{labels} prefix of the line.
+func metricValue(t *testing.T, text, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(line[len(sample)+1:]), 64)
+			if err != nil {
+				t.Fatalf("sample %q value unparsable: %v (%q)", sample, err, line)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not in exposition:\n%s", sample, text)
+	return 0
+}
+
+// TestServeMetrics scrapes /metrics and checks the exposition is
+// format-conformant and numerically honest: the ingest counters equal
+// Stats() and the degradation counters equal Degradation() exactly.
+func TestServeMetrics(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	mux := srv.mux()
+	// Tick the per-route HTTP counters before the scrape.
+	mux.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/hhh", nil))
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	text := rec.Body.String()
+	samples, err := hiddenhhh.ValidateMetricsExposition(text)
+	if err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, text)
+	}
+	if samples < 20 {
+		t.Fatalf("/metrics carries only %d samples", samples)
+	}
+
+	st := srv.det.Stats()
+	deg := srv.det.Degradation()
+	const labels = `{engine="perlevel",mode="windowed"}`
+	if got := metricValue(t, text, "hhh_detector_packets_total"+labels); got != float64(st.Packets) {
+		t.Errorf("detector packets metric %v, Stats says %d", got, st.Packets)
+	}
+	if got := metricValue(t, text, "hhh_detector_bytes_total"+labels); got != float64(st.Bytes) {
+		t.Errorf("detector bytes metric %v, Stats says %d", got, st.Bytes)
+	}
+	var shedPkts, shedBytes, shardPkts float64
+	for i := 0; i < 3; i++ {
+		lbl := `{shard="` + strconv.Itoa(i) + `"}`
+		shedPkts += metricValue(t, text, "hhh_pipeline_shed_packets_total"+lbl)
+		shedBytes += metricValue(t, text, "hhh_pipeline_shed_bytes_total"+lbl)
+		shardPkts += metricValue(t, text, "hhh_pipeline_shard_packets_total"+lbl)
+		if got := metricValue(t, text, "hhh_pipeline_shed_packets_total"+lbl); got != float64(deg.ShardDroppedPackets[i]) {
+			t.Errorf("shard %d shed packets metric %v, Degradation says %d", i, got, deg.ShardDroppedPackets[i])
+		}
+	}
+	dp, db := srv.det.DroppedMass()
+	if shedPkts != float64(dp) || shedBytes != float64(db) {
+		t.Errorf("shed totals metric %v/%v, DroppedMass says %d/%d", shedPkts, shedBytes, dp, db)
+	}
+	// Shard counters track worker absorption, which trails ingest while
+	// rings drain — bounded by the stable ingest total, not equal to it.
+	if shardPkts <= 0 || shardPkts > float64(st.Packets) {
+		t.Errorf("per-shard packet metrics sum to %v, ingest total %d", shardPkts, st.Packets)
+	}
+	if got := metricValue(t, text, `hhh_pipeline_window_seals_total{result="degraded"}`); got != float64(deg.DegradedMerges) {
+		t.Errorf("degraded seals metric %v, Degradation says %d", got, deg.DegradedMerges)
+	}
+	if got := metricValue(t, text, "hhh_pipeline_panics_total"); got != float64(deg.Panics) {
+		t.Errorf("panics metric %v, Degradation says %d", got, deg.Panics)
+	}
+	if got := metricValue(t, text, `hhh_http_requests_total{route="/hhh"}`); got < 1 {
+		t.Errorf("/hhh request counter %v after a request", got)
+	}
+	for _, family := range []string{
+		"hhh_attacks_active", "hhh_attack_onsets_total",
+		"hhh_pipeline_handoff_seconds_count", "hhh_pipeline_barrier_merge_seconds_count",
+		"hhh_server_uptime_seconds", "hhh_pipeline_last_window_bytes",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+}
+
+// TestServeEvents drives the server's attack watcher directly and
+// checks /events round-trips the episode as JSON with coherent counts.
+func TestServeEvents(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	mux := srv.mux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/events status %d", rec.Code)
+	}
+	var resp eventsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("/events invalid JSON: %v", err)
+	}
+	if resp.Count != len(resp.Events) {
+		t.Fatalf("/events count %d vs %d events", resp.Count, len(resp.Events))
+	}
+
+	// Inject an attack window and a quiet aftermath through the same
+	// watcher the sampler feeds; /events must surface both transitions.
+	hot := hiddenhhh.Set{}
+	p := hiddenhhh.MustParsePrefix("198.51.100.7/32")
+	hot[p] = hiddenhhh.Item{Prefix: p, Count: 900, Conditioned: 900}
+	srv.watcher.ObserveWindow(1e9, hot, 1000)
+	quiet := hiddenhhh.Set{}
+	srv.watcher.ObserveWindow(2e9, quiet, 1000)
+	srv.watcher.ObserveWindow(3e9, quiet, 1000)
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("/events invalid JSON: %v", err)
+	}
+	if resp.Onsets != 1 || resp.Offs != 1 || resp.Count != 2 || len(resp.Events) != 2 {
+		t.Fatalf("/events after episode: %+v", resp)
+	}
+	on, off := resp.Events[0], resp.Events[1]
+	if on.Type != hiddenhhh.AttackOnset || off.Type != hiddenhhh.AttackOffset {
+		t.Fatalf("/events order: %v then %v", on.Type, off.Type)
+	}
+	if on.Prefix != "198.51.100.7/32" || off.DurationNs != 2e9 {
+		t.Fatalf("/events payload: onset %+v offset %+v", on, off)
+	}
+	if resp.Active != 0 {
+		t.Fatalf("/events active %d after offset", resp.Active)
+	}
+}
+
+// TestServePprofGate checks /debug/pprof/ is absent by default and
+// served when the flag is set.
+func TestServePprofGate(t *testing.T) {
+	srv, done := startTestServer(t)
+	defer done()
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof served without the flag: %d", rec.Code)
+	}
+	srv.pprof = true
+	rec = httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof index with the flag: %d", rec.Code)
+	}
+}
+
 // TestServeSlidingMode runs the server over a sliding-mode sharded
 // detector: /hhh must answer from a query-time merge of the live shard
 // summaries at the current trace timestamp.
@@ -221,17 +387,21 @@ func TestServeSlidingMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := hiddenhhh.NewMetricsRegistry()
 	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
-		Mode:   hiddenhhh.ModeSliding,
-		Shards: 3,
-		Window: 5 * time.Second,
-		Phi:    0.05,
+		Mode:    hiddenhhh.ModeSliding,
+		Shards:  3,
+		Window:  5 * time.Second,
+		Phi:     0.05,
+		Metrics: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer det.Close()
-	srv := newServer(det, 5*time.Second, 0.05)
+	srv := newServer(det, 5*time.Second, 0.05, reg, hiddenhhh.AttackWatcherConfig{
+		OnEvent: func(hiddenhhh.AttackEvent) {},
+	})
 	srv.run(pkts, pkts[len(pkts)-1].Ts+1, 1, 0, make(chan struct{}))
 	rec := httptest.NewRecorder()
 	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/hhh", nil))

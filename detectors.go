@@ -399,6 +399,15 @@ type ShardedConfig struct {
 	// drain, returning ErrDetectorStalled. Zero (default) keeps the
 	// lossless unbounded waits.
 	BarrierTimeout time.Duration
+	// Metrics, when set, registers the detector's runtime telemetry on
+	// the registry: ingest and degradation counters function-backed (read
+	// at scrape time, exactly equal to Stats()/Degradation(), zero
+	// ingest-path cost) plus hand-off, barrier-merge and snapshot latency
+	// histograms observed at batch/barrier frequency. Register at most
+	// one detector per engine×mode pair on a registry — the per-shard and
+	// per-detector series would otherwise collide. Nil (default) disables
+	// all instrumentation.
+	Metrics *MetricsRegistry
 }
 
 // OverloadPolicy selects what sharded ingest does when a shard's ring
@@ -503,6 +512,7 @@ func NewShardedDetector(cfg ShardedConfig) (ShardedDetector, error) {
 		Overload:       cfg.Overload,
 		ShedWait:       cfg.ShedWait,
 		BarrierTimeout: cfg.BarrierTimeout,
+		Metrics:        cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hiddenhhh: %w", err)

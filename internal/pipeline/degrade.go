@@ -391,6 +391,10 @@ func (d *Sharded) completeBarrier(b *barrier, joined []bool, count int) {
 			d.mu.Unlock()
 		}
 	}()
+	if d.tel != nil {
+		t0 := time.Now()
+		defer func() { d.tel.merge.Observe(time.Since(t0).Seconds()) }()
+	}
 	d.merged.Reset()
 	for i, s := range d.shards {
 		if joined[i] {

@@ -57,6 +57,7 @@ import (
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/swhh"
 	"hiddenhhh/internal/tdbf"
+	"hiddenhhh/internal/telemetry"
 	"hiddenhhh/internal/trace"
 )
 
@@ -213,6 +214,13 @@ type Config struct {
 	// Chaos, when set, receives fault-injection callbacks from the shard
 	// workers (see internal/chaos). Test-only; nil in production.
 	Chaos Breaker
+	// Metrics, when set, registers the pipeline on the registry: ingest
+	// and degradation counters function-backed (zero ingest-path cost,
+	// read at scrape time and exactly equal to Stats/Degradation), plus
+	// hand-off, barrier-merge and snapshot latency histograms observed at
+	// batch/barrier frequency (see telemetry.go). Nil disables all
+	// instrumentation.
+	Metrics *telemetry.Registry
 	// OnWindow, when set, receives every completed window's merged HHH
 	// set, in window order (ModeWindowed only). For windows with traffic
 	// it runs on a worker goroutine while the other shards wait at the
@@ -480,6 +488,9 @@ type shard struct {
 	// lastBarrier is the sequence number of the last barrier this shard
 	// passed; Stats derives per-shard lag from it.
 	lastBarrier atomic.Int64
+	// highWater is the deepest ring occupancy seen at a batch hand-off
+	// (telemetry only; written by the ingest goroutine once per push).
+	highWater atomic.Int64
 	// resync is set by the coordinator when a reset-barrier token could
 	// not be pushed into this shard's saturated ring: the worker sheds
 	// (and accounts) batches until the next token it does receive, so a
@@ -501,6 +512,9 @@ type Sharded struct {
 	width  int64
 	shards []*shard
 	merged Summary
+	// tel holds the actively-observed metric handles; nil when
+	// Config.Metrics is unset (every observation site nil-guards).
+	tel *pipeTelemetry
 
 	// Coordinator state: owned by the ingest goroutine.
 	started       bool
@@ -578,6 +592,11 @@ func New(cfg Config) (*Sharded, error) {
 		s.size.Store(int64(s.eng.SizeBytes()))
 		d.shards[i] = s
 		d.staging[i] = make([]trace.Packet, 0, cfg.Batch)
+	}
+	if cfg.Metrics != nil {
+		d.tel = d.registerMetrics(cfg.Metrics)
+	}
+	for _, s := range d.shards {
 		d.wg.Add(1)
 		go d.worker(s)
 	}
@@ -742,6 +761,10 @@ func (d *Sharded) stage(p *trace.Packet) {
 // flushes.
 func (d *Sharded) pushBatch(si int, buf []trace.Packet) {
 	s := d.shards[si]
+	var t0 time.Time
+	if d.tel != nil {
+		t0 = time.Now()
+	}
 	var wait time.Duration
 	if d.cfg.Overload == OverloadShed {
 		wait = d.cfg.ShedWait
@@ -756,8 +779,19 @@ func (d *Sharded) pushBatch(si int, buf []trace.Packet) {
 			bytes += int64(buf[i].Size)
 		}
 		accountDropped(s, int64(len(buf)), bytes)
+		if d.tel != nil {
+			d.tel.handoff.Observe(time.Since(t0).Seconds())
+		}
 		d.staging[si] = buf[:0] // dropped in place: reuse the buffer
 		return
+	}
+	if d.tel != nil {
+		d.tel.handoff.Observe(time.Since(t0).Seconds())
+		if dep := int64(s.ring.depth()); dep > s.highWater.Load() {
+			// Single writer (the ingest goroutine), so load-then-store is a
+			// race-free running maximum.
+			s.highWater.Store(dep)
+		}
 	}
 	select {
 	case nb := <-s.free:
@@ -853,6 +887,10 @@ func (d *Sharded) closeWindow() {
 // Snapshot may race Close from another goroutine: the lifecycle mutex
 // guarantees an in-flight broadcast completes before the rings shut.
 func (d *Sharded) Snapshot(now int64) hhh.Set {
+	var t0 time.Time
+	if d.tel != nil {
+		t0 = time.Now()
+	}
 	d.lifeMu.Lock()
 	var b *barrier
 	if !d.closed.Load() {
@@ -872,6 +910,9 @@ func (d *Sharded) Snapshot(now int64) hhh.Set {
 	d.mu.Lock()
 	set := d.last
 	d.mu.Unlock()
+	if d.tel != nil {
+		d.tel.snapshot.Observe(time.Since(t0).Seconds())
+	}
 	return set
 }
 

@@ -1,0 +1,371 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format exposition and
+// checks it against the subset of the format this repository emits:
+//
+//   - every line is a HELP line, a TYPE line, or a sample matching the
+//     name{label="value",...} value grammar;
+//   - metric and label names are well-formed, label values properly
+//     quoted and escaped;
+//   - every sample belongs to a TYPE-declared family, HELP/TYPE precede
+//     the family's samples, and no family is declared twice;
+//   - no sample line (name plus exact label set) repeats;
+//   - histograms are coherent: le buckets ascending and cumulative, a
+//     +Inf bucket present and equal to _count, _sum and _count present,
+//     and a non-negative _sum whenever observations exist.
+//
+// It returns the number of sample lines validated. Tests use it as the
+// conformance oracle for everything /metrics serves.
+func ValidateExposition(text string) (samples int, err error) {
+	type famInfo struct {
+		kind     string
+		hasHelp  bool
+		declared int // line number of TYPE
+	}
+	families := map[string]*famInfo{}
+	seenSamples := map[string]int{}
+	type histSeries struct {
+		buckets []bucketSample
+		sum     float64
+		hasSum  bool
+		count   int64
+		hasCnt  bool
+	}
+	hists := map[string]*histSeries{}
+
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		n := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return samples, fmt.Errorf("line %d: malformed HELP line %q", n, line)
+			}
+			f := families[name]
+			if f == nil {
+				f = &famInfo{}
+				families[name] = f
+			}
+			if f.hasHelp {
+				return samples, fmt.Errorf("line %d: duplicate HELP for family %s", n, name)
+			}
+			f.hasHelp = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return samples, fmt.Errorf("line %d: malformed TYPE line %q", n, line)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return samples, fmt.Errorf("line %d: unknown metric type %q", n, kind)
+			}
+			f := families[name]
+			if f == nil {
+				f = &famInfo{}
+				families[name] = f
+			}
+			if f.kind != "" {
+				return samples, fmt.Errorf("line %d: duplicate TYPE for family %s", n, name)
+			}
+			f.kind = kind
+			f.declared = n
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Plain comments are legal in the format; the registry never
+			// emits them, but tolerate them like a scraper would.
+			continue
+		}
+
+		name, labels, value, perr := parseSampleLine(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", n, perr)
+		}
+		samples++
+
+		famName := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name {
+				if f, ok := families[base]; ok && f.kind == "histogram" {
+					famName, suffix = base, s
+				}
+				break
+			}
+		}
+		f, ok := families[famName]
+		if !ok || f.kind == "" {
+			return samples, fmt.Errorf("line %d: sample %s has no preceding TYPE declaration", n, name)
+		}
+		if !f.hasHelp {
+			return samples, fmt.Errorf("line %d: family %s has TYPE but no HELP", n, famName)
+		}
+		if f.kind == "histogram" && suffix == "" {
+			return samples, fmt.Errorf("line %d: bare sample %s inside histogram family", n, name)
+		}
+
+		key := sampleKey(name, labels)
+		if prev, dup := seenSamples[key]; dup {
+			return samples, fmt.Errorf("line %d: duplicate sample %s (first at line %d)", n, key, prev)
+		}
+		seenSamples[key] = n
+
+		if f.kind == "histogram" {
+			le, others := splitLE(labels)
+			skey := sampleKey(famName, others)
+			h := hists[skey]
+			if h == nil {
+				h = &histSeries{}
+				hists[skey] = h
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return samples, fmt.Errorf("line %d: histogram bucket without le label", n)
+				}
+				bound, berr := parseLE(le)
+				if berr != nil {
+					return samples, fmt.Errorf("line %d: %v", n, berr)
+				}
+				cum, cerr := strconv.ParseInt(value, 10, 64)
+				if cerr != nil {
+					return samples, fmt.Errorf("line %d: bucket count %q not an integer", n, value)
+				}
+				h.buckets = append(h.buckets, bucketSample{bound, cum})
+			case "_sum":
+				v, verr := parseValue(value)
+				if verr != nil {
+					return samples, fmt.Errorf("line %d: %v", n, verr)
+				}
+				h.sum, h.hasSum = v, true
+			case "_count":
+				c, cerr := strconv.ParseInt(value, 10, 64)
+				if cerr != nil {
+					return samples, fmt.Errorf("line %d: count %q not an integer", n, value)
+				}
+				h.count, h.hasCnt = c, true
+			}
+			continue
+		}
+		if _, verr := parseValue(value); verr != nil {
+			return samples, fmt.Errorf("line %d: %v", n, verr)
+		}
+		if f.kind == "counter" {
+			v, _ := parseValue(value)
+			if v < 0 {
+				return samples, fmt.Errorf("line %d: counter %s is negative (%s)", n, name, value)
+			}
+		}
+	}
+
+	// Histogram coherence across the whole exposition.
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		if !h.hasSum || !h.hasCnt {
+			return samples, fmt.Errorf("histogram %s: missing _sum or _count", k)
+		}
+		if len(h.buckets) == 0 {
+			return samples, fmt.Errorf("histogram %s: no buckets", k)
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if !math.IsInf(last.bound, 1) {
+			return samples, fmt.Errorf("histogram %s: last bucket le=%v is not +Inf", k, last.bound)
+		}
+		for i := 1; i < len(h.buckets); i++ {
+			if h.buckets[i].bound <= h.buckets[i-1].bound {
+				return samples, fmt.Errorf("histogram %s: le bounds not ascending", k)
+			}
+			if h.buckets[i].cum < h.buckets[i-1].cum {
+				return samples, fmt.Errorf("histogram %s: bucket counts not cumulative", k)
+			}
+		}
+		if last.cum != h.count {
+			return samples, fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", k, last.cum, h.count)
+		}
+		if h.count > 0 && h.sum < 0 {
+			return samples, fmt.Errorf("histogram %s: negative _sum %v with %d observations", k, h.sum, h.count)
+		}
+	}
+	return samples, nil
+}
+
+// bucketSample is one parsed le bucket.
+type bucketSample struct {
+	bound float64
+	cum   int64
+}
+
+// labelPair is one parsed label.
+type labelPair struct{ k, v string }
+
+// parseSampleLine parses `name{k="v",...} value` (labels optional).
+func parseSampleLine(line string) (name string, labels []labelPair, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("malformed label in %q", line)
+			}
+			k := rest[:eq]
+			if !validLabelName(k) {
+				return "", nil, "", fmt.Errorf("invalid label name %q", k)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, "", fmt.Errorf("unquoted label value in %q", line)
+			}
+			v, remaining, verr := scanQuoted(rest)
+			if verr != nil {
+				return "", nil, "", verr
+			}
+			labels = append(labels, labelPair{k, v})
+			rest = remaining
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	if rest == "" || rest[0] != ' ' {
+		return "", nil, "", fmt.Errorf("missing value separator in %q", line)
+	}
+	value = strings.TrimPrefix(rest, " ")
+	// The format allows a trailing timestamp; the registry never writes
+	// one, so reject extra fields to keep the oracle strict.
+	if value == "" || strings.ContainsAny(value, " \t") {
+		return "", nil, "", fmt.Errorf("malformed value field %q", value)
+	}
+	for i := range labels {
+		for j := i + 1; j < len(labels); j++ {
+			if labels[i].k == labels[j].k {
+				return "", nil, "", fmt.Errorf("repeated label %q", labels[i].k)
+			}
+		}
+	}
+	return name, labels, value, nil
+}
+
+// scanQuoted consumes a double-quoted, backslash-escaped string at the
+// start of s and returns its unescaped value plus the remainder.
+func scanQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", s)
+}
+
+// splitLE separates the le label from the rest.
+func splitLE(labels []labelPair) (le string, others []labelPair) {
+	for _, l := range labels {
+		if l.k == "le" {
+			le = l.v
+			continue
+		}
+		others = append(others, l)
+	}
+	return le, others
+}
+
+// parseLE parses a bucket bound ("0.005", "+Inf").
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// parseValue parses a sample value ("1", "0.05", "+Inf", "NaN").
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// sampleKey canonicalises a sample identity: name plus sorted labels.
+func sampleKey(name string, labels []labelPair) string {
+	ls := append([]labelPair(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].k < ls[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte('{')
+		b.WriteString(l.k)
+		b.WriteByte('=')
+		b.WriteString(l.v)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
