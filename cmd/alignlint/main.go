@@ -1,0 +1,240 @@
+// Command alignlint checks the cache-line padding contracts of the hot
+// pipeline structs. Structs annotated with an //alignlint:struct
+// directive declare writer groups separated by pad fields annotated
+// //alignlint:group=<name>: the fields before the first pad form the
+// "head" group, and each pad starts the group it names. The invariant —
+// fields of different groups must never share a 64-byte cache line — is
+// what the pads exist to provide; this tool recomputes real field
+// offsets with go/types' gc size model for the build architecture, so a
+// refactor that shrinks a pad, reorders fields, or grows a group into
+// its neighbour's line fails CI instead of silently reintroducing false
+// sharing.
+//
+// Usage:
+//
+//	alignlint [package-dir ...]
+//
+// With no arguments it checks internal/pipeline. The tool is pure
+// standard library: packages are parsed and type-checked from source.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"runtime"
+	"strings"
+)
+
+const lineBytes = 64
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/pipeline"}
+	}
+	failed := false
+	for _, dir := range dirs {
+		if err := checkDir(dir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkDir type-checks one package directory and verifies every
+// annotated struct in it.
+func checkDir(dir string) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return err
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		return fmt.Errorf("alignlint: no gc size model for %s", runtime.GOARCH)
+	}
+	var errs []string
+	for _, pkg := range pkgs {
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+		info := &types.Info{Defs: map[*ast.Ident]types.Object{}}
+		conf := types.Config{
+			Importer: importer.ForCompiler(fset, "source", nil),
+			Sizes:    sizes,
+		}
+		if _, err := conf.Check(pkg.Name, fset, files, info); err != nil {
+			return fmt.Errorf("alignlint: %s: type check: %v", dir, err)
+		}
+		checked := 0
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if !hasDirective(gd.Doc, "alignlint:struct") && !hasDirective(ts.Doc, "alignlint:struct") {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						errs = append(errs, fmt.Sprintf("%s: alignlint:struct on non-struct %s",
+							fset.Position(ts.Pos()), ts.Name.Name))
+						continue
+					}
+					checked++
+					errs = append(errs, checkStruct(fset, info, sizes, ts.Name, st)...)
+				}
+			}
+		}
+		if checked == 0 {
+			errs = append(errs, fmt.Sprintf("alignlint: %s: no alignlint:struct directives found (package %s)", dir, pkg.Name))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%s", strings.Join(errs, "\n"))
+	}
+	return nil
+}
+
+// hasDirective reports whether the comment group contains the given
+// //-directive. Directive comments are preserved verbatim in the List
+// (CommentGroup.Text strips them).
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimPrefix(c.Text, "//") == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// groupDirective extracts the group name of a pad field's
+// //alignlint:group=<name> comment, or "".
+func groupDirective(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if name, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), "alignlint:group="); ok {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// checkStruct verifies one annotated struct: it assigns each field to
+// its writer group (head until the first pad, then the pad's group),
+// computes real offsets, and reports any cache line shared by two
+// groups.
+func checkStruct(fset *token.FileSet, info *types.Info, sizes types.Sizes, name *ast.Ident, st *ast.StructType) []string {
+	obj := info.Defs[name]
+	if obj == nil {
+		return []string{fmt.Sprintf("%s: %s: no type object", fset.Position(name.Pos()), name.Name)}
+	}
+	tstruct, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return []string{fmt.Sprintf("%s: %s: underlying type is not a struct", fset.Position(name.Pos()), name.Name)}
+	}
+
+	// Flatten AST fields to match types.Struct field order (one entry
+	// per declared name; embedded fields declare one), carrying the
+	// group each belongs to and whether it is a pad.
+	type fieldInfo struct {
+		group string
+		pad   bool
+		pos   token.Pos
+		name  string
+	}
+	var flat []fieldInfo
+	group := "head"
+	groupOrder := []string{"head"}
+	for _, f := range st.Fields.List {
+		g := groupDirective(f)
+		names := f.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{nil} // embedded field
+		}
+		for _, id := range names {
+			fname := "(embedded)"
+			isPad := false
+			pos := f.Pos()
+			if id != nil {
+				fname = id.Name
+				isPad = id.Name == "_" && g != ""
+				pos = id.Pos()
+			}
+			if isPad {
+				group = g
+				groupOrder = append(groupOrder, g)
+			}
+			flat = append(flat, fieldInfo{group: group, pad: isPad, pos: pos, name: fname})
+		}
+	}
+	if tstruct.NumFields() != len(flat) {
+		return []string{fmt.Sprintf("%s: %s: field count mismatch (ast %d, types %d)",
+			fset.Position(name.Pos()), name.Name, len(flat), tstruct.NumFields())}
+	}
+	if len(groupOrder) < 2 {
+		return []string{fmt.Sprintf("%s: %s: alignlint:struct but no alignlint:group pads",
+			fset.Position(name.Pos()), name.Name)}
+	}
+
+	vars := make([]*types.Var, tstruct.NumFields())
+	for i := range vars {
+		vars[i] = tstruct.Field(i)
+	}
+	offsets := sizes.Offsetsof(vars)
+
+	// Collect the cache lines each group's non-pad fields touch, then
+	// fail on any line owned by more than one group.
+	lineOwners := map[int64]map[string]bool{}
+	fieldAt := map[int64][]string{}
+	var errs []string
+	for i, fi := range flat {
+		if fi.pad {
+			if sz := sizes.Sizeof(vars[i].Type()); sz < lineBytes {
+				errs = append(errs, fmt.Sprintf("%s: %s: group %q pad is %d bytes, want >= %d",
+					fset.Position(fi.pos), name.Name, fi.group, sz, lineBytes))
+			}
+			continue
+		}
+		sz := sizes.Sizeof(vars[i].Type())
+		if sz == 0 {
+			continue // zero-sized field occupies no line
+		}
+		first, last := offsets[i]/lineBytes, (offsets[i]+sz-1)/lineBytes
+		for ln := first; ln <= last; ln++ {
+			if lineOwners[ln] == nil {
+				lineOwners[ln] = map[string]bool{}
+			}
+			lineOwners[ln][fi.group] = true
+			fieldAt[ln] = append(fieldAt[ln], fi.group+"."+fi.name)
+		}
+	}
+	for ln, owners := range lineOwners {
+		if len(owners) > 1 {
+			errs = append(errs, fmt.Sprintf("%s: %s: cache line %d shared across groups: %s",
+				fset.Position(name.Pos()), name.Name, ln, strings.Join(fieldAt[ln], ", ")))
+		}
+	}
+	return errs
+}

@@ -36,6 +36,14 @@
 //	  go run ./cmd/benchjson -stdin > /dev/null
 //
 // BENCHJSON_SKIP_COMPARE=1 skips this guard too.
+//
+// With -cpu the benchmarks run once per GOMAXPROCS value (`go test
+// -cpu`), and benchmark names keep their -N procs suffix so a snapshot
+// records the scaling trajectory: the suffix-free entries are the
+// GOMAXPROCS=1 runs, which stay name-compatible with suffix-stripped
+// single-setting snapshots (and therefore with the -compare guard):
+//
+//	go run ./cmd/benchjson -cpu 1,2,4,8 -bench '^BenchmarkDetectorSharded' > BENCH_6.json
 package main
 
 import (
@@ -69,13 +77,17 @@ type Entry struct {
 
 // Snapshot is the BENCH_*.json document.
 type Snapshot struct {
-	GeneratedAt string  `json:"generated_at"`
-	GoVersion   string  `json:"go_version"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
-	Benchtime   string  `json:"benchtime,omitempty"`
-	Note        string  `json:"note,omitempty"`
-	Benchmarks  []Entry `json:"benchmarks"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	Benchtime   string `json:"benchtime,omitempty"`
+	// CPU is the `go test -cpu` list the snapshot was taken with; when
+	// set, benchmark names keep their -N GOMAXPROCS suffix (absent on
+	// the GOMAXPROCS=1 runs, per the testing package's convention).
+	CPU        string  `json:"cpu,omitempty"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
 }
 
 func main() {
@@ -85,6 +97,7 @@ func main() {
 	// makes fixed iteration counts run for hours.
 	benchRE := flag.String("bench", "^BenchmarkDetector|^BenchmarkSlidingSharded|^BenchmarkContinuousSharded|^BenchmarkPerLevel|^BenchmarkSpaceSaving|^BenchmarkHeapSpaceSaving", "benchmark pattern to run (ignored with -stdin)")
 	benchtime := flag.String("benchtime", "2000000x", "benchtime to run with (ignored with -stdin)")
+	cpu := flag.String("cpu", "", "comma-separated `go test -cpu` list; when set, -N procs suffixes are kept in benchmark names")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
 	compare := flag.String("compare", "", "baseline BENCH_*.json; fail on ns/op regressions beyond -max-regression")
 	comparePattern := flag.String("compare-pattern",
@@ -105,8 +118,13 @@ func main() {
 		}
 		usedBenchtime = ""
 	} else {
-		cmd := exec.Command("go", "test", "-run", "^$",
-			"-bench", *benchRE, "-benchmem", "-benchtime", *benchtime, "./...")
+		args := []string{"test", "-run", "^$",
+			"-bench", *benchRE, "-benchmem", "-benchtime", *benchtime}
+		if *cpu != "" {
+			args = append(args, "-cpu", *cpu)
+		}
+		args = append(args, "./...")
+		cmd := exec.Command("go", args...)
 		cmd.Stderr = os.Stderr
 		cmd.Stdout = &out
 		if err := cmd.Run(); err != nil {
@@ -120,8 +138,9 @@ func main() {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		Benchtime:   usedBenchtime,
+		CPU:         *cpu,
 		Note:        *note,
-		Benchmarks:  parseBench(out.Bytes()),
+		Benchmarks:  parseBench(out.Bytes(), *cpu != ""),
 	}
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found"))
@@ -257,7 +276,12 @@ func compareBaseline(snap *Snapshot, path, pattern string, maxRatio float64) err
 // output. Lines look like:
 //
 //	BenchmarkFoo-8   2000000   69.29 ns/op   0 B/op   0 allocs/op
-func parseBench(out []byte) []Entry {
+//
+// With keepSuffix the -GOMAXPROCS name suffix is preserved (multi-value
+// -cpu runs would otherwise collapse into colliding names); without it
+// the suffix is stripped so snapshots from differently-sized machines
+// stay name-compatible.
+func parseBench(out []byte, keepSuffix bool) []Entry {
 	var entries []Entry
 	sc := bufio.NewScanner(bytes.NewReader(out))
 	for sc.Scan() {
@@ -266,7 +290,7 @@ func parseBench(out []byte) []Entry {
 			continue
 		}
 		name := f[0]
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if i := strings.LastIndexByte(name, '-'); i > 0 && !keepSuffix {
 			name = name[:i] // strip -GOMAXPROCS suffix
 		}
 		iters, err1 := strconv.ParseInt(f[1], 10, 64)

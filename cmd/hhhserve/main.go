@@ -42,9 +42,11 @@ import (
 )
 
 // server owns the sharded detector. The Detector ingest contract is
-// single-goroutine, so every detector touch — batch ingest and snapshot
-// alike — serialises on mu; the parallelism lives inside the pipeline,
-// behind the shard rings.
+// single-goroutine, so the write-side touches — batch ingest and the
+// per-window event-sampling snapshot — serialise on mu; the parallelism
+// lives inside the pipeline, behind the shard rings. The /hhh query
+// surface does NOT take mu: it reads the pipeline's atomically
+// published WindowReport via LastWindow, so queries never stall ingest.
 type server struct {
 	mu     sync.Mutex
 	det    hiddenhhh.ShardedDetector
@@ -146,6 +148,12 @@ func (s *server) run(pkts []hiddenhhh.Packet, span int64, laps int, pps float64,
 		}
 		s.laps.Store(int64(lap + 1))
 	}
+	// Publish one final merge at the last ingested timestamp so the
+	// wait-free /hhh read surface (LastWindow) reflects the end of the
+	// replay, not just the last in-replay sample boundary.
+	s.mu.Lock()
+	s.det.Snapshot(s.lastTs.Load())
+	s.mu.Unlock()
 }
 
 // sampleEvents feeds the attack watcher once per window of trace time:
@@ -185,13 +193,15 @@ type hhhResponse struct {
 
 func (s *server) handleHHH(w http.ResponseWriter, r *http.Request) {
 	now := s.lastTs.Load()
-	// Read the window volume under the same critical section as the
-	// snapshot so the share denominator belongs to the returned set's
-	// window even while ingest keeps closing new ones.
-	s.mu.Lock()
-	set := s.det.Snapshot(now)
-	windowBytes := s.det.Stats().LastWindowBytes
-	s.mu.Unlock()
+	// Wait-free query path: LastWindow reads the pipeline's atomically
+	// published report — set and window volume are mutually consistent
+	// by construction, and the read neither takes s.mu nor runs a
+	// barrier merge, so queries never stall ingest (and a query storm
+	// cannot pile up behind a slow merge). The ingest loop publishes a
+	// fresh merge at least once per window (sampleEvents), so the report
+	// is at most one window stale.
+	rep := s.det.LastWindow()
+	set, windowBytes := rep.Set, rep.Bytes
 	resp := hhhResponse{
 		TraceTimeNs: now,
 		WindowNs:    int64(s.window),

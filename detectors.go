@@ -435,6 +435,13 @@ type DegradationReport = pipeline.Degradation
 // shard workers (only possible with ShardedConfig.BarrierTimeout set).
 var ErrDetectorStalled = pipeline.ErrStalled
 
+// WindowReport is one published merge of a sharded detector: the HHH
+// set of the most recently completed window (or query barrier) plus its
+// metadata (end timestamp, total mass, degradation markers). Reports
+// are immutable once published; LastWindow hands out a shared pointer's
+// copy, so callers must not mutate the Set.
+type WindowReport = pipeline.WindowReport
+
 // PipelineStats is a point-in-time view of a sharded detector's ingest
 // and windowing counters.
 type PipelineStats = pipeline.Stats
@@ -460,6 +467,11 @@ type ShardedDetector interface {
 	// run.
 	TryObserve(p *Packet) error
 	TryObserveBatch(pkts []Packet) error
+	// LastWindow returns the most recently published merge — set, end
+	// timestamp, total mass and degradation markers, mutually consistent
+	// — as a wait-free atomic read that never blocks (or is blocked by)
+	// ingest. Prefer it over Snapshot for read-heavy query surfaces.
+	LastWindow() WindowReport
 	// Stats reports ingest and windowing counters, including dropped
 	// mass, per-shard barrier lag, and degraded-window state.
 	Stats() PipelineStats

@@ -1,18 +1,17 @@
 package hiddenhhh
 
 import (
+	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh2d"
-	"hiddenhhh/internal/ipv4"
 )
 
 // Two-dimensional (source × destination) hierarchical heavy hitters: the
 // extension of the paper's 1-D analysis to "who talks to whom"
 // aggregates. See internal/hhh2d for semantics (mass-assignment
-// conditioning over the product lattice). The 2-D subsystem is IPv4-only
-// — its lattice keys pack two 32-bit prefixes into one sketch key —
-// which is why it keeps internal/ipv4's 32-bit primitives; lifting it
-// onto the generic addr.Hierarchy descriptor is the natural follow-up
-// once a 2-D workload needs IPv6.
+// conditioning over the product lattice). The 2-D subsystem speaks the
+// same dual-stack Addr/Prefix types as the rest of the API, but its
+// lattice is IPv4-only — the sketch keys pack two 32-bit per-level keys
+// into one uint64 — so non-IPv4 observations are skipped.
 type (
 	// Node2D is a source-prefix × destination-prefix lattice element.
 	Node2D = hhh2d.Node
@@ -31,7 +30,7 @@ type (
 // NewHierarchy2D builds a product hierarchy at the given granularities
 // (per-dimension bit steps dividing 32; IPv4-only, see above).
 func NewHierarchy2D(src, dst Granularity) Hierarchy2D {
-	return hhh2d.NewHierarchy2(ipv4.Granularity(src), ipv4.Granularity(dst))
+	return hhh2d.NewHierarchy2(addr.Granularity(src), addr.Granularity(dst))
 }
 
 // ExactHHH2D computes the exact 2-D HHH set of the given observations at

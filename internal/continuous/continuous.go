@@ -76,6 +76,7 @@ type Detector struct {
 	total   *tdbf.MassTracker
 	active  map[addr.Prefix]int64 // prefix -> activation timestamp
 	anc     []addr.Prefix
+	masks   []uint64 // per-level key masks, hoisted for the key fast path
 	rng     uint64
 	started bool  // first packet seen; warmEnd is anchored
 	warmEnd int64 // first packet timestamp + Warmup
@@ -113,6 +114,10 @@ func NewDetector(cfg Config) (*Detector, error) {
 		d.filters[l] = tdbf.New(fc)
 	}
 	d.anc = make([]addr.Prefix, 0, d.levels)
+	d.masks = make([]uint64, d.levels)
+	for l := range d.masks {
+		d.masks[l] = cfg.Hierarchy.KeyMask(l)
+	}
 	return d, nil
 }
 
@@ -166,6 +171,14 @@ func (d *Detector) Observe(src addr.Addr, bytes int64, now int64) {
 	if !d.cfg.Hierarchy.Match(src) {
 		return
 	}
+	d.anc = d.cfg.Hierarchy.Ancestors(src, d.anc[:0])
+	d.observeChain(bytes, now)
+}
+
+// observeChain is the shared per-packet body of Observe/ObserveKeys: it
+// assumes d.anc already holds the packet's generalisation chain (leaf
+// first) and applies the mass update, filter folds and admission pass.
+func (d *Detector) observeChain(bytes int64, now int64) {
 	if !d.started {
 		d.started = true
 		d.warmEnd = now + int64(d.cfg.Warmup)
@@ -173,7 +186,6 @@ func (d *Detector) Observe(src addr.Addr, bytes int64, now int64) {
 	d.pkts++
 	w := float64(bytes)
 	d.total.Add(w, now)
-	d.anc = d.cfg.Hierarchy.Ancestors(src, d.anc[:0])
 	if d.cfg.Sampled {
 		d.rng += 0x9e3779b97f4a7c15
 		l := int((hashx.Mix64(d.rng) >> 32) * uint64(d.levels) >> 32)
@@ -217,6 +229,24 @@ func (d *Detector) Observe(src addr.Addr, bytes int64, now int64) {
 func (d *Detector) ObserveBatch(pkts []trace.Packet) {
 	for i := range pkts {
 		d.Observe(pkts[i].Src, int64(pkts[i].Size), pkts[i].Ts)
+	}
+}
+
+// ObserveKeys feeds a columnar batch of pre-packed, time-ordered leaf
+// keys. The generalisation chain is rebuilt from the leaf key by masking
+// with the hierarchy's nested per-level masks (PrefixOfKey inverts the
+// packing losslessly, so the chain is identical to Ancestors on the
+// original address); everything after that is the shared per-packet
+// admission body, so the final state is byte-identical to Observe calls
+// on the matching substream.
+func (d *Detector) ObserveKeys(b *trace.KeyBatch) {
+	h := d.cfg.Hierarchy
+	for i, key := range b.Keys {
+		d.anc = d.anc[:0]
+		for l, m := range d.masks {
+			d.anc = append(d.anc, h.PrefixOfKey(key&m, l))
+		}
+		d.observeChain(int64(b.Sizes[i]), b.Ts[i])
 	}
 }
 

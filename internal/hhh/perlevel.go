@@ -24,6 +24,7 @@ type PerLevel struct {
 	masks []uint64 // per-level key masks, hoisted out of the hot path
 	high  bool     // which address half keys come from, ditto
 	qs    *QueryScratch
+	kb    trace.KeyBatch // scratch for the UpdateBatch packing shim
 	total int64
 }
 
@@ -65,31 +66,32 @@ func (p *PerLevel) Update(src addr.Addr, bytes int64) {
 
 // UpdateBatch feeds a run of packets (source address keyed, byte
 // weighted) and returns the total byte weight added — packets outside
-// the hierarchy's family are skipped and do not count. The batch is
-// applied level-major: each level's summary absorbs the whole run while
-// its working set is hot, which is where the batch ingest path gains
-// over per-packet calls. The final state is identical to calling Update
-// per packet — per-level summaries are independent, and each still sees
-// the packets in stream order.
+// the hierarchy's family are skipped and do not count. It is a thin
+// packing shim: leaf keys are packed once into a reusable scratch
+// KeyBatch and handed to UpdateKeys, so the final state is identical to
+// calling Update per packet.
 func (p *PerLevel) UpdateBatch(pkts []trace.Packet) int64 {
-	var bytes int64
-	for i := range pkts {
-		if p.h.Match(pkts[i].Src) {
-			bytes += int64(pkts[i].Size)
-		}
-	}
+	p.kb.Reset()
+	p.kb.AppendPackets(p.h, pkts)
+	return p.UpdateKeys(&p.kb)
+}
+
+// UpdateKeys feeds a columnar batch of pre-packed leaf keys and returns
+// the total byte weight added. Per-level keys are derived by masking the
+// leaf key with the hierarchy's nested per-level masks — no Addr math in
+// the loop. The batch is applied level-major: each level's summary
+// absorbs the whole run while its working set is hot, which is where
+// the batch ingest path gains over per-packet calls. The final state is
+// identical to calling Update per packet — per-level summaries are
+// independent, and each still sees the packets in stream order.
+func (p *PerLevel) UpdateKeys(b *trace.KeyBatch) int64 {
+	bytes := b.Bytes()
 	p.total += bytes
 	for l, m := range p.masks {
 		sk := p.sks[l]
-		for i := range pkts {
-			if !p.h.Match(pkts[i].Src) {
-				continue
-			}
-			half := pkts[i].Src.Lo()
-			if p.high {
-				half = pkts[i].Src.Hi()
-			}
-			sk.Update(half&m, int64(pkts[i].Size))
+		keys := b.Keys
+		for i, k := range keys {
+			sk.Update(k&m, int64(b.Sizes[i]))
 		}
 	}
 	return bytes

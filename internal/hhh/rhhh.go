@@ -35,6 +35,7 @@ type RHHH struct {
 	total   int64
 	updates int64
 	qs      *QueryScratch
+	kb      trace.KeyBatch // scratch for the UpdateBatch packing shim
 }
 
 // NewRHHH builds an engine with k counters per level and a deterministic
@@ -79,32 +80,37 @@ func (r *RHHH) Update(src addr.Addr, bytes int64) {
 }
 
 // UpdateBatch feeds a run of packets and returns the total byte weight
-// added (family-filtered, like Update). Levels are drawn per matching
-// packet in the same deterministic sequence as repeated Update calls, so
-// the final state is identical; the batch form amortises the per-packet
-// call overhead of the ingest spine.
+// added (family-filtered, like Update). It is a thin packing shim over
+// UpdateKeys; levels are drawn per matching packet in the same
+// deterministic sequence as repeated Update calls, so the final state
+// is identical.
 func (r *RHHH) UpdateBatch(pkts []trace.Packet) int64 {
+	r.kb.Reset()
+	r.kb.AppendPackets(r.h, pkts)
+	return r.UpdateKeys(&r.kb)
+}
+
+// UpdateKeys feeds a columnar batch of pre-packed leaf keys and returns
+// the total byte weight added. The sampled level's key is the leaf key
+// masked by that level's nested mask — no Addr math in the loop. Levels
+// are drawn per packet in the same deterministic sequence as repeated
+// Update calls on the matching substream, so the final state is
+// identical; the batch form amortises the per-packet call overhead of
+// the ingest spine.
+func (r *RHHH) UpdateKeys(b *trace.KeyBatch) int64 {
 	var bytes int64
-	var n int64
 	rng := r.rng
-	for i := range pkts {
-		if !r.h.Match(pkts[i].Src) {
-			continue
-		}
-		w := int64(pkts[i].Size)
+	keys := b.Keys
+	for i, k := range keys {
+		w := int64(b.Sizes[i])
 		bytes += w
-		n++
 		rng += 0x9e3779b97f4a7c15
 		l := int((hashx.Mix64(rng) >> 32) * r.levels >> 32)
-		half := pkts[i].Src.Lo()
-		if r.high {
-			half = pkts[i].Src.Hi()
-		}
-		r.sks[l].Update(half&r.masks[l], w)
+		r.sks[l].Update(k&r.masks[l], w)
 	}
 	r.rng = rng
 	r.total += bytes
-	r.updates += n
+	r.updates += int64(len(keys))
 	return bytes
 }
 

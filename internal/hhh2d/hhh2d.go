@@ -19,6 +19,13 @@
 // hierarchy is trivial. Unlike the 1-D chain, nodes at the same depth can
 // overlap (e.g. (/24,/32) and (/32,/24) over one flow); the deterministic
 // within-depth order resolves those claims reproducibly.
+//
+// Addresses and prefixes are the dual-stack primitives of internal/addr
+// — the same types as everywhere else in the repository. The lattice
+// itself remains IPv4-only: its sketch keys pack the two per-level
+// hierarchy keys into one uint64 (32 bits per dimension), so both
+// dimension hierarchies are IPv4 ladders and non-IPv4 observations are
+// skipped by every consumer.
 package hhh2d
 
 import (
@@ -27,19 +34,19 @@ import (
 
 	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 )
 
 // Key identifies a traffic leaf: a concrete (source, destination) pair.
+// Both addresses are IPv4-mapped; consumers skip any pair that is not.
 type Key struct {
-	Src ipv4.Addr
-	Dst ipv4.Addr
+	Src addr.Addr
+	Dst addr.Addr
 }
 
 // Node is one lattice element: a source prefix × destination prefix pair.
 type Node struct {
-	Src ipv4.Prefix
-	Dst ipv4.Prefix
+	Src addr.Prefix
+	Dst addr.Prefix
 }
 
 // String renders the node as "src→dst".
@@ -112,15 +119,18 @@ func (s Set) Jaccard(t Set) float64 {
 	return float64(inter) / float64(len(s)+len(t)-inter)
 }
 
-// Hierarchy2 pairs the per-dimension hierarchies.
+// Hierarchy2 pairs the per-dimension hierarchies. Both are IPv4 ladders
+// (see the package comment for why the lattice is IPv4-only).
 type Hierarchy2 struct {
-	Src ipv4.Hierarchy
-	Dst ipv4.Hierarchy
+	Src addr.Hierarchy
+	Dst addr.Hierarchy
 }
 
-// NewHierarchy2 builds a product hierarchy at the given granularities.
-func NewHierarchy2(src, dst ipv4.Granularity) Hierarchy2 {
-	return Hierarchy2{Src: ipv4.NewHierarchy(src), Dst: ipv4.NewHierarchy(dst)}
+// NewHierarchy2 builds a product hierarchy at the given granularities,
+// one IPv4 ladder per dimension. It panics, like addr.NewIPv4Hierarchy,
+// when a granularity does not divide 32.
+func NewHierarchy2(src, dst addr.Granularity) Hierarchy2 {
+	return Hierarchy2{Src: addr.NewIPv4Hierarchy(src), Dst: addr.NewIPv4Hierarchy(dst)}
 }
 
 // Levels returns the number of lattice levels (total generalisation
@@ -236,7 +246,7 @@ func ExactFromPackets(tuples []Tuple, h Hierarchy2, phi float64) Set {
 		if !t.Src.Is4() || !t.Dst.Is4() {
 			continue // the 2-D lattice is IPv4-only
 		}
-		counts[Key{ipv4.Addr(t.Src.V4()), ipv4.Addr(t.Dst.V4())}] += t.Bytes
+		counts[Key{t.Src, t.Dst}] += t.Bytes
 		total += t.Bytes
 	}
 	return Exact(counts, h, hhh.Threshold(total, phi))

@@ -5,16 +5,15 @@ import (
 	"testing"
 
 	"hiddenhhh/internal/addr"
-	"hiddenhhh/internal/ipv4"
 )
 
-func ip4(s string) ipv4.Addr { return ipv4.MustParseAddr(s) }
+func ip4(s string) addr.Addr { return addr.MustParseAddr(s) }
 
 func node(src, dst string) Node {
-	return Node{Src: ipv4.MustParsePrefix(src), Dst: ipv4.MustParsePrefix(dst)}
+	return Node{Src: addr.MustParsePrefix(src), Dst: addr.MustParsePrefix(dst)}
 }
 
-func byteH2() Hierarchy2 { return NewHierarchy2(ipv4.Byte, ipv4.Byte) }
+func byteH2() Hierarchy2 { return NewHierarchy2(addr.Byte, addr.Byte) }
 
 func TestNodeCovers(t *testing.T) {
 	n := node("10.0.0.0/8", "192.168.1.0/24")
@@ -167,8 +166,8 @@ func TestExactInvariantsRandom(t *testing.T) {
 		var total int64
 		for i := 0; i < 1+rng.Intn(25); i++ {
 			k := Key{
-				ipv4.AddrFrom4(byte(rng.Intn(2)), byte(rng.Intn(2)), 0, byte(rng.Intn(2))),
-				ipv4.AddrFrom4(byte(rng.Intn(2)), 0, byte(rng.Intn(2)), byte(rng.Intn(2))),
+				addr.From4(byte(rng.Intn(2)), byte(rng.Intn(2)), 0, byte(rng.Intn(2))),
+				addr.From4(byte(rng.Intn(2)), 0, byte(rng.Intn(2)), byte(rng.Intn(2))),
 			}
 			c := int64(1 + rng.Intn(100))
 			counts[k] += c
@@ -219,11 +218,11 @@ func TestPerNodeMatchesExactWhenUnsaturated(t *testing.T) {
 		var total int64
 		dst := ip4("99.0.0.1")
 		for i := 0; i < 1+rng.Intn(20); i++ {
-			src := ipv4.AddrFrom4(byte(rng.Intn(2)), byte(rng.Intn(2)), 0, byte(rng.Intn(2)))
+			src := addr.From4(byte(rng.Intn(2)), byte(rng.Intn(2)), 0, byte(rng.Intn(2)))
 			c := int64(1 + rng.Intn(100))
 			counts[Key{src, dst}] += c
 			total += c
-			eng.Update(addr.From4Uint32(uint32(src)), addr.From4Uint32(uint32(dst)), c)
+			eng.Update(src, dst, c)
 		}
 		T := total/8 + 1
 		want := Exact(counts, h, T)
@@ -246,7 +245,7 @@ func TestPerNodeFindsHeavyPairUnderPressure(t *testing.T) {
 	heavySrc, heavyDst := ip4("10.1.2.3"), ip4("198.51.100.7")
 	for i := 0; i < 50000; i++ {
 		if i%3 == 0 {
-			eng.Update(addr.From4Uint32(uint32(heavySrc)), addr.From4Uint32(uint32(heavyDst)), 1000)
+			eng.Update(heavySrc, heavyDst, 1000)
 		} else {
 			eng.Update(addr.From4Uint32(rng.Uint32()), addr.From4Uint32(rng.Uint32()), 700)
 		}
@@ -254,7 +253,7 @@ func TestPerNodeFindsHeavyPairUnderPressure(t *testing.T) {
 	set := eng.QueryFraction(0.2)
 	found := false
 	for n := range set {
-		if n.Covers(Key{heavySrc, heavyDst}) && n.Src.Bits > 0 {
+		if n.Covers(Key{heavySrc, heavyDst}) && n.Src.FamilyBits() > 0 {
 			found = true
 		}
 	}
@@ -267,6 +266,27 @@ func TestPerNodeFindsHeavyPairUnderPressure(t *testing.T) {
 	eng.Reset()
 	if eng.Total() != 0 || eng.QueryFraction(0.5).Len() != 0 {
 		t.Error("Reset incomplete")
+	}
+}
+
+// TestPerNodeSkipsNonIPv4 pins the family filter: the 2-D lattice is
+// IPv4-only, so pairs with an IPv6 coordinate must not count at all.
+func TestPerNodeSkipsNonIPv4(t *testing.T) {
+	eng := NewPerNode(byteH2(), 64)
+	v6 := addr.MustParseAddr("2001:db8::1")
+	eng.Update(v6, ip4("10.0.0.1"), 100)
+	eng.Update(ip4("10.0.0.1"), v6, 100)
+	eng.Update(v6, v6, 100)
+	if eng.Total() != 0 {
+		t.Fatalf("non-IPv4 pairs counted: total = %d", eng.Total())
+	}
+	eng.Update(ip4("10.0.0.1"), ip4("20.0.0.1"), 100)
+	if eng.Total() != 100 {
+		t.Fatalf("IPv4 pair not counted: total = %d", eng.Total())
+	}
+	set := eng.Query(50)
+	if !set.Contains(node("10.0.0.1/32", "20.0.0.1/32")) {
+		t.Fatalf("leaf pair missing: %v", set.Nodes())
 	}
 }
 
@@ -315,7 +335,7 @@ func BenchmarkExact2D(b *testing.B) {
 	counts := map[Key]int64{}
 	var total int64
 	for i := 0; i < 2000; i++ {
-		k := Key{ipv4.Addr(rng.Uint32() & 0x03030303), ipv4.Addr(rng.Uint32() & 0x03030303)}
+		k := Key{addr.From4Uint32(rng.Uint32() & 0x03030303), addr.From4Uint32(rng.Uint32() & 0x03030303)}
 		counts[k] += int64(rng.Intn(1000) + 1)
 		total += int64(rng.Intn(1000) + 1)
 	}
@@ -331,7 +351,7 @@ func BenchmarkExact2D(b *testing.B) {
 // on the 2-D fraction paths: floor-at-1 inside (0,1], panic outside —
 // the same contract as the public Threshold facade.
 func TestFractionThresholdContract(t *testing.T) {
-	h := NewHierarchy2(ipv4.Byte, ipv4.Byte)
+	h := NewHierarchy2(addr.Byte, addr.Byte)
 	tuples := []Tuple{{Src: addr.From4Uint32(1), Dst: addr.From4Uint32(2), Bytes: 10}}
 	if set := ExactFromPackets(tuples, h, 0.001); set.Len() == 0 {
 		t.Error("tiny phi must floor the threshold at 1, not 0")

@@ -5,7 +5,6 @@ import (
 
 	"hiddenhhh/internal/addr"
 	"hiddenhhh/internal/hhh"
-	"hiddenhhh/internal/ipv4"
 	"hiddenhhh/internal/sketch"
 )
 
@@ -14,6 +13,11 @@ import (
 // all of them with its generalised (src,dst) pair — the direct product
 // analogue of the 1-D per-level engine, and the structure a match-action
 // pipeline would implement with one stage per class.
+//
+// Like the 1-D engines, updates use the hierarchy's packed keys: each
+// dimension's leaf key is computed once per packet, and every lattice
+// class derives its sketch key by masking — the node key packs the two
+// masked 32-bit halves into one uint64 (source high, destination low).
 //
 // Queries perform the bottom-up conditioned pass with discounting of
 // maximal marked descendants. In two dimensions this discount is an
@@ -24,24 +28,34 @@ import (
 // from the offline algorithm remain the ground truth; tests pin the
 // engine to it on diamond-free inputs.
 type PerNode struct {
-	h   Hierarchy2
-	sks []*sketch.SpaceSaving // indexed i*dstLevels + j
-	tot int64
+	h        Hierarchy2
+	srcMasks []uint32              // per-source-level key masks (low 32 bits of KeyMask)
+	dstMasks []uint32              // per-destination-level key masks
+	sks      []*sketch.SpaceSaving // indexed i*dstLevels + j
+	tot      int64
 }
 
 // NewPerNode builds an engine with k counters per lattice class.
 func NewPerNode(h Hierarchy2, k int) *PerNode {
-	e := &PerNode{h: h, sks: make([]*sketch.SpaceSaving, h.NodeCount())}
+	e := &PerNode{
+		h:        h,
+		srcMasks: make([]uint32, h.Src.Levels()),
+		dstMasks: make([]uint32, h.Dst.Levels()),
+		sks:      make([]*sketch.SpaceSaving, h.NodeCount()),
+	}
+	// IPv4 hierarchy keys live in the low 64-bit half with the v4 bits at
+	// the bottom, so the low 32 bits of each level mask generalise the
+	// host-order v4 address directly.
+	for i := range e.srcMasks {
+		e.srcMasks[i] = uint32(h.Src.KeyMask(i))
+	}
+	for j := range e.dstMasks {
+		e.dstMasks[j] = uint32(h.Dst.KeyMask(j))
+	}
 	for i := range e.sks {
 		e.sks[i] = sketch.NewSpaceSaving(k)
 	}
 	return e
-}
-
-// nodeKey packs a node into a sketch key: the class is implied by the
-// sketch index, so the two masked addresses suffice.
-func nodeKey(n Node) uint64 {
-	return uint64(n.Src.Addr)<<32 | uint64(n.Dst.Addr)
 }
 
 // Update feeds one packet's (src, dst, bytes). Pairs that are not both
@@ -50,14 +64,13 @@ func (e *PerNode) Update(src, dst addr.Addr, bytes int64) {
 	if !src.Is4() || !dst.Is4() {
 		return
 	}
-	s4, d4 := ipv4.Addr(src.V4()), ipv4.Addr(dst.V4())
+	s32, d32 := src.V4(), dst.V4()
 	e.tot += bytes
-	di := e.h.Dst.Levels()
-	for i := 0; i < e.h.Src.Levels(); i++ {
-		sp := e.h.Src.At(s4, i)
-		for j := 0; j < di; j++ {
-			n := Node{Src: sp, Dst: e.h.Dst.At(d4, j)}
-			e.sks[i*di+j].Update(nodeKey(n), bytes)
+	di := len(e.dstMasks)
+	for i, sm := range e.srcMasks {
+		sk := uint64(s32&sm) << 32
+		for j, dm := range e.dstMasks {
+			e.sks[i*di+j].Update(sk|uint64(d32&dm), bytes)
 		}
 	}
 }
@@ -82,6 +95,16 @@ func (e *PerNode) SizeBytes() int {
 	return n
 }
 
+// nodeOfKey inverts the packed sketch key back into the lattice node of
+// class (i, j): each 32-bit half is re-embedded as an IPv4-mapped level
+// key and handed to the dimension hierarchy's PrefixOfKey.
+func (e *PerNode) nodeOfKey(key uint64, i, j int) Node {
+	return Node{
+		Src: e.h.Src.PrefixOfKey(addr.From4Uint32(uint32(key>>32)).Lo(), i),
+		Dst: e.h.Dst.PrefixOfKey(addr.From4Uint32(uint32(key)).Lo(), j),
+	}
+}
+
 // Query returns the 2-D HHH set at absolute byte threshold T.
 func (e *PerNode) Query(T int64) Set {
 	si, di := e.h.Src.Levels(), e.h.Dst.Levels()
@@ -99,10 +122,7 @@ func (e *PerNode) Query(T int64) Set {
 				continue
 			}
 			for _, kv := range e.sks[i*di+j].Tracked() {
-				node := Node{
-					Src: ipv4.Prefix{Addr: ipv4.Addr(kv.Key >> 32), Bits: e.h.Src.Bits(i)},
-					Dst: ipv4.Prefix{Addr: ipv4.Addr(kv.Key), Bits: e.h.Dst.Bits(j)},
-				}
+				node := e.nodeOfKey(kv.Key, i, j)
 				ests[node] = kv.Count
 				if kv.Count >= T {
 					candidates = append(candidates, node)

@@ -129,8 +129,8 @@ func (d *Sharded) Degradation() Degradation {
 			deg.Quarantined = append(deg.Quarantined, i)
 		}
 	}
+	deg.DegradedMerges = d.degradedMerges.Load()
 	d.mu.Lock()
-	deg.DegradedMerges = d.degradedMerges
 	deg.Panics = d.panicked
 	deg.LastPanic = d.lastPanic
 	d.mu.Unlock()
@@ -152,9 +152,7 @@ func (d *Sharded) DroppedMass() (packets, bytes int64) {
 // DegradedMerges reports how many merges were published without every
 // shard (the other half of the oracle harness's Degraded surface).
 func (d *Sharded) DegradedMerges() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.degradedMerges
+	return d.degradedMerges.Load()
 }
 
 // accountDropped charges p packets and b bytes of shed traffic to s.
@@ -166,15 +164,11 @@ func accountDropped(s *shard, p, b int64) {
 	s.droppedBytes.Add(b)
 }
 
-// shedBatch accounts a batch the shard will not absorb (quarantined or
-// resyncing) and recycles its buffer.
-func (d *Sharded) shedBatch(s *shard, pkts []trace.Packet) {
-	var bytes int64
-	for i := range pkts {
-		bytes += int64(pkts[i].Size)
-	}
-	accountDropped(s, int64(len(pkts)), bytes)
-	d.recycle(s, pkts)
+// shedBatch accounts a key-batch the shard will not absorb (quarantined
+// or resyncing) and recycles it.
+func (d *Sharded) shedBatch(s *shard, kb *trace.KeyBatch) {
+	accountDropped(s, int64(kb.Len()), kb.Bytes())
+	d.recycle(s, kb)
 }
 
 // shedSummary drops the shard's absorbed-but-unmerged summary state:
@@ -201,12 +195,12 @@ func (d *Sharded) shedSummary(s *shard) {
 // shard is flagged quarantined — from here on its substream is shed with
 // exact accounting, but it keeps draining its ring and answering
 // barriers so its peers never deadlock.
-func (d *Sharded) quarantine(s *shard, cause any, pkts []trace.Packet) {
-	var bytes int64
-	for i := range pkts {
-		bytes += int64(pkts[i].Size)
+func (d *Sharded) quarantine(s *shard, cause any, kb *trace.KeyBatch) {
+	var packets, bytes int64
+	if kb != nil {
+		packets, bytes = int64(kb.Len()), kb.Bytes()
 	}
-	accountDropped(s, s.absorbedPackets+int64(len(pkts)), s.absorbedBytes+bytes)
+	accountDropped(s, s.absorbedPackets+packets, s.absorbedBytes+bytes)
 	s.absorbedPackets, s.absorbedBytes = 0, 0
 	if fresh, err := newSummary(&d.cfg, s.idx); err == nil {
 		s.eng = fresh
@@ -404,17 +398,16 @@ func (d *Sharded) completeBarrier(b *barrier, joined []bool, count int) {
 	set, total := d.merged.Query(b.at)
 	d.mergedSize.Store(int64(d.merged.SizeBytes()))
 	degraded := count < len(d.shards)
-	d.mu.Lock()
-	d.last = set
-	d.merges++
-	d.lastEnd = b.at
-	d.lastBytes = total
-	d.lastDegraded = degraded
-	d.lastShards = count
+	// Publish the whole result in one atomic pointer store: readers
+	// (Snapshot, LastWindow, ReportMass, Stats, telemetry closures) get
+	// an immutable, mutually consistent report without any lock shared
+	// with this merge path. The deferred close(b.done) — declared first,
+	// so it runs last — orders the store before any waitBarrier return.
+	d.pub.Store(&WindowReport{Set: set, End: b.at, Bytes: total, Degraded: degraded, Shards: count})
+	d.merges.Add(1)
 	if degraded {
-		d.degradedMerges++
+		d.degradedMerges.Add(1)
 	}
-	d.mu.Unlock()
 	if d.cfg.OnWindow != nil {
 		d.cfg.OnWindow(b.start, b.end, set)
 	}

@@ -128,8 +128,10 @@ func (k Kind) String() string {
 // methods are called from a single goroutine at a time (the shard's
 // worker, or — between barriers — the merging worker).
 type Summary interface {
-	// UpdateBatch absorbs a time-ordered run of packets.
-	UpdateBatch(pkts []trace.Packet)
+	// UpdateKeys absorbs a time-ordered columnar batch of pre-packed,
+	// family-filtered leaf keys (see trace.KeyBatch). The producer packs
+	// each key exactly once; summaries derive per-level keys by masking.
+	UpdateKeys(b *trace.KeyBatch)
 	// Advance aligns time-dependent state to now (expiring sliding
 	// frames) so that equally-advanced summaries merge frame-for-frame.
 	// Summaries without eager time state treat it as a no-op.
@@ -353,17 +355,17 @@ type windowedSummary struct {
 	ex  *sketch.Exact
 }
 
-func (e *windowedSummary) UpdateBatch(pkts []trace.Packet) {
+func (e *windowedSummary) UpdateKeys(b *trace.KeyBatch) {
 	switch {
 	case e.pl != nil:
-		e.pl.UpdateBatch(pkts)
+		e.pl.UpdateKeys(b)
 	case e.rh != nil:
-		e.rh.UpdateBatch(pkts)
+		e.rh.UpdateKeys(b)
 	default:
-		for i := range pkts {
-			if e.h.Match(pkts[i].Src) {
-				e.ex.Update(e.h.Key(pkts[i].Src, 0), int64(pkts[i].Size))
-			}
+		// Exact counts live at the leaf level only, so the packed key is
+		// the counter key verbatim — no masking, no Addr math.
+		for i, k := range b.Keys {
+			e.ex.Update(k, int64(b.Sizes[i]))
 		}
 	}
 }
@@ -437,11 +439,11 @@ type slidingSummary struct {
 	phi float64
 }
 
-func (e *slidingSummary) UpdateBatch(pkts []trace.Packet) { e.d.UpdateBatch(pkts) }
-func (e *slidingSummary) Advance(now int64)               { e.d.Advance(now) }
-func (e *slidingSummary) Merge(s Summary)                 { e.d.Merge(s.(*slidingSummary).d) }
-func (e *slidingSummary) Reset()                          { e.d.Reset() }
-func (e *slidingSummary) SizeBytes() int                  { return e.d.SizeBytes() }
+func (e *slidingSummary) UpdateKeys(b *trace.KeyBatch) { e.d.UpdateKeys(b) }
+func (e *slidingSummary) Advance(now int64)            { e.d.Advance(now) }
+func (e *slidingSummary) Merge(s Summary)              { e.d.Merge(s.(*slidingSummary).d) }
+func (e *slidingSummary) Reset()                       { e.d.Reset() }
+func (e *slidingSummary) SizeBytes() int               { return e.d.SizeBytes() }
 
 func (e *slidingSummary) Query(now int64) (hhh.Set, int64) {
 	return e.d.Query(e.phi, now), e.d.WindowTotal(now)
@@ -454,32 +456,40 @@ type continuousSummary struct {
 	d *continuous.Detector
 }
 
-func (e *continuousSummary) UpdateBatch(pkts []trace.Packet) { e.d.ObserveBatch(pkts) }
-func (e *continuousSummary) Advance(int64)                   {}
-func (e *continuousSummary) Merge(s Summary)                 { e.d.Merge(s.(*continuousSummary).d) }
-func (e *continuousSummary) Reset()                          { e.d.Reset() }
-func (e *continuousSummary) SizeBytes() int                  { return e.d.SizeBytes() }
+func (e *continuousSummary) UpdateKeys(b *trace.KeyBatch) { e.d.ObserveKeys(b) }
+func (e *continuousSummary) Advance(int64)                {}
+func (e *continuousSummary) Merge(s Summary)              { e.d.Merge(s.(*continuousSummary).d) }
+func (e *continuousSummary) Reset()                       { e.d.Reset() }
+func (e *continuousSummary) SizeBytes() int               { return e.d.SizeBytes() }
 
 func (e *continuousSummary) Query(now int64) (hhh.Set, int64) {
 	return e.d.Query(now), int64(e.d.TotalMass(now))
 }
 
-// shard is one worker: a ring, a summary, and a batch-buffer freelist,
-// plus the per-shard degradation state (see degrade.go).
+// shard is one worker: a ring, a summary, and a key-batch freelist, plus
+// the per-shard degradation state (see degrade.go).
+//
+// The fields are grouped by writer and separated by cache-line pads
+// (audited for false sharing — shards are allocated independently, but
+// the groups within one shard are hammered by different goroutines: the
+// worker bumps its absorption counters per batch while the ingest
+// goroutine updates the producer-side high-water mark, and the stats/
+// telemetry readers poll both). The alignlint:group directives are
+// checked by cmd/alignlint in CI: fields of different groups must never
+// share a 64-byte line.
+//
+//alignlint:struct
 type shard struct {
-	idx     int
-	ring    *spscRing
-	eng     Summary
-	free    chan []trace.Packet
+	// Read-mostly identity: set at construction, read everywhere.
+	idx  int
+	ring *spscRing
+	eng  Summary // worker-owned between barriers; merger-owned inside them
+	free chan *trace.KeyBatch
+
+	_ [64]byte //alignlint:group=worker
+	// Worker-written hot state: bumped once per absorbed batch.
 	packets atomic.Int64
 	size    atomic.Int64 // last published summary footprint
-
-	// Degradation accounting: mass this shard's substream lost to
-	// overload shedding, quarantine, or missed merges. Written on the
-	// ingest goroutine (ring-full sheds) and the worker (everything
-	// else); read by Stats/Degradation.
-	droppedPackets atomic.Int64
-	droppedBytes   atomic.Int64
 	// absorbed* track mass folded into eng since its last reset —
 	// worker-owned plain fields, read only on the worker itself when a
 	// quarantine or late barrier rejoin sheds the unmerged summary.
@@ -488,9 +498,23 @@ type shard struct {
 	// lastBarrier is the sequence number of the last barrier this shard
 	// passed; Stats derives per-shard lag from it.
 	lastBarrier atomic.Int64
+
+	_ [64]byte //alignlint:group=producer
+	// Producer-written state: the ingest goroutine updates it once per
+	// batch hand-off, concurrently with the worker group above.
 	// highWater is the deepest ring occupancy seen at a batch hand-off
-	// (telemetry only; written by the ingest goroutine once per push).
+	// (telemetry only).
 	highWater atomic.Int64
+
+	_ [64]byte //alignlint:group=degrade
+	// Degradation accounting: mass this shard's substream lost to
+	// overload shedding, quarantine, or missed merges. Written on the
+	// ingest goroutine (ring-full sheds) and the worker (everything
+	// else); read by Stats/Degradation. Cold unless the pipeline is
+	// degrading, so sharing a line among themselves is fine — the pads
+	// only keep them off the hot groups.
+	droppedPackets atomic.Int64
+	droppedBytes   atomic.Int64
 	// resync is set by the coordinator when a reset-barrier token could
 	// not be pushed into this shard's saturated ring: the worker sheds
 	// (and accounts) batches until the next token it does receive, so a
@@ -502,12 +526,41 @@ type shard struct {
 	quarantined atomic.Bool
 }
 
+// WindowReport is one published merge: the HHH set of the most recently
+// completed window (or query barrier), together with the metadata the
+// read surfaces report about it. Reports are immutable once published —
+// readers receive a shared pointer and must not mutate the Set — which
+// is what makes the wait-free LastWindow/Snapshot read path safe.
+type WindowReport struct {
+	// Set is the merged HHH set.
+	Set hhh.Set
+	// End is the publication timestamp: the window end in windowed mode,
+	// the query timestamp otherwise.
+	End int64
+	// Bytes is the total mass of the merge — the HHH threshold
+	// denominator (window bytes, covered sliding bytes, or decayed mass).
+	Bytes int64
+	// Degraded marks a merge that completed without every shard;
+	// Shards is how many contributed.
+	Degraded bool
+	// Shards is the number of shard summaries merged into Set.
+	Shards int
+}
+
 // Sharded is the concurrent HHH detector over any of the three window
 // models. The ingest surface (Observe, ObserveBatch, Snapshot) follows
-// the Detector contract — one goroutine at a time — while Stats and
-// SizeBytes may be called concurrently with ingest (hhhserve reads them
-// from HTTP handlers).
+// the Detector contract — one goroutine at a time — while Stats,
+// SizeBytes, LastWindow, ReportMass and CoveredSpan may be called
+// concurrently with ingest (hhhserve reads them from HTTP handlers).
+//
+// Published results live behind a single atomic pointer (pub): every
+// merge builds an immutable WindowReport and stores it in one step, so
+// the read surfaces never take a lock the merge path holds — queries
+// cannot stall ingest, and ingest cannot stall queries.
+//
+//alignlint:struct
 type Sharded struct {
+	// Read-mostly identity: set at construction.
 	cfg    Config
 	width  int64
 	shards []*shard
@@ -519,7 +572,7 @@ type Sharded struct {
 	// Coordinator state: owned by the ingest goroutine.
 	started       bool
 	curEnd        int64
-	staging       [][]trace.Packet
+	staging       []*trace.KeyBatch
 	lastBarrier   *barrier
 	windowHasData bool
 
@@ -542,21 +595,27 @@ type Sharded struct {
 	// barrierSeq minus the shard's lastBarrier.
 	barrierSeq atomic.Int64
 
-	// Shared state.
-	mu             sync.Mutex
-	last           hhh.Set
-	merges         int64
-	lastEnd        int64
-	lastBytes      int64
-	lastDegraded   bool  // last merge completed without every shard
-	lastShards     int   // shards that contributed to the last merge
-	degradedMerges int64 // merges published without every shard
-	panicked       int64 // engine panics recovered (see quarantine)
-	lastPanic      string
-	packets        atomic.Int64
-	bytes          atomic.Int64
+	// mu guards only the recorded panic state now; every other shared
+	// field is an atomic or lives inside the published WindowReport.
+	mu        sync.Mutex
+	panicked  int64 // engine panics recovered (see quarantine)
+	lastPanic string
+
+	// Publication state, written by whichever goroutine completes a
+	// barrier (or the coordinator's empty-window fast path).
+	pub            atomic.Pointer[WindowReport]
+	merges         atomic.Int64
+	degradedMerges atomic.Int64 // merges published without every shard
 	mergedSize     atomic.Int64
-	wg             sync.WaitGroup
+
+	_ [64]byte //alignlint:group=ingest
+	// Ingest totals: bumped by the producer once per staged packet,
+	// padded off the merge-side publication fields above.
+	packets atomic.Int64
+	bytes   atomic.Int64
+
+	_  [64]byte //alignlint:group=tail
+	wg sync.WaitGroup
 }
 
 // New builds and starts a sharded pipeline. The caller must Close it to
@@ -574,9 +633,9 @@ func New(cfg Config) (*Sharded, error) {
 		width:   int64(cfg.Window),
 		shards:  make([]*shard, cfg.Shards),
 		merged:  merged,
-		staging: make([][]trace.Packet, cfg.Shards),
-		last:    hhh.NewSet(),
+		staging: make([]*trace.KeyBatch, cfg.Shards),
 	}
+	d.pub.Store(&WindowReport{Set: hhh.NewSet()})
 	d.mergedSize.Store(int64(d.merged.SizeBytes()))
 	for i := range d.shards {
 		eng, err := newSummary(&cfg, i)
@@ -587,11 +646,11 @@ func New(cfg Config) (*Sharded, error) {
 			idx:  i,
 			ring: newRing(cfg.RingDepth),
 			eng:  eng,
-			free: make(chan []trace.Packet, cfg.RingDepth+2),
+			free: make(chan *trace.KeyBatch, cfg.RingDepth+2),
 		}
 		s.size.Store(int64(s.eng.SizeBytes()))
 		d.shards[i] = s
-		d.staging[i] = make([]trace.Packet, 0, cfg.Batch)
+		d.staging[i] = trace.NewKeyBatch(cfg.Batch)
 	}
 	if cfg.Metrics != nil {
 		d.tel = d.registerMetrics(cfg.Metrics)
@@ -619,50 +678,51 @@ func (d *Sharded) worker(s *shard) {
 			continue
 		}
 		if s.quarantined.Load() || s.resync.Load() {
-			d.shedBatch(s, m.pkts)
+			d.shedBatch(s, m.kb)
 			continue
 		}
-		d.absorb(s, m.pkts)
+		d.absorb(s, m.kb)
 	}
 }
 
-// absorb folds one batch into the shard's summary, isolating engine
+// absorb folds one key-batch into the shard's summary, isolating engine
 // panics: a panic quarantines the shard (substream shed and accounted)
 // instead of killing the worker and deadlocking its barrier peers.
-func (d *Sharded) absorb(s *shard, pkts []trace.Packet) {
+func (d *Sharded) absorb(s *shard, kb *trace.KeyBatch) {
 	defer func() {
 		if r := recover(); r != nil {
-			d.quarantine(s, r, pkts)
+			d.quarantine(s, r, kb)
 		}
 	}()
 	if d.cfg.Chaos != nil {
 		d.cfg.Chaos.BeforeBatch(s.idx)
 	}
-	s.eng.UpdateBatch(pkts)
-	var bytes int64
-	for i := range pkts {
-		bytes += int64(pkts[i].Size)
-	}
-	s.absorbedPackets += int64(len(pkts))
-	s.absorbedBytes += bytes
-	s.packets.Add(int64(len(pkts)))
+	s.eng.UpdateKeys(kb)
+	s.absorbedPackets += int64(kb.Len())
+	s.absorbedBytes += kb.Bytes()
+	s.packets.Add(int64(kb.Len()))
 	s.size.Store(int64(s.eng.SizeBytes()))
-	d.recycle(s, pkts)
+	d.recycle(s, kb)
 }
 
-// recycle returns a drained batch buffer to the shard's freelist.
-func (d *Sharded) recycle(s *shard, pkts []trace.Packet) {
+// recycle returns a drained key-batch to the shard's freelist, truncated
+// in place so the columns' capacity is reused — the steady state of the
+// ingest path allocates nothing per packet.
+func (d *Sharded) recycle(s *shard, kb *trace.KeyBatch) {
+	kb.Reset()
 	select {
-	case s.free <- pkts[:0]:
+	case s.free <- kb:
 	default: // freelist full; let the GC take it
 	}
 }
 
-// shardOf hash-partitions a source address onto a shard. Both 64-bit
-// halves feed the mix so IPv6 sources differing only below /64 — and
-// IPv4-mapped sources, which vary only in the low half — spread evenly.
+// shardOf hash-partitions a source address onto a shard: the packed
+// leaf-level hierarchy key — computed once per packet by the producer —
+// feeds the mix, so partitioning costs no additional Addr math and two
+// sources the hierarchy cannot distinguish (equal leaf keys) always land
+// on the same shard.
 func (d *Sharded) shardOf(src addr.Addr) int {
-	return hashx.Bucket(hashx.Mix64(src.Hi()^hashx.Mix64(src.Lo())), len(d.shards))
+	return hashx.Bucket(hashx.Mix64(d.cfg.Hierarchy.Key(src, 0)), len(d.shards))
 }
 
 // Observe implements the Detector ingest contract for one packet. After
@@ -733,19 +793,27 @@ func (d *Sharded) TryObserveBatch(pkts []trace.Packet) error {
 	return nil
 }
 
-// stage appends one packet to its shard's staging buffer, flushing the
-// buffer into the ring when full.
+// stage packs one packet onto its shard's staging key-batch, flushing
+// the batch into the ring when full. This is the single point where the
+// hierarchy key is computed and the family filter runs: packets of the
+// other address family are counted in the ingest totals but never
+// staged (the engines would have dropped them anyway), and everything
+// downstream — rings, engines, merges — sees only packed keys.
 func (d *Sharded) stage(p *trace.Packet) {
-	si := d.shardOf(p.Src)
-	buf := append(d.staging[si], *p)
-	d.windowHasData = true
 	d.packets.Add(1)
 	d.bytes.Add(int64(p.Size))
-	if len(buf) >= d.cfg.Batch {
-		d.pushBatch(si, buf)
+	h := &d.cfg.Hierarchy
+	if !h.Match(p.Src) {
 		return
 	}
-	d.staging[si] = buf
+	key := h.Key(p.Src, 0)
+	si := hashx.Bucket(hashx.Mix64(key), len(d.shards))
+	kb := d.staging[si]
+	kb.Append(key, p.Size, p.Ts)
+	d.windowHasData = true
+	if kb.Len() >= d.cfg.Batch {
+		d.pushBatch(si, kb)
+	}
 }
 
 // pushBatch hands a staged buffer to the shard's ring and replaces the
@@ -759,7 +827,7 @@ func (d *Sharded) stage(p *trace.Packet) {
 // deadline bounds ingest pushes too — otherwise a saturated ring of a
 // stuck shard would still hang Snapshot and Close in their staging
 // flushes.
-func (d *Sharded) pushBatch(si int, buf []trace.Packet) {
+func (d *Sharded) pushBatch(si int, kb *trace.KeyBatch) {
 	s := d.shards[si]
 	var t0 time.Time
 	if d.tel != nil {
@@ -772,17 +840,13 @@ func (d *Sharded) pushBatch(si int, buf []trace.Packet) {
 		wait = d.cfg.BarrierTimeout
 	}
 	if wait <= 0 {
-		s.ring.push(message{pkts: buf})
-	} else if !s.ring.pushWait(message{pkts: buf}, wait) {
-		var bytes int64
-		for i := range buf {
-			bytes += int64(buf[i].Size)
-		}
-		accountDropped(s, int64(len(buf)), bytes)
+		s.ring.push(message{kb: kb})
+	} else if !s.ring.pushWait(message{kb: kb}, wait) {
+		accountDropped(s, int64(kb.Len()), kb.Bytes())
 		if d.tel != nil {
 			d.tel.handoff.Observe(time.Since(t0).Seconds())
 		}
-		d.staging[si] = buf[:0] // dropped in place: reuse the buffer
+		kb.Reset() // dropped in place: reuse the columns
 		return
 	}
 	if d.tel != nil {
@@ -797,15 +861,15 @@ func (d *Sharded) pushBatch(si int, buf []trace.Packet) {
 	case nb := <-s.free:
 		d.staging[si] = nb
 	default:
-		d.staging[si] = make([]trace.Packet, 0, d.cfg.Batch)
+		d.staging[si] = trace.NewKeyBatch(d.cfg.Batch)
 	}
 }
 
-// flushStaging pushes every non-empty staging buffer.
+// flushStaging pushes every non-empty staging batch.
 func (d *Sharded) flushStaging() {
-	for si, buf := range d.staging {
-		if len(buf) > 0 {
-			d.pushBatch(si, buf)
+	for si, kb := range d.staging {
+		if kb.Len() > 0 {
+			d.pushBatch(si, kb)
 		}
 	}
 }
@@ -854,14 +918,8 @@ func (d *Sharded) closeWindow() {
 			d.waitBarrier(b)
 		}
 		set := hhh.NewSet()
-		d.mu.Lock()
-		d.last = set
-		d.merges++
-		d.lastEnd = end
-		d.lastBytes = 0
-		d.lastDegraded = false
-		d.lastShards = len(d.shards)
-		d.mu.Unlock()
+		d.pub.Store(&WindowReport{Set: set, End: end, Shards: len(d.shards)})
+		d.merges.Add(1)
 		if d.cfg.OnWindow != nil {
 			d.cfg.OnWindow(start, end, set)
 		}
@@ -907,22 +965,28 @@ func (d *Sharded) Snapshot(now int64) hhh.Set {
 	if b != nil {
 		d.waitBarrier(b)
 	}
-	d.mu.Lock()
-	set := d.last
-	d.mu.Unlock()
+	set := d.pub.Load().Set
 	if d.tel != nil {
 		d.tel.snapshot.Observe(time.Since(t0).Seconds())
 	}
 	return set
 }
 
+// LastWindow returns the most recently published merge without
+// broadcasting anything: a wait-free atomic-pointer read that never
+// takes a lock the merge or ingest paths hold. This is the query path
+// for read-heavy consumers (the hhhserve /hhh handler): ingest keeps
+// publishing windows while any number of readers snapshot the last one.
+// The report — including its Set — is shared and must not be mutated.
+func (d *Sharded) LastWindow() WindowReport {
+	return *d.pub.Load()
+}
+
 // ReportMass implements the public Accounting surface: the total mass of
 // the most recently published merge. Call after Snapshot(now) with the
 // same timestamp (Snapshot publishes the merge ReportMass reads).
 func (d *Sharded) ReportMass(int64) int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.lastBytes
+	return d.pub.Load().Bytes
 }
 
 // CoveredSpan implements the public Accounting surface: the last closed
@@ -937,16 +1001,15 @@ func (d *Sharded) CoveredSpan(now int64) (lo, hi int64) {
 	case ModeContinuous:
 		return math.MinInt64, now
 	default:
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		if d.merges == 0 {
+		if d.merges.Load() == 0 {
 			// No window has been published yet: report the empty span
 			// (0, 0), matching the single-threaded windowed detector's
 			// zero-valued lastStart/lastEnd, instead of fabricating the
 			// never-observed window [-Window, 0).
 			return 0, 0
 		}
-		return d.lastEnd - d.width, d.lastEnd
+		end := d.pub.Load().End
+		return end - d.width, end
 	}
 }
 
@@ -1031,13 +1094,14 @@ func (d *Sharded) Stats() Stats {
 			st.Quarantined = append(st.Quarantined, i)
 		}
 	}
+	rep := d.pub.Load()
+	st.Windows = d.merges.Load()
+	st.LastWindowEnd = rep.End
+	st.LastWindowBytes = rep.Bytes
+	st.DegradedWindows = d.degradedMerges.Load()
+	st.LastWindowDegraded = rep.Degraded
+	st.LastWindowShards = rep.Shards
 	d.mu.Lock()
-	st.Windows = d.merges
-	st.LastWindowEnd = d.lastEnd
-	st.LastWindowBytes = d.lastBytes
-	st.DegradedWindows = d.degradedMerges
-	st.LastWindowDegraded = d.lastDegraded
-	st.LastWindowShards = d.lastShards
 	st.Panics = d.panicked
 	d.mu.Unlock()
 	return st

@@ -7,14 +7,14 @@ import (
 	"hiddenhhh/internal/trace"
 )
 
-// message is one unit flowing through a shard's ring: a packet batch
-// (pkts != nil) or a barrier token (bar != nil) — a window close or a
-// snapshot-time query. Tokens are ordered with batches, which is what
-// makes the barrier protocol correct: by the time a shard pops a token,
-// it has absorbed every batch staged before it.
+// message is one unit flowing through a shard's ring: a columnar
+// key-batch (kb != nil) or a barrier token (bar != nil) — a window close
+// or a snapshot-time query. Tokens are ordered with batches, which is
+// what makes the barrier protocol correct: by the time a shard pops a
+// token, it has absorbed every batch staged before it.
 type message struct {
-	pkts []trace.Packet
-	bar  *barrier
+	kb  *trace.KeyBatch
+	bar *barrier
 }
 
 // spscRing is a bounded single-producer single-consumer ring of messages.

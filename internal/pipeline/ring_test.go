@@ -26,7 +26,7 @@ func TestRingOrderAndBackpressure(t *testing.T) {
 				done <- nil
 				return
 			}
-			if got := m.pkts[0].Ts; got != seq {
+			if got := m.kb.Ts[0]; got != seq {
 				done <- errFmt("out of order: got %d want %d", got, seq)
 				return
 			}
@@ -34,7 +34,7 @@ func TestRingOrderAndBackpressure(t *testing.T) {
 		}
 	}()
 	for i := int64(0); i < n; i++ {
-		r.push(message{pkts: []trace.Packet{{Ts: i}}})
+		r.push(message{kb: &trace.KeyBatch{Ts: []int64{i}}})
 	}
 	r.close()
 	if err := <-done; err != nil {
@@ -47,7 +47,7 @@ func TestRingOrderAndBackpressure(t *testing.T) {
 func TestRingCloseDrains(t *testing.T) {
 	r := newRing(16)
 	for i := int64(0); i < 10; i++ {
-		r.push(message{pkts: []trace.Packet{{Ts: i}}})
+		r.push(message{kb: &trace.KeyBatch{Ts: []int64{i}}})
 	}
 	r.close()
 	for i := int64(0); i < 10; i++ {
@@ -55,8 +55,8 @@ func TestRingCloseDrains(t *testing.T) {
 		if !ok {
 			t.Fatalf("ring reported closed with %d messages undelivered", 10-i)
 		}
-		if m.pkts[0].Ts != i {
-			t.Fatalf("message %d out of order: %d", i, m.pkts[0].Ts)
+		if m.kb.Ts[0] != i {
+			t.Fatalf("message %d out of order: %d", i, m.kb.Ts[0])
 		}
 	}
 	if _, ok := r.pop(); ok {

@@ -52,29 +52,26 @@ func (d *Sharded) registerMetrics(r *telemetry.Registry) *pipeTelemetry {
 
 	// Pipeline merge/seal families. Windows are sealed by published
 	// merges (plus the coordinator's empty-window fast path), so the seal
-	// counters are derived from the same mutex-guarded fields Stats
-	// reports.
-	locked := func(f func() int64) func() int64 {
-		return func() int64 {
-			d.mu.Lock()
-			defer d.mu.Unlock()
-			return f()
-		}
-	}
+	// counters read the same atomics and published WindowReport Stats
+	// reports — no lock is shared with the merge or ingest paths.
 	seals := r.CounterVec("hhh_pipeline_window_seals_total",
 		"Published merges (window closes and query barriers), split by whether every shard contributed.",
 		"result")
-	seals.WithFunc(locked(func() int64 { return d.merges - d.degradedMerges }), "normal")
-	seals.WithFunc(locked(func() int64 { return d.degradedMerges }), "degraded")
+	seals.WithFunc(func() int64 { return d.merges.Load() - d.degradedMerges.Load() }, "normal")
+	seals.WithFunc(d.degradedMerges.Load, "degraded")
 	r.CounterFunc("hhh_pipeline_barriers_total",
 		"Barrier tokens broadcast to the shards (window closes plus query barriers).",
 		d.barrierSeq.Load)
 	r.GaugeFunc("hhh_pipeline_last_window_bytes",
 		"Total mass of the most recently published merge (the HHH threshold denominator).",
-		func() float64 { return float64(locked(func() int64 { return d.lastBytes })()) })
+		func() float64 { return float64(d.pub.Load().Bytes) })
 	r.CounterFunc("hhh_pipeline_panics_total",
 		"Engine panics recovered by the shard workers' panic isolation.",
-		locked(func() int64 { return d.panicked }))
+		func() int64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return d.panicked
+		})
 
 	// Per-shard families. Shed and quarantine children read the exact
 	// atomics behind Degradation()/DroppedMass() — 1:1 by construction.

@@ -285,6 +285,7 @@ type SlidingHHH struct {
 	// conditioned pass's discount tables, cleared in place per query.
 	seen map[uint64]struct{}
 	qs   *hhh.QueryScratch
+	kb   trace.KeyBatch // scratch for the UpdateBatch packing shim
 }
 
 // NewSlidingHHH builds a per-level sliding HHH detector.
@@ -325,39 +326,43 @@ func (d *SlidingHHH) Update(src addr.Addr, bytes int64, now int64) {
 }
 
 // UpdateBatch feeds a run of time-ordered packets, skipping packets
-// outside the hierarchy's address family. Packets are chunked by
-// frame so each chunk advances the frame ring once per level and then
-// applies its updates level-major into the current frame — the same final
-// state as per-packet Update calls, at a fraction of the call overhead.
+// outside the hierarchy's address family. It is a thin packing shim:
+// matching packets are packed once into a reusable scratch KeyBatch and
+// handed to UpdateKeys, so the final state matches per-packet Update
+// calls (the family filter runs before any frame advances, exactly as
+// Update orders it).
 func (d *SlidingHHH) UpdateBatch(pkts []trace.Packet) {
+	d.kb.Reset()
+	d.kb.AppendPackets(d.h, pkts)
+	d.UpdateKeys(&d.kb)
+}
+
+// UpdateKeys feeds a columnar batch of pre-packed, time-ordered leaf
+// keys. Packets are chunked by frame (on the Ts column) so each chunk
+// advances the frame ring once per level and then applies its updates
+// level-major into the current frame, with per-level keys derived by
+// masking the leaf key — the same final state as per-packet Update
+// calls, at a fraction of the call overhead.
+func (d *SlidingHHH) UpdateKeys(b *trace.KeyBatch) {
 	frameNs := d.levels[0].frameNs
-	for i := 0; i < len(pkts); {
-		fi := pkts[i].Ts / frameNs
+	n := b.Len()
+	for i := 0; i < n; {
+		fi := b.Ts[i] / frameNs
 		j := i + 1
-		for j < len(pkts) && pkts[j].Ts/frameNs == fi {
+		for j < n && b.Ts[j]/frameNs == fi {
 			j++
 		}
-		chunk := pkts[i:j]
 		var bytes int64
-		for c := range chunk {
-			if d.h.Match(chunk[c].Src) {
-				bytes += int64(chunk[c].Size)
-			}
+		for c := i; c < j; c++ {
+			bytes += int64(b.Sizes[c])
 		}
 		for l, lv := range d.levels {
-			lv.advance(chunk[0].Ts)
+			lv.advance(b.Ts[i])
 			slot := int(lv.curFrame % int64(len(lv.frames)))
 			f := lv.frames[slot]
 			m := d.masks[l]
-			for c := range chunk {
-				if !d.h.Match(chunk[c].Src) {
-					continue
-				}
-				half := chunk[c].Src.Lo()
-				if d.high {
-					half = chunk[c].Src.Hi()
-				}
-				f.Update(half&m, int64(chunk[c].Size))
+			for c := i; c < j; c++ {
+				f.Update(b.Keys[c]&m, int64(b.Sizes[c]))
 			}
 			lv.totals[slot] += bytes
 		}

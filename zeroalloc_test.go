@@ -1,0 +1,61 @@
+package hiddenhhh
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardedKeyBatchZeroAlloc asserts the columnar ingest path's
+// steady-state allocation contract: once the per-shard freelists and
+// sketch state are warm, staging a packet into its shard's KeyBatch,
+// handing full batches across the ring, and absorbing them into the
+// engine allocates nothing per packet — the batch buffers cycle
+// producer → ring → worker → freelist → producer. The sharded benchmarks
+// report the same number as allocs/op (cmd/benchjson records it in the
+// BENCH baselines); this test turns it into a hard regression guard.
+func TestShardedKeyBatchZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	pkts := propStream(31, 40000, 4)
+	// A window longer than the trace keeps window-close merges (which
+	// legitimately allocate result sets) out of the measurement.
+	det, err := NewShardedDetector(ShardedConfig{
+		Shards: 4, Window: time.Hour, Phi: 0.05, Engine: EnginePerLevel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+
+	// Warm-up: fill the freelists, grow the staging columns to capacity
+	// and let every shard's sketch reach its counter budget, so the
+	// measured runs exercise pure reuse.
+	for round := 0; round < 3; round++ {
+		if err := det.TryObserveBatch(pkts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const chunk = 2048
+	var off int
+	avg := testing.AllocsPerRun(20, func() {
+		if off+chunk > len(pkts) {
+			off = 0
+		}
+		if err := det.TryObserveBatch(pkts[off : off+chunk]); err != nil {
+			t.Fatal(err)
+		}
+		off += chunk
+	})
+	// The budget is per run of `chunk` packets, covering producer and
+	// worker side together (AllocsPerRun counts process-wide mallocs).
+	// Steady state is zero; a handful of stragglers (a late freelist
+	// miss while a worker still holds buffers) stay under 1 alloc per
+	// 100 packets. A per-packet or per-batch allocation regression shows
+	// up as >= chunk/Batch allocs and fails loudly.
+	if perPacket := avg / chunk; perPacket > 0.01 {
+		t.Fatalf("sharded ingest allocates %.1f allocs per %d-packet batch (%.4f/packet); want ~0",
+			avg, chunk, perPacket)
+	}
+}
