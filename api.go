@@ -6,9 +6,11 @@
 //
 // The package exposes three families of functionality:
 //
-//   - Detectors: windowed (disjoint, reset-per-window), sliding-window,
-//     and continuous time-decaying HHH detection over packet streams (see
-//     NewWindowedDetector, NewSlidingDetector, NewContinuousDetector),
+//   - Detectors: windowed (disjoint, reset-per-window), sliding-window
+//     (frame-ring WCSS or the level-sampled Memento-class engine, see
+//     SlidingConfig.Engine), and continuous time-decaying HHH detection
+//     over packet streams (see NewWindowedDetector, NewSlidingDetector,
+//     NewContinuousDetector),
 //     plus a sharded concurrent pipeline that parallelises ingest for any
 //     of the three window models across hash-partitioned worker shards
 //     and merges their summaries — at window closes for the windowed

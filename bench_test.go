@@ -226,9 +226,22 @@ func BenchmarkDetectorWindowedRHHH(b *testing.B) {
 	benchDetector(b, det)
 }
 
-// BenchmarkDetectorSliding measures the frame-based sliding detector.
+// BenchmarkDetectorSliding measures the frame-based (WCSS) sliding
+// detector.
 func BenchmarkDetectorSliding(b *testing.B) {
 	det, err := NewSlidingDetector(SlidingConfig{Window: 10 * time.Second, Phi: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+}
+
+// BenchmarkDetectorSlidingMemento measures the Memento-class sliding
+// detector: one aged table per level, one level sampled per packet — the
+// comparison row against BenchmarkDetectorSliding's per-frame WCSS cost.
+func BenchmarkDetectorSlidingMemento(b *testing.B) {
+	det, err := NewSlidingDetector(SlidingConfig{
+		Window: 10 * time.Second, Phi: 0.05, Engine: EngineMemento, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -402,6 +415,38 @@ func BenchmarkSlidingSharded2(b *testing.B) { benchSlidingSharded(b, 2) }
 
 // BenchmarkSlidingSharded4 measures 4-shard sliding ingest.
 func BenchmarkSlidingSharded4(b *testing.B) { benchSlidingSharded(b, 4) }
+
+// BenchmarkSlidingSharded8 measures 8-shard sliding ingest.
+func BenchmarkSlidingSharded8(b *testing.B) { benchSlidingSharded(b, 8) }
+
+// benchSlidingShardedMemento measures the sliding pipeline with the
+// Memento-class per-shard engine: one aged counter table per level and
+// one sampled level per packet instead of per-frame WCSS instances.
+func benchSlidingShardedMemento(b *testing.B, shards int) {
+	det, err := NewShardedDetector(ShardedConfig{
+		Mode: ModeSliding, Engine: EngineMemento, Seed: 1,
+		Shards: shards, Window: 10 * time.Second, Phi: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetector(b, det)
+	b.StopTimer()
+	det.Close()
+}
+
+// BenchmarkSlidingShardedMemento1 is the 1-shard Memento sliding
+// pipeline baseline (overhead over BenchmarkDetectorSlidingMemento is
+// the partition+ring cost).
+func BenchmarkSlidingShardedMemento1(b *testing.B) { benchSlidingShardedMemento(b, 1) }
+
+// BenchmarkSlidingShardedMemento2 measures 2-shard Memento sliding ingest.
+func BenchmarkSlidingShardedMemento2(b *testing.B) { benchSlidingShardedMemento(b, 2) }
+
+// BenchmarkSlidingShardedMemento4 measures 4-shard Memento sliding ingest.
+func BenchmarkSlidingShardedMemento4(b *testing.B) { benchSlidingShardedMemento(b, 4) }
+
+// BenchmarkSlidingShardedMemento8 measures 8-shard Memento sliding ingest.
+func BenchmarkSlidingShardedMemento8(b *testing.B) { benchSlidingShardedMemento(b, 8) }
 
 // BenchmarkContinuousSharded4 measures 4-shard continuous (TDBF) ingest,
 // the third window model behind the same pipeline.

@@ -94,6 +94,7 @@ func main() {
 		shards    = flag.Int("shards", 4, "shard count for the sharded pipeline rows (0 disables them)")
 		seed      = flag.Int64("seed", 1, "scenario suite base seed")
 		rhhhSlack = flag.Float64("rhhh-slack", 0.15, "empirical sampling-slack fraction z for RHHH bound checks")
+		memSlack  = flag.Float64("memento-slack", 0.15, "empirical sampling-slack fraction z for Memento sliding bound checks")
 		tdbfSlack = flag.Float64("tdbf-slack", 0.05, "empirical collision/admission slack fraction for continuous bound checks")
 		format    = flag.String("format", "markdown", "output format: markdown or json")
 		strict    = flag.Bool("strict", false, "exit nonzero when any bound check fails")
@@ -154,6 +155,15 @@ func main() {
 					Hierarchy: hier,
 				})
 			}},
+			// Memento samples one level per packet like RHHH, so its bound
+			// carries the empirical sampling slack on top of the sketch ε.
+			{"sliding-memento", oracle.ModeSliding,
+				oracle.Bounds{Epsilon: eps, Slack: *memSlack, AllowUnder: true}, func() (oracle.Detector, error) {
+					return hiddenhhh.NewSlidingDetector(hiddenhhh.SlidingConfig{
+						Window: *window, Phi: *phi, Frames: *frames, Counters: *counters,
+						Hierarchy: hier, Engine: hiddenhhh.EngineMemento, Seed: uint64(*seed),
+					})
+				}},
 			{"continuous-tdbf", oracle.ModeContinuous, oracle.Bounds{Slack: *tdbfSlack}, func() (oracle.Detector, error) {
 				return hiddenhhh.NewContinuousDetector(hiddenhhh.ContinuousConfig{
 					Horizon: *window, Phi: *phi, Hierarchy: hier, Seed: uint64(*seed),
@@ -166,6 +176,15 @@ func main() {
 					oracle.Bounds{Epsilon: eps}, sharded(hiddenhhh.ModeWindowed)},
 				cell{fmt.Sprintf("sharded-sliding-%d", *shards), oracle.ModeSliding,
 					oracle.Bounds{Epsilon: eps}, sharded(hiddenhhh.ModeSliding)},
+				cell{fmt.Sprintf("sharded-memento-%d", *shards), oracle.ModeSliding,
+					oracle.Bounds{Epsilon: eps, Slack: *memSlack, AllowUnder: true},
+					func() (oracle.Detector, error) {
+						return hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
+							Mode: hiddenhhh.ModeSliding, Shards: *shards, Window: *window,
+							Phi: *phi, Engine: hiddenhhh.EngineMemento, Counters: *counters,
+							Frames: *frames, Hierarchy: hier, Seed: uint64(*seed),
+						})
+					}},
 			)
 		}
 

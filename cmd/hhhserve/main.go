@@ -399,8 +399,12 @@ func parseEngine(name string) (hiddenhhh.Engine, error) {
 		return hiddenhhh.EnginePerLevel, nil
 	case "rhhh":
 		return hiddenhhh.EngineRHHH, nil
+	case "wcss":
+		return hiddenhhh.EngineWCSS, nil
+	case "memento":
+		return hiddenhhh.EngineMemento, nil
 	default:
-		return 0, fmt.Errorf("unknown engine %q (want exact, perlevel, rhhh)", name)
+		return 0, fmt.Errorf("unknown engine %q (want exact, perlevel, rhhh, wcss, memento)", name)
 	}
 }
 
@@ -433,7 +437,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		modeStr   = flag.String("mode", "windowed", "window model: windowed, sliding, continuous")
 		shards    = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
-		engineStr = flag.String("engine", "perlevel", "per-shard engine for -mode windowed: exact, perlevel, rhhh")
+		engineStr = flag.String("engine", "perlevel", "per-shard engine: exact, perlevel, rhhh (-mode windowed); wcss, memento (-mode sliding)")
 		window    = flag.Duration("window", 10*time.Second, "window length / sliding span / decay horizon")
 		phi       = flag.Float64("phi", 0.05, "HHH threshold fraction of the mode's total mass")
 		counters  = flag.Int("counters", 512, "Space-Saving counters per level")

@@ -63,10 +63,12 @@ type Accounting interface {
 	CoveredSpan(now int64) (lo, hi int64)
 }
 
-// Engine selects the per-window summary structure of a windowed detector.
+// Engine selects a detector's summary structure: the per-window summary
+// of a windowed detector (EngineExact, EnginePerLevel, EngineRHHH) or
+// the sliding summary of a sliding detector (EngineWCSS, EngineMemento).
 type Engine int
 
-// Supported windowed engines.
+// Supported engines. The first three are windowed; the last two sliding.
 const (
 	// EngineExact keeps an exact per-source byte map (the offline
 	// reference, linear state).
@@ -76,9 +78,18 @@ const (
 	EnginePerLevel
 	// EngineRHHH samples one level per packet (Ben Basat et al.).
 	EngineRHHH
+	// EngineWCSS is the sliding default: a ring of per-frame Space-Saving
+	// summaries per level (Window Compact Space Saving).
+	EngineWCSS
+	// EngineMemento is the Memento-class sliding engine: one aged counter
+	// table per level with amortized frame expiry, combined with
+	// RHHH-style level sampling (H-Memento) — O(1) counters touched per
+	// packet and no per-frame rescan at query time.
+	EngineMemento
 )
 
-// String names the engine ("exact", "perlevel", "rhhh").
+// String names the engine ("exact", "perlevel", "rhhh", "wcss",
+// "memento").
 func (e Engine) String() string {
 	switch e {
 	case EngineExact:
@@ -87,6 +98,10 @@ func (e Engine) String() string {
 		return "perlevel"
 	case EngineRHHH:
 		return "rhhh"
+	case EngineWCSS:
+		return "wcss"
+	case EngineMemento:
+		return "memento"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -346,10 +361,14 @@ type ShardedConfig struct {
 	// bytes, covered sliding-window bytes, or total decayed mass.
 	// Required.
 	Phi float64
-	// Engine selects the per-shard summary structure of ModeWindowed.
-	// Default EngineExact (lossless merge); EnginePerLevel and EngineRHHH
-	// merge with the bounded error documented on SpaceSaving.Merge. The
-	// other modes fix their engine (WCSS frames, TDBFs) and ignore it.
+	// Engine selects the per-shard summary structure. ModeWindowed takes
+	// EngineExact (the default, lossless merge), EnginePerLevel or
+	// EngineRHHH (bounded merge error, see SpaceSaving.Merge).
+	// ModeSliding takes EngineWCSS (its frame-ring default — the windowed
+	// engine values are also accepted and treated as EngineWCSS, as
+	// pre-existing configurations relied on being ignored) or
+	// EngineMemento (level-sampled aged tables, seeded per shard from
+	// Seed). ModeContinuous fixes its engine (TDBFs) and ignores this.
 	Engine Engine
 	// Counters per level for sketch engines (per frame and level in
 	// ModeSliding). Default 512.
@@ -370,9 +389,10 @@ type ShardedConfig struct {
 	// to the IPv4 byte ladder; packets outside its address family are
 	// ignored.
 	Hierarchy Hierarchy
-	// Seed drives EngineRHHH sampling (each shard derives its own
-	// deterministic stream from it) and ModeContinuous's filter hashes
-	// (shared verbatim across shards, so the filters merge cell-wise).
+	// Seed drives EngineRHHH and EngineMemento level sampling (each
+	// shard derives its own deterministic stream from it) and
+	// ModeContinuous's filter hashes (shared verbatim across shards, so
+	// the filters merge cell-wise).
 	Seed uint64
 	// Batch is the number of packets staged per shard before a ring
 	// push. Default 256.
@@ -538,25 +558,43 @@ type SlidingConfig struct {
 	Window time.Duration
 	// Phi is the threshold fraction of windowed bytes. Required.
 	Phi float64
+	// Engine selects the sliding summary: EngineWCSS (the default, also
+	// selected by the zero value EngineExact) keeps a ring of per-frame
+	// Space-Saving summaries per level; EngineMemento keeps one aged
+	// counter table per level and samples one level per packet.
+	Engine Engine
 	// Frames is the expiry granularity (window coverage overshoots by
 	// W/Frames). Default 8.
 	Frames int
-	// Counters is the per-frame, per-level Space-Saving capacity.
-	// Default 256.
+	// Counters is the key capacity per level: per frame for EngineWCSS,
+	// for the whole window for EngineMemento. Default 256.
 	Counters int
 	// Hierarchy is the prefix lattice to detect over. Defaults to the
 	// IPv4 byte ladder; packets outside its address family are ignored.
 	Hierarchy Hierarchy
+	// Seed drives EngineMemento's level sampling (ignored by EngineWCSS).
+	Seed uint64
+}
+
+// slidingEngine is the summary surface shared by the WCSS and Memento
+// sliding engines; slidingDetector dispatches through it.
+type slidingEngine interface {
+	Update(src Addr, bytes int64, now int64)
+	UpdateBatch(pkts []Packet)
+	Query(phi float64, now int64) Set
+	WindowTotal(now int64) int64
+	SizeBytes() int
 }
 
 type slidingDetector struct {
 	cfg  SlidingConfig
 	scfg swhh.Config // effective (defaulted) summary config
-	d    *swhh.SlidingHHH
+	d    slidingEngine
 }
 
-// NewSlidingDetector builds a streaming sliding-window HHH detector
-// (frame-based WCSS per hierarchy level).
+// NewSlidingDetector builds a streaming sliding-window HHH detector:
+// frame-based WCSS per hierarchy level by default, or the Memento-class
+// level-sampled engine with cfg.Engine == EngineMemento.
 func NewSlidingDetector(cfg SlidingConfig) (Detector, error) {
 	if cfg.Phi <= 0 || cfg.Phi > 1 {
 		return nil, fmt.Errorf("hiddenhhh: phi %v out of (0,1]", cfg.Phi)
@@ -569,7 +607,16 @@ func NewSlidingDetector(cfg SlidingConfig) (Detector, error) {
 		Frames:   cfg.Frames,
 		Counters: cfg.Counters,
 	}
-	inner, err := swhh.NewSlidingHHH(cfg.Hierarchy, scfg)
+	var inner slidingEngine
+	var err error
+	switch cfg.Engine {
+	case EngineExact, EngineWCSS:
+		inner, err = swhh.NewSlidingHHH(cfg.Hierarchy, scfg)
+	case EngineMemento:
+		inner, err = swhh.NewMementoHHH(cfg.Hierarchy, scfg, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("hiddenhhh: engine %v is not a sliding engine", cfg.Engine)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -98,18 +98,26 @@ func (m Mode) String() string {
 	}
 }
 
-// Kind selects the per-shard summary engine of ModeWindowed. Values
-// mirror the public Engine constants (Exact=0, PerLevel=1, RHHH=2).
+// Kind selects the per-shard summary engine. Values mirror the public
+// Engine constants (Exact=0, PerLevel=1, RHHH=2, WCSS=3, Memento=4):
+// the first three are ModeWindowed engines, the last two ModeSliding
+// ones.
 type Kind int
 
-// Supported windowed engines.
+// Supported engines. KindExact..KindRHHH select the windowed summary;
+// KindWCSS and KindMemento select the sliding summary (ModeSliding
+// treats the windowed kinds as KindWCSS, its historical default, so
+// pre-existing configurations keep working).
 const (
 	KindExact Kind = iota
 	KindPerLevel
 	KindRHHH
+	KindWCSS
+	KindMemento
 )
 
-// String names the engine kind ("exact", "perlevel", "rhhh").
+// String names the engine kind ("exact", "perlevel", "rhhh", "wcss",
+// "memento").
 func (k Kind) String() string {
 	switch k {
 	case KindExact:
@@ -118,6 +126,10 @@ func (k Kind) String() string {
 		return "perlevel"
 	case KindRHHH:
 		return "rhhh"
+	case KindWCSS:
+		return "wcss"
+	case KindMemento:
+		return "memento"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -161,8 +173,12 @@ type Config struct {
 	Window time.Duration
 	// Phi is the threshold fraction of the mode's total mass. Required.
 	Phi float64
-	// Engine selects the per-shard summary for ModeWindowed. Default
-	// KindExact. Ignored by the other modes.
+	// Engine selects the per-shard summary. ModeWindowed takes KindExact
+	// (the default), KindPerLevel or KindRHHH; ModeSliding takes KindWCSS
+	// (the frame-ring default — any windowed kind is accepted and treated
+	// as KindWCSS) or KindMemento (single aged table per level with
+	// RHHH-style level sampling, seeded per shard from Seed). Ignored by
+	// ModeContinuous.
 	Engine Kind
 	// Counters per level for sketch engines (per frame and level for
 	// ModeSliding). Default 512.
@@ -242,8 +258,11 @@ func (c *Config) setDefaults() error {
 	if c.Phi <= 0 || c.Phi > 1 {
 		return fmt.Errorf("pipeline: phi %v out of (0,1]", c.Phi)
 	}
-	if c.Engine < KindExact || c.Engine > KindRHHH {
+	if c.Engine < KindExact || c.Engine > KindMemento {
 		return fmt.Errorf("pipeline: unknown engine %v", c.Engine)
+	}
+	if c.Engine > KindRHHH && c.Mode != ModeSliding {
+		return fmt.Errorf("pipeline: engine %v requires ModeSliding", c.Engine)
 	}
 	if c.OnWindow != nil && c.Mode != ModeWindowed {
 		return fmt.Errorf("pipeline: OnWindow requires ModeWindowed (mode %v has no window closes)", c.Mode)
@@ -289,6 +308,9 @@ func (c *Config) tokenWait() time.Duration {
 func (c *Config) label() string {
 	switch c.Mode {
 	case ModeSliding:
+		if c.Engine == KindMemento {
+			return "memento"
+		}
 		return "wcss"
 	case ModeContinuous:
 		return "tdbf"
@@ -297,15 +319,34 @@ func (c *Config) label() string {
 	}
 }
 
+// slidingConfig is the single source of the sliding summary geometry:
+// newSummary builds shard engines from it and CoveredSpan derives the
+// covered span from it, so detector frames and accounting cannot drift
+// apart (swhh applies the frame-length floor inside both paths).
+func (c *Config) slidingConfig() swhh.Config {
+	return swhh.Config{
+		Window:   c.Window,
+		Frames:   c.Frames,
+		Counters: c.Counters,
+	}
+}
+
 // newSummary builds one shard's summary for cfg.
 func newSummary(cfg *Config, shard int) (Summary, error) {
 	switch cfg.Mode {
 	case ModeSliding:
-		d, err := swhh.NewSlidingHHH(cfg.Hierarchy, swhh.Config{
-			Window:   cfg.Window,
-			Frames:   cfg.Frames,
-			Counters: cfg.Counters,
-		})
+		if cfg.Engine == KindMemento {
+			// Same per-shard seed derivation as KindRHHH below: shard 0
+			// keeps cfg.Seed so a 1-shard pipeline reproduces the
+			// single-detector level-sampling sequence exactly.
+			d, err := swhh.NewMementoHHH(cfg.Hierarchy, cfg.slidingConfig(),
+				cfg.Seed^(uint64(shard)*0x9e3779b97f4a7c15))
+			if err != nil {
+				return nil, err
+			}
+			return &mementoSummary{d: d, phi: cfg.Phi}, nil
+		}
+		d, err := swhh.NewSlidingHHH(cfg.Hierarchy, cfg.slidingConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -446,6 +487,25 @@ func (e *slidingSummary) Reset()                       { e.d.Reset() }
 func (e *slidingSummary) SizeBytes() int               { return e.d.SizeBytes() }
 
 func (e *slidingSummary) Query(now int64) (hhh.Set, int64) {
+	return e.d.Query(e.phi, now), e.d.WindowTotal(now)
+}
+
+// mementoSummary adapts the level-sampled Memento sliding detector. Like
+// slidingSummary, Advance aligns the frame clocks at the query barrier so
+// Merge is frame-by-frame; the reported mass comes from the wrapper's
+// exact totals ring, so accounting carries no sampling noise.
+type mementoSummary struct {
+	d   *swhh.MementoHHH
+	phi float64
+}
+
+func (e *mementoSummary) UpdateKeys(b *trace.KeyBatch) { e.d.UpdateKeys(b) }
+func (e *mementoSummary) Advance(now int64)            { e.d.Advance(now) }
+func (e *mementoSummary) Merge(s Summary)              { e.d.Merge(s.(*mementoSummary).d) }
+func (e *mementoSummary) Reset()                       { e.d.Reset() }
+func (e *mementoSummary) SizeBytes() int               { return e.d.SizeBytes() }
+
+func (e *mementoSummary) Query(now int64) (hhh.Set, int64) {
 	return e.d.Query(e.phi, now), e.d.WindowTotal(now)
 }
 
@@ -996,8 +1056,7 @@ func (d *Sharded) ReportMass(int64) int64 {
 func (d *Sharded) CoveredSpan(now int64) (lo, hi int64) {
 	switch d.cfg.Mode {
 	case ModeSliding:
-		c := swhh.Config{Window: d.cfg.Window, Frames: d.cfg.Frames}
-		return c.CoveredSince(now), now
+		return d.cfg.slidingConfig().CoveredSince(now), now
 	case ModeContinuous:
 		return math.MinInt64, now
 	default:

@@ -36,6 +36,7 @@ package swhh
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"hiddenhhh/internal/addr"
@@ -43,6 +44,38 @@ import (
 	"hiddenhhh/internal/sketch"
 	"hiddenhhh/internal/trace"
 )
+
+// frameUninit marks a frame clock that has never advanced. A fresh summary
+// has no frame position yet — its first advance jumps the clock straight
+// to the target frame (the ring is empty, so there is nothing to expire).
+// Using a sentinel instead of 0 makes pre-epoch (negative) timestamps
+// work: with curFrame starting at 0, a first packet in a negative frame
+// would appear to be in the past and land in frame 0.
+const frameUninit = math.MinInt64
+
+// floorDiv is the floored quotient a/b for b > 0. Frame indices must use
+// floored division so that pre-epoch (negative) timestamps map to
+// monotonically increasing frames and agree with CoveredSince's geometry;
+// Go's native division truncates toward zero, which would fold the two
+// nanosecond ranges (-frameNs, 0) and [0, frameNs) into one frame.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// floorMod is the non-negative ring slot of global frame g in a ring of
+// b slots (b > 0). Go's % takes the dividend's sign, so negative global
+// frame indices need the wrap-around.
+func floorMod(a, b int64) int64 {
+	r := a % b
+	if r < 0 {
+		r += b
+	}
+	return r
+}
 
 // Config configures a sliding heavy-hitter summary.
 type Config struct {
@@ -84,7 +117,7 @@ func (c Config) CoveredSince(now int64) int64 {
 	if frameNs < 1 {
 		frameNs = 1
 	}
-	return (now/frameNs - int64(c.Frames)) * frameNs
+	return (floorDiv(now, frameNs) - int64(c.Frames)) * frameNs
 }
 
 // Sliding is a time-framed WCSS-style sliding-window heavy-hitter summary.
@@ -94,7 +127,8 @@ type Sliding struct {
 	frameNs  int64
 	frames   []*sketch.SpaceSaving // ring: k full frames + 1 filling
 	totals   []int64
-	curFrame int64 // global index of the frame currently filling
+	curFrame int64               // global index of the frame currently filling
+	seen     map[uint64]struct{} // HeavyKeys candidate-dedup scratch, reused across queries
 }
 
 // NewSliding builds a summary from cfg.
@@ -111,10 +145,11 @@ func NewSliding(cfg Config) (*Sliding, error) {
 		frameNs = 1
 	}
 	s := &Sliding{
-		cfg:     cfg,
-		frameNs: frameNs,
-		frames:  make([]*sketch.SpaceSaving, cfg.Frames+1),
-		totals:  make([]int64, cfg.Frames+1),
+		cfg:      cfg,
+		frameNs:  frameNs,
+		frames:   make([]*sketch.SpaceSaving, cfg.Frames+1),
+		totals:   make([]int64, cfg.Frames+1),
+		curFrame: frameUninit,
 	}
 	for i := range s.frames {
 		s.frames[i] = sketch.NewSpaceSaving(cfg.Counters)
@@ -124,7 +159,7 @@ func NewSliding(cfg Config) (*Sliding, error) {
 
 // advance rotates frames so that the frame containing now is current.
 func (s *Sliding) advance(now int64) {
-	s.advanceTo(now / s.frameNs)
+	s.advanceTo(floorDiv(now, s.frameNs))
 }
 
 // advanceTo rotates frames up to the global frame index target. A jump of
@@ -137,7 +172,9 @@ func (s *Sliding) advanceTo(target int64) {
 	if target <= s.curFrame {
 		return
 	}
-	if target-s.curFrame >= int64(len(s.frames)) {
+	// The sentinel check must come before the subtraction: target minus
+	// math.MinInt64 overflows for any non-negative target.
+	if s.curFrame == frameUninit || target-s.curFrame >= int64(len(s.frames)) {
 		for i := range s.frames {
 			s.frames[i].Reset()
 			s.totals[i] = 0
@@ -147,7 +184,7 @@ func (s *Sliding) advanceTo(target int64) {
 	}
 	for s.curFrame < target {
 		s.curFrame++
-		slot := int(s.curFrame % int64(len(s.frames)))
+		slot := int(floorMod(s.curFrame, int64(len(s.frames))))
 		s.frames[slot].Reset() // expire the oldest frame wholesale
 		s.totals[slot] = 0
 	}
@@ -156,7 +193,7 @@ func (s *Sliding) advanceTo(target int64) {
 // Update records weight w for key at time now (ns).
 func (s *Sliding) Update(key uint64, w int64, now int64) {
 	s.advance(now)
-	slot := int(s.curFrame % int64(len(s.frames)))
+	slot := int(floorMod(s.curFrame, int64(len(s.frames))))
 	s.frames[slot].Update(key, w)
 	s.totals[slot] += w
 }
@@ -202,17 +239,17 @@ func (s *Sliding) Merge(o *Sliding) {
 	if s.frameNs != o.frameNs || len(s.frames) != len(o.frames) {
 		panic("swhh: Sliding.Merge config mismatch")
 	}
+	if o.curFrame == frameUninit {
+		return // o never advanced: its ring is empty
+	}
 	s.advanceTo(o.curFrame)
+	// After advanceTo, s.curFrame >= o.curFrame, so the receiver's ring
+	// start bounds the overlap. Frames below it were never written by o
+	// (o's ring reaches at most k-1 frames back from o.curFrame), so the
+	// loop only ever folds slots both rings cover.
 	k := int64(len(s.frames))
-	lo := s.curFrame - k + 1
-	if olo := o.curFrame - k + 1; olo > lo {
-		lo = olo
-	}
-	if lo < 0 {
-		lo = 0
-	}
-	for g := lo; g <= o.curFrame; g++ {
-		slot := int(g % k)
+	for g := s.curFrame - k + 1; g <= o.curFrame; g++ {
+		slot := int(floorMod(g, k))
 		s.frames[slot].Merge(o.frames[slot])
 		s.totals[slot] += o.totals[slot]
 	}
@@ -231,21 +268,30 @@ func (s *Sliding) WindowTotal(now int64) int64 {
 // HeavyKeys returns the keys whose windowed estimate reaches the fraction
 // phi of the covered total at time now.
 func (s *Sliding) HeavyKeys(phi float64, now int64) []sketch.KV {
+	// One advance covers the whole query: summing totals directly instead
+	// of calling WindowTotal avoids rotating the ring a second time.
 	s.advance(now)
-	total := s.WindowTotal(now)
+	var total int64
+	for _, t := range s.totals {
+		total += t
+	}
 	if total == 0 {
 		return nil
 	}
 	threshold := hhh.Threshold(total, phi)
 	// Candidates: keys tracked in any frame; estimates summed over all.
-	seen := map[uint64]bool{}
+	// The dedup set is query scratch, reused across calls.
+	if s.seen == nil {
+		s.seen = make(map[uint64]struct{}, 64)
+	}
+	clear(s.seen)
 	var out []sketch.KV
 	for _, f := range s.frames {
 		for _, kv := range f.Tracked() {
-			if seen[kv.Key] {
+			if _, dup := s.seen[kv.Key]; dup {
 				continue
 			}
-			seen[kv.Key] = true
+			s.seen[kv.Key] = struct{}{}
 			est := s.estimate(kv.Key)
 			if est >= threshold {
 				out = append(out, sketch.KV{Key: kv.Key, Count: est})
@@ -264,13 +310,17 @@ func (s *Sliding) SizeBytes() int {
 	return n
 }
 
-// Reset clears all frames.
+// Reset clears all frames and totals but preserves the frame clock.
+// Merge addresses frames by global index, so a reset summary that is
+// merged with a live peer (the sharded barrier's accumulator does exactly
+// this every snapshot) must keep addressing the same global frames;
+// rewinding to frame 0 would only work by accident of the wholesale-reset
+// jump in advanceTo. A never-advanced summary stays unadvanced.
 func (s *Sliding) Reset() {
 	for i := range s.frames {
 		s.frames[i].Reset()
 		s.totals[i] = 0
 	}
-	s.curFrame = 0
 }
 
 // SlidingHHH runs one Sliding summary per hierarchy level, yielding
@@ -347,9 +397,9 @@ func (d *SlidingHHH) UpdateKeys(b *trace.KeyBatch) {
 	frameNs := d.levels[0].frameNs
 	n := b.Len()
 	for i := 0; i < n; {
-		fi := b.Ts[i] / frameNs
+		fi := floorDiv(b.Ts[i], frameNs)
 		j := i + 1
-		for j < n && b.Ts[j]/frameNs == fi {
+		for j < n && floorDiv(b.Ts[j], frameNs) == fi {
 			j++
 		}
 		var bytes int64
@@ -358,7 +408,7 @@ func (d *SlidingHHH) UpdateKeys(b *trace.KeyBatch) {
 		}
 		for l, lv := range d.levels {
 			lv.advance(b.Ts[i])
-			slot := int(lv.curFrame % int64(len(lv.frames)))
+			slot := int(floorMod(lv.curFrame, int64(len(lv.frames))))
 			f := lv.frames[slot]
 			m := d.masks[l]
 			for c := i; c < j; c++ {

@@ -52,6 +52,9 @@ func TestTimeTranslationInvariance(t *testing.T) {
 		{"sliding", func() (Detector, error) {
 			return NewSlidingDetector(SlidingConfig{Window: window, Phi: phi, Counters: 64})
 		}},
+		{"sliding-memento", func() (Detector, error) {
+			return NewSlidingDetector(SlidingConfig{Window: window, Phi: phi, Counters: 64, Engine: EngineMemento, Seed: 9})
+		}},
 		{"continuous", func() (Detector, error) {
 			return NewContinuousDetector(ContinuousConfig{Horizon: window, Phi: phi})
 		}},
@@ -60,6 +63,9 @@ func TestTimeTranslationInvariance(t *testing.T) {
 		}},
 		{"sharded-sliding", func() (Detector, error) {
 			return NewShardedDetector(ShardedConfig{Mode: ModeSliding, Shards: 3, Window: window, Phi: phi, Counters: 64})
+		}},
+		{"sharded-sliding-memento", func() (Detector, error) {
+			return NewShardedDetector(ShardedConfig{Mode: ModeSliding, Shards: 3, Window: window, Phi: phi, Counters: 64, Engine: EngineMemento, Seed: 9})
 		}},
 		{"sharded-continuous", func() (Detector, error) {
 			return NewShardedDetector(ShardedConfig{Mode: ModeContinuous, Shards: 3, Window: window, Phi: phi})
@@ -87,6 +93,82 @@ func TestTimeTranslationInvariance(t *testing.T) {
 			moved := run(tc.mk, shifted, snapAt+shift)
 			if !moved.Equal(base) {
 				t.Fatalf("sets differ under +%d ns shift:\n base  %v\n moved %v", shift, base, moved)
+			}
+			for p, it := range base {
+				if m := moved[p]; m.Count != it.Count || m.Conditioned != it.Conditioned {
+					t.Errorf("%v: base %+v != moved %+v", p, it, m)
+				}
+			}
+			if base.Len() == 0 {
+				t.Error("empty report proves nothing — stream or snapshot time is wrong")
+			}
+		})
+	}
+}
+
+// TestTimeTranslationInvarianceNegative extends the translation property
+// below zero: the sliding engines must report identically for a trace
+// shifted deep into pre-epoch territory. Before this PR frame indices
+// were computed with Go's truncating division, which folds the frames
+// on either side of zero together and produces negative ring slots, so
+// any pre-epoch timestamp corrupted (or panicked) the frame ring; the
+// engines now use floored frame math and an explicit uninitialised
+// frame-clock sentinel. Only the sliding family is covered — it is the
+// only one whose state is addressed by absolute frame index.
+func TestTimeTranslationInvarianceNegative(t *testing.T) {
+	// -1000 s: a negative multiple of the 1 s window and its 125 ms
+	// frames, placing the whole stream before the epoch.
+	const shift = int64(-1_000_000_000_000)
+	window := time.Second
+	phi := 0.02
+
+	pkts := propStream(21, 40000, 5)
+	shifted := make([]Packet, len(pkts))
+	copy(shifted, pkts)
+	for i := range shifted {
+		shifted[i].Ts += shift
+	}
+	snapAt := (pkts[len(pkts)-1].Ts/int64(window) + 1) * int64(window)
+
+	cases := []struct {
+		name string
+		mk   func() (Detector, error)
+	}{
+		{"sliding", func() (Detector, error) {
+			return NewSlidingDetector(SlidingConfig{Window: window, Phi: phi, Counters: 64})
+		}},
+		{"sliding-memento", func() (Detector, error) {
+			return NewSlidingDetector(SlidingConfig{Window: window, Phi: phi, Counters: 64, Engine: EngineMemento, Seed: 9})
+		}},
+		{"sharded-sliding", func() (Detector, error) {
+			return NewShardedDetector(ShardedConfig{Mode: ModeSliding, Shards: 3, Window: window, Phi: phi, Counters: 64})
+		}},
+		{"sharded-sliding-memento", func() (Detector, error) {
+			return NewShardedDetector(ShardedConfig{Mode: ModeSliding, Shards: 3, Window: window, Phi: phi, Counters: 64, Engine: EngineMemento, Seed: 9})
+		}},
+	}
+
+	run := func(mk func() (Detector, error), stream []Packet, at int64) Set {
+		det, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		det.ObserveBatch(stream)
+		set := det.Snapshot(at)
+		if c, ok := det.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return set
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := run(tc.mk, pkts, snapAt)
+			moved := run(tc.mk, shifted, snapAt+shift)
+			if !moved.Equal(base) {
+				t.Fatalf("sets differ under %d ns shift:\n base  %v\n moved %v", shift, base, moved)
 			}
 			for p, it := range base {
 				if m := moved[p]; m.Count != it.Count || m.Conditioned != it.Conditioned {

@@ -149,6 +149,50 @@ func TestOracleDifferentialSliding(t *testing.T) {
 	}
 }
 
+// TestOracleDifferentialSlidingMemento runs the sliding rows of the
+// matrix with the Memento-class engine. Like RHHH, the engine samples
+// one hierarchy level per packet, so there is no deterministic bound:
+// the slack is the empirical z of the N(ε+z) envelope for this seeded
+// suite. Each ~3s window holds ~6k packets split over 5 levels, so the
+// per-level sample is smaller than RHHH's windowed cells and the
+// sampling noise proportionally larger; the observed deviation peaks
+// near 10% of window mass, making 15% a comfortable envelope (z
+// shrinks with stream length, as for RHHH).
+func TestOracleDifferentialSlidingMemento(t *testing.T) {
+	pkts := diffTrace(t)
+	const frames = 8
+	for _, shards := range shardCounts {
+		name := fmt.Sprintf("sliding-memento/K=%d", shards)
+		t.Run(name, func(t *testing.T) {
+			var det Detector
+			var err error
+			if shards == 0 {
+				det, err = NewSlidingDetector(SlidingConfig{
+					Window: diffWindow, Phi: diffPhi, Frames: frames,
+					Counters: diffCounters, Engine: EngineMemento, Seed: 9,
+				})
+			} else {
+				det, err = NewShardedDetector(ShardedConfig{
+					Mode: ModeSliding, Shards: shards, Window: diffWindow,
+					Phi: diffPhi, Frames: frames, Counters: diffCounters,
+					Engine: EngineMemento, Seed: 9,
+				})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffCell(t, name, det, pkts, oracle.Config{
+				Mode:          oracle.ModeSliding,
+				Window:        diffWindow,
+				Frames:        frames,
+				Phi:           diffPhi,
+				Bounds:        oracle.Bounds{Epsilon: diffEps, Slack: 0.15, AllowUnder: true},
+				SnapshotEvery: diffWindow / 2,
+			}, false)
+		})
+	}
+}
+
 // TestOracleDifferentialIPv6 adds the dual-stack rows of the matrix: the
 // IPv6 hit-and-run scenario on the five-level hextet ladder and the
 // half-and-half dual-stack mix on the 17-level nibble lattice (where the

@@ -119,6 +119,75 @@ func TestShardedSlidingMatchesSingle(t *testing.T) {
 	}
 }
 
+// TestShardedSlidingMementoMatchesSingle is the Memento-engine variant
+// of the sliding equivalence property. K=1 must be byte-identical: the
+// shard-0 seed is ShardedConfig.Seed verbatim, the batch ingest path is
+// pinned identical to per-packet ingest, and a merge into an empty
+// summary is an exact copy. For K>1 the shards sample hierarchy levels
+// under different seeds, so beyond the summed sketch margin the reports
+// also wobble by the level-sampling envelope (±15% of window mass for
+// seeded suites of this size — see TestOracleDifferentialSlidingMemento);
+// items clearing the threshold by more than both allowances combined
+// must be in every view.
+func TestShardedSlidingMementoMatchesSingle(t *testing.T) {
+	const (
+		counters = 64
+		phi      = 0.02
+		nPkts    = 80000
+		spanSec  = 9
+		envelope = 0.15
+	)
+	window := 2 * time.Second
+	for _, seed := range []int64{1, 2, 3} {
+		pkts := propStream(seed, nPkts, spanSec)
+		at := snapshotTimes(pkts)
+		single, err := NewSlidingDetector(SlidingConfig{
+			Window: window, Phi: phi, Counters: counters,
+			Engine: EngineMemento, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runSnapshots(t, single, pkts, at)
+
+		for _, K := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("sliding-memento/seed=%d/K=%d", seed, K)
+			det, err := NewShardedDetector(ShardedConfig{
+				Mode: ModeSliding, Shards: K, Window: window,
+				Phi: phi, Counters: counters,
+				Engine: EngineMemento, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runSnapshots(t, det, pkts, at)
+			if K == 1 {
+				requireSameSets(t, name, got, want)
+				continue
+			}
+			for i := range want {
+				N := setMass(want[i])
+				margin := int64((4/float64(counters) + envelope) * float64(N))
+				for _, d := range []struct {
+					label    string
+					from, to Set
+				}{
+					{"single-only", want[i], got[i]},
+					{"sharded-only", got[i], want[i]},
+				} {
+					for p, it := range d.from.Diff(d.to) {
+						T := Threshold(N, phi)
+						if it.Conditioned-T > margin {
+							t.Errorf("%s snapshot %d %s: %v cond=%d clears T=%d by %d > margin %d",
+								name, i, d.label, p, it.Conditioned, T, it.Conditioned-T, margin)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // setMass lower-bounds the covered stream mass from a report: the /0 root
 // subtree estimate when present, else the summed conditioned volumes.
 // Precise enough to scale comparison margins.
