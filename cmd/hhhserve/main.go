@@ -72,6 +72,11 @@ type server struct {
 	// pprof exposes net/http/pprof on the server mux when set (the
 	// -pprof flag): hot-path profiling on demand, closed by default.
 	pprof bool
+	// pushEvery, when positive and shorter than the window, tightens the
+	// in-replay snapshot cadence so cluster-mode seals (emitted at
+	// snapshot barriers in the sliding and continuous modes) ship at a
+	// sub-window rate; 0 keeps the once-per-window default.
+	pushEvery time.Duration
 }
 
 // newServer builds the query server around det. reg must be the registry
@@ -166,7 +171,11 @@ func (s *server) sampleEvents() {
 	if now < s.nextSample {
 		return
 	}
-	s.nextSample = (now/int64(s.window) + 1) * int64(s.window)
+	step := int64(s.window)
+	if s.pushEvery > 0 && int64(s.pushEvery) < step {
+		step = int64(s.pushEvery)
+	}
+	s.nextSample = (now/step + 1) * step
 	s.mu.Lock()
 	set := s.det.Snapshot(now)
 	windowBytes := s.det.Stats().LastWindowBytes
@@ -453,12 +462,30 @@ func main() {
 		shedWait       = flag.Duration("shed-wait", 0, "max ring wait before shedding a batch (-overload shed; 0 = 1ms default)")
 		barrierTimeout = flag.Duration("barrier-timeout", 0, "window-merge deadline; stalled shards degrade the window instead of wedging it (0 = wait forever)")
 
+		role       = flag.String("role", "single", "process role: single (default), ingest (detector + seal push to -push), aggregate (merge fleet seals, no detector)")
+		pushURL    = flag.String("push", "", "aggregator /ingest URL (-role ingest)")
+		nodeName   = flag.String("node", "", "this ingest node's name in the fleet (default hostname)")
+		nodeIndex  = flag.Int("node-index", 0, "this node's slot in the fleet's source partition (-role ingest)")
+		nodeCount  = flag.Int("node-count", 1, "fleet size for source partitioning (-role ingest; 1 = no partitioning)")
+		pushEvery  = flag.Duration("push-every", 0, "seal cadence for sliding/continuous ingest (0 = once per window)")
+		expected   = flag.Int("expected", 1, "ingest fleet size the aggregator waits for per round (-role aggregate)")
+		roundGrace = flag.Duration("round-grace", 2*time.Second, "how long the aggregator waits for round stragglers before publishing degraded (-role aggregate)")
+
 		pprofFlag   = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 		attackThr   = flag.Float64("attack-threshold", 0, "onset watcher: min conditioned share of window mass (0 = default 0.25)")
 		attackHold  = flag.Int("attack-holdoff", 0, "onset watcher: windows below threshold before an offset fires (0 = default 2)")
 		attackBytes = flag.Int64("attack-min-bytes", 0, "onset watcher: min conditioned bytes before a prefix can alarm")
 	)
 	flag.Parse()
+
+	switch *role {
+	case "single", "ingest":
+	case "aggregate":
+		runAggregate(*addr, *expected, *phi, *window, *roundGrace)
+		return
+	default:
+		log.Fatalf("hhhserve: unknown role %q (want single, ingest, aggregate)", *role)
+	}
 
 	mode, err := parseMode(*modeStr)
 	if err != nil {
@@ -492,10 +519,34 @@ func main() {
 	if len(pkts) == 0 {
 		log.Fatal("hhhserve: empty trace")
 	}
+	// Lap span comes from the unpartitioned trace so every fleet node
+	// shifts replays identically.
 	span := pkts[len(pkts)-1].Ts + 1
 
 	reg := hiddenhhh.NewMetricsRegistry()
-	det, err := hiddenhhh.NewShardedDetector(hiddenhhh.ShardedConfig{
+	var push *pusher
+	if *role == "ingest" {
+		if *pushURL == "" {
+			log.Fatal("hhhserve: -role ingest requires -push")
+		}
+		name := *nodeName
+		if name == "" {
+			name, _ = os.Hostname()
+			if name == "" {
+				name = fmt.Sprintf("node%d", *nodeIndex)
+			}
+		}
+		if *nodeIndex < 0 || *nodeIndex >= *nodeCount {
+			log.Fatalf("hhhserve: -node-index %d out of fleet [0,%d)", *nodeIndex, *nodeCount)
+		}
+		pkts = partitionPackets(pkts, *nodeIndex, *nodeCount)
+		if len(pkts) == 0 {
+			log.Fatal("hhhserve: this node's partition of the trace is empty")
+		}
+		push = newPusher(*pushURL, name)
+		push.register(reg)
+	}
+	cfg := hiddenhhh.ShardedConfig{
 		Mode:           mode,
 		Shards:         *shards,
 		Window:         *window,
@@ -507,7 +558,11 @@ func main() {
 		ShedWait:       *shedWait,
 		BarrierTimeout: *barrierTimeout,
 		Metrics:        reg,
-	})
+	}
+	if push != nil {
+		cfg.OnSeal = push.seal
+	}
+	det, err := hiddenhhh.NewShardedDetector(cfg)
 	if err != nil {
 		log.Fatal("hhhserve: ", err)
 	}
@@ -518,6 +573,7 @@ func main() {
 		MinBytes:  *attackBytes,
 	})
 	srv.pprof = *pprofFlag
+	srv.pushEvery = *pushEvery
 	stop := make(chan struct{})
 	ingestDone := make(chan struct{})
 	go func() {
@@ -557,5 +613,10 @@ func main() {
 	}
 	if err := det.Close(); err != nil {
 		log.Fatal("hhhserve: ", err)
+	}
+	if push != nil {
+		// After det.Close no more seals can fire; drain the delivery
+		// queue so the aggregator gets the final windows.
+		push.close()
 	}
 }

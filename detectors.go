@@ -403,6 +403,13 @@ type ShardedConfig struct {
 	// set (ModeWindowed only). It runs on a worker goroutine (in window
 	// order) and must not call back into the detector or block.
 	OnWindow func(start, end int64, set Set)
+	// OnSeal, when set, additionally receives every completed merge
+	// sealed into a versioned wire frame — each window close in
+	// ModeWindowed, each Snapshot barrier in the sliding and continuous
+	// modes — ready to ship to an Aggregator in another process (cluster
+	// mode). Like OnWindow it runs on the merging goroutine and must not
+	// call back into the detector or block.
+	OnSeal func(SealedSummary)
 	// Overload selects the ingest behaviour when a shard's ring stays
 	// full: OverloadBlock (default) parks ingest until the ring drains —
 	// lossless; OverloadShed bounds the wait at ShedWait and then drops
@@ -540,6 +547,7 @@ func NewShardedDetector(cfg ShardedConfig) (ShardedDetector, error) {
 		Batch:     cfg.Batch,
 		RingDepth: cfg.RingDepth,
 		OnWindow:  cfg.OnWindow,
+		OnSeal:    cfg.OnSeal,
 
 		Overload:       cfg.Overload,
 		ShedWait:       cfg.ShedWait,

@@ -1,0 +1,683 @@
+// Cluster aggregation: the receive side of cluster mode. An Aggregator
+// accepts sealed wire frames from a fleet of ingest processes (each
+// running its own Sharded pipeline with Config.OnSeal set), aligns them
+// — per exact window for the windowed engines, latest-frame-per-node for
+// the sliding and continuous engines — merges them through the same
+// Merge contracts the in-process shards use, and publishes a global HHH
+// report. Late or missing nodes degrade the report's declared coverage
+// (Nodes < Expected, Degraded set), never its correctness: a published
+// set is always the true answer over the frames that arrived.
+//
+// Alignment rules
+//
+//   - Windowed kinds (per-level, exact, rhhh): frames are grouped into
+//     rounds keyed by their window End. A round publishes as soon as
+//     every expected node has contributed, or when RoundGrace expires,
+//     whichever is first; the grace path publishes with the nodes that
+//     arrived and marks the report degraded. Frames for already
+//     published rounds are counted late and dropped.
+//   - Sliding kinds (sliding, memento) and continuous: the aggregator
+//     keeps each node's newest frame, decodes them all on every ingest,
+//     advances each engine to the fleet-wide maximum End and merges.
+//     A silent node's last frame keeps contributing until it ages out
+//     of the window naturally — exactly the sliding model's semantics —
+//     and the report is marked degraded once any node's End trails the
+//     fleet maximum by more than the window span.
+//
+// Every frame is validated by the wire codec before it touches an
+// engine; kind or hierarchy drift against the first accepted frame is
+// rejected with a typed error, and engine panics on geometry mismatches
+// (e.g. two nodes configured with different counter budgets) are
+// recovered and reported as errors, keeping the aggregator alive.
+
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/telemetry"
+	"hiddenhhh/internal/wire"
+
+	"hiddenhhh/internal/continuous"
+)
+
+// ErrFrameRejected wraps every Aggregator.Ingest rejection that is the
+// sender's fault (undecodable frame, kind or hierarchy drift, merge
+// geometry mismatch) so servers can map it to a 4xx response.
+var ErrFrameRejected = errors.New("pipeline: frame rejected")
+
+// AggregatorConfig parameterises NewAggregator.
+type AggregatorConfig struct {
+	// Expected is the ingest fleet size the aggregator waits for before
+	// publishing a windowed round, and the denominator for coverage
+	// degradation. Required.
+	Expected int
+	// Phi is the global threshold fraction applied to the merged
+	// summary. Required for every kind except continuous, whose decoded
+	// detectors carry their own phi.
+	Phi float64
+	// RoundGrace bounds how long a windowed round waits for stragglers
+	// after its first frame arrives; on expiry the round publishes
+	// degraded with the nodes present. Default 2s.
+	RoundGrace time.Duration
+	// Metrics, when set, registers per-node frame/lag/last-seen series
+	// and aggregate merge counters on the registry.
+	Metrics *telemetry.Registry
+}
+
+func (c *AggregatorConfig) setDefaults() error {
+	if c.Expected <= 0 {
+		return fmt.Errorf("pipeline: aggregator expects a positive fleet size, got %d", c.Expected)
+	}
+	if !(c.Phi > 0 && c.Phi <= 1) {
+		return fmt.Errorf("pipeline: aggregator phi %v out of (0,1]", c.Phi)
+	}
+	if c.RoundGrace <= 0 {
+		c.RoundGrace = 2 * time.Second
+	}
+	return nil
+}
+
+// AggReport is one published global merge.
+type AggReport struct {
+	// Set is the merged fleet-wide HHH set.
+	Set hhh.Set
+	// Start and End delimit the span the report covers (the round's
+	// window for windowed kinds, the trailing span ending at the fleet
+	// maximum End for sliding kinds).
+	Start, End int64
+	// Bytes is the merged total mass the threshold was computed from.
+	Bytes int64
+	// Nodes is how many ingest nodes contributed frames.
+	Nodes int
+	// Expected is the configured fleet size.
+	Expected int
+	// Degraded marks a report missing nodes (or lagging ones, for
+	// sliding kinds) or built from frames that were themselves sealed
+	// degraded on their ingest node.
+	Degraded bool
+	// Seq numbers publications monotonically from 1.
+	Seq int64
+}
+
+// AggNodeStats is the per-node view served by Aggregator.Stats.
+type AggNodeStats struct {
+	// Node is the sender's self-declared name.
+	Node string `json:"node"`
+	// Frames counts accepted frames from this node.
+	Frames int64 `json:"frames"`
+	// LastSeq is the highest seal sequence number seen.
+	LastSeq int64 `json:"last_seq"`
+	// LastEnd is the newest window End covered by this node's frames.
+	LastEnd int64 `json:"last_end"`
+	// LastSeenUnixNano is the wall-clock receipt time of the newest
+	// frame.
+	LastSeenUnixNano int64 `json:"last_seen_unix_nano"`
+	// LagNs is how far this node's LastEnd trails the fleet maximum.
+	LagNs int64 `json:"lag_ns"`
+	// Rejected counts frames from this node that failed decode or
+	// validation.
+	Rejected int64 `json:"rejected"`
+}
+
+// AggStats is the aggregator-wide counter snapshot.
+type AggStats struct {
+	// Kind is the summary kind the fleet ships ("" until the first
+	// frame).
+	Kind string `json:"kind"`
+	// Expected is the configured fleet size.
+	Expected int `json:"expected"`
+	// Merges counts published reports; DegradedMerges the subset
+	// published without full fleet coverage.
+	Merges         int64 `json:"merges"`
+	DegradedMerges int64 `json:"degraded_merges"`
+	// LateFrames counts frames that arrived for an already published
+	// round (or behind the sender's own newest sequence) and were
+	// dropped.
+	LateFrames int64 `json:"late_frames"`
+	// Rejected counts frames refused for decode or validation errors.
+	Rejected int64 `json:"rejected"`
+	// Nodes holds the per-node views, sorted by name.
+	Nodes []AggNodeStats `json:"nodes"`
+}
+
+// aggNode tracks one sender.
+type aggNode struct {
+	name     string
+	frames   int64
+	lastSeq  int64
+	lastEnd  int64
+	lastSeen int64 // wall-clock unix nanos
+	rejected int64
+	latest   []byte // newest frame (sliding kinds)
+	frameCtr *telemetry.Counter
+}
+
+// aggRound is one pending windowed round.
+type aggRound struct {
+	start, end int64
+	frames     map[string][]byte
+	degraded   bool // any contributing frame sealed degraded
+	timer      *time.Timer
+}
+
+// Aggregator merges sealed summary frames from many ingest processes
+// into a global HHH report. All methods are safe for concurrent use.
+type Aggregator struct {
+	cfg AggregatorConfig
+
+	mu        sync.Mutex
+	kind      wire.Kind   // pinned by the first accepted frame
+	hdr       wire.Header // descriptor pinned alongside kind
+	spanWidth int64       // window span learned from sealed metadata
+	nodes     map[string]*aggNode
+	rounds    map[int64]*aggRound // windowed kinds only
+	published int64               // newest published round End
+	closed    bool
+
+	pub            atomic.Pointer[AggReport]
+	pubSeq         atomic.Int64
+	merges         atomic.Int64
+	degradedMerges atomic.Int64
+	lateFrames     atomic.Int64
+	rejected       atomic.Int64
+
+	frameVec *telemetry.CounterVec
+	lagVec   *telemetry.GaugeVec
+	seenVec  *telemetry.GaugeVec
+}
+
+// NewAggregator builds an aggregator for a fleet of cfg.Expected ingest
+// nodes. Callers should Close it to release pending round timers.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	a := &Aggregator{
+		cfg:    cfg,
+		nodes:  make(map[string]*aggNode),
+		rounds: make(map[int64]*aggRound),
+	}
+	a.pub.Store(&AggReport{Set: hhh.NewSet(), Expected: cfg.Expected})
+	if r := cfg.Metrics; r != nil {
+		a.frameVec = r.CounterVec("hhh_aggregator_frames_total",
+			"Sealed frames accepted, by ingest node.", "node")
+		a.lagVec = r.GaugeVec("hhh_aggregator_node_lag_seconds",
+			"How far each node's newest window End trails the fleet maximum.", "node")
+		a.seenVec = r.GaugeVec("hhh_aggregator_node_last_seen_seconds",
+			"Wall-clock receipt time of each node's newest frame (unix seconds).", "node")
+		r.CounterFunc("hhh_aggregator_merges_total",
+			"Global reports published.", a.merges.Load)
+		r.CounterFunc("hhh_aggregator_degraded_merges_total",
+			"Global reports published without full fleet coverage.", a.degradedMerges.Load)
+		r.CounterFunc("hhh_aggregator_late_frames_total",
+			"Frames dropped for arriving behind an already published round.", a.lateFrames.Load)
+		r.CounterFunc("hhh_aggregator_rejected_frames_total",
+			"Frames refused for decode or validation errors.", a.rejected.Load)
+	}
+	return a, nil
+}
+
+// roundAligned reports whether the kind merges per exact window (true)
+// or latest-frame-per-node (false).
+func roundAligned(k wire.Kind) bool {
+	switch k {
+	case wire.KindPerLevel, wire.KindExact, wire.KindRHHH:
+		return true
+	default:
+		return false
+	}
+}
+
+// node returns (creating on first use) the tracker for a sender.
+// Caller holds a.mu.
+func (a *Aggregator) node(name string) *aggNode {
+	n, ok := a.nodes[name]
+	if !ok {
+		n = &aggNode{name: name}
+		if a.frameVec != nil {
+			n.frameCtr = a.frameVec.With(name)
+			a.lagVec.WithFunc(func() float64 {
+				return a.nodeLagSeconds(name)
+			}, name)
+			a.seenVec.WithFunc(func() float64 {
+				a.mu.Lock()
+				defer a.mu.Unlock()
+				return float64(a.nodes[name].lastSeen) / 1e9
+			}, name)
+		}
+		a.nodes[name] = n
+	}
+	return n
+}
+
+// nodeLagSeconds computes the scrape-time lag gauge for one node.
+func (a *Aggregator) nodeLagSeconds(name string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var maxEnd int64
+	for _, n := range a.nodes {
+		if n.lastEnd > maxEnd {
+			maxEnd = n.lastEnd
+		}
+	}
+	n := a.nodes[name]
+	if n == nil || n.lastEnd == 0 || maxEnd <= n.lastEnd {
+		return 0
+	}
+	return float64(maxEnd-n.lastEnd) / 1e9
+}
+
+// reject counts and wraps a sender-fault error.
+func (a *Aggregator) reject(n *aggNode, format string, args ...any) error {
+	a.rejected.Add(1)
+	if n != nil {
+		n.rejected++
+	}
+	return fmt.Errorf("%w: %s", ErrFrameRejected, fmt.Sprintf(format, args...))
+}
+
+// Ingest accepts one sealed frame from the named node. Rejections wrap
+// ErrFrameRejected; a nil return means the frame was accepted (it may
+// still have been dropped as late, which Stats counts).
+func (a *Aggregator) Ingest(nodeName string, s Sealed) error {
+	hdr, err := wire.Inspect(s.Frame)
+	if err != nil {
+		a.mu.Lock()
+		n := a.node(nodeName)
+		err := a.reject(n, "bad frame from %s: %v", nodeName, err)
+		a.mu.Unlock()
+		return err
+	}
+
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("pipeline: aggregator closed")
+	}
+	n := a.node(nodeName)
+	if a.kind == 0 {
+		if roundAligned(hdr.Kind) || hdr.Kind == wire.KindSliding ||
+			hdr.Kind == wire.KindMemento || hdr.Kind == wire.KindContinuous {
+			a.kind, a.hdr = hdr.Kind, hdr
+		} else {
+			err := a.reject(n, "kind %v is not a mergeable top-level summary", hdr.Kind)
+			a.mu.Unlock()
+			return err
+		}
+	}
+	if hdr.Kind != a.kind {
+		err := a.reject(n, "kind drift: fleet ships %v, %s sent %v", a.kind, nodeName, hdr.Kind)
+		a.mu.Unlock()
+		return err
+	}
+	if hdr.Family != a.hdr.Family || hdr.Step != a.hdr.Step || hdr.Depth != a.hdr.Depth {
+		a.rejected.Add(1)
+		n.rejected++
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %w: fleet hierarchy (%d/%d/%d), %s sent (%d/%d/%d)",
+			ErrFrameRejected, wire.ErrHierarchyMismatch,
+			a.hdr.Family, a.hdr.Step, a.hdr.Depth,
+			nodeName, hdr.Family, hdr.Step, hdr.Depth)
+	}
+	if s.Seq <= n.lastSeq {
+		a.lateFrames.Add(1)
+		a.mu.Unlock()
+		return nil
+	}
+	n.frames++
+	n.lastSeq = s.Seq
+	if s.End > n.lastEnd {
+		n.lastEnd = s.End
+	}
+	n.lastSeen = time.Now().UnixNano()
+	if n.frameCtr != nil {
+		n.frameCtr.Inc()
+	}
+	if w := s.End - s.Start; w > 0 {
+		a.spanWidth = w
+	}
+
+	if roundAligned(a.kind) {
+		err = a.ingestRoundLocked(nodeName, s)
+		a.mu.Unlock()
+		return err
+	}
+	n.latest = s.Frame
+	err = a.publishLatestLocked(s.Degraded)
+	a.mu.Unlock()
+	return err
+}
+
+// ingestRoundLocked files a frame into its window round, publishing the
+// round when the fleet is complete. Caller holds a.mu.
+func (a *Aggregator) ingestRoundLocked(nodeName string, s Sealed) error {
+	if s.End <= a.published {
+		a.lateFrames.Add(1)
+		return nil
+	}
+	r, ok := a.rounds[s.End]
+	if !ok {
+		r = &aggRound{start: s.Start, end: s.End, frames: make(map[string][]byte)}
+		r.timer = time.AfterFunc(a.cfg.RoundGrace, func() { a.expireRound(s.End) })
+		a.rounds[s.End] = r
+	}
+	r.frames[nodeName] = s.Frame
+	r.degraded = r.degraded || s.Degraded
+	if len(r.frames) >= a.cfg.Expected {
+		return a.publishRoundsThroughLocked(r.end)
+	}
+	return nil
+}
+
+// expireRound is the RoundGrace timer body: publish the round with
+// whoever arrived.
+func (a *Aggregator) expireRound(end int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed || a.rounds[end] == nil || end <= a.published {
+		return
+	}
+	_ = a.publishRoundsThroughLocked(end)
+}
+
+// publishRoundsThroughLocked publishes every pending round with End ≤
+// end in window order (older rounds flush degraded ahead of a completed
+// newer one, keeping publications monotone). Caller holds a.mu.
+func (a *Aggregator) publishRoundsThroughLocked(end int64) error {
+	var ends []int64
+	for e := range a.rounds {
+		if e <= end {
+			ends = append(ends, e)
+		}
+	}
+	for i := 0; i < len(ends); i++ { // insertion sort; rounds are few
+		for j := i; j > 0 && ends[j] < ends[j-1]; j-- {
+			ends[j], ends[j-1] = ends[j-1], ends[j]
+		}
+	}
+	var firstErr error
+	for _, e := range ends {
+		r := a.rounds[e]
+		delete(a.rounds, e)
+		r.timer.Stop()
+		a.published = e
+		if err := a.publishRoundLocked(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// publishRoundLocked merges one round's frames and publishes the global
+// report. Caller holds a.mu.
+func (a *Aggregator) publishRoundLocked(r *aggRound) error {
+	set, total, err := a.mergeFrames(framesOf(r.frames), r.end)
+	if err != nil {
+		a.rejected.Add(1)
+		return fmt.Errorf("%w: round %d: %v", ErrFrameRejected, r.end, err)
+	}
+	a.store(&AggReport{
+		Set:      set,
+		Start:    r.start,
+		End:      r.end,
+		Bytes:    total,
+		Nodes:    len(r.frames),
+		Expected: a.cfg.Expected,
+		Degraded: r.degraded || len(r.frames) < a.cfg.Expected,
+	})
+	return nil
+}
+
+// publishLatestLocked re-merges every node's newest frame (sliding
+// kinds). Caller holds a.mu.
+func (a *Aggregator) publishLatestLocked(sealDegraded bool) error {
+	var frames [][]byte
+	var maxEnd int64
+	contributing := 0
+	for _, n := range a.nodes {
+		if n.latest == nil {
+			continue
+		}
+		frames = append(frames, n.latest)
+		contributing++
+		if n.lastEnd > maxEnd {
+			maxEnd = n.lastEnd
+		}
+	}
+	set, total, err := a.mergeFrames(frames, maxEnd)
+	if err != nil {
+		a.rejected.Add(1)
+		return fmt.Errorf("%w: %v", ErrFrameRejected, err)
+	}
+	degraded := sealDegraded || contributing < a.cfg.Expected
+	if width := a.spanWidth; width > 0 {
+		for _, n := range a.nodes {
+			if n.latest != nil && maxEnd-n.lastEnd > width {
+				degraded = true // node's last frame has aged past the span
+			}
+		}
+	}
+	a.store(&AggReport{
+		Set:      set,
+		Start:    a.latestStart(maxEnd),
+		End:      maxEnd,
+		Bytes:    total,
+		Nodes:    contributing,
+		Expected: a.cfg.Expected,
+		Degraded: degraded,
+	})
+	return nil
+}
+
+// latestStart derives the published span start for sliding kinds: the
+// fleet span ends at the maximum End and is window-sized, with the
+// width learned from sealed metadata (nodes share one config).
+func (a *Aggregator) latestStart(maxEnd int64) int64 {
+	if a.spanWidth <= 0 {
+		return maxEnd
+	}
+	return maxEnd - a.spanWidth
+}
+
+// store publishes a report with the next sequence number.
+func (a *Aggregator) store(r *AggReport) {
+	r.Seq = a.pubSeq.Add(1)
+	a.pub.Store(r)
+	a.merges.Add(1)
+	if r.Degraded {
+		a.degradedMerges.Add(1)
+	}
+}
+
+// framesOf flattens a round's frame map.
+func framesOf(m map[string][]byte) [][]byte {
+	out := make([][]byte, 0, len(m))
+	for _, f := range m {
+		out = append(out, f)
+	}
+	return out
+}
+
+// mergeFrames decodes and merges frames of the pinned kind, querying the
+// merged summary at `at`. Engine panics (geometry drift between nodes)
+// are recovered into errors. Caller holds a.mu.
+func (a *Aggregator) mergeFrames(frames [][]byte, at int64) (set hhh.Set, total int64, err error) {
+	if len(frames) == 0 {
+		return hhh.NewSet(), 0, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			set, total = nil, 0
+			err = fmt.Errorf("merge panic: %v", r)
+		}
+	}()
+	switch a.kind {
+	case wire.KindPerLevel:
+		var acc *hhh.PerLevel
+		for _, f := range frames {
+			d, derr := wire.DecodePerLevel(f)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			if acc == nil {
+				acc = d
+			} else {
+				acc.Merge(d)
+			}
+		}
+		return acc.QueryFraction(a.cfg.Phi), acc.Total(), nil
+	case wire.KindRHHH:
+		var acc *hhh.RHHH
+		for _, f := range frames {
+			d, derr := wire.DecodeRHHH(f)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			if acc == nil {
+				acc = d
+			} else {
+				acc.Merge(d)
+			}
+		}
+		return acc.QueryFraction(a.cfg.Phi), acc.Total(), nil
+	case wire.KindExact:
+		ex, h, derr := wire.DecodeExact(frames[0])
+		if derr != nil {
+			return nil, 0, derr
+		}
+		for _, f := range frames[1:] {
+			d, _, derr := wire.DecodeExact(f)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			ex.AddAll(d)
+		}
+		return hhh.Exact(ex, h, hhh.Threshold(ex.Total(), a.cfg.Phi)), ex.Total(), nil
+	case wire.KindSliding:
+		var acc *swhh.SlidingHHH
+		for _, f := range frames {
+			d, derr := wire.DecodeSliding(f)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			d.Advance(at)
+			if acc == nil {
+				acc = d
+			} else {
+				acc.Merge(d)
+			}
+		}
+		return acc.Query(a.cfg.Phi, at), acc.WindowTotal(at), nil
+	case wire.KindMemento:
+		var acc *swhh.MementoHHH
+		for _, f := range frames {
+			d, derr := wire.DecodeMemento(f)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			d.Advance(at)
+			if acc == nil {
+				acc = d
+			} else {
+				acc.Merge(d)
+			}
+		}
+		return acc.Query(a.cfg.Phi, at), acc.WindowTotal(at), nil
+	case wire.KindContinuous:
+		var acc *continuous.Detector
+		for _, f := range frames {
+			d, derr := wire.DecodeContinuous(f)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			if acc == nil {
+				acc = d
+			} else {
+				acc.Merge(d)
+			}
+		}
+		return acc.Query(at), int64(acc.TotalMass(at)), nil
+	}
+	return nil, 0, fmt.Errorf("unmergeable kind %v", a.kind)
+}
+
+// Report returns the newest published global report. Never nil.
+func (a *Aggregator) Report() *AggReport { return a.pub.Load() }
+
+// Stats snapshots the aggregator counters and per-node views.
+func (a *Aggregator) Stats() AggStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := AggStats{
+		Expected:       a.cfg.Expected,
+		Merges:         a.merges.Load(),
+		DegradedMerges: a.degradedMerges.Load(),
+		LateFrames:     a.lateFrames.Load(),
+		Rejected:       a.rejected.Load(),
+	}
+	if a.kind != 0 {
+		st.Kind = a.kind.String()
+	}
+	var maxEnd int64
+	for _, n := range a.nodes {
+		if n.lastEnd > maxEnd {
+			maxEnd = n.lastEnd
+		}
+	}
+	for _, n := range a.nodes {
+		lag := int64(0)
+		if n.lastEnd > 0 && maxEnd > n.lastEnd {
+			lag = maxEnd - n.lastEnd
+		}
+		st.Nodes = append(st.Nodes, AggNodeStats{
+			Node:             n.name,
+			Frames:           n.frames,
+			LastSeq:          n.lastSeq,
+			LastEnd:          n.lastEnd,
+			LastSeenUnixNano: n.lastSeen,
+			LagNs:            lag,
+			Rejected:         n.rejected,
+		})
+	}
+	for i := 0; i < len(st.Nodes); i++ { // sort by name; fleets are small
+		for j := i; j > 0 && st.Nodes[j].Node < st.Nodes[j-1].Node; j-- {
+			st.Nodes[j], st.Nodes[j-1] = st.Nodes[j-1], st.Nodes[j]
+		}
+	}
+	return st
+}
+
+// Flush publishes every pending windowed round immediately (degraded if
+// incomplete). A no-op for sliding kinds, whose reports are always
+// current.
+func (a *Aggregator) Flush() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed || len(a.rounds) == 0 {
+		return
+	}
+	var maxEnd int64
+	for e := range a.rounds {
+		if e > maxEnd {
+			maxEnd = e
+		}
+	}
+	_ = a.publishRoundsThroughLocked(maxEnd)
+}
+
+// Close stops pending round timers. Further Ingest calls fail.
+func (a *Aggregator) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closed = true
+	for _, r := range a.rounds {
+		r.timer.Stop()
+	}
+}

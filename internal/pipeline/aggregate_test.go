@@ -1,0 +1,354 @@
+package pipeline
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"hiddenhhh/internal/addr"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/wire"
+)
+
+// sealCollector gathers OnSeal emissions (the callback runs on merging
+// goroutines, so collection needs a lock).
+type sealCollector struct {
+	mu    sync.Mutex
+	seals []Sealed
+}
+
+func (c *sealCollector) add(s Sealed) {
+	c.mu.Lock()
+	c.seals = append(c.seals, s)
+	c.mu.Unlock()
+}
+
+func (c *sealCollector) all() []Sealed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Sealed(nil), c.seals...)
+}
+
+// TestSealEmission drives a windowed pipeline with OnSeal set and checks
+// the emitted frames: monotone sequence numbers, decodable payloads of
+// the right engine kind, and window spans matching the OnWindow stream.
+func TestSealEmission(t *testing.T) {
+	var col sealCollector
+	var windows []int64
+	pkts := testStream(7, 20000, 7)
+	width := int64(2 * time.Second)
+	d, err := New(Config{
+		Shards: 3,
+		Window: 2 * time.Second,
+		Phi:    0.03,
+		Engine: KindPerLevel,
+		OnWindow: func(start, end int64, set hhh.Set) {
+			windows = append(windows, end)
+		},
+		OnSeal: func(s Sealed) { col.add(s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ObserveBatch(pkts)
+	d.Snapshot(pkts[len(pkts)-1].Ts + width)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seals := col.all()
+	if len(seals) == 0 {
+		t.Fatal("no seals emitted")
+	}
+	if len(seals) != len(windows) {
+		t.Fatalf("got %d seals for %d closed windows", len(seals), len(windows))
+	}
+	for i, s := range seals {
+		if s.Seq != int64(i+1) {
+			t.Fatalf("seal %d has Seq %d, want %d", i, s.Seq, i+1)
+		}
+		if s.Mode != "windowed" || s.Engine != "perlevel" {
+			t.Fatalf("seal %d labeled %s/%s", i, s.Mode, s.Engine)
+		}
+		if s.End != windows[i] || s.Start != windows[i]-width {
+			t.Fatalf("seal %d spans [%d,%d], window ended at %d", i, s.Start, s.End, windows[i])
+		}
+		v, err := wire.Decode(s.Frame)
+		if err != nil {
+			t.Fatalf("seal %d frame does not decode: %v", i, err)
+		}
+		pl, ok := v.(*hhh.PerLevel)
+		if !ok {
+			t.Fatalf("seal %d decoded to %T, want *hhh.PerLevel", i, v)
+		}
+		if pl.Total() != s.Bytes {
+			t.Fatalf("seal %d declares %d bytes, frame holds %d", i, s.Bytes, pl.Total())
+		}
+	}
+}
+
+// TestSealClusterMatchesSingle is the in-process cluster round trip:
+// three ingest pipelines over a source-partitioned stream seal their
+// windows, an aggregator merges the sealed frames round by round, and —
+// because the exact engine merges losslessly — every published global
+// set must equal the single-pipeline run over the unpartitioned stream.
+func TestSealClusterMatchesSingle(t *testing.T) {
+	const nodes = 3
+	const phi = 0.03
+	window := 2 * time.Second
+	width := int64(window)
+	pkts := testStream(11, 30000, 7)
+	last := pkts[len(pkts)-1].Ts + width
+
+	// Reference: one pipeline over the whole stream.
+	ref := map[int64]hhh.Set{}
+	single, err := New(Config{
+		Shards: 2, Window: window, Phi: phi, Engine: KindExact,
+		OnWindow: func(start, end int64, set hhh.Set) { ref[end] = set },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.ObserveBatch(pkts)
+	single.Snapshot(last)
+	if err := single.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet: partition by source, one pipeline per node, collect seals.
+	cols := make([]sealCollector, nodes)
+	for n := 0; n < nodes; n++ {
+		d, err := New(Config{
+			Shards: 2, Window: window, Phi: phi, Engine: KindExact,
+			OnSeal: cols[n].add,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pkts {
+			if int(pkts[i].Src.Lo()%nodes) == n {
+				d.Observe(&pkts[i])
+			}
+		}
+		d.Snapshot(last)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	agg, err := NewAggregator(AggregatorConfig{Expected: nodes, Phi: phi, RoundGrace: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	// Feed window by window; the round completes on the last node's
+	// frame, so the report read right after is that round's.
+	byEnd := map[int64][]struct {
+		node string
+		s    Sealed
+	}{}
+	for n := range cols {
+		name := string(rune('a' + n))
+		for _, s := range cols[n].all() {
+			byEnd[s.End] = append(byEnd[s.End], struct {
+				node string
+				s    Sealed
+			}{name, s})
+		}
+	}
+	ends := make([]int64, 0, len(byEnd))
+	for e := range byEnd {
+		ends = append(ends, e)
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	checked := 0
+	for _, e := range ends {
+		if len(byEnd[e]) != nodes {
+			t.Fatalf("window %d sealed by %d/%d nodes", e, len(byEnd[e]), nodes)
+		}
+		for _, f := range byEnd[e] {
+			if err := agg.Ingest(f.node, f.s); err != nil {
+				t.Fatalf("ingest node %s end %d: %v", f.node, e, err)
+			}
+		}
+		rep := agg.Report()
+		if rep.End != e {
+			t.Fatalf("report End %d after completing round %d", rep.End, e)
+		}
+		if rep.Degraded || rep.Nodes != nodes {
+			t.Fatalf("complete round %d published degraded=%v nodes=%d", e, rep.Degraded, rep.Nodes)
+		}
+		want, ok := ref[e]
+		if !ok {
+			t.Fatalf("no reference window ending at %d", e)
+		}
+		if !rep.Set.Equal(want) {
+			t.Fatalf("window %d: cluster set %v != single-run set %v", e, rep.Set, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no rounds checked")
+	}
+	st := agg.Stats()
+	if st.Kind != "exact" || st.Merges != int64(checked) || st.DegradedMerges != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.Nodes) != nodes {
+		t.Fatalf("stats tracks %d nodes", len(st.Nodes))
+	}
+}
+
+// exactSeal builds a Sealed exact frame over a tiny fixed hierarchy for
+// direct aggregator tests.
+func exactSeal(seq, start, end int64, keys map[uint64]int64) Sealed {
+	ex := sketch.NewExact(len(keys))
+	for k, v := range keys {
+		ex.Update(k, v)
+	}
+	return Sealed{
+		Seq: seq, Start: start, End: end, Bytes: ex.Total(), Shards: 1,
+		Frame: wire.EncodeExact(cfgHierarchy(), ex),
+	}
+}
+
+// TestAggregatorGraceDegrades starves a round of one node and checks the
+// grace timer publishes it degraded with the nodes that arrived.
+func TestAggregatorGraceDegrades(t *testing.T) {
+	agg, err := NewAggregator(AggregatorConfig{Expected: 3, Phi: 0.1, RoundGrace: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	end := int64(time.Second)
+	if err := agg.Ingest("a", exactSeal(1, 0, end, map[uint64]int64{1: 100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Ingest("b", exactSeal(1, 0, end, map[uint64]int64{2: 50})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for agg.Report().Seq == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("grace timer never published the starved round")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep := agg.Report()
+	if !rep.Degraded || rep.Nodes != 2 || rep.End != end {
+		t.Fatalf("starved round published %+v", rep)
+	}
+	if rep.Bytes != 150 {
+		t.Fatalf("starved round mass %d, want 150", rep.Bytes)
+	}
+	st := agg.Stats()
+	if st.DegradedMerges != 1 {
+		t.Fatalf("degraded merges %d, want 1", st.DegradedMerges)
+	}
+}
+
+// TestAggregatorRejects exercises the validation surface: garbage
+// frames, kind drift, hierarchy drift and stale sequence numbers.
+func TestAggregatorRejects(t *testing.T) {
+	agg, err := NewAggregator(AggregatorConfig{Expected: 2, Phi: 0.1, RoundGrace: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	if err := agg.Ingest("a", Sealed{Seq: 1, Frame: []byte("not a frame")}); !errors.Is(err, ErrFrameRejected) {
+		t.Fatalf("garbage frame: %v", err)
+	}
+	good := exactSeal(1, 0, int64(time.Second), map[uint64]int64{1: 10})
+	if err := agg.Ingest("a", good); err != nil {
+		t.Fatal(err)
+	}
+	// Kind drift: a per-level frame against an exact fleet.
+	pl := hhh.NewPerLevel(cfgHierarchy(), 8)
+	drift := Sealed{Seq: 2, End: int64(time.Second), Frame: wire.EncodePerLevel(pl)}
+	if err := agg.Ingest("b", drift); !errors.Is(err, ErrFrameRejected) {
+		t.Fatalf("kind drift: %v", err)
+	}
+	// Hierarchy drift: exact over a different ladder.
+	h16 := addr.NewIPv4Hierarchy(16)
+	ex := sketch.NewExact(1)
+	ex.Update(1, 5)
+	wrongH := Sealed{Seq: 3, End: int64(time.Second), Frame: wire.EncodeExact(h16, ex)}
+	err = agg.Ingest("b", wrongH)
+	if !errors.Is(err, ErrFrameRejected) || !errors.Is(err, wire.ErrHierarchyMismatch) {
+		t.Fatalf("hierarchy drift: %v", err)
+	}
+	// Stale sequence from a: dropped silently, counted late.
+	if err := agg.Ingest("a", good); err != nil {
+		t.Fatalf("stale seq should drop, not error: %v", err)
+	}
+	st := agg.Stats()
+	if st.Rejected != 3 {
+		t.Fatalf("rejected %d, want 3", st.Rejected)
+	}
+	if st.LateFrames != 1 {
+		t.Fatalf("late frames %d, want 1", st.LateFrames)
+	}
+}
+
+// TestAggregatorSliding pins the latest-frame-per-node model: reports
+// track the fleet-maximum End, a fresh fleet is not degraded, and a node
+// whose newest frame trails by more than the window span degrades the
+// report without corrupting it.
+func TestAggregatorSliding(t *testing.T) {
+	h := cfgHierarchy()
+	cfg := swhh.Config{Window: time.Second, Frames: 4, Counters: 64}
+	build := func(hostBase byte, upto int64) *swhh.SlidingHHH {
+		d, err := swhh.NewSlidingHHH(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for now := int64(0); now < upto; now += int64(10 * time.Millisecond) {
+			d.Update(addr.From4(10, 0, 0, hostBase), 100, now)
+		}
+		return d
+	}
+	seal := func(seq int64, d *swhh.SlidingHHH, end int64) Sealed {
+		return Sealed{Seq: seq, Start: end - int64(time.Second), End: end, Frame: wire.EncodeSliding(d)}
+	}
+	agg, err := NewAggregator(AggregatorConfig{Expected: 2, Phi: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	end0 := int64(time.Second)
+	if err := agg.Ingest("a", seal(1, build(1, end0), end0)); err != nil {
+		t.Fatal(err)
+	}
+	rep := agg.Report()
+	if rep.Nodes != 1 || !rep.Degraded {
+		t.Fatalf("half fleet published %+v", rep)
+	}
+	end1 := end0 + int64(200*time.Millisecond)
+	if err := agg.Ingest("b", seal(1, build(2, end1), end1)); err != nil {
+		t.Fatal(err)
+	}
+	rep = agg.Report()
+	if rep.End != end1 || rep.Nodes != 2 || rep.Degraded {
+		t.Fatalf("full fleet published %+v", rep)
+	}
+	if rep.Set.Len() == 0 {
+		t.Fatal("merged sliding report is empty")
+	}
+	// Node a leaps far ahead; b's frame ages past the window span.
+	end2 := end1 + int64(5*time.Second)
+	if err := agg.Ingest("a", seal(2, build(1, end2), end2)); err != nil {
+		t.Fatal(err)
+	}
+	rep = agg.Report()
+	if rep.End != end2 || !rep.Degraded {
+		t.Fatalf("lagging node should degrade: %+v", rep)
+	}
+}

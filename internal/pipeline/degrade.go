@@ -411,4 +411,17 @@ func (d *Sharded) completeBarrier(b *barrier, joined []bool, count int) {
 	if d.cfg.OnWindow != nil {
 		d.cfg.OnWindow(b.start, b.end, set)
 	}
+	if d.seal != nil {
+		// Query barriers (sliding/continuous Snapshot) carry no window
+		// span of their own; the seal covers the trailing width ending
+		// at the barrier timestamp.
+		start, end := b.start, b.end
+		if !b.reset {
+			start, end = b.at-d.width, b.at
+		}
+		frame, err := encodeSummary(d.merged)
+		if err == nil {
+			d.emitSeal(frame, start, end, total, count, degraded)
+		}
+	}
 }

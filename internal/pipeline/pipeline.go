@@ -246,6 +246,15 @@ type Config struct {
 	// not call back into the detector and must not block: a stalled
 	// callback stalls the merge it is published from.
 	OnWindow func(start, end int64, set hhh.Set)
+	// OnSeal, when set, receives every completed merge additionally
+	// sealed into a versioned internal/wire frame (see seal.go): each
+	// closed window in ModeWindowed, and each Snapshot barrier in the
+	// sliding and continuous modes. This is the ingest-node export seam
+	// of cluster mode — the callback typically queues the frame for
+	// delivery to an aggregator process. Like OnWindow it runs on the
+	// merging goroutine (the coordinator for empty windows) and must not
+	// block or call back into the detector.
+	OnSeal func(Sealed)
 }
 
 func (c *Config) setDefaults() error {
@@ -628,6 +637,10 @@ type Sharded struct {
 	// tel holds the actively-observed metric handles; nil when
 	// Config.Metrics is unset (every observation site nil-guards).
 	tel *pipeTelemetry
+	// seal carries the OnSeal callback plus the seal sequence and the
+	// cached empty-window frame; nil when Config.OnSeal is unset
+	// (emission sites nil-guard).
+	seal *sealState
 
 	// Coordinator state: owned by the ingest goroutine.
 	started       bool
@@ -697,6 +710,9 @@ func New(cfg Config) (*Sharded, error) {
 	}
 	d.pub.Store(&WindowReport{Set: hhh.NewSet()})
 	d.mergedSize.Store(int64(d.merged.SizeBytes()))
+	if cfg.OnSeal != nil {
+		d.seal = &sealState{fn: cfg.OnSeal}
+	}
 	for i := range d.shards {
 		eng, err := newSummary(&cfg, i)
 		if err != nil {
@@ -982,6 +998,9 @@ func (d *Sharded) closeWindow() {
 		d.merges.Add(1)
 		if d.cfg.OnWindow != nil {
 			d.cfg.OnWindow(start, end, set)
+		}
+		if d.seal != nil {
+			d.emitSeal(d.emptySealFrame(), start, end, 0, len(d.shards), false)
 		}
 		return
 	}

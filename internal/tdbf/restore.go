@@ -1,0 +1,102 @@
+// Serialization seams for the time-decaying structures: column-oriented
+// state views and validated restore constructors used by the
+// internal/wire codec. Restores rebuild the exact cell contents, so a
+// restored filter is merge- and estimate-equivalent to the one that was
+// serialized; they validate instead of panicking because their inputs
+// ultimately come off the network.
+
+package tdbf
+
+import (
+	"fmt"
+	"math"
+)
+
+// FilterState is the serializable state of a Filter: its shape and seed
+// plus the cell masses and touch timestamps as parallel columns. The
+// decay law travels separately (it is an interface; wire encodes it as a
+// tagged descriptor). The slices returned by State are fresh copies.
+type FilterState struct {
+	Cells  int
+	Hashes int
+	Seed   uint64
+	Adds   int64
+	V      []float64 // per-cell decayed mass
+	Touch  []int64   // per-cell ns timestamp of last decay application
+}
+
+// Seed returns the hash-family seed, needed to serialize the filter and
+// to verify that two filters are merge-compatible.
+func (f *Filter) Seed() uint64 { return f.seed }
+
+// State returns a copy of the filter's serializable state.
+func (f *Filter) State() FilterState {
+	st := FilterState{
+		Cells:  len(f.cells),
+		Hashes: f.k,
+		Seed:   f.seed,
+		Adds:   f.adds,
+		V:      make([]float64, len(f.cells)),
+		Touch:  make([]int64, len(f.cells)),
+	}
+	for i, c := range f.cells {
+		st.V[i] = c.v
+		st.Touch[i] = c.touch
+	}
+	return st
+}
+
+// RestoreFilter rebuilds a filter from a decay law and serialized state.
+// Cell masses must be finite and non-negative; the column lengths must
+// match the declared shape.
+func RestoreFilter(d Decay, st FilterState) (*Filter, error) {
+	if d == nil {
+		return nil, fmt.Errorf("tdbf: restore: decay law required")
+	}
+	if st.Cells < 1 || st.Hashes < 1 {
+		return nil, fmt.Errorf("tdbf: restore: invalid shape (%d cells, %d hashes)", st.Cells, st.Hashes)
+	}
+	if len(st.V) != st.Cells || len(st.Touch) != st.Cells {
+		return nil, fmt.Errorf("tdbf: restore: cell columns (%d, %d) do not match declared %d cells",
+			len(st.V), len(st.Touch), st.Cells)
+	}
+	if st.Adds < 0 {
+		return nil, fmt.Errorf("tdbf: restore: negative add count %d", st.Adds)
+	}
+	f := &Filter{
+		cells: make([]cell, st.Cells),
+		k:     st.Hashes,
+		seed:  st.Seed,
+		decay: d,
+		adds:  st.Adds,
+	}
+	for i := range f.cells {
+		v := st.V[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("tdbf: restore: invalid mass %v in cell %d", v, i)
+		}
+		f.cells[i] = cell{v: v, touch: st.Touch[i]}
+	}
+	return f, nil
+}
+
+// MassState is the serializable state of a MassTracker.
+type MassState struct {
+	V     float64
+	Touch int64
+}
+
+// State returns the tracker's serializable state.
+func (t *MassTracker) State() MassState { return MassState{V: t.v, Touch: t.touch} }
+
+// RestoreMassTracker rebuilds a tracker from a decay law and serialized
+// state; the mass must be finite and non-negative.
+func RestoreMassTracker(d Decay, st MassState) (*MassTracker, error) {
+	if d == nil {
+		return nil, fmt.Errorf("tdbf: restore: decay law required")
+	}
+	if math.IsNaN(st.V) || math.IsInf(st.V, 0) || st.V < 0 {
+		return nil, fmt.Errorf("tdbf: restore: invalid mass %v", st.V)
+	}
+	return &MassTracker{decay: d, v: st.V, touch: st.Touch}, nil
+}

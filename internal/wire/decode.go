@@ -1,0 +1,701 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hiddenhhh/internal/addr"
+	"hiddenhhh/internal/continuous"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/tdbf"
+)
+
+// ExactSummary is the decoded form of a KindExact frame: the exact
+// leaf-key map together with the hierarchy it was collected under.
+type ExactSummary struct {
+	// Hierarchy the leaf keys belong to.
+	Hierarchy addr.Hierarchy
+	// Leaves holds the exact per-leaf-key counts.
+	Leaves *sketch.Exact
+}
+
+// Decode parses any frame and returns the decoded summary as one of
+// *sketch.SpaceSaving, ExactSummary, *hhh.PerLevel, *hhh.RHHH,
+// *swhh.SlidingHHH, *swhh.MementoHHH, *tdbf.Filter or
+// *continuous.Detector. It never panics on arbitrary input; failures
+// wrap exactly one of the typed errors.
+func Decode(frame []byte) (any, error) {
+	hdr, payload, err := parseFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	// Each branch assigns through a typed variable and returns it only on
+	// success, so a failed decode never leaks a typed nil inside the any.
+	var v any
+	switch hdr.Kind {
+	case KindSpaceSaving:
+		v, err = decodeSpaceSavingPayload(payload)
+	case KindExact:
+		var ex ExactSummary
+		ex.Leaves, ex.Hierarchy, err = decodeExactPayload(hdr, payload)
+		v = ex
+	case KindPerLevel:
+		v, err = decodePerLevelPayload(hdr, payload)
+	case KindRHHH:
+		v, err = decodeRHHHPayload(hdr, payload)
+	case KindSliding:
+		v, err = decodeSlidingPayload(hdr, payload)
+	case KindMemento:
+		v, err = decodeMementoPayload(hdr, payload)
+	case KindFilter:
+		v, err = decodeFilterPayload(payload)
+	case KindContinuous:
+		v, err = decodeContinuousPayload(hdr, payload)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrKind, uint8(hdr.Kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// expect parses the frame and verifies it carries the wanted kind.
+func expect(frame []byte, want Kind) (Header, []byte, error) {
+	hdr, payload, err := parseFrame(frame)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if hdr.Kind != want {
+		return Header{}, nil, fmt.Errorf("%w: got %v, want %v", ErrKind, hdr.Kind, want)
+	}
+	return hdr, payload, nil
+}
+
+// decodeSS reads one Space-Saving sub-payload at the cursor and
+// restores it, charging the frame's summary and capacity budgets.
+func decodeSS(c *cursor) (*sketch.SpaceSaving, error) {
+	k := int(c.u32())
+	total := c.i64()
+	n := c.count(24)
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short space-saving sub-payload", ErrCorrupt)
+	}
+	if k < 1 || k > maxCounters {
+		return nil, fmt.Errorf("%w: space-saving capacity %d out of budget", ErrCorrupt, k)
+	}
+	c.summaries++
+	c.counters += k
+	if c.summaries > maxSummaries || c.counters > maxCountersTotal {
+		return nil, fmt.Errorf("%w: per-frame summary budget exceeded", ErrCorrupt)
+	}
+	if n > k {
+		return nil, fmt.Errorf("%w: %d entries exceed declared capacity %d", ErrCorrupt, n, k)
+	}
+	entries := make([]sketch.KV, n)
+	for i := range entries {
+		entries[i] = sketch.KV{Key: c.u64(), Count: c.i64(), ErrUB: c.i64()}
+	}
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short space-saving entries", ErrCorrupt)
+	}
+	s, err := sketch.RestoreSpaceSaving(k, total, entries)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return s, nil
+}
+
+// boundFrame rejects frame-clock values whose distance from any other
+// representable clock could overflow or drive an unbounded per-frame
+// advance loop. The uninitialised sentinel passes through verbatim.
+func boundFrame(v int64) error {
+	if v == swhh.FrameUninit {
+		return nil
+	}
+	if v > maxAbsFrame || v < -maxAbsFrame {
+		return fmt.Errorf("%w: frame clock %d out of range", ErrCorrupt, v)
+	}
+	return nil
+}
+
+// boundTime rejects timestamps far enough out to overflow decay or
+// frame-index arithmetic.
+func boundTime(v int64) error {
+	if v > maxAbsTime || v < -maxAbsTime {
+		return fmt.Errorf("%w: timestamp %d out of range", ErrCorrupt, v)
+	}
+	return nil
+}
+
+// DecodeSpaceSaving decodes a KindSpaceSaving frame.
+func DecodeSpaceSaving(frame []byte) (*sketch.SpaceSaving, error) {
+	_, payload, err := expect(frame, KindSpaceSaving)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSpaceSavingPayload(payload)
+}
+
+func decodeSpaceSavingPayload(payload []byte) (*sketch.SpaceSaving, error) {
+	c := newCursor(payload)
+	s, err := decodeSS(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeExact decodes a KindExact frame into the exact leaf map and the
+// hierarchy it was collected under.
+func DecodeExact(frame []byte) (*sketch.Exact, addr.Hierarchy, error) {
+	hdr, payload, err := expect(frame, KindExact)
+	if err != nil {
+		return nil, addr.Hierarchy{}, err
+	}
+	return decodeExactPayload(hdr, payload)
+}
+
+func decodeExactPayload(hdr Header, payload []byte) (*sketch.Exact, addr.Hierarchy, error) {
+	h, err := hdr.Hierarchy()
+	if err != nil {
+		return nil, addr.Hierarchy{}, err
+	}
+	c := newCursor(payload)
+	n := c.count(16)
+	if !c.ok {
+		return nil, addr.Hierarchy{}, fmt.Errorf("%w: short exact payload", ErrCorrupt)
+	}
+	ex := sketch.NewExact(n)
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		key := c.u64()
+		count := c.i64()
+		if !c.ok {
+			return nil, addr.Hierarchy{}, fmt.Errorf("%w: short exact entries", ErrCorrupt)
+		}
+		if i > 0 && key <= prev {
+			return nil, addr.Hierarchy{}, fmt.Errorf("%w: exact keys not strictly increasing", ErrCorrupt)
+		}
+		if count <= 0 {
+			return nil, addr.Hierarchy{}, fmt.Errorf("%w: non-positive exact count %d", ErrCorrupt, count)
+		}
+		prev = key
+		ex.Update(key, count)
+	}
+	if err := c.finish(); err != nil {
+		return nil, addr.Hierarchy{}, err
+	}
+	return ex, h, nil
+}
+
+// DecodePerLevel decodes a KindPerLevel frame.
+func DecodePerLevel(frame []byte) (*hhh.PerLevel, error) {
+	hdr, payload, err := expect(frame, KindPerLevel)
+	if err != nil {
+		return nil, err
+	}
+	return decodePerLevelPayload(hdr, payload)
+}
+
+func decodePerLevelPayload(hdr Header, payload []byte) (*hhh.PerLevel, error) {
+	h, err := hdr.Hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	c := newCursor(payload)
+	total := c.i64()
+	levels := int(c.u16())
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short per-level payload", ErrCorrupt)
+	}
+	if levels != h.Levels() {
+		return nil, fmt.Errorf("%w: %d level summaries for %d-level hierarchy", ErrCorrupt, levels, h.Levels())
+	}
+	sks := make([]*sketch.SpaceSaving, levels)
+	for l := range sks {
+		if sks[l], err = decodeSS(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	p, err := hhh.RestorePerLevel(h, total, sks)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return p, nil
+}
+
+// DecodeRHHH decodes a KindRHHH frame.
+func DecodeRHHH(frame []byte) (*hhh.RHHH, error) {
+	hdr, payload, err := expect(frame, KindRHHH)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRHHHPayload(hdr, payload)
+}
+
+func decodeRHHHPayload(hdr Header, payload []byte) (*hhh.RHHH, error) {
+	h, err := hdr.Hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	c := newCursor(payload)
+	total := c.i64()
+	updates := c.i64()
+	sampler := c.u64()
+	levels := int(c.u16())
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short rhhh payload", ErrCorrupt)
+	}
+	if levels != h.Levels() {
+		return nil, fmt.Errorf("%w: %d level summaries for %d-level hierarchy", ErrCorrupt, levels, h.Levels())
+	}
+	sks := make([]*sketch.SpaceSaving, levels)
+	for l := range sks {
+		if sks[l], err = decodeSS(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	r, err := hhh.RestoreRHHH(h, total, updates, sampler, sks)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return r, nil
+}
+
+// slidingGeometry reads and validates the shared sliding-engine
+// geometry prefix (window, frame count, counters per frame).
+func slidingGeometry(c *cursor) (window time.Duration, frames, counters int, err error) {
+	windowNs := c.i64()
+	frames = int(c.u16())
+	counters = int(c.u32())
+	if !c.ok {
+		return 0, 0, 0, fmt.Errorf("%w: short sliding geometry", ErrCorrupt)
+	}
+	if windowNs <= 0 || windowNs > maxAbsTime {
+		return 0, 0, 0, fmt.Errorf("%w: window %dns out of range", ErrCorrupt, windowNs)
+	}
+	if frames < 1 || frames+1 > maxRing {
+		return 0, 0, 0, fmt.Errorf("%w: ring of %d frames out of budget", ErrCorrupt, frames)
+	}
+	if counters < 1 || counters > maxCounters {
+		return 0, 0, 0, fmt.Errorf("%w: %d counters out of budget", ErrCorrupt, counters)
+	}
+	return time.Duration(windowNs), frames, counters, nil
+}
+
+// DecodeSliding decodes a KindSliding frame.
+func DecodeSliding(frame []byte) (*swhh.SlidingHHH, error) {
+	hdr, payload, err := expect(frame, KindSliding)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSlidingPayload(hdr, payload)
+}
+
+func decodeSlidingPayload(hdr Header, payload []byte) (*swhh.SlidingHHH, error) {
+	h, err := hdr.Hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	c := newCursor(payload)
+	window, frames, counters, err := slidingGeometry(c)
+	if err != nil {
+		return nil, err
+	}
+	levels := int(c.u16())
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short sliding payload", ErrCorrupt)
+	}
+	if levels != h.Levels() {
+		return nil, fmt.Errorf("%w: %d level summaries for %d-level hierarchy", ErrCorrupt, levels, h.Levels())
+	}
+	cfg := swhh.Config{Window: window, Frames: frames, Counters: counters}
+	ring := frames + 1
+	lvls := make([]*swhh.Sliding, levels)
+	for l := range lvls {
+		st := swhh.SlidingState{
+			CurFrame: c.i64(),
+			Frames:   make([]*sketch.SpaceSaving, ring),
+			Totals:   make([]int64, ring),
+		}
+		if err := boundFrame(st.CurFrame); err != nil {
+			return nil, err
+		}
+		for i := 0; i < ring; i++ {
+			st.Totals[i] = c.i64()
+			if st.Frames[i], err = decodeSS(c); err != nil {
+				return nil, err
+			}
+		}
+		s, err := swhh.RestoreSliding(cfg, st)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		lvls[l] = s
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	d, err := swhh.RestoreSlidingHHH(h, lvls)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return d, nil
+}
+
+// DecodeMemento decodes a KindMemento frame.
+func DecodeMemento(frame []byte) (*swhh.MementoHHH, error) {
+	hdr, payload, err := expect(frame, KindMemento)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMementoPayload(hdr, payload)
+}
+
+func decodeMementoPayload(hdr Header, payload []byte) (*swhh.MementoHHH, error) {
+	h, err := hdr.Hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	c := newCursor(payload)
+	window, frames, counters, err := slidingGeometry(c)
+	if err != nil {
+		return nil, err
+	}
+	ring := frames + 1
+	sampler := c.u64()
+	wrapFrame := c.i64()
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short memento payload", ErrCorrupt)
+	}
+	if err := boundFrame(wrapFrame); err != nil {
+		return nil, err
+	}
+	wrapTotals := make([]int64, ring)
+	for i := range wrapTotals {
+		wrapTotals[i] = c.i64()
+	}
+	levels := int(c.u16())
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short memento payload", ErrCorrupt)
+	}
+	if levels != h.Levels() {
+		return nil, fmt.Errorf("%w: %d level tables for %d-level hierarchy", ErrCorrupt, levels, h.Levels())
+	}
+	// The aged tables allocate capacity × ring cells per level regardless
+	// of how many entries the payload materialises; charge that against
+	// the matrix budget before any table is built.
+	c.mementoCells += counters * ring * levels
+	if c.mementoCells > maxMementoCells {
+		return nil, fmt.Errorf("%w: memento cell budget exceeded", ErrCorrupt)
+	}
+	cfg := swhh.Config{Window: window, Frames: frames, Counters: counters}
+	lvls := make([]*swhh.Memento, levels)
+	for l := range lvls {
+		curFrame := c.i64()
+		cursorPos := int(c.u32())
+		n := int(c.u32())
+		if !c.ok {
+			return nil, fmt.Errorf("%w: short memento level header", ErrCorrupt)
+		}
+		if err := boundFrame(curFrame); err != nil {
+			return nil, err
+		}
+		if n > counters {
+			return nil, fmt.Errorf("%w: %d entries exceed table capacity %d", ErrCorrupt, n, counters)
+		}
+		st := swhh.MementoState{
+			CurFrame: curFrame,
+			Cursor:   cursorPos,
+			Keys:     make([]uint64, n),
+			Counts:   make([]int64, n),
+			Errs:     make([]int64, n),
+			Cells:    make([]int64, n*ring),
+			Totals:   make([]int64, ring),
+		}
+		for i := range st.Totals {
+			st.Totals[i] = c.i64()
+		}
+		for e := 0; e < n; e++ {
+			st.Keys[e] = c.u64()
+			st.Counts[e] = c.i64()
+			st.Errs[e] = c.i64()
+		}
+		for i := range st.Cells {
+			st.Cells[i] = c.i64()
+		}
+		if !c.ok {
+			return nil, fmt.Errorf("%w: short memento level payload", ErrCorrupt)
+		}
+		m, err := swhh.RestoreMemento(cfg, st)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		lvls[l] = m
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	d, err := swhh.RestoreMementoHHH(h, cfg, swhh.MementoHHHState{
+		Sampler:  sampler,
+		CurFrame: wrapFrame,
+		Totals:   wrapTotals,
+		Levels:   lvls,
+	})
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return d, nil
+}
+
+// readDecay reads the tagged decay-law descriptor.
+func readDecay(c *cursor) (tdbf.Decay, error) {
+	tag := c.u8()
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short decay descriptor", ErrCorrupt)
+	}
+	switch tag {
+	case decayExponential:
+		tau := c.i64()
+		if !c.ok {
+			return nil, fmt.Errorf("%w: short decay descriptor", ErrCorrupt)
+		}
+		if tau <= 0 || tau > maxAbsTime {
+			return nil, fmt.Errorf("%w: exponential tau %dns out of range", ErrCorrupt, tau)
+		}
+		return tdbf.Exponential{Tau: time.Duration(tau)}, nil
+	case decayLeaky:
+		rate := c.f64()
+		if !c.ok {
+			return nil, fmt.Errorf("%w: short decay descriptor", ErrCorrupt)
+		}
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			return nil, fmt.Errorf("%w: leaky rate %v out of range", ErrCorrupt, rate)
+		}
+		return tdbf.LeakyLinear{Rate: rate}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown decay tag %d", ErrCorrupt, tag)
+	}
+}
+
+// filterColumns reads cells × (mass, touch) pairs into a FilterState.
+func filterColumns(c *cursor, st *tdbf.FilterState) error {
+	st.V = make([]float64, st.Cells)
+	st.Touch = make([]int64, st.Cells)
+	for i := 0; i < st.Cells; i++ {
+		st.V[i] = c.f64()
+		st.Touch[i] = c.i64()
+		if err := boundTime(st.Touch[i]); err != nil {
+			return err
+		}
+	}
+	if !c.ok {
+		return fmt.Errorf("%w: short filter cells", ErrCorrupt)
+	}
+	return nil
+}
+
+// DecodeFilter decodes a KindFilter frame.
+func DecodeFilter(frame []byte) (*tdbf.Filter, error) {
+	_, payload, err := expect(frame, KindFilter)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFilterPayload(payload)
+}
+
+func decodeFilterPayload(payload []byte) (*tdbf.Filter, error) {
+	c := newCursor(payload)
+	d, err := readDecay(c)
+	if err != nil {
+		return nil, err
+	}
+	st := tdbf.FilterState{
+		Cells:  int(c.u32()),
+		Hashes: int(c.u16()),
+		Seed:   c.u64(),
+		Adds:   c.i64(),
+	}
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short filter header", ErrCorrupt)
+	}
+	// Filter cells are fully materialised at 16 bytes each, so payload
+	// proportionality is the budget.
+	if st.Cells < 1 || int64(st.Cells)*16 > int64(c.remaining()) {
+		return nil, fmt.Errorf("%w: %d filter cells exceed payload", ErrCorrupt, st.Cells)
+	}
+	if err := filterColumns(c, &st); err != nil {
+		return nil, err
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	f, err := tdbf.RestoreFilter(d, st)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return f, nil
+}
+
+// DecodeContinuous decodes a KindContinuous frame.
+func DecodeContinuous(frame []byte) (*continuous.Detector, error) {
+	hdr, payload, err := expect(frame, KindContinuous)
+	if err != nil {
+		return nil, err
+	}
+	return decodeContinuousPayload(hdr, payload)
+}
+
+func decodeContinuousPayload(hdr Header, payload []byte) (*continuous.Detector, error) {
+	h, err := hdr.Hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	c := newCursor(payload)
+	phi := c.f64()
+	exitRatio := c.f64()
+	cflags := c.u8()
+	cfgSeed := c.u64()
+	warmupNs := c.i64()
+	sampler := c.u64()
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short continuous header", ErrCorrupt)
+	}
+	// NaN fails every comparison, so these range checks reject it too —
+	// NewDetector's own validation would let NaN through.
+	if !(phi > 0 && phi <= 1) {
+		return nil, fmt.Errorf("%w: phi %v out of (0,1]", ErrCorrupt, phi)
+	}
+	if !(exitRatio > 0 && exitRatio <= 1) {
+		return nil, fmt.Errorf("%w: exit ratio %v out of (0,1]", ErrCorrupt, exitRatio)
+	}
+	if cflags&^byte(3) != 0 {
+		return nil, fmt.Errorf("%w: unknown continuous flags %#x", ErrCorrupt, cflags)
+	}
+	if warmupNs <= 0 || warmupNs > maxAbsTime {
+		return nil, fmt.Errorf("%w: warmup %dns out of range", ErrCorrupt, warmupNs)
+	}
+	decay, err := readDecay(c)
+	if err != nil {
+		return nil, err
+	}
+	fcells := int(c.u32())
+	fhashes := int(c.u16())
+	warmEnd := c.i64()
+	pkts := c.i64()
+	totalV := c.f64()
+	totalTouch := c.i64()
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short continuous header", ErrCorrupt)
+	}
+	if fhashes < 1 {
+		return nil, fmt.Errorf("%w: %d filter hashes", ErrCorrupt, fhashes)
+	}
+	if err := boundTime(warmEnd); err != nil {
+		return nil, err
+	}
+	if err := boundTime(totalTouch); err != nil {
+		return nil, err
+	}
+	// The per-level filters materialise fcells cells each for Levels()
+	// levels; the whole matrix must be backed by remaining payload.
+	levels := h.Levels()
+	if fcells < 1 || int64(fcells)*int64(levels)*16 > int64(len(payload)) {
+		return nil, fmt.Errorf("%w: %d filter cells × %d levels exceed payload", ErrCorrupt, fcells, levels)
+	}
+
+	nActive := c.count(18)
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short active set", ErrCorrupt)
+	}
+	active := make([]continuous.ActiveEntry, nActive)
+	prevLevel, prevKey := -1, uint64(0)
+	for i := range active {
+		key := c.u64()
+		level := int(c.u16())
+		at := c.i64()
+		if !c.ok {
+			return nil, fmt.Errorf("%w: short active set", ErrCorrupt)
+		}
+		if level >= levels {
+			return nil, fmt.Errorf("%w: active level %d beyond hierarchy depth", ErrCorrupt, level)
+		}
+		if key&^h.KeyMask(level) != 0 {
+			return nil, fmt.Errorf("%w: active key %#x has bits below level %d", ErrCorrupt, key, level)
+		}
+		if level < prevLevel || (level == prevLevel && key <= prevKey) {
+			return nil, fmt.Errorf("%w: active set not sorted by (level, key)", ErrCorrupt)
+		}
+		if err := boundTime(at); err != nil {
+			return nil, err
+		}
+		prevLevel, prevKey = level, key
+		active[i] = continuous.ActiveEntry{Prefix: h.PrefixOfKey(key, level), At: at}
+	}
+
+	nf := int(c.u16())
+	if !c.ok {
+		return nil, fmt.Errorf("%w: short filter section", ErrCorrupt)
+	}
+	if nf != levels {
+		return nil, fmt.Errorf("%w: %d filters for %d-level hierarchy", ErrCorrupt, nf, levels)
+	}
+	filters := make([]*tdbf.Filter, nf)
+	for l := range filters {
+		st := tdbf.FilterState{
+			Cells:  fcells,
+			Hashes: fhashes,
+			Seed:   c.u64(),
+			Adds:   c.i64(),
+		}
+		if !c.ok {
+			return nil, fmt.Errorf("%w: short filter section", ErrCorrupt)
+		}
+		if err := filterColumns(c, &st); err != nil {
+			return nil, err
+		}
+		f, err := tdbf.RestoreFilter(decay, st)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		filters[l] = f
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+
+	cfg := continuous.Config{
+		Hierarchy: h,
+		Phi:       phi,
+		Filter:    tdbf.Config{Cells: fcells, Hashes: fhashes, Decay: decay},
+		ExitRatio: exitRatio,
+		Warmup:    time.Duration(warmupNs),
+		Sampled:   cflags&1 != 0,
+		Seed:      cfgSeed,
+	}
+	d, err := continuous.Restore(cfg, sampler, continuous.State{
+		Started: cflags&2 != 0,
+		WarmEnd: warmEnd,
+		Packets: pkts,
+		Total:   tdbf.MassState{V: totalV, Touch: totalTouch},
+		Active:  active,
+		Filters: filters,
+	})
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return d, nil
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"hiddenhhh/internal/addr"
+	"hiddenhhh/internal/continuous"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/tdbf"
+)
+
+// The aggregator's core claim: merging summaries that took a round trip
+// through the wire gives exactly the state an in-process K-shard merge
+// would have produced. Fixture builders are deterministic, so building
+// the same fleet twice yields independent but identical engines — one
+// fleet merges in-process, the other goes through Encode/Decode first —
+// and the canonical encodings of the two merge results must match byte
+// for byte. That is stronger than query equality and holds for every
+// engine, approximate ones included, because decode restores the exact
+// internal state Merge operates on.
+
+const mergeShards = 3
+
+func shardSeeds(base uint64) []uint64 {
+	seeds := make([]uint64, mergeShards)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)*101
+	}
+	return seeds
+}
+
+// mergeEquivalence drives one engine family through both merge paths.
+// build must be deterministic in its seed; enc canonically encodes;
+// merge folds the second engine into the first; dec decodes a frame.
+func mergeEquivalence[T any](
+	t *testing.T,
+	build func(seed uint64) T,
+	enc func(T) []byte,
+	merge func(dst, src T),
+	dec func(frame []byte) T,
+) {
+	t.Helper()
+	seeds := shardSeeds(0xbeef)
+
+	inProc := build(seeds[0])
+	for _, s := range seeds[1:] {
+		merge(inProc, build(s))
+	}
+
+	viaWire := dec(enc(build(seeds[0])))
+	for _, s := range seeds[1:] {
+		viaWire = func() T {
+			merge(viaWire, dec(enc(build(s))))
+			return viaWire
+		}()
+	}
+
+	if !slices.Equal(enc(inProc), enc(viaWire)) {
+		t.Fatal("wire-round-tripped merge differs from in-process merge")
+	}
+}
+
+func mustDecode[T any](t *testing.T, f func([]byte) (T, error)) func([]byte) T {
+	return func(frame []byte) T {
+		v, err := f(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return v
+	}
+}
+
+func TestMergeEquivalence(t *testing.T) {
+	t.Run("space-saving", func(t *testing.T) {
+		mergeEquivalence(t,
+			func(seed uint64) *sketch.SpaceSaving { return testSpaceSaving(seed, 300) },
+			EncodeSpaceSaving,
+			func(dst, src *sketch.SpaceSaving) { dst.Merge(src) },
+			mustDecode(t, DecodeSpaceSaving),
+		)
+	})
+	t.Run("exact", func(t *testing.T) {
+		h := testHierarchy()
+		mergeEquivalence(t,
+			func(seed uint64) *sketch.Exact { return testExact(seed, 300) },
+			func(e *sketch.Exact) []byte { return EncodeExact(h, e) },
+			func(dst, src *sketch.Exact) { dst.AddAll(src) },
+			func(frame []byte) *sketch.Exact {
+				e, gh, err := DecodeExact(frame)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if gh != h {
+					t.Fatalf("hierarchy %v != %v", gh, h)
+				}
+				return e
+			},
+		)
+	})
+	for _, h := range []addr.Hierarchy{testHierarchy(), testHierarchyV6()} {
+		h := h
+		name := "v4"
+		if h.Family() == addr.V6 {
+			name = "v6"
+		}
+		t.Run("per-level-"+name, func(t *testing.T) {
+			mergeEquivalence(t,
+				func(seed uint64) *hhh.PerLevel { return testPerLevelH(h, seed) },
+				EncodePerLevel,
+				func(dst, src *hhh.PerLevel) { dst.Merge(src) },
+				mustDecode(t, DecodePerLevel),
+			)
+		})
+		t.Run("rhhh-"+name, func(t *testing.T) {
+			mergeEquivalence(t,
+				func(seed uint64) *hhh.RHHH { return testRHHHH(h, seed) },
+				EncodeRHHH,
+				func(dst, src *hhh.RHHH) { dst.Merge(src) },
+				mustDecode(t, DecodeRHHH),
+			)
+		})
+		t.Run("sliding-"+name, func(t *testing.T) {
+			mergeEquivalence(t,
+				func(seed uint64) *swhh.SlidingHHH { return testSlidingH(h, seed) },
+				EncodeSliding,
+				func(dst, src *swhh.SlidingHHH) { dst.Merge(src) },
+				mustDecode(t, DecodeSliding),
+			)
+		})
+		t.Run("memento-"+name, func(t *testing.T) {
+			mergeEquivalence(t,
+				func(seed uint64) *swhh.MementoHHH { return testMementoH(h, seed) },
+				EncodeMemento,
+				func(dst, src *swhh.MementoHHH) { dst.Merge(src) },
+				mustDecode(t, DecodeMemento),
+			)
+		})
+		t.Run("continuous-"+name, func(t *testing.T) {
+			// Cluster nodes share one config (so per-level filter seeds
+			// match, a Merge precondition); only the traffic differs.
+			mergeEquivalence(t,
+				func(seed uint64) *continuous.Detector {
+					d, err := continuous.NewDetector(continuousTestConfig(h, 0x99))
+					if err != nil {
+						t.Fatalf("NewDetector: %v", err)
+					}
+					r := splitmix(seed)
+					now := int64(0)
+					for i := 0; i < 2000; i++ {
+						now += int64(r.next() % uint64(2*time.Millisecond))
+						d.Observe(addrFor(h, &r), int64(1+r.next()%9), now)
+					}
+					return d
+				},
+				func(d *continuous.Detector) []byte {
+					frame, err := EncodeContinuous(d)
+					if err != nil {
+						t.Fatalf("encode: %v", err)
+					}
+					return frame
+				},
+				func(dst, src *continuous.Detector) { dst.Merge(src) },
+				mustDecode(t, DecodeContinuous),
+			)
+		})
+	}
+	t.Run("tdbf", func(t *testing.T) {
+		mergeEquivalence(t,
+			func(seed uint64) *tdbf.Filter {
+				f := tdbf.New(tdbf.Config{Cells: 256, Hashes: 3, Seed: 0x99, Decay: tdbf.Exponential{Tau: time.Second}})
+				r := splitmix(seed)
+				now := int64(0)
+				for i := 0; i < 200; i++ {
+					now += int64(r.next() % uint64(3*time.Millisecond))
+					f.Add(r.next()%100, float64(1+r.next()%9), now)
+				}
+				return f
+			},
+			func(f *tdbf.Filter) []byte {
+				frame, err := EncodeFilter(f)
+				if err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+				return frame
+			},
+			func(dst, src *tdbf.Filter) { dst.Merge(src) },
+			mustDecode(t, DecodeFilter),
+		)
+	})
+}
+
+// TestMergedQueryMatchesUnsharded pins the telescoping Space-Saving
+// merge bound end to end: hash-partitioning a stream across shards,
+// shipping each shard summary over the wire, and merging at the
+// aggregator must report every prefix an unsharded run reports.
+func TestMergedQueryMatchesUnsharded(t *testing.T) {
+	h := testHierarchy()
+	whole := hhh.NewPerLevel(h, 256)
+	shards := make([]*hhh.PerLevel, mergeShards)
+	for i := range shards {
+		shards[i] = hhh.NewPerLevel(h, 256)
+	}
+	r := splitmix(0xfeed)
+	for i := 0; i < 3000; i++ {
+		a := addrFor(h, &r)
+		w := int64(1 + r.next()%9)
+		whole.Update(a, w)
+		shards[(a.Lo()^a.Hi())%mergeShards].Update(a, w)
+	}
+	merged := mustDecode(t, DecodePerLevel)(EncodePerLevel(shards[0]))
+	for _, s := range shards[1:] {
+		merged.Merge(mustDecode(t, DecodePerLevel)(EncodePerLevel(s)))
+	}
+	want := whole.QueryFraction(0.05)
+	got := merged.QueryFraction(0.05)
+	for _, p := range want.Prefixes() {
+		if _, ok := got[p]; !ok {
+			t.Fatalf("prefix %v reported unsharded but missing after wire-merged shards", p)
+		}
+	}
+	if merged.Total() != whole.Total() {
+		t.Fatalf("merged total %d != unsharded total %d", merged.Total(), whole.Total())
+	}
+}

@@ -1,0 +1,379 @@
+// Package wire is the stable, versioned binary codec for every
+// mergeable summary the pipeline can produce: Space-Saving, exact leaf
+// maps, the PerLevel and RHHH windowed HHH engines, the WCSS Sliding and
+// Memento sliding engines, time-decaying Bloom filters, and the
+// continuous detector. It is the cluster mode's interchange format —
+// ingest nodes seal merged shard summaries into frames and ship them to
+// an aggregator, which restores them and merges via the existing Merge
+// contracts.
+//
+// # Frame layout (version 1)
+//
+// Everything is little-endian. A frame is:
+//
+//	offset  size  field
+//	0       4     magic "hhwf"
+//	4       2     format version (1)
+//	6       1     summary kind (Kind)
+//	7       1     flags (0 in v1; nonzero rejected)
+//	8       1     hierarchy family: 0 none, 4 IPv4, 6 IPv6
+//	9       1     hierarchy granularity step, bits per level (0 when none)
+//	10      1     hierarchy depth, family-relative bits (0 when none)
+//	11      1     reserved (0)
+//	12      4     payload length N
+//	16      N     kind-specific payload
+//	16+N    4     CRC-32 (IEEE) over bytes [0, 16+N)
+//
+// The hierarchy descriptor is reconstructible because addr hierarchies
+// are fully determined by (family, step, depth); kinds without a
+// hierarchy (bare Space-Saving summaries and TDBF filters) carry family
+// 0. A frame is self-contained: no state is shared between frames, and
+// re-encoding a decoded summary yields a semantically identical summary
+// (byte-identical query results), which is what the aggregator relies
+// on.
+//
+// # Versioning policy
+//
+// The version field gates the whole layout: decoders reject any version
+// they do not know (ErrVersion) and any flag bit they do not understand,
+// so old readers fail loudly on new frames instead of misparsing them.
+// Additions go into new kinds or a version bump, never into silent
+// payload extensions — golden-vector tests pin the v1 bytes.
+//
+// # Robustness
+//
+// Decode never panics on arbitrary bytes: unknown versions, kinds and
+// malformed hierarchy descriptors return typed errors (ErrVersion,
+// ErrKind, ErrHierarchy), short frames return ErrTruncated, checksum
+// failures ErrCRC, and structurally invalid payloads ErrCorrupt.
+// Allocation is guarded against attacker-declared lengths: element
+// counts are validated against the actual remaining payload before any
+// slice is sized from them, and capacity-type fields that legitimately
+// exceed the payload (Space-Saving capacities, Memento tables) are
+// checked against documented hard budgets (maxCounters and friends)
+// before construction.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"hiddenhhh/internal/addr"
+)
+
+// Version is the wire-format version this package reads and writes.
+const Version = 1
+
+// magic opens every frame.
+const magic = "hhwf"
+
+const (
+	headerSize = 16
+	crcSize    = 4
+)
+
+// Kind identifies the summary type a frame carries.
+type Kind uint8
+
+// Frame kinds. The numeric values are wire format, fixed forever.
+const (
+	// KindSpaceSaving is a bare Space-Saving summary (no hierarchy).
+	KindSpaceSaving Kind = 1
+	// KindExact is an exact leaf-key map plus its hierarchy.
+	KindExact Kind = 2
+	// KindPerLevel is the per-level Space-Saving HHH engine.
+	KindPerLevel Kind = 3
+	// KindRHHH is the randomised one-level-per-packet HHH engine.
+	KindRHHH Kind = 4
+	// KindSliding is the WCSS frame-ring sliding HHH engine.
+	KindSliding Kind = 5
+	// KindMemento is the level-sampled Memento sliding HHH engine.
+	KindMemento Kind = 6
+	// KindFilter is a bare time-decaying Bloom filter (no hierarchy).
+	KindFilter Kind = 7
+	// KindContinuous is the TDBF-backed continuous HHH detector.
+	KindContinuous Kind = 8
+)
+
+// String names the kind for labels and reports.
+func (k Kind) String() string {
+	switch k {
+	case KindSpaceSaving:
+		return "space-saving"
+	case KindExact:
+		return "exact"
+	case KindPerLevel:
+		return "per-level"
+	case KindRHHH:
+		return "rhhh"
+	case KindSliding:
+		return "sliding"
+	case KindMemento:
+		return "memento"
+	case KindFilter:
+		return "tdbf"
+	case KindContinuous:
+		return "continuous"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Typed decode errors. Every Decode failure wraps exactly one of these,
+// so callers can classify with errors.Is.
+var (
+	// ErrBadMagic means the frame does not open with the wire magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrVersion means the frame declares a version or flag this decoder
+	// does not understand.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrKind means the frame declares an unknown or unexpected kind.
+	ErrKind = errors.New("wire: unknown summary kind")
+	// ErrTruncated means the frame is shorter than its declared layout.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrCRC means the frame checksum does not match its contents.
+	ErrCRC = errors.New("wire: checksum mismatch")
+	// ErrHierarchy means the hierarchy descriptor is malformed.
+	ErrHierarchy = errors.New("wire: invalid hierarchy descriptor")
+	// ErrHierarchyMismatch means a frame's hierarchy differs from the
+	// one the caller requires (the aggregator's alignment check).
+	ErrHierarchyMismatch = errors.New("wire: hierarchy mismatch")
+	// ErrCorrupt means the payload is structurally invalid: impossible
+	// counts, broken invariants, or bytes left over after decoding.
+	ErrCorrupt = errors.New("wire: corrupt payload")
+)
+
+// Decode allocation budgets. Capacity-type fields are not materialised
+// in the payload (an empty Space-Saving summary of capacity k encodes in
+// 16 bytes but allocates O(k)), so the decoder enforces hard caps
+// instead of payload proportionality for them. The budgets comfortably
+// cover every configuration the pipeline can produce; frames declaring
+// more are rejected with ErrCorrupt.
+const (
+	// maxCounters caps one Space-Saving capacity or Memento table size.
+	maxCounters = 1 << 20
+	// maxSummaries caps the Space-Saving instances one frame may carry
+	// (levels × ring slots for the sliding engine).
+	maxSummaries = 1 << 12
+	// maxCountersTotal caps the summed Space-Saving capacity per frame.
+	maxCountersTotal = 1 << 21
+	// maxMementoCells caps the summed Memento frame-cell matrix size
+	// (capacity × ring, summed over levels) per frame.
+	maxMementoCells = 1 << 25
+	// maxRing caps the sliding ring length (Frames+1).
+	maxRing = 1 << 10
+	// maxAbsFrame bounds |frame clock| so that frame-index arithmetic in
+	// Merge/advance cannot overflow into an unbounded per-frame loop.
+	maxAbsFrame = int64(1) << 62
+	// maxAbsTime bounds |timestamps| for the same reason.
+	maxAbsTime = int64(1) << 62
+)
+
+// Header is the parsed fixed-size frame header.
+type Header struct {
+	// Version is the declared format version (always 1 once parsed).
+	Version uint16
+	// Kind is the summary kind the payload carries.
+	Kind Kind
+	// Family is the hierarchy family byte: 0 none, 4 IPv4, 6 IPv6.
+	Family byte
+	// Step is the hierarchy granularity in bits per level (0 when none).
+	Step byte
+	// Depth is the family-relative hierarchy depth in bits (0 when none).
+	Depth byte
+}
+
+// Hierarchy reconstructs the addr.Hierarchy the header describes,
+// validating the descriptor instead of panicking on malformed input.
+// Frames without a hierarchy (Family 0) return ErrHierarchy.
+func (h Header) Hierarchy() (addr.Hierarchy, error) {
+	switch h.Family {
+	case 4:
+		if h.Step == 0 || h.Depth != 32 || 32%h.Step != 0 {
+			return addr.Hierarchy{}, fmt.Errorf("%w: ipv4 step %d depth %d", ErrHierarchy, h.Step, h.Depth)
+		}
+		return addr.NewIPv4Hierarchy(addr.Granularity(h.Step)), nil
+	case 6:
+		if h.Step == 0 || h.Depth == 0 || h.Depth > addr.MaxIPv6Depth || h.Depth%h.Step != 0 {
+			return addr.Hierarchy{}, fmt.Errorf("%w: ipv6 step %d depth %d", ErrHierarchy, h.Step, h.Depth)
+		}
+		return addr.NewIPv6HierarchyDepth(addr.Granularity(h.Step), h.Depth), nil
+	case 0:
+		return addr.Hierarchy{}, fmt.Errorf("%w: frame carries no hierarchy", ErrHierarchy)
+	default:
+		return addr.Hierarchy{}, fmt.Errorf("%w: unknown family %d", ErrHierarchy, h.Family)
+	}
+}
+
+// describe renders a hierarchy into its descriptor bytes.
+func describe(h addr.Hierarchy) (fam, step, depth byte) {
+	switch h.Family() {
+	case addr.V4:
+		fam = 4
+	case addr.V6:
+		fam = 6
+	}
+	return fam, byte(h.Granularity()), h.Depth()
+}
+
+// Inspect parses and verifies the frame envelope — magic, version,
+// kind, declared length, checksum — without decoding the payload. It is
+// what the aggregator uses to classify and validate incoming frames
+// before committing to a full decode.
+func Inspect(frame []byte) (Header, error) {
+	hdr, _, err := parseFrame(frame)
+	return hdr, err
+}
+
+// parseFrame verifies the envelope and returns the header and payload.
+func parseFrame(frame []byte) (Header, []byte, error) {
+	if len(frame) < headerSize+crcSize {
+		return Header{}, nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(frame), headerSize+crcSize)
+	}
+	if string(frame[:4]) != magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	version := binary.LittleEndian.Uint16(frame[4:6])
+	if version != Version {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrVersion, version)
+	}
+	if flags := frame[7]; flags != 0 {
+		return Header{}, nil, fmt.Errorf("%w: unknown flags %#x", ErrVersion, flags)
+	}
+	if frame[11] != 0 {
+		return Header{}, nil, fmt.Errorf("%w: nonzero reserved byte", ErrCorrupt)
+	}
+	hdr := Header{
+		Version: version,
+		Kind:    Kind(frame[6]),
+		Family:  frame[8],
+		Step:    frame[9],
+		Depth:   frame[10],
+	}
+	if hdr.Kind < KindSpaceSaving || hdr.Kind > KindContinuous {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrKind, uint8(hdr.Kind))
+	}
+	n := int(binary.LittleEndian.Uint32(frame[12:16]))
+	if len(frame) < headerSize+n+crcSize {
+		return Header{}, nil, fmt.Errorf("%w: payload declares %d bytes, frame has %d", ErrTruncated, n, len(frame)-headerSize-crcSize)
+	}
+	if len(frame) > headerSize+n+crcSize {
+		return Header{}, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(frame)-headerSize-n-crcSize)
+	}
+	sum := crc32.ChecksumIEEE(frame[:headerSize+n])
+	if got := binary.LittleEndian.Uint32(frame[headerSize+n:]); got != sum {
+		return Header{}, nil, fmt.Errorf("%w: frame %#08x, computed %#08x", ErrCRC, got, sum)
+	}
+	return hdr, frame[headerSize : headerSize+n], nil
+}
+
+// frameFor assembles a complete frame around payload.
+func frameFor(kind Kind, fam, step, depth byte, payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload)+crcSize)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = append(out, byte(kind), 0, fam, step, depth, 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// cursor is a sticky-error little-endian payload reader with the decode
+// allocation budgets. Reads past the end clear ok and return zero; the
+// caller checks ok (or calls finish) before using values that gate
+// allocation or construction.
+type cursor struct {
+	b   []byte
+	off int
+	ok  bool
+
+	summaries    int // Space-Saving instances restored from this payload
+	counters     int // summed Space-Saving capacity restored
+	mementoCells int // summed Memento frame-cell matrix size restored
+}
+
+func newCursor(b []byte) *cursor { return &cursor{b: b, ok: true} }
+
+// remaining returns the unread payload length.
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+// need reports whether n more bytes are available, clearing ok if not.
+func (c *cursor) need(n int) bool {
+	if !c.ok || n < 0 || c.remaining() < n {
+		c.ok = false
+		return false
+	}
+	return true
+}
+
+func (c *cursor) u8() byte {
+	if !c.need(1) {
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if !c.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// count reads a u32 element count and validates it against the actual
+// remaining payload at elem bytes per element, so no slice is ever sized
+// from a declared length the payload cannot back.
+func (c *cursor) count(elem int) int {
+	n := int(c.u32())
+	if !c.ok || int64(n)*int64(elem) > int64(c.remaining()) {
+		c.ok = false
+		return 0
+	}
+	return n
+}
+
+// finish returns the terminal payload verdict: ErrCorrupt if any read
+// ran past the end or a budget tripped, or if bytes are left over.
+func (c *cursor) finish() error {
+	if !c.ok {
+		return fmt.Errorf("%w: payload exhausted or budget exceeded", ErrCorrupt)
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(c.b)-c.off)
+	}
+	return nil
+}
+
+// corrupt wraps a restore-constructor error as a payload corruption.
+func corrupt(err error) error {
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}

@@ -1,0 +1,517 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"slices"
+	"testing"
+	"time"
+
+	"hiddenhhh/internal/addr"
+	"hiddenhhh/internal/continuous"
+	"hiddenhhh/internal/hhh"
+	"hiddenhhh/internal/sketch"
+	"hiddenhhh/internal/swhh"
+	"hiddenhhh/internal/tdbf"
+)
+
+// splitmix is a tiny deterministic stream for building test fixtures.
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func testHierarchy() addr.Hierarchy { return addr.NewIPv4Hierarchy(8) }
+
+func testHierarchyV6() addr.Hierarchy { return addr.NewIPv6HierarchyDepth(16, 64) }
+
+// addrFor draws addresses from a handful of top-level groups in h's
+// family so hierarchies have real structure at every level.
+func addrFor(h addr.Hierarchy, r *splitmix) addr.Addr {
+	v := r.next()
+	if h.Family() == addr.V6 {
+		return addr.FromParts(0x2001_0db8_0000_0000|(v%3)<<32|(v>>8)&0xffff_ffff, 0)
+	}
+	return addr.From4(byte(10+v%3), byte(v>>8), byte(v>>16), byte(v>>24&3))
+}
+
+// testAddr is the IPv4 shorthand used by the round-trip fixtures.
+func testAddr(r *splitmix) addr.Addr { return addrFor(testHierarchy(), r) }
+
+func testSpaceSaving(seed uint64, n int) *sketch.SpaceSaving {
+	s := sketch.NewSpaceSaving(32)
+	r := splitmix(seed)
+	for i := 0; i < n; i++ {
+		s.Update(r.next()%100, int64(1+r.next()%9))
+	}
+	return s
+}
+
+func testExact(seed uint64, n int) *sketch.Exact {
+	e := sketch.NewExact(0)
+	r := splitmix(seed)
+	for i := 0; i < n; i++ {
+		e.Update(r.next()%500, int64(1+r.next()%9))
+	}
+	return e
+}
+
+func testPerLevelH(h addr.Hierarchy, seed uint64) *hhh.PerLevel {
+	p := hhh.NewPerLevel(h, 64)
+	r := splitmix(seed)
+	for i := 0; i < 400; i++ {
+		p.Update(addrFor(h, &r), int64(1+r.next()%9))
+	}
+	return p
+}
+
+func testPerLevel(seed uint64) *hhh.PerLevel { return testPerLevelH(testHierarchy(), seed) }
+
+func testRHHHH(h addr.Hierarchy, seed uint64) *hhh.RHHH {
+	d := hhh.NewRHHH(h, 64, seed)
+	r := splitmix(seed)
+	for i := 0; i < 400; i++ {
+		d.Update(addrFor(h, &r), int64(1+r.next()%9))
+	}
+	return d
+}
+
+func testRHHH(seed uint64) *hhh.RHHH { return testRHHHH(testHierarchy(), seed) }
+
+func slidingTestConfig() swhh.Config {
+	return swhh.Config{Window: time.Second, Frames: 4, Counters: 64}
+}
+
+func testSlidingH(h addr.Hierarchy, seed uint64) *swhh.SlidingHHH {
+	d, err := swhh.NewSlidingHHH(h, slidingTestConfig())
+	if err != nil {
+		panic(err)
+	}
+	r := splitmix(seed)
+	now := int64(0)
+	for i := 0; i < 400; i++ {
+		now += int64(r.next() % uint64(5*time.Millisecond))
+		d.Update(addrFor(h, &r), int64(1+r.next()%9), now)
+	}
+	return d
+}
+
+func testSliding(seed uint64) *swhh.SlidingHHH { return testSlidingH(testHierarchy(), seed) }
+
+func testMementoH(h addr.Hierarchy, seed uint64) *swhh.MementoHHH {
+	d, err := swhh.NewMementoHHH(h, slidingTestConfig(), seed)
+	if err != nil {
+		panic(err)
+	}
+	r := splitmix(seed)
+	now := int64(0)
+	for i := 0; i < 400; i++ {
+		now += int64(r.next() % uint64(5*time.Millisecond))
+		d.Update(addrFor(h, &r), int64(1+r.next()%9), now)
+	}
+	return d
+}
+
+func testMemento(seed uint64) *swhh.MementoHHH { return testMementoH(testHierarchy(), seed) }
+
+func testFilter(seed uint64) *tdbf.Filter {
+	f := tdbf.New(tdbf.Config{Cells: 256, Hashes: 3, Seed: seed, Decay: tdbf.Exponential{Tau: time.Second}})
+	r := splitmix(seed)
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		now += int64(r.next() % uint64(3*time.Millisecond))
+		f.Add(r.next()%100, float64(1+r.next()%9), now)
+	}
+	return f
+}
+
+func continuousTestConfig(h addr.Hierarchy, seed uint64) continuous.Config {
+	return continuous.Config{
+		Hierarchy: h,
+		Phi:       0.05,
+		Filter:    tdbf.Config{Cells: 1 << 10, Hashes: 3, Decay: tdbf.Exponential{Tau: 500 * time.Millisecond}},
+		Seed:      seed,
+	}
+}
+
+func testContinuousH(t testing.TB, h addr.Hierarchy, seed uint64) *continuous.Detector {
+	d, err := continuous.NewDetector(continuousTestConfig(h, seed))
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	r := splitmix(seed)
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		now += int64(r.next() % uint64(2*time.Millisecond))
+		d.Observe(addrFor(h, &r), int64(1+r.next()%9), now)
+	}
+	return d
+}
+
+func testContinuous(t testing.TB, seed uint64) *continuous.Detector {
+	return testContinuousH(t, testHierarchy(), seed)
+}
+
+// queryNow is a fixed instant safely past the fixtures' last update.
+const queryNow = int64(10 * time.Second)
+
+// TestRoundTrip encodes every kind, decodes it back, and demands both
+// byte-identical re-encoding and identical query results.
+func TestRoundTrip(t *testing.T) {
+	t.Run("space-saving", func(t *testing.T) {
+		s := testSpaceSaving(1, 300)
+		frame := EncodeSpaceSaving(s)
+		got, err := DecodeSpaceSaving(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Total() != s.Total() || got.Len() != s.Len() || got.Capacity() != s.Capacity() {
+			t.Fatalf("restored shape (%d,%d,%d) != original (%d,%d,%d)",
+				got.Total(), got.Len(), got.Capacity(), s.Total(), s.Len(), s.Capacity())
+		}
+		if re := EncodeSpaceSaving(got); !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+	})
+	t.Run("exact", func(t *testing.T) {
+		h := testHierarchy()
+		e := testExact(2, 300)
+		frame := EncodeExact(h, e)
+		got, gh, err := DecodeExact(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if gh != h {
+			t.Fatalf("hierarchy %v != %v", gh, h)
+		}
+		if got.Total() != e.Total() || got.Len() != e.Len() {
+			t.Fatalf("restored (%d keys, total %d) != original (%d, %d)",
+				got.Len(), got.Total(), e.Len(), e.Total())
+		}
+		if re := EncodeExact(h, got); !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+	})
+	t.Run("per-level", func(t *testing.T) {
+		p := testPerLevel(3)
+		frame := EncodePerLevel(p)
+		got, err := DecodePerLevel(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !got.QueryFraction(0.05).Equal(p.QueryFraction(0.05)) {
+			t.Fatal("restored query differs from original")
+		}
+		if re := EncodePerLevel(got); !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+	})
+	t.Run("rhhh", func(t *testing.T) {
+		d := testRHHH(4)
+		frame := EncodeRHHH(d)
+		got, err := DecodeRHHH(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !got.QueryFraction(0.05).Equal(d.QueryFraction(0.05)) {
+			t.Fatal("restored query differs from original")
+		}
+		if re := EncodeRHHH(got); !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+	})
+	t.Run("sliding", func(t *testing.T) {
+		d := testSliding(5)
+		frame := EncodeSliding(d)
+		got, err := DecodeSliding(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		// Byte-identity first: Query advances the frame clock, mutating
+		// both engines past the encoded instant.
+		if re := EncodeSliding(got); !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+		if !got.Query(0.05, queryNow).Equal(d.Query(0.05, queryNow)) {
+			t.Fatal("restored query differs from original")
+		}
+	})
+	t.Run("memento", func(t *testing.T) {
+		d := testMemento(6)
+		frame := EncodeMemento(d)
+		got, err := DecodeMemento(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if re := EncodeMemento(got); !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+		if !got.Query(0.05, queryNow).Equal(d.Query(0.05, queryNow)) {
+			t.Fatal("restored query differs from original")
+		}
+	})
+	t.Run("tdbf", func(t *testing.T) {
+		f := testFilter(7)
+		frame, err := EncodeFilter(f)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeFilter(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		r := splitmix(99)
+		for i := 0; i < 50; i++ {
+			k := r.next() % 100
+			if a, b := got.Estimate(k, queryNow), f.Estimate(k, queryNow); a != b {
+				t.Fatalf("estimate(%d) %v != %v", k, a, b)
+			}
+		}
+		re, err := EncodeFilter(got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+	})
+	t.Run("continuous", func(t *testing.T) {
+		d := testContinuous(t, 8)
+		frame, err := EncodeContinuous(d)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeContinuous(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !got.Query(queryNow).Equal(d.Query(queryNow)) {
+			t.Fatal("restored query differs from original")
+		}
+		re, err := EncodeContinuous(got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !slices.Equal(re, frame) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+	})
+}
+
+// TestDecodeDispatch checks the generic Decode returns the right
+// dynamic type for every kind.
+func TestDecodeDispatch(t *testing.T) {
+	filterFrame, err := EncodeFilter(testFilter(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contFrame, err := EncodeContinuous(testContinuous(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		frame []byte
+		want  Kind
+	}{
+		{EncodeSpaceSaving(testSpaceSaving(1, 100)), KindSpaceSaving},
+		{EncodeExact(testHierarchy(), testExact(2, 100)), KindExact},
+		{EncodePerLevel(testPerLevel(3)), KindPerLevel},
+		{EncodeRHHH(testRHHH(4)), KindRHHH},
+		{EncodeSliding(testSliding(5)), KindSliding},
+		{EncodeMemento(testMemento(6)), KindMemento},
+		{filterFrame, KindFilter},
+		{contFrame, KindContinuous},
+	}
+	for _, tc := range cases {
+		hdr, err := Inspect(tc.frame)
+		if err != nil {
+			t.Fatalf("%v: inspect: %v", tc.want, err)
+		}
+		if hdr.Kind != tc.want || hdr.Version != Version {
+			t.Fatalf("inspect says %v v%d, want %v v%d", hdr.Kind, hdr.Version, tc.want, Version)
+		}
+		v, err := Decode(tc.frame)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", tc.want, err)
+		}
+		ok := false
+		switch tc.want {
+		case KindSpaceSaving:
+			_, ok = v.(*sketch.SpaceSaving)
+		case KindExact:
+			_, ok = v.(ExactSummary)
+		case KindPerLevel:
+			_, ok = v.(*hhh.PerLevel)
+		case KindRHHH:
+			_, ok = v.(*hhh.RHHH)
+		case KindSliding:
+			_, ok = v.(*swhh.SlidingHHH)
+		case KindMemento:
+			_, ok = v.(*swhh.MementoHHH)
+		case KindFilter:
+			_, ok = v.(*tdbf.Filter)
+		case KindContinuous:
+			_, ok = v.(*continuous.Detector)
+		}
+		if !ok {
+			t.Fatalf("%v: decode returned %T", tc.want, v)
+		}
+	}
+}
+
+// mangle clones the frame, applies f, and refreshes the trailing CRC so
+// the mutation under test is what the decoder sees (not a CRC failure).
+func mangle(frame []byte, f func([]byte)) []byte {
+	out := slices.Clone(frame)
+	f(out)
+	n := len(out) - crcSize
+	binary.LittleEndian.PutUint32(out[n:], crc32.ChecksumIEEE(out[:n]))
+	return out
+}
+
+// TestTypedErrors is the envelope rejection matrix: every malformed
+// frame maps to exactly the documented typed error, and none panic.
+func TestTypedErrors(t *testing.T) {
+	good := EncodePerLevel(testPerLevel(3))
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"nil", nil, ErrTruncated},
+		{"short", good[:10], ErrTruncated},
+		{"bad-magic", mangle(good, func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"future-version", mangle(good, func(b []byte) { b[4] = 9 }), ErrVersion},
+		{"unknown-flags", mangle(good, func(b []byte) { b[7] = 1 }), ErrVersion},
+		{"zero-kind", mangle(good, func(b []byte) { b[6] = 0 }), ErrKind},
+		{"wild-kind", mangle(good, func(b []byte) { b[6] = 200 }), ErrKind},
+		{"reserved-byte", mangle(good, func(b []byte) { b[11] = 1 }), ErrCorrupt},
+		{"declared-too-long", mangle(good, func(b []byte) {
+			binary.LittleEndian.PutUint32(b[12:16], uint32(len(b)))
+		}), ErrTruncated},
+		{"trailing-bytes", append(slices.Clone(good), 0), ErrCorrupt},
+		{"crc-flip", func() []byte {
+			b := slices.Clone(good)
+			b[headerSize] ^= 0xff
+			return b
+		}(), ErrCRC},
+		{"bad-family", mangle(good, func(b []byte) { b[8] = 5 }), ErrHierarchy},
+		{"bad-step", mangle(good, func(b []byte) { b[9] = 7 }), ErrHierarchy},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.frame); !errors.Is(err, tc.want) {
+				t.Fatalf("Decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("kind-mismatch", func(t *testing.T) {
+		if _, err := DecodeRHHH(good); !errors.Is(err, ErrKind) {
+			t.Fatalf("DecodeRHHH(per-level frame) = %v, want ErrKind", err)
+		}
+	})
+}
+
+// TestCorruptPayloads drives structurally invalid payloads through the
+// decoder; every one must come back ErrCorrupt without panicking.
+func TestCorruptPayloads(t *testing.T) {
+	// Handcrafted payloads use the same frameFor the encoders use, so the
+	// envelope is valid and only the payload is wrong.
+	ssPayload := func(k uint32, total int64, entries ...[3]uint64) []byte {
+		p := appendU32(nil, k)
+		p = appendI64(p, total)
+		p = appendU32(p, uint32(len(entries)))
+		for _, e := range entries {
+			p = appendU64(p, e[0])
+			p = appendI64(p, int64(e[1]))
+			p = appendI64(p, int64(e[2]))
+		}
+		return p
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"ss-zero-capacity", frameFor(KindSpaceSaving, 0, 0, 0, ssPayload(0, 0))},
+		{"ss-capacity-over-budget", frameFor(KindSpaceSaving, 0, 0, 0, ssPayload(maxCounters+1, 0))},
+		{"ss-entries-exceed-capacity", frameFor(KindSpaceSaving, 0, 0, 0,
+			ssPayload(1, 2, [3]uint64{1, 1, 0}, [3]uint64{2, 1, 0}))},
+		{"ss-unbacked-count", frameFor(KindSpaceSaving, 0, 0, 0, func() []byte {
+			p := appendU32(nil, 8)
+			p = appendI64(p, 0)
+			return appendU32(p, 1<<30)
+		}())},
+		{"ss-negative-total", frameFor(KindSpaceSaving, 0, 0, 0, ssPayload(8, -1))},
+		{"ss-err-above-count", frameFor(KindSpaceSaving, 0, 0, 0, ssPayload(8, 5, [3]uint64{1, 2, 3}))},
+		{"ss-duplicate-key", frameFor(KindSpaceSaving, 0, 0, 0,
+			ssPayload(8, 4, [3]uint64{1, 2, 0}, [3]uint64{1, 2, 0}))},
+		{"ss-trailing-payload", frameFor(KindSpaceSaving, 0, 0, 0, append(ssPayload(8, 0), 0))},
+		{"exact-unsorted", frameFor(KindExact, 4, 8, 32, func() []byte {
+			p := appendU32(nil, 2)
+			p = appendU64(p, 9)
+			p = appendI64(p, 1)
+			p = appendU64(p, 3)
+			return appendI64(p, 1)
+		}())},
+		{"exact-zero-count", frameFor(KindExact, 4, 8, 32, func() []byte {
+			p := appendU32(nil, 1)
+			p = appendU64(p, 9)
+			return appendI64(p, 0)
+		}())},
+		{"sliding-empty-payload", frameFor(KindSliding, 4, 8, 32, nil)},
+		{"sliding-zero-window", frameFor(KindSliding, 4, 8, 32, func() []byte {
+			p := appendI64(nil, 0)
+			p = appendU16(p, 4)
+			p = appendU32(p, 64)
+			return appendU16(p, 4)
+		}())},
+		{"sliding-frame-clock-overflow", frameFor(KindSliding, 4, 8, 32, func() []byte {
+			// Geometry of a 1-frame, 1-counter, 4-level ring whose first
+			// level declares a frame clock past maxAbsFrame: the DoS guard
+			// that keeps advance loops bounded.
+			p := appendI64(nil, int64(time.Second))
+			p = appendU16(p, 1)
+			p = appendU32(p, 1)
+			p = appendU16(p, 4)
+			p = appendI64(p, maxAbsFrame+1)
+			for i := 0; i < 2; i++ {
+				p = appendI64(p, 0)
+				p = append(p, ssPayload(1, 0)...)
+			}
+			return p
+		}())},
+		{"filter-bad-decay-tag", frameFor(KindFilter, 0, 0, 0, []byte{3})},
+		{"filter-zero-tau", frameFor(KindFilter, 0, 0, 0, func() []byte {
+			p := []byte{decayExponential}
+			return appendI64(p, 0)
+		}())},
+		{"filter-nan-rate", frameFor(KindFilter, 0, 0, 0, func() []byte {
+			p := []byte{decayLeaky}
+			return appendF64(p, math.NaN())
+		}())},
+		{"continuous-nan-phi", frameFor(KindContinuous, 4, 8, 32, func() []byte {
+			p := appendF64(nil, math.NaN())
+			p = appendF64(p, 0.9)
+			p = append(p, 0)
+			p = appendU64(p, 0)
+			p = appendI64(p, int64(time.Second))
+			p = appendU64(p, 0)
+			return p
+		}())},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.frame); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
